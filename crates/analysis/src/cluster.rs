@@ -1,0 +1,295 @@
+//! Agglomerative hierarchical clustering (average linkage) and a text
+//! dendrogram renderer.
+
+use crate::euclidean;
+
+/// Inter-cluster distance criterion for agglomerative clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Linkage {
+    /// Mean pairwise distance (UPGMA) — what the paper's dendrogram
+    /// pipeline uses.
+    #[default]
+    Average,
+    /// Minimum pairwise distance (nearest neighbor).
+    Single,
+    /// Maximum pairwise distance (furthest neighbor).
+    Complete,
+}
+
+impl Linkage {
+    fn combine(&self, pairwise: impl Iterator<Item = f64>) -> f64 {
+        match self {
+            Linkage::Average => {
+                let (mut sum, mut n) = (0.0, 0usize);
+                for d in pairwise {
+                    sum += d;
+                    n += 1;
+                }
+                sum / n.max(1) as f64
+            }
+            Linkage::Single => pairwise.fold(f64::INFINITY, f64::min),
+            Linkage::Complete => pairwise.fold(0.0, f64::max),
+        }
+    }
+}
+
+/// One merge step: clusters `a` and `b` join at `distance`, forming a new
+/// cluster of `size` leaves. Cluster IDs follow the SciPy convention:
+/// `0..n` are leaves; merge `i` creates cluster `n + i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged cluster ID.
+    pub a: usize,
+    /// Second merged cluster ID.
+    pub b: usize,
+    /// Average-linkage distance at which the merge happens.
+    pub distance: f64,
+    /// Leaves in the merged cluster.
+    pub size: usize,
+}
+
+/// A full clustering: the merge table plus leaf count.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// The merge table in merge order (ascending distance).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Number of leaf items.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// The linkage distance at which leaves `i` and `j` first share a
+    /// cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn cophenetic_distance(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n_leaves && j < self.n_leaves, "leaf index out of range");
+        if i == j {
+            return 0.0;
+        }
+        // Track each leaf's current cluster through the merge sequence.
+        let mut membership: Vec<usize> = (0..self.n_leaves).collect();
+        for (step, m) in self.merges.iter().enumerate() {
+            let new_id = self.n_leaves + step;
+            for slot in membership.iter_mut() {
+                if *slot == m.a || *slot == m.b {
+                    *slot = new_id;
+                }
+            }
+            if membership[i] == membership[j] {
+                return m.distance;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Leaf order for display: a depth-first walk of the merge tree, so
+    /// similar items appear adjacent (as in the paper's Fig. 1).
+    pub fn leaf_order(&self) -> Vec<usize> {
+        if self.merges.is_empty() {
+            return (0..self.n_leaves).collect();
+        }
+        let root = self.n_leaves + self.merges.len() - 1;
+        let mut order = Vec::with_capacity(self.n_leaves);
+        self.walk(root, &mut order);
+        order
+    }
+
+    fn walk(&self, id: usize, out: &mut Vec<usize>) {
+        if id < self.n_leaves {
+            out.push(id);
+        } else {
+            let m = &self.merges[id - self.n_leaves];
+            self.walk(m.a, out);
+            self.walk(m.b, out);
+        }
+    }
+
+    /// Renders a text dendrogram: leaves in tree order, each annotated
+    /// with a bar whose length is its merge distance on a log scale —
+    /// the textual analogue of Fig. 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != n_leaves`.
+    pub fn render(&self, labels: &[&str]) -> String {
+        use std::fmt::Write as _;
+        assert_eq!(labels.len(), self.n_leaves, "one label per leaf required");
+        let mut out = String::new();
+        // First-merge distance per leaf (how early the leaf joins a group).
+        let mut join_dist = vec![f64::INFINITY; self.n_leaves];
+        let mut membership: Vec<usize> = (0..self.n_leaves).collect();
+        for (step, m) in self.merges.iter().enumerate() {
+            let new_id = self.n_leaves + step;
+            for (leaf, slot) in membership.iter_mut().enumerate() {
+                if *slot == m.a || *slot == m.b {
+                    if join_dist[leaf].is_infinite() {
+                        join_dist[leaf] = m.distance.max(1e-6);
+                    }
+                    *slot = new_id;
+                }
+            }
+        }
+        let finite: Vec<f64> = join_dist.iter().copied().filter(|d| d.is_finite()).collect();
+        let (lo, hi) = finite
+            .iter()
+            .fold((f64::INFINITY, 1e-6f64), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+        let span = (hi.ln() - lo.ln()).max(1e-9);
+        let _ = writeln!(out, "{:<28} linkage distance (log scale)", "benchmark");
+        for &leaf in &self.leaf_order() {
+            let d = join_dist[leaf];
+            let bar = if d.is_finite() {
+                let frac = ((d.ln() - lo.ln()) / span).clamp(0.0, 1.0);
+                1 + (frac * 40.0).round() as usize
+            } else {
+                41
+            };
+            let _ = writeln!(out, "{:<28} {} {:.4}", labels[leaf], "#".repeat(bar), d);
+        }
+        out
+    }
+}
+
+/// Average-linkage agglomerative clustering over Euclidean distances
+/// (the paper's pipeline). See [`linkage_with`] for other criteria.
+///
+/// # Panics
+///
+/// Panics on an empty input or ragged rows.
+pub fn linkage(data: &[Vec<f64>]) -> Dendrogram {
+    linkage_with(data, Linkage::Average)
+}
+
+/// Agglomerative clustering with a selectable [`Linkage`] criterion.
+///
+/// # Panics
+///
+/// Panics on an empty input or ragged rows.
+pub fn linkage_with(data: &[Vec<f64>], criterion: Linkage) -> Dendrogram {
+    let n = data.len();
+    assert!(n > 0, "cannot cluster zero items");
+    // Active clusters: (id, member leaf indices).
+    let mut clusters: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+    // Precompute leaf-to-leaf distances.
+    let dist: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| euclidean(&data[i], &data[j])).collect()).collect();
+    while clusters.len() > 1 {
+        // Find the closest pair by average linkage.
+        let (mut bi, mut bj, mut best) = (0, 1, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let (ma, mb) = (&clusters[i].1, &clusters[j].1);
+                let dist = &dist;
+                let d = criterion
+                    .combine(ma.iter().flat_map(|&x| mb.iter().map(move |&y| dist[x][y])));
+                if d < best {
+                    (bi, bj, best) = (i, j, d);
+                }
+            }
+        }
+        let (id_b, members_b) = clusters.remove(bj);
+        let (id_a, members_a) = clusters.remove(bi);
+        let mut merged = members_a;
+        merged.extend(members_b);
+        merges.push(Merge { a: id_a, b: id_b, distance: best, size: merged.len() });
+        clusters.push((next_id, merged));
+        next_id += 1;
+    }
+    Dendrogram { n_leaves: n, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_groups() -> Vec<Vec<f64>> {
+        vec![vec![0.0, 0.0], vec![0.2, 0.0], vec![10.0, 10.0], vec![10.2, 10.0]]
+    }
+
+    #[test]
+    fn merge_distances_are_nondecreasing() {
+        let d = linkage(&two_groups());
+        let dists: Vec<f64> = d.merges().iter().map(|m| m.distance).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{dists:?}");
+        assert_eq!(d.merges().len(), 3);
+        assert_eq!(d.merges().last().unwrap().size, 4);
+    }
+
+    #[test]
+    fn tight_pairs_merge_first() {
+        let d = linkage(&two_groups());
+        let first_two: Vec<(usize, usize)> =
+            d.merges()[..2].iter().map(|m| (m.a.min(m.b), m.a.max(m.b))).collect();
+        assert!(first_two.contains(&(0, 1)));
+        assert!(first_two.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn cophenetic_respects_group_structure() {
+        let d = linkage(&two_groups());
+        assert!(d.cophenetic_distance(0, 1) < d.cophenetic_distance(0, 2));
+        assert_eq!(d.cophenetic_distance(2, 2), 0.0);
+    }
+
+    #[test]
+    fn leaf_order_keeps_groups_adjacent() {
+        let d = linkage(&two_groups());
+        let order = d.leaf_order();
+        let pos: Vec<usize> =
+            (0..4).map(|leaf| order.iter().position(|&x| x == leaf).unwrap()).collect();
+        assert_eq!(pos[0].abs_diff(pos[1]), 1, "pair (0,1) adjacent: {order:?}");
+        assert_eq!(pos[2].abs_diff(pos[3]), 1, "pair (2,3) adjacent: {order:?}");
+    }
+
+    #[test]
+    fn render_includes_every_label() {
+        let d = linkage(&two_groups());
+        let txt = d.render(&["va", "axpy", "gemm", "vgg"]);
+        for l in ["va", "axpy", "gemm", "vgg"] {
+            assert!(txt.contains(l));
+        }
+    }
+
+    #[test]
+    fn single_linkage_merges_at_nearest_pair_distance() {
+        // A chain 0 - 1 - 2 with gaps 1.0 and 1.1: single linkage joins
+        // the whole chain at max gap 1.1; complete linkage's final merge
+        // happens at the full span 2.1.
+        let data = vec![vec![0.0], vec![1.0], vec![2.1]];
+        let single = linkage_with(&data, Linkage::Single);
+        let complete = linkage_with(&data, Linkage::Complete);
+        let last_s = single.merges().last().unwrap().distance;
+        let last_c = complete.merges().last().unwrap().distance;
+        assert!((last_s - 1.1).abs() < 1e-9, "single: {last_s}");
+        assert!((last_c - 2.1).abs() < 1e-9, "complete: {last_c}");
+        assert!(last_s < last_c);
+    }
+
+    #[test]
+    fn average_is_between_single_and_complete() {
+        let data = vec![vec![0.0, 0.0], vec![0.5, 0.0], vec![4.0, 3.0], vec![4.5, 3.0]];
+        let s = linkage_with(&data, Linkage::Single).merges().last().unwrap().distance;
+        let a = linkage_with(&data, Linkage::Average).merges().last().unwrap().distance;
+        let c = linkage_with(&data, Linkage::Complete).merges().last().unwrap().distance;
+        assert!(s <= a && a <= c, "s={s} a={a} c={c}");
+    }
+
+    #[test]
+    fn single_item_is_a_trivial_dendrogram() {
+        let d = linkage(&[vec![1.0]]);
+        assert!(d.merges().is_empty());
+        assert_eq!(d.leaf_order(), vec![0]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Principal component analysis via a cyclic Jacobi eigensolver.
+
+/// A fitted PCA: the leading eigenvectors of the feature covariance
+/// matrix, ordered by decreasing eigenvalue.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    components: Vec<Vec<f64>>,
+    eigenvalues: Vec<f64>,
+    mean: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on row-major `data`, keeping `k` components (clamped to
+    /// the feature count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or ragged matrix.
+    pub fn fit(data: &[Vec<f64>], k: usize) -> Pca {
+        assert!(!data.is_empty(), "cannot fit PCA on an empty matrix");
+        let d = data[0].len();
+        assert!(data.iter().all(|r| r.len() == d), "ragged feature matrix");
+        let n = data.len() as f64;
+        let mean: Vec<f64> = (0..d).map(|c| data.iter().map(|r| r[c]).sum::<f64>() / n).collect();
+        // Covariance matrix.
+        let mut cov = vec![vec![0.0; d]; d];
+        for row in data {
+            for i in 0..d {
+                let di = row[i] - mean[i];
+                for j in i..d {
+                    cov[i][j] += di * (row[j] - mean[j]);
+                }
+            }
+        }
+        for i in 0..d {
+            for j in i..d {
+                cov[i][j] /= n.max(1.0);
+                cov[j][i] = cov[i][j];
+            }
+        }
+        let (mut eigenvalues, mut vectors) = jacobi_eigen(&cov);
+        // Sort by decreasing eigenvalue.
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by(|&a, &b| eigenvalues[b].partial_cmp(&eigenvalues[a]).unwrap());
+        eigenvalues = order.iter().map(|&i| eigenvalues[i]).collect();
+        vectors = order.iter().map(|&i| vectors[i].clone()).collect();
+        let k = k.min(d);
+        Pca { components: vectors[..k].to_vec(), eigenvalues: eigenvalues[..k].to_vec(), mean }
+    }
+
+    /// The retained eigenvalues (explained variance), descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// The retained principal directions (row per component).
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+
+    /// Projects rows onto the retained components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row's dimensionality differs from the fitted data.
+    pub fn transform(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter()
+            .map(|row| {
+                assert_eq!(row.len(), self.mean.len(), "dimension mismatch");
+                self.components
+                    .iter()
+                    .map(|comp| {
+                        row.iter()
+                            .zip(comp)
+                            .zip(&self.mean)
+                            .map(|((x, c), m)| (x - m) * c)
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix. Returns
+/// `(eigenvalues, eigenvectors)` with eigenvectors as rows.
+fn jacobi_eigen(m: &[Vec<f64>]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let d = m.len();
+    let mut a: Vec<Vec<f64>> = m.to_vec();
+    let mut v = vec![vec![0.0; d]; d];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let off: f64 = (0..d)
+            .flat_map(|i| ((i + 1)..d).map(move |j| (i, j)))
+            .map(|(i, j)| a[i][j] * a[i][j])
+            .sum();
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                if a[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate A.
+                for k in 0..d {
+                    let (akp, akq) = (a[k][p], a[k][q]);
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..d {
+                    let (apk, aqk) = (a[p][k], a[q][k]);
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..d {
+                    let (vkp, vkq) = (v[k][p], v[k][q]);
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eigenvalues: Vec<f64> = (0..d).map(|i| a[i][i]).collect();
+    // Transpose: eigenvector i is column i of V.
+    let vectors: Vec<Vec<f64>> = (0..d).map(|i| (0..d).map(|k| v[k][i]).collect()).collect();
+    (eigenvalues, vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrix() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (mut vals, _) = jacobi_eigen(&m);
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        // Points spread along y = x.
+        let data: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![i as f64 + 0.01 * (i % 3) as f64, i as f64]).collect();
+        let pca = Pca::fit(&data, 2);
+        let c0 = &pca.components()[0];
+        // Direction ≈ (±1/√2, ±1/√2).
+        assert!((c0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "{c0:?}");
+        assert!(pca.eigenvalues()[0] > 10.0 * pca.eigenvalues()[1].max(1e-12));
+    }
+
+    #[test]
+    fn transform_preserves_pairwise_distance_with_full_rank() {
+        let data = vec![vec![1.0, 2.0, 0.5], vec![3.0, -1.0, 2.0], vec![0.0, 0.0, 1.0]];
+        let pca = Pca::fit(&data, 3);
+        let t = pca.transform(&data);
+        let orig = crate::euclidean(&data[0], &data[1]);
+        let proj = crate::euclidean(&t[0], &t[1]);
+        assert!((orig - proj).abs() < 1e-8, "orthogonal projection is an isometry");
+    }
+
+    #[test]
+    fn k_is_clamped_to_dimension() {
+        let data = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let pca = Pca::fit(&data, 10);
+        assert_eq!(pca.components().len(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Ablation studies for the design choices DESIGN.md calls out, all at
+//! the paper's 256M-int32 Fig. 6 operating point (model-only):
+//!
+//! 1. **Digital vs. analog bit-serial** — quantifies §IV's argument for
+//!    digital PIM (the paper's §IX analog extension).
+//! 2. **Walker pipelining** — the fetch/compute overlap of §V-C.
+//! 3. **Row-popcount hardware** — §V-C's reduction-sum assumption.
+//! 4. **GDL width** — why the narrow bank interface throttles
+//!    bank-level PIM (§III), swept 64→1024 bits.
+//! 5. **DDR4 vs. HBM2 interface** — the §IX HBM future-work direction.
+
+use pim_dram::DramTiming;
+use pimeval::pim_microcode::gen::BinaryOp;
+use pimeval::{model, DataType, DeviceConfig, ObjectLayout, OpKind, PimTarget};
+
+const N: u64 = 1 << 28;
+
+fn latency(cfg: &DeviceConfig, kind: OpKind) -> f64 {
+    let layout = ObjectLayout::compute(cfg, N, DataType::Int32, None).expect("fits");
+    model::op_cost(cfg, kind, DataType::Int32, &layout).time_ms
+}
+
+fn energy(cfg: &DeviceConfig, kind: OpKind) -> f64 {
+    let layout = ObjectLayout::compute(cfg, N, DataType::Int32, None).expect("fits");
+    model::op_cost(cfg, kind, DataType::Int32, &layout).energy_mj
+}
+
+fn main() {
+    let ops: [(&str, OpKind); 5] = [
+        ("add", OpKind::Binary(BinaryOp::Add)),
+        ("mul", OpKind::Binary(BinaryOp::Mul)),
+        ("xor", OpKind::Binary(BinaryOp::Xor)),
+        ("select", OpKind::Select),
+        ("popcount", OpKind::Popcount),
+    ];
+
+    println!("Ablation 1: digital (DRAM-AP) vs analog (TRA/MAJ) bit-serial, 256M int32");
+    println!(
+        "{:<10} {:>14} {:>14} {:>8} {:>16} {:>16}",
+        "Op", "digital (ms)", "analog (ms)", "ratio", "digital (mJ)", "analog (mJ)"
+    );
+    let digital = DeviceConfig::new(PimTarget::BitSerial, 32).model_only();
+    let analog = DeviceConfig::new(PimTarget::AnalogBitSerial, 32).model_only();
+    for (name, kind) in ops {
+        let (td, ta) = (latency(&digital, kind), latency(&analog, kind));
+        println!(
+            "{:<10} {:>14.4} {:>14.4} {:>8.2} {:>16.3} {:>16.3}",
+            name,
+            td,
+            ta,
+            ta / td,
+            energy(&digital, kind),
+            energy(&analog, kind)
+        );
+    }
+
+    println!("\nAblation 2: walker pipelining (Fulcrum, add on 256M int32)");
+    let mut on = DeviceConfig::new(PimTarget::Fulcrum, 32).model_only();
+    let mut off = on.clone();
+    off.pe.walker_pipelining = false;
+    let (t_on, t_off) =
+        (latency(&on, OpKind::Binary(BinaryOp::Add)), latency(&off, OpKind::Binary(BinaryOp::Add)));
+    println!("  pipelined {:>10.4} ms   serialized {:>10.4} ms   overlap saves {:.1}%",
+        t_on, t_off, 100.0 * (1.0 - t_on / t_off));
+
+    println!("\nAblation 3: bit-serial row-popcount hardware (reduction of 256M int32)");
+    on = DeviceConfig::new(PimTarget::BitSerial, 32).model_only();
+    let mut no_hw = on.clone();
+    no_hw.pe.bitserial_row_popcount = false;
+    let (t_hw, t_no) = (latency(&on, OpKind::RedSum), latency(&no_hw, OpKind::RedSum));
+    println!(
+        "  with popcount HW {:>10.4} ms   host fallback {:>10.4} ms   HW wins {:.0}x",
+        t_hw,
+        t_no,
+        t_no / t_hw
+    );
+
+    println!("\nAblation 4: GDL width (bank-level on 256M int32)");
+    for (name, kind) in [("copy (traffic-bound)", OpKind::Copy), ("add (compute-bound)", OpKind::Binary(BinaryOp::Add))] {
+        print!("  {name:<22}");
+        for width in [64usize, 128, 256, 512, 1024] {
+            let mut cfg = DeviceConfig::new(PimTarget::BankLevel, 32).model_only();
+            cfg.timing.gdl_width_bits = width;
+            print!("  {width}b: {:.4} ms", latency(&cfg, kind));
+        }
+        println!();
+    }
+
+    println!("\nAblation 5: DDR4 vs HBM2 interface (bank-level, 256M int32)");
+    println!("{:<10} {:>12} {:>12} {:>8}", "Op", "DDR4 (ms)", "HBM2 (ms)", "ratio");
+    let ops_with_copy: Vec<(&str, OpKind)> =
+        ops.iter().copied().chain([("copy", OpKind::Copy)]).collect();
+    for (name, kind) in ops_with_copy {
+        let ddr = DeviceConfig::new(PimTarget::BankLevel, 32).model_only();
+        let mut hbm = ddr.clone();
+        hbm.timing = DramTiming::hbm2_default();
+        let (td, th) = (latency(&ddr, kind), latency(&hbm, kind));
+        println!("{:<10} {:>12.4} {:>12.4} {:>8.2}", name, td, th, td / th);
+    }
+}

@@ -1,0 +1,55 @@
+//! Problem-size exploration — the paper's §IX: "A comprehensive
+//! exploration of problem size is an essential direction for future
+//! work. ... many use cases call for smaller problem sizes, requiring
+//! batching to utilize the full PIM computation bandwidth."
+//!
+//! Sweeps the element count across six decades (model-only, no
+//! decimation: the real device with the real problem) and prints
+//! kernel-only speedup over the CPU roofline for the four Fig. 6
+//! primitives, exposing the utilization cliff at small sizes and each
+//! architecture's fill point.
+
+use pim_baseline::{ComputeModel, WorkloadProfile};
+use pim_bench_harness::fmt_ratio;
+use pimeval::pim_microcode::gen::BinaryOp;
+use pimeval::{model, DataType, DeviceConfig, ObjectLayout, OpKind, PimTarget};
+
+fn main() {
+    let cpu = ComputeModel::epyc_9124();
+    let sizes: Vec<u64> = (14..=30).step_by(2).map(|p| 1u64 << p).collect();
+    let ops: [(&str, OpKind, f64); 2] = [
+        // (name, kind, CPU ops per element)
+        ("add", OpKind::Binary(BinaryOp::Add), 1.0),
+        ("mul", OpKind::Binary(BinaryOp::Mul), 1.0),
+    ];
+    println!("Problem-size exploration: kernel-only speedup over CPU, 32 ranks (model-only)\n");
+    for (name, kind, ops_per_elem) in ops {
+        println!("[{name}]");
+        print!("{:<12}", "N");
+        for target in PimTarget::ALL {
+            print!(" {:>12}", target.to_string());
+        }
+        println!(" {:>12}", "util(BS)");
+        for &n in &sizes {
+            print!("{:<12}", n);
+            let mut bs_util = 0.0;
+            for target in PimTarget::ALL {
+                let cfg = DeviceConfig::new(target, 32).model_only();
+                let layout = ObjectLayout::compute(&cfg, n, DataType::Int32, None).expect("fits");
+                if target == PimTarget::BitSerial {
+                    bs_util = layout.core_utilization(&cfg);
+                }
+                let pim_ms = model::op_cost(&cfg, kind, DataType::Int32, &layout).time_ms;
+                let cpu_ms = cpu.runtime_ms(&WorkloadProfile::new(
+                    ops_per_elem * n as f64,
+                    12.0 * n as f64,
+                ));
+                print!(" {:>12}", fmt_ratio(cpu_ms / pim_ms));
+            }
+            println!(" {:>11.1}%", 100.0 * bs_util);
+        }
+        println!();
+    }
+    println!("The utilization column shows why the paper's evaluation needs billion-element");
+    println!("inputs: bit-serial only fills all subarrays when N exceeds cores x columns.");
+}

@@ -1,0 +1,51 @@
+//! Regenerates Fig. 10: (a) speedup and (b) energy reduction of the
+//! three PIM variants over the A100 GPU baseline, 32 ranks. Data
+//! movement and CPU idle energy are factored out on both sides (§VI).
+
+use pim_bench_harness::{cli_params, fmt_ratio, gmean_or_nan, positives, run_all_targets, suite_names};
+use pimeval::PimTarget;
+use std::collections::BTreeMap;
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "both".into());
+    let params = cli_params(0.25);
+    let records = run_all_targets(32, &params);
+    let mut by: BTreeMap<(String, String), (f64, f64)> = BTreeMap::new();
+    for r in &records {
+        by.insert(
+            (r.name.clone(), r.target.to_string()),
+            (r.speedup_gpu(), r.energy_reduction_gpu()),
+        );
+    }
+    let emit = |title: &str, pick: fn(&(f64, f64)) -> f64| {
+        println!("\nFig. 10{title} — 32 ranks, scale {}", params.scale);
+        println!(
+            "{:<22} {:>12} {:>12} {:>12}",
+            "Benchmark", "Bit-serial", "Fulcrum", "Bank-level"
+        );
+        let mut per_target: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for name in suite_names() {
+            print!("{name:<22}");
+            for t in PimTarget::ALL {
+                let v = pick(&by[&(name.to_string(), t.to_string())]);
+                per_target.entry(t.to_string()).or_default().push(v);
+                print!(" {:>12}", fmt_ratio(v));
+            }
+            println!();
+        }
+        print!("{:<22}", "Gmean");
+        for t in PimTarget::ALL {
+            print!(" {:>12}", fmt_ratio(gmean_or_nan(&positives(&per_target[&t.to_string()]))));
+        }
+        println!();
+    };
+    if which == "perf" || which == "both" {
+        emit("a: speedup over baseline GPU", |v| v.0);
+    }
+    if which == "energy" || which == "both" {
+        emit("b: energy reduction vs GPU", |v| v.1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates Fig. 11: energy efficiency of the three PIM variants
+//! versus the baseline CPU, 32 ranks (kernel + copies + background +
+//! host execution + CPU idle energy on the PIM side; TDP × runtime on
+//! the CPU side).
+
+use pim_bench_harness::{cli_params, fmt_ratio, gmean_or_nan, positives, run_all_targets, suite_names};
+use pimeval::PimTarget;
+use std::collections::BTreeMap;
+
+fn main() {
+    let params = cli_params(0.25);
+    let records = run_all_targets(32, &params);
+    let mut by: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for r in &records {
+        by.insert((r.name.clone(), r.target.to_string()), r.energy_reduction_cpu());
+    }
+    println!("Fig. 11: energy reduction vs baseline CPU — 32 ranks, scale {}", params.scale);
+    println!("{:<22} {:>12} {:>12} {:>12}", "Benchmark", "Bit-serial", "Fulcrum", "Bank-level");
+    let mut per_target: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for name in suite_names() {
+        print!("{name:<22}");
+        for t in PimTarget::ALL {
+            let v = by[&(name.to_string(), t.to_string())];
+            per_target.entry(t.to_string()).or_default().push(v);
+            print!(" {:>12}", fmt_ratio(v));
+        }
+        println!();
+    }
+    print!("{:<22}", "Gmean");
+    for t in PimTarget::ALL {
+        print!(" {:>12}", fmt_ratio(gmean_or_nan(&positives(&per_target[&t.to_string()]))));
+    }
+    println!();
+}

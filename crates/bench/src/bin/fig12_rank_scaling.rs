@@ -1,0 +1,40 @@
+//! Regenerates Fig. 12: rank-scaling sensitivity — kernel-only speedup
+//! of 8/16/32 ranks over 4 ranks, with capacity scaling alongside ranks.
+//! Data movement latency is excluded, as in the paper.
+
+use pim_bench_harness::{cli_params, run_suite};
+use pimeval::{DeviceConfig, PimTarget};
+use std::collections::BTreeMap;
+
+fn main() {
+    let params = cli_params(0.1);
+    const RANKS: [usize; 4] = [4, 8, 16, 32];
+    println!(
+        "Fig. 12: kernel-only speedup over #Rank=4 (capacity scales with ranks), scale {}",
+        params.scale
+    );
+    for target in PimTarget::ALL {
+        // kernel time (PIM kernels + host phases, no copies) per rank count.
+        let mut times: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for ranks in RANKS {
+            for r in run_suite(&DeviceConfig::new(target, ranks), &params) {
+                times.entry(r.name.clone()).or_default().push(r.pim_kernel_ms());
+            }
+        }
+        println!("\n[{target}]");
+        println!(
+            "{:<22} {:>10} {:>10} {:>10}",
+            "Benchmark", "#Rank=8", "#Rank=16", "#Rank=32"
+        );
+        for r in run_suite(&DeviceConfig::new(target, 4), &params) {
+            let t = &times[&r.name];
+            println!(
+                "{:<22} {:>10.2} {:>10.2} {:>10.2}",
+                r.name,
+                t[0] / t[1],
+                t[0] / t[2],
+                t[0] / t[3]
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Fig. 13: kernel-only speedup of 32 ranks over 1 rank at
+//! the *same total capacity* (subarrays-per-bank rescaled inversely), as
+//! in the paper's "Rank (1 vs. 32) sensitivity analysis".
+
+use pim_bench_harness::{cli_params, run_suite};
+use pim_dram::DramGeometry;
+use pimeval::{DeviceConfig, PimTarget};
+
+fn main() {
+    let params = cli_params(0.1);
+    let base = DramGeometry::paper_default(32);
+    println!(
+        "Fig. 13: kernel-only speedup of #Rank=32 over #Rank=1 at equal capacity, scale {}",
+        params.scale
+    );
+    println!("{:<22} {:>12} {:>12} {:>12}", "Benchmark", "Bit-serial", "Fulcrum", "Bank-level");
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for (ti, target) in PimTarget::ALL.iter().enumerate() {
+        let one_rank = DeviceConfig::new(*target, 1)
+            .with_geometry(base.with_ranks_same_capacity(1));
+        let full = DeviceConfig::new(*target, 32).with_geometry(base);
+        let slow = run_suite(&one_rank, &params);
+        let fast = run_suite(&full, &params);
+        for (i, (s, f)) in slow.iter().zip(&fast).enumerate() {
+            if ti == 0 {
+                names.push(s.name.clone());
+                rows.push(Vec::new());
+            }
+            rows[i].push(s.pim_kernel_ms() / f.pim_kernel_ms());
+        }
+    }
+    for (name, row) in names.iter().zip(&rows) {
+        println!("{:<22} {:>12.2} {:>12.2} {:>12.2}", name, row[0], row[1], row[2]);
+    }
+}

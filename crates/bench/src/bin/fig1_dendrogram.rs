@@ -1,0 +1,57 @@
+//! Regenerates Fig. 1: the PIMbench diversity dendrogram.
+//!
+//! Per-benchmark features follow the paper: instruction mix (the 16
+//! Fig. 8 op-category fractions), memory access pattern
+//! (sequential/random flags), execution type (PIM vs PIM + Host, taken
+//! as the host time fraction), and arithmetic intensity. Features are
+//! standardized, projected with PCA, and clustered with average-linkage
+//! agglomerative clustering.
+
+use pim_analysis::{cluster, pca::Pca, standardize};
+use pim_bench_harness::{cli_params, run_suite};
+use pimbench::all_benchmarks;
+use pimeval::{DeviceConfig, OpCategory, PimTarget};
+
+fn main() {
+    let params = cli_params(0.25);
+    let records = run_suite(&DeviceConfig::new(PimTarget::Fulcrum, 32), &params);
+    let suite = all_benchmarks();
+
+    let mut features: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for (bench, record) in suite.iter().zip(&records) {
+        let spec = bench.spec();
+        let total: u64 = record.stats.categories.values().sum();
+        let mut row: Vec<f64> = OpCategory::ALL
+            .iter()
+            .map(|c| {
+                *record.stats.categories.get(c).unwrap_or(&0) as f64 / total.max(1) as f64
+            })
+            .collect();
+        row.push(f64::from(spec.sequential));
+        row.push(f64::from(spec.random));
+        let (_, host_frac, _) = record.stats.breakdown();
+        row.push(host_frac);
+        let ai = bench.cpu_profile(&params).arithmetic_intensity();
+        row.push(ai.min(100.0).ln_1p());
+        features.push(row);
+        labels.push(spec.name.to_string());
+    }
+
+    let z = standardize(&features);
+    let pca = Pca::fit(&z, 6);
+    let projected = pca.transform(&z);
+    let dendro = cluster::linkage(&projected);
+
+    println!("Fig. 1: PIMbench similarity dendrogram (scale {})\n", params.scale);
+    let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+    print!("{}", dendro.render(&label_refs));
+    println!("\nMerge table (cluster ids; leaves 0..{}):", labels.len() - 1);
+    for (i, m) in dendro.merges().iter().enumerate() {
+        println!(
+            "  step {:>2}: {:>2} + {:>2} at distance {:.4} (size {})",
+            i, m.a, m.b, m.distance, m.size
+        );
+    }
+    println!("\nExplained variance (top components): {:?}", pca.eigenvalues());
+}

@@ -1,0 +1,71 @@
+//! Regenerates Fig. 6: latency sensitivity of the four primitive PIM
+//! operations (Add, Mul, Reduction, PopCount) on 256M 32-bit integers,
+//! varying (a) the number of columns and (b) the number of banks.
+//!
+//! Runs in model-only mode at the paper's full input size — no data is
+//! materialized.
+
+use pim_bench_harness::fmt_ratio;
+use pim_dram::DramGeometry;
+use pimeval::pim_microcode::gen::BinaryOp;
+use pimeval::{DataType, DeviceConfig, ObjectLayout, OpKind, PimTarget};
+
+const N: u64 = 1 << 28; // 256M, as in the paper
+
+fn latency_ms(cfg: &DeviceConfig, kind: OpKind) -> f64 {
+    let layout = ObjectLayout::compute(cfg, N, DataType::Int32, None).expect("fits");
+    pimeval::model::op_cost(cfg, kind, DataType::Int32, &layout).time_ms
+}
+
+fn sweep(label: &str, configs: &[(String, DeviceConfig)]) {
+    let ops: [(&str, OpKind); 4] = [
+        ("Add", OpKind::Binary(BinaryOp::Add)),
+        ("Mul", OpKind::Binary(BinaryOp::Mul)),
+        ("Reduction", OpKind::RedSum),
+        ("PopCount", OpKind::Popcount),
+    ];
+    println!("\nFig. 6{label}: latency (ms) for 256M 32-bit INT");
+    print!("{:<12} {:<10}", "Target", "Op");
+    for (name, _) in configs {
+        print!(" {name:>10}");
+    }
+    println!();
+    for target in PimTarget::ALL {
+        for (op_name, kind) in ops {
+            print!("{:<12} {:<10}", target.to_string(), op_name);
+            for (_, cfg) in configs {
+                let mut cfg = cfg.clone();
+                cfg.target = target;
+                print!(" {:>10}", fmt_ratio(latency_ms(&cfg, kind)));
+            }
+            println!();
+        }
+    }
+}
+
+fn main() {
+    let which = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "both".into());
+    if which == "cols" || which == "both" {
+        let configs: Vec<(String, DeviceConfig)> = [1024usize, 2048, 4096, 8192]
+            .iter()
+            .map(|&c| {
+                let geom = DramGeometry::paper_default(32).with_cols(c);
+                (format!("#Col={c}"), DeviceConfig::new(PimTarget::BitSerial, 32).with_geometry(geom).model_only())
+            })
+            .collect();
+        sweep("a (varying #columns)", &configs);
+    }
+    if which == "banks" || which == "both" {
+        let configs: Vec<(String, DeviceConfig)> = [16usize, 32, 64, 128]
+            .iter()
+            .map(|&b| {
+                let geom = DramGeometry::paper_default(32).with_banks_per_rank(b);
+                (format!("#Bank={b}"), DeviceConfig::new(PimTarget::BitSerial, 32).with_geometry(geom).model_only())
+            })
+            .collect();
+        sweep("b (varying #banks per rank)", &configs);
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 7: execution-time breakdown (% data movement, %
+//! host, % PIM kernel) for every benchmark on all three targets with 32
+//! ranks.
+
+use pim_bench_harness::{cli_params, run_all_targets};
+
+fn main() {
+    let params = cli_params(0.25);
+    println!("Fig. 7: performance breakdown (percent of total) — 32 ranks, scale {}", params.scale);
+    println!(
+        "{:<12} {:<22} {:>14} {:>8} {:>8}",
+        "Target", "Benchmark", "DataMovement%", "Host%", "Kernel%"
+    );
+    for r in run_all_targets(32, &params) {
+        let (dm, host, kernel) = r.stats.breakdown();
+        println!(
+            "{:<12} {:<22} {:>14.1} {:>8.1} {:>8.1}",
+            r.target.to_string(),
+            r.name,
+            100.0 * dm,
+            100.0 * host,
+            100.0 * kernel
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 8: PIM operation frequency distribution per
+//! benchmark (percent of total operations in each Fig. 8 category).
+//!
+//! Op mixes are architecture-independent (the same API stream runs on
+//! every target), so one Fulcrum pass suffices.
+
+use pim_bench_harness::{cli_params, run_suite};
+use pimeval::{DeviceConfig, OpCategory, PimTarget};
+
+fn main() {
+    let params = cli_params(0.25);
+    println!("Fig. 8: PIM operation frequency distribution (% of ops), scale {}", params.scale);
+    print!("{:<22}", "Benchmark");
+    for c in OpCategory::ALL {
+        print!(" {:>9}", c.label());
+    }
+    println!();
+    for r in run_suite(&DeviceConfig::new(PimTarget::Fulcrum, 32), &params) {
+        let total: u64 = r.stats.categories.values().sum();
+        print!("{:<22}", r.name);
+        for c in OpCategory::ALL {
+            let n = *r.stats.categories.get(&c).unwrap_or(&0);
+            print!(" {:>9.2}", 100.0 * n as f64 / total.max(1) as f64);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Fig. 9: speedup of the three PIM variants (32 ranks)
+//! over the baseline CPU, both with data movement ("Kernel + Data
+//! Movement") and without ("Kernel"), plus the geometric mean.
+
+use pim_bench_harness::{cli_params, fmt_ratio, gmean_or_nan, positives, run_suite};
+use pimeval::{DeviceConfig, PimTarget};
+
+fn main() {
+    let params = cli_params(0.25);
+    println!("Fig. 9: speedup over baseline CPU — 32 ranks, scale {}", params.scale);
+    for target in PimTarget::ALL {
+        println!("\n[{target}]");
+        println!("{:<22} {:>18} {:>12}", "Benchmark", "Kernel+DataMove", "Kernel");
+        let records = run_suite(&DeviceConfig::new(target, 32), &params);
+        let (mut totals, mut kernels) = (Vec::new(), Vec::new());
+        for r in &records {
+            let (st, sk) = (r.speedup_cpu_total(), r.speedup_cpu_kernel());
+            totals.push(st);
+            kernels.push(sk);
+            println!("{:<22} {:>18} {:>12}", r.name, fmt_ratio(st), fmt_ratio(sk));
+        }
+        println!(
+            "{:<22} {:>18} {:>12}",
+            "Gmean",
+            fmt_ratio(gmean_or_nan(&positives(&totals))),
+            fmt_ratio(gmean_or_nan(&positives(&kernels)))
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table I: the PIMbench suite listing.
+
+use pimbench::all_benchmarks;
+
+fn main() {
+    println!("Table I: PIMbench Suite");
+    println!(
+        "{:<22} {:<22} {:<11} {:<7} {:<11} {}",
+        "Domain", "Application", "Sequential", "Random", "Execution", "Input (paper)"
+    );
+    println!("{}", "-".repeat(110));
+    for b in all_benchmarks() {
+        let s = b.spec();
+        println!(
+            "{:<22} {:<22} {:<11} {:<7} {:<11} {}",
+            s.domain.label(),
+            s.name,
+            if s.sequential { "yes" } else { "" },
+            if s.random { "yes" } else { "" },
+            s.exec.to_string(),
+            s.paper_input
+        );
+    }
+}

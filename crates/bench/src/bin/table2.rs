@@ -1,0 +1,55 @@
+//! Regenerates Table II: configuration of the evaluated architectures.
+
+use pim_baseline::ComputeModel;
+use pimeval::{DeviceConfig, PimTarget};
+
+fn main() {
+    println!("Table II: Configuration of the Evaluated Architectures\n");
+    let cpu = ComputeModel::epyc_9124();
+    println!(
+        "CPU        {} — 16-core @ 3.71 GHz, {} W TDP, peak memory BW {:.1} GB/s (modeled roofline)",
+        cpu.name,
+        cpu.tdp_w,
+        cpu.mem_bw_bytes_per_sec / 1e9
+    );
+    let gpu = ComputeModel::a100();
+    println!(
+        "GPU        {} — {} W TDP, peak memory BW {:.0} GB/s, peak 32-bit compute {:.1} TOP/s\n",
+        gpu.name,
+        gpu.tdp_w,
+        gpu.mem_bw_bytes_per_sec / 1e9,
+        gpu.peak_ops_per_sec / 1e12
+    );
+    for target in PimTarget::ALL {
+        let cfg = DeviceConfig::new(target, 32);
+        let g = &cfg.geometry;
+        println!("{}:", target);
+        println!(
+            "  DDR4, {} ranks, {} banks/rank, {} subarrays/bank, {}-bit local row buffers",
+            g.ranks, g.banks_per_rank, g.subarrays_per_bank, g.cols_per_row
+        );
+        println!(
+            "  {} PIM cores, {} rows/core, rank BW {:.1} GB/s",
+            cfg.core_count(),
+            cfg.rows_per_core(),
+            cfg.timing.rank_bandwidth_gbs
+        );
+        match target {
+            PimTarget::BitSerial => println!(
+                "  Bit-serial PE per sense amplifier, 4 bit registers, move/set/and/xnor/mux"
+            ),
+            PimTarget::Fulcrum => println!(
+                "  32-bit {} MHz integer ALU + three {}-bit walkers per two subarrays",
+                cfg.pe.alu_freq_mhz, g.cols_per_row
+            ),
+            PimTarget::BankLevel => println!(
+                "  {}-bit GDL, {}-bit Fulcrum-style ALPU + three walkers per bank",
+                cfg.timing.gdl_width_bits, cfg.pe.bank_alu_width_bits
+            ),
+            PimTarget::AnalogBitSerial | PimTarget::UpmemLike => println!(
+                "  Extension target (not part of the paper's Table II evaluation)"
+            ),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,844 @@
+//! The PIM device: the simulator's public API surface (§V-B).
+//!
+//! A [`Device`] owns the resource manager, the statistics engine, and the
+//! functional state of every allocated object. Every API call validates
+//! its operands, executes functionally (unless the device is in
+//! model-only mode), charges the target's performance/energy model, and
+//! updates the per-command statistics.
+
+use pim_microcode::gen::{BinaryOp, CmpOp};
+
+use crate::config::{DeviceConfig, PimTarget, SimMode};
+use crate::dtype::{DataType, PimScalar};
+use crate::error::{PimError, Result};
+use crate::model::{self, OpCost};
+use crate::object::{ObjId, PimObject};
+use crate::ops::OpKind;
+use crate::resource::ResourceManager;
+use crate::stats::SimStats;
+
+/// A simulated PIM device.
+///
+/// # Example
+///
+/// ```
+/// use pimeval::{Device, PimTarget};
+///
+/// # fn main() -> Result<(), pimeval::PimError> {
+/// let mut dev = Device::fulcrum(4)?;
+/// let x = dev.alloc_vec(&[1i32, 2, 3, 4])?;
+/// let y = dev.alloc_vec(&[10i32, 20, 30, 40])?;
+/// let out = dev.alloc_associated(x, pimeval::DataType::Int32)?;
+/// dev.add(x, y, out)?;
+/// assert_eq!(dev.to_vec::<i32>(out)?, vec![11, 22, 33, 44]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    config: DeviceConfig,
+    rm: ResourceManager,
+    stats: SimStats,
+}
+
+impl Device {
+    /// Creates a device from a full configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::InvalidArg`] if the DRAM geometry is degenerate.
+    pub fn new(config: DeviceConfig) -> Result<Device> {
+        config
+            .geometry
+            .validate()
+            .map_err(|e| PimError::InvalidArg(e.to_string()))?;
+        let rm = ResourceManager::new(config.rows_per_core(), config.physical_core_count() as u64);
+        Ok(Device { config, rm, stats: SimStats::new() })
+    }
+
+    /// Bit-serial (DRAM-AP) device with the paper's geometry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Device::new`].
+    pub fn bit_serial(ranks: usize) -> Result<Device> {
+        Device::new(DeviceConfig::new(PimTarget::BitSerial, ranks))
+    }
+
+    /// Fulcrum device with the paper's geometry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Device::new`].
+    pub fn fulcrum(ranks: usize) -> Result<Device> {
+        Device::new(DeviceConfig::new(PimTarget::Fulcrum, ranks))
+    }
+
+    /// Bank-level device with the paper's geometry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Device::new`].
+    pub fn bank_level(ranks: usize) -> Result<Device> {
+        Device::new(DeviceConfig::new(PimTarget::BankLevel, ranks))
+    }
+
+    /// Analog bit-serial (Ambit/SIMDRAM-style TRA) device — the §IX
+    /// extension target used by the digital-vs-analog ablation.
+    ///
+    /// # Errors
+    ///
+    /// See [`Device::new`].
+    pub fn analog_bit_serial(ranks: usize) -> Result<Device> {
+        Device::new(DeviceConfig::new(PimTarget::AnalogBitSerial, ranks))
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Clears all statistics (objects stay allocated).
+    pub fn reset_stats(&mut self) {
+        self.stats = SimStats::new();
+    }
+
+    /// Renders the artifact-style statistics report.
+    pub fn report(&self) -> String {
+        self.stats.report(&self.config)
+    }
+
+    /// The "PIM-Info" banner the artifact prints at device creation
+    /// (Listing 3 of the paper).
+    pub fn info_banner(&self) -> String {
+        let g = &self.config.geometry;
+        format!(
+            "PIM-Info: Simulation Target = {}
+             PIM-Info: Config: #ranks = {}, #bankPerRank = {}, #subarrayPerBank = {},              #rowsPerSubarray = {}, #colsPerRow = {}
+             PIM-Info: Created PIM device with {} cores of {} rows and {} columns.",
+            self.config.target,
+            g.ranks,
+            g.banks_per_rank,
+            g.subarrays_per_bank,
+            g.rows_per_subarray,
+            g.cols_per_row,
+            self.config.core_count(),
+            self.config.rows_per_core(),
+            self.config.cols_per_core(),
+        )
+    }
+
+    /// Adds modeled host-side execution time (PIM + Host benchmarks).
+    pub fn record_host_ms(&mut self, ms: f64) {
+        self.stats.record_host_ms(ms);
+    }
+
+    // ------------------------------------------------------------------
+    // Resource management
+    // ------------------------------------------------------------------
+
+    /// Allocates `count` elements of `dtype` (`pimAlloc` with
+    /// `PIM_ALLOC_AUTO`).
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::OutOfMemory`] or [`PimError::InvalidArg`].
+    pub fn alloc(&mut self, count: u64, dtype: DataType) -> Result<ObjId> {
+        self.rm.alloc(&self.config, count, dtype, None)
+    }
+
+    /// Allocates an object associated with `reference`
+    /// (`pimAllocAssociated`): same element count, same core placement.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::UnknownObject`], [`PimError::OutOfMemory`].
+    pub fn alloc_associated(&mut self, reference: ObjId, dtype: DataType) -> Result<ObjId> {
+        self.rm.alloc_associated(&self.config, reference, dtype)
+    }
+
+    /// Allocates and initializes from a host slice in one call.
+    ///
+    /// # Errors
+    ///
+    /// As [`Device::alloc`] plus copy errors.
+    pub fn alloc_vec<T: PimScalar>(&mut self, data: &[T]) -> Result<ObjId> {
+        let id = self.alloc(data.len() as u64, T::DTYPE)?;
+        self.copy_to_device(data, id)?;
+        Ok(id)
+    }
+
+    /// Frees an object (`pimFree`).
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::UnknownObject`].
+    pub fn free(&mut self, id: ObjId) -> Result<()> {
+        self.rm.free(id)
+    }
+
+    /// Introspects a live object (layout, dtype, count).
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::UnknownObject`].
+    pub fn object(&self, id: ObjId) -> Result<&PimObject> {
+        self.rm.get(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Data movement
+    // ------------------------------------------------------------------
+
+    fn charge_copy(&mut self, bytes: u64, direction: u8) {
+        // Under decimation the functional buffer stands for `decimation`
+        // times as much paper-scale data; charge transfer time/energy for
+        // the represented bytes (recorded byte counts stay functional).
+        let represented = bytes * self.config.decimation.max(1);
+        let time_ms = self.config.timing.host_copy_ms(represented, self.config.geometry.ranks);
+        let is_read = direction == 1;
+        let energy_mj = self.config.power.transfer_energy_mj(time_ms, is_read);
+        self.stats.record_copy(bytes, direction, time_ms, energy_mj);
+    }
+
+    /// Copies host data into an object (`pimCopyHostToDevice`).
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::CountMismatch`] if the slice length differs from the
+    /// object's element count; [`PimError::DTypeMismatch`] if `T` does not
+    /// match the object's dtype.
+    pub fn copy_to_device<T: PimScalar>(&mut self, data: &[T], id: ObjId) -> Result<()> {
+        let obj = self.rm.get(id)?;
+        if data.len() as u64 != obj.count {
+            return Err(PimError::CountMismatch { expected: obj.count, actual: data.len() as u64 });
+        }
+        if obj.dtype != T::DTYPE {
+            return Err(PimError::DTypeMismatch { expected: obj.dtype, actual: T::DTYPE });
+        }
+        let bytes = obj.bytes();
+        let dtype = obj.dtype;
+        if matches!(self.config.mode, SimMode::Functional) {
+            let converted: Vec<i64> = data.iter().map(|v| dtype.truncate(v.to_device())).collect();
+            self.rm.get_mut(id)?.data = Some(converted);
+        }
+        self.charge_copy(bytes, 0);
+        Ok(())
+    }
+
+    /// Copies an object back to a host buffer (`pimCopyDeviceToHost`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Device::copy_to_device`]; additionally
+    /// [`PimError::NotSupported`] in model-only mode.
+    pub fn copy_to_host<T: PimScalar>(&mut self, id: ObjId, out: &mut [T]) -> Result<()> {
+        let obj = self.rm.get(id)?;
+        if out.len() as u64 != obj.count {
+            return Err(PimError::CountMismatch { expected: obj.count, actual: out.len() as u64 });
+        }
+        if obj.dtype != T::DTYPE {
+            return Err(PimError::DTypeMismatch { expected: obj.dtype, actual: T::DTYPE });
+        }
+        let bytes = obj.bytes();
+        match &obj.data {
+            Some(data) => {
+                for (o, v) in out.iter_mut().zip(data) {
+                    *o = T::from_device(*v);
+                }
+            }
+            None => {
+                return Err(PimError::NotSupported(
+                    "copy_to_host in model-only mode".into(),
+                ))
+            }
+        }
+        self.charge_copy(bytes, 1);
+        Ok(())
+    }
+
+    /// Convenience: copies an object out into a fresh `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Device::copy_to_host`].
+    pub fn to_vec<T: PimScalar>(&mut self, id: ObjId) -> Result<Vec<T>> {
+        let count = self.rm.get(id)?.count as usize;
+        let mut out = vec![T::from_device(0); count];
+        self.copy_to_host(id, &mut out)?;
+        Ok(out)
+    }
+
+    /// Device-to-device copy (`pimCopyDeviceToDevice`).
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches as usual.
+    pub fn copy_object(&mut self, src: ObjId, dst: ObjId) -> Result<()> {
+        self.check_pair(src, dst)?;
+        let bytes = self.rm.get(src)?.bytes();
+        if matches!(self.config.mode, SimMode::Functional) {
+            let data = self.rm.get(src)?.data.clone();
+            self.rm.get_mut(dst)?.data = data;
+        }
+        self.charge_op(OpKind::Copy, dst)?;
+        self.stats.record_copy(bytes, 2, 0.0, 0.0);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Internal plumbing
+    // ------------------------------------------------------------------
+
+    fn check_pair(&self, a: ObjId, b: ObjId) -> Result<()> {
+        let (oa, ob) = (self.rm.get(a)?, self.rm.get(b)?);
+        if oa.count != ob.count {
+            return Err(PimError::CountMismatch { expected: oa.count, actual: ob.count });
+        }
+        if oa.dtype != ob.dtype {
+            return Err(PimError::DTypeMismatch { expected: oa.dtype, actual: ob.dtype });
+        }
+        Ok(())
+    }
+
+    fn data(&self, id: ObjId) -> Result<Option<&[i64]>> {
+        Ok(self.rm.get(id)?.data.as_deref())
+    }
+
+    fn charge_op(&mut self, kind: OpKind, costed_on: ObjId) -> Result<()> {
+        let obj = self.rm.get(costed_on)?;
+        let cost = model::op_cost(&self.config, kind, obj.dtype, &obj.layout);
+        self.stats.record_cmd(
+            kind.stat_name(obj.dtype),
+            kind.category(),
+            cost,
+            obj.layout.cores_used,
+        );
+        Ok(())
+    }
+
+    fn apply2(
+        &mut self,
+        kind: OpKind,
+        a: ObjId,
+        b: ObjId,
+        dst: ObjId,
+        f: impl Fn(DataType, i64, i64) -> i64,
+    ) -> Result<()> {
+        self.check_pair(a, b)?;
+        self.check_pair(a, dst)?;
+        if matches!(self.config.mode, SimMode::Functional) {
+            let dtype = self.rm.get(a)?.dtype;
+            let out: Vec<i64> = {
+                let da = self.data(a)?.expect("functional object has data");
+                let db = self.data(b)?.expect("functional object has data");
+                da.iter().zip(db).map(|(&x, &y)| dtype.truncate(f(dtype, x, y))).collect()
+            };
+            self.rm.get_mut(dst)?.data = Some(out);
+        }
+        self.charge_op(kind, dst)
+    }
+
+    fn apply1(
+        &mut self,
+        kind: OpKind,
+        a: ObjId,
+        dst: ObjId,
+        f: impl Fn(DataType, i64) -> i64,
+    ) -> Result<()> {
+        self.check_pair(a, dst)?;
+        if matches!(self.config.mode, SimMode::Functional) {
+            let dtype = self.rm.get(a)?.dtype;
+            let out: Vec<i64> = {
+                let da = self.data(a)?.expect("functional object has data");
+                da.iter().map(|&x| dtype.truncate(f(dtype, x))).collect()
+            };
+            self.rm.get_mut(dst)?.data = Some(out);
+        }
+        self.charge_op(kind, dst)
+    }
+
+    // ------------------------------------------------------------------
+    // Element-wise arithmetic and logic
+    // ------------------------------------------------------------------
+
+    /// `dst = a + b` (wrapping).
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn add(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Binary(BinaryOp::Add), a, b, dst, |_, x, y| x.wrapping_add(y))
+    }
+
+    /// `dst = a - b` (wrapping).
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn sub(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Binary(BinaryOp::Sub), a, b, dst, |_, x, y| x.wrapping_sub(y))
+    }
+
+    /// `dst = a * b` (wrapping, low half).
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn mul(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Binary(BinaryOp::Mul), a, b, dst, |_, x, y| x.wrapping_mul(y))
+    }
+
+    /// `dst = a & b`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn and(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Binary(BinaryOp::And), a, b, dst, |_, x, y| x & y)
+    }
+
+    /// `dst = a | b`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn or(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Binary(BinaryOp::Or), a, b, dst, |_, x, y| x | y)
+    }
+
+    /// `dst = a ^ b`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn xor(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Binary(BinaryOp::Xor), a, b, dst, |_, x, y| x ^ y)
+    }
+
+    /// `dst = !(a ^ b)`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn xnor(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Binary(BinaryOp::Xnor), a, b, dst, |_, x, y| !(x ^ y))
+    }
+
+    /// `dst = !a`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn not(&mut self, a: ObjId, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::Not, a, dst, |_, x| !x)
+    }
+
+    /// `dst = |a|` (signed; wraps on the minimum value).
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn abs(&mut self, a: ObjId, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::Abs, a, dst, |d, x| if d.is_signed() { x.wrapping_abs() } else { x })
+    }
+
+    /// `dst = min(a, b)` respecting signedness.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn min(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Min, a, b, dst, |d, x, y| if d.compare(x, y).is_lt() { x } else { y })
+    }
+
+    /// `dst = max(a, b)` respecting signedness.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn max(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Max, a, b, dst, |d, x, y| if d.compare(x, y).is_gt() { x } else { y })
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar variants
+    // ------------------------------------------------------------------
+
+    /// `dst = a + k`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn add_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::BinaryScalar(BinaryOp::Add, k), a, dst, move |_, x| x.wrapping_add(k))
+    }
+
+    /// `dst = a - k`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn sub_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::BinaryScalar(BinaryOp::Sub, k), a, dst, move |_, x| x.wrapping_sub(k))
+    }
+
+    /// `dst = a * k`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn mul_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::BinaryScalar(BinaryOp::Mul, k), a, dst, move |_, x| x.wrapping_mul(k))
+    }
+
+    /// `dst = a & k`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn and_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::BinaryScalar(BinaryOp::And, k), a, dst, move |_, x| x & k)
+    }
+
+    /// `dst = a | k`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn or_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::BinaryScalar(BinaryOp::Or, k), a, dst, move |_, x| x | k)
+    }
+
+    /// `dst = a ^ k`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn xor_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::BinaryScalar(BinaryOp::Xor, k), a, dst, move |_, x| x ^ k)
+    }
+
+    /// `dst = min(a, k)`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn min_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::MinScalar(k), a, dst, move |d, x| {
+            let k = d.truncate(k);
+            if d.compare(x, k).is_lt() {
+                x
+            } else {
+                k
+            }
+        })
+    }
+
+    /// `dst = max(a, k)`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn max_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::MaxScalar(k), a, dst, move |d, x| {
+            let k = d.truncate(k);
+            if d.compare(x, k).is_gt() {
+                x
+            } else {
+                k
+            }
+        })
+    }
+
+    /// `dst = a * k + b` (`pimScaledAdd`): lowered to a scalar multiply
+    /// into an internal temporary followed by an addition, exactly as a
+    /// runtime without a fused op would execute it.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects; out-of-memory for the
+    /// temporary.
+    pub fn scaled_add(&mut self, a: ObjId, b: ObjId, dst: ObjId, k: i64) -> Result<()> {
+        let dtype = self.rm.get(a)?.dtype;
+        let tmp = self.alloc_associated(a, dtype)?;
+        let result = self.mul_scalar(a, k, tmp).and_then(|()| self.add(tmp, b, dst));
+        self.free(tmp)?;
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Comparisons and selection
+    // ------------------------------------------------------------------
+
+    /// `dst = (a < b) ? 1 : 0`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn lt(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Cmp(CmpOp::Lt), a, b, dst, |d, x, y| i64::from(d.compare(x, y).is_lt()))
+    }
+
+    /// `dst = (a > b) ? 1 : 0`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn gt(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Cmp(CmpOp::Gt), a, b, dst, |d, x, y| i64::from(d.compare(x, y).is_gt()))
+    }
+
+    /// `dst = (a == b) ? 1 : 0`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn eq(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.apply2(OpKind::Cmp(CmpOp::Eq), a, b, dst, |_, x, y| i64::from(x == y))
+    }
+
+    /// `dst = (a < k) ? 1 : 0`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn lt_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::CmpScalar(CmpOp::Lt, k), a, dst, move |d, x| {
+            i64::from(d.compare(x, d.truncate(k)).is_lt())
+        })
+    }
+
+    /// `dst = (a > k) ? 1 : 0`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn gt_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::CmpScalar(CmpOp::Gt, k), a, dst, move |d, x| {
+            i64::from(d.compare(x, d.truncate(k)).is_gt())
+        })
+    }
+
+    /// `dst = (a == k) ? 1 : 0`.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn eq_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::CmpScalar(CmpOp::Eq, k), a, dst, move |d, x| {
+            i64::from(x == d.truncate(k))
+        })
+    }
+
+    /// `dst = cond ? a : b` element-wise (non-zero condition selects `a`).
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches between `a`, `b`, `dst`; count mismatch for
+    /// `cond`; unknown objects.
+    pub fn select(&mut self, cond: ObjId, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.check_pair(a, b)?;
+        self.check_pair(a, dst)?;
+        let c_count = self.rm.get(cond)?.count;
+        let a_count = self.rm.get(a)?.count;
+        if c_count != a_count {
+            return Err(PimError::CountMismatch { expected: a_count, actual: c_count });
+        }
+        if matches!(self.config.mode, SimMode::Functional) {
+            let dtype = self.rm.get(a)?.dtype;
+            let out: Vec<i64> = {
+                let dc = self.data(cond)?.expect("functional object has data");
+                let da = self.data(a)?.expect("functional object has data");
+                let db = self.data(b)?.expect("functional object has data");
+                dc.iter()
+                    .zip(da.iter().zip(db))
+                    .map(|(&c, (&x, &y))| dtype.truncate(if c != 0 { x } else { y }))
+                    .collect()
+            };
+            self.rm.get_mut(dst)?.data = Some(out);
+        }
+        self.charge_op(OpKind::Select, dst)
+    }
+
+    // ------------------------------------------------------------------
+    // Shifts, popcount, broadcast, reductions
+    // ------------------------------------------------------------------
+
+    /// `dst = a << k` (logical).
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn shift_left(&mut self, a: ObjId, k: u32, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::ShiftL(k), a, dst, move |d, x| {
+            let bits = d.bits();
+            if k >= bits.min(64) {
+                0
+            } else {
+                ((x as u64) << k) as i64
+            }
+        })
+    }
+
+    /// `dst = a >> k` — arithmetic for signed dtypes, logical otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn shift_right(&mut self, a: ObjId, k: u32, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::ShiftR(k), a, dst, move |d, x| {
+            let bits = d.bits();
+            if d.is_signed() {
+                // Canonical signed values are sign-extended i64s.
+                x >> k.min(63)
+            } else {
+                let u = (x as u64) & pim_microcode::encode::mask(bits);
+                if k >= 64 {
+                    0
+                } else {
+                    (u >> k) as i64
+                }
+            }
+        })
+    }
+
+    /// Per-element population count of the low `bits` of each element.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches; unknown objects.
+    pub fn popcount(&mut self, a: ObjId, dst: ObjId) -> Result<()> {
+        self.apply1(OpKind::Popcount, a, dst, |d, x| {
+            let u = (x as u64) & pim_microcode::encode::mask(d.bits());
+            u.count_ones() as i64
+        })
+    }
+
+    /// Fills every element of `dst` with `value` (`pimBroadcast`).
+    ///
+    /// # Errors
+    ///
+    /// Unknown object.
+    pub fn broadcast(&mut self, dst: ObjId, value: i64) -> Result<()> {
+        let (count, dtype) = {
+            let obj = self.rm.get(dst)?;
+            (obj.count, obj.dtype)
+        };
+        if matches!(self.config.mode, SimMode::Functional) {
+            self.rm.get_mut(dst)?.data = Some(vec![dtype.truncate(value); count as usize]);
+        }
+        self.charge_op(OpKind::Broadcast(value), dst)
+    }
+
+    /// Reduction sum of all elements (`pimRedSum`). Unsigned dtypes sum
+    /// their unsigned values. Returns 0 in model-only mode (documented
+    /// limitation; the cost is still charged).
+    ///
+    /// # Errors
+    ///
+    /// Unknown object.
+    pub fn red_sum(&mut self, a: ObjId) -> Result<i128> {
+        let sum = match self.data(a)? {
+            Some(data) => {
+                let dtype = self.rm.get(a)?.dtype;
+                data.iter()
+                    .map(|&v| {
+                        if dtype.is_signed() {
+                            v as i128
+                        } else {
+                            ((v as u64) & pim_microcode::encode::mask(dtype.bits())) as i128
+                        }
+                    })
+                    .sum()
+            }
+            None => 0,
+        };
+        self.charge_op(OpKind::RedSum, a)?;
+        Ok(sum)
+    }
+
+    /// Reduction minimum across all elements (`pimRedMin`), respecting
+    /// signedness. Returns 0 in model-only mode.
+    ///
+    /// # Errors
+    ///
+    /// Unknown object.
+    pub fn red_min(&mut self, a: ObjId) -> Result<i64> {
+        let out = match self.data(a)? {
+            Some(data) => {
+                let dtype = self.rm.get(a)?.dtype;
+                data.iter().copied().reduce(|x, y| if dtype.compare(x, y).is_le() { x } else { y })
+            }
+            None => None,
+        };
+        self.charge_op(OpKind::RedMin, a)?;
+        Ok(out.unwrap_or(0))
+    }
+
+    /// Reduction maximum across all elements (`pimRedMax`), respecting
+    /// signedness. Returns 0 in model-only mode.
+    ///
+    /// # Errors
+    ///
+    /// Unknown object.
+    pub fn red_max(&mut self, a: ObjId) -> Result<i64> {
+        let out = match self.data(a)? {
+            Some(data) => {
+                let dtype = self.rm.get(a)?.dtype;
+                data.iter().copied().reduce(|x, y| if dtype.compare(x, y).is_ge() { x } else { y })
+            }
+            None => None,
+        };
+        self.charge_op(OpKind::RedMax, a)?;
+        Ok(out.unwrap_or(0))
+    }
+
+    /// Reduction sum over the element range `[start, end)`
+    /// (`pimRedSumRanged`). Cost is the full reduction scaled by the
+    /// fraction of elements covered (the sub-range still spans
+    /// proportionally fewer stripes/rows).
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::InvalidArg`] for an out-of-bounds or empty range.
+    pub fn red_sum_range(&mut self, a: ObjId, start: u64, end: u64) -> Result<i128> {
+        let (count, dtype, layout) = {
+            let obj = self.rm.get(a)?;
+            (obj.count, obj.dtype, obj.layout)
+        };
+        if start >= end || end > count {
+            return Err(PimError::InvalidArg(format!(
+                "red_sum_range [{start}, {end}) out of bounds for {count} elements"
+            )));
+        }
+        let sum = match self.data(a)? {
+            Some(data) => data[start as usize..end as usize]
+                .iter()
+                .map(|&v| {
+                    if dtype.is_signed() {
+                        v as i128
+                    } else {
+                        ((v as u64) & pim_microcode::encode::mask(dtype.bits())) as i128
+                    }
+                })
+                .sum(),
+            None => 0,
+        };
+        let full = model::op_cost(&self.config, OpKind::RedSum, dtype, &layout);
+        let frac = (end - start) as f64 / count as f64;
+        let cost = OpCost { time_ms: full.time_ms * frac, energy_mj: full.energy_mj * frac };
+        self.stats.record_cmd(
+            OpKind::RedSum.stat_name(dtype),
+            OpKind::RedSum.category(),
+            cost,
+            layout.cores_used,
+        );
+        Ok(sum)
+    }
+}

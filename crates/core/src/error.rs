@@ -1,0 +1,64 @@
+//! Error type for the PIM simulator API.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::dtype::DataType;
+use crate::object::ObjId;
+
+/// Errors returned by [`crate::Device`] API calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PimError {
+    /// An object ID did not name a live allocation.
+    UnknownObject(ObjId),
+    /// Operand element counts differ.
+    CountMismatch {
+        /// Expected element count (first operand).
+        expected: u64,
+        /// Actual element count of the mismatching operand.
+        actual: u64,
+    },
+    /// Operand data types differ where they must match.
+    DTypeMismatch {
+        /// Expected data type.
+        expected: DataType,
+        /// Actual data type.
+        actual: DataType,
+    },
+    /// The allocation does not fit in the device.
+    OutOfMemory {
+        /// Rows requested per core.
+        rows_needed: u64,
+        /// Rows available in the fullest required core.
+        rows_available: u64,
+    },
+    /// An argument was invalid (zero-length allocation, oversized host
+    /// buffer, destination aliasing an input where forbidden, ...).
+    InvalidArg(String),
+    /// The operation is not supported on the configured target.
+    NotSupported(String),
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::UnknownObject(id) => write!(f, "unknown or freed PIM object {id}"),
+            PimError::CountMismatch { expected, actual } => {
+                write!(f, "element count mismatch: expected {expected}, got {actual}")
+            }
+            PimError::DTypeMismatch { expected, actual } => {
+                write!(f, "data type mismatch: expected {expected}, got {actual}")
+            }
+            PimError::OutOfMemory { rows_needed, rows_available } => {
+                write!(f, "allocation needs {rows_needed} rows/core but only {rows_available} are free")
+            }
+            PimError::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
+            PimError::NotSupported(msg) => write!(f, "not supported: {msg}"),
+        }
+    }
+}
+
+impl Error for PimError {}
+
+/// Convenience result alias for PIM API calls.
+pub type Result<T> = std::result::Result<T, PimError>;

@@ -1,0 +1,157 @@
+//! Performance and energy models for the three PIM targets (§V-C, §V-D).
+//!
+//! Entry point: [`op_cost`], which dispatches on the configured
+//! [`PimTarget`]. The bit-serial model derives its counts from the same
+//! microprograms the functional VM executes; the bit-parallel models use
+//! closed-form row-traffic + ALU formulas with walker pipelining.
+
+mod analog;
+mod bitserial;
+mod parallel;
+mod upmem;
+
+use crate::config::{DeviceConfig, PimTarget};
+use crate::dtype::DataType;
+use crate::object::ObjectLayout;
+use crate::ops::OpKind;
+
+/// Modeled cost of one PIM API call.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCost {
+    /// Kernel time in milliseconds.
+    pub time_ms: f64,
+    /// Kernel energy in millijoules (excludes background energy, which is
+    /// accounted per-run from total kernel time).
+    pub energy_mj: f64,
+}
+
+impl OpCost {
+    /// Sums two costs (sequential composition).
+    #[must_use]
+    pub fn plus(self, other: OpCost) -> OpCost {
+        OpCost { time_ms: self.time_ms + other.time_ms, energy_mj: self.energy_mj + other.energy_mj }
+    }
+}
+
+/// Models the latency and energy of `kind` applied to an object with
+/// `layout` holding elements of `dtype`.
+pub fn op_cost(config: &DeviceConfig, kind: OpKind, dtype: DataType, layout: &ObjectLayout) -> OpCost {
+    match config.target {
+        PimTarget::BitSerial => bitserial::cost(config, kind, dtype, layout),
+        PimTarget::Fulcrum => parallel::cost_fulcrum(config, kind, dtype, layout),
+        PimTarget::BankLevel => parallel::cost_bank(config, kind, dtype, layout),
+        PimTarget::AnalogBitSerial => analog::cost(config, kind, dtype, layout),
+        PimTarget::UpmemLike => upmem::cost(config, kind, dtype, layout),
+    }
+}
+
+/// Cross-core merge cost for reductions: every used core ships an 8-byte
+/// partial sum to the controller over the rank interface.
+pub(crate) fn reduction_merge(config: &DeviceConfig, cores_used: usize) -> OpCost {
+    // Physical cores each ship one partial sum (decimation-aware,
+    // clamped to the machine's real core count).
+    let bytes = config.physical_cores_represented(cores_used) as u64 * 8;
+    let time_ms = config.timing.host_copy_ms(bytes, config.geometry.ranks);
+    let energy_mj = config.power.transfer_energy_mj(time_ms, true);
+    OpCost { time_ms, energy_mj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_microcode::gen::BinaryOp;
+
+    fn layout_for(config: &DeviceConfig, n: u64) -> ObjectLayout {
+        ObjectLayout::compute(config, n, DataType::Int32, None).unwrap()
+    }
+
+    #[test]
+    fn bitserial_wins_add_fulcrum_wins_mul() {
+        // The paper's headline sensitivity result (§VII, Fig. 6).
+        let n = 1u64 << 28; // 256M, the Fig. 6 input size
+        let mut add = Vec::new();
+        let mut mul = Vec::new();
+        for target in PimTarget::ALL {
+            let cfg = DeviceConfig::new(target, 32);
+            let layout = layout_for(&cfg, n);
+            add.push(op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &layout).time_ms);
+            mul.push(op_cost(&cfg, OpKind::Binary(BinaryOp::Mul), DataType::Int32, &layout).time_ms);
+        }
+        // add: bit-serial fastest.
+        assert!(add[0] < add[1] && add[0] < add[2], "add latencies {add:?}");
+        // mul: Fulcrum fastest; bit-serial still beats bank-level.
+        assert!(mul[1] < mul[0] && mul[1] < mul[2], "mul latencies {mul:?}");
+        assert!(mul[0] < mul[2], "bit-serial should beat bank-level on mul: {mul:?}");
+    }
+
+    #[test]
+    fn popcount_bank_and_bitserial_beat_fulcrum() {
+        let n = 1u64 << 28; // 256M, the Fig. 6 input size
+        let mut pop = Vec::new();
+        for target in PimTarget::ALL {
+            let cfg = DeviceConfig::new(target, 32);
+            let layout = layout_for(&cfg, n);
+            pop.push(op_cost(&cfg, OpKind::Popcount, DataType::Int32, &layout).time_ms);
+        }
+        assert!(pop[2] < pop[1], "bank-level popcount beats Fulcrum: {pop:?}");
+        assert!(pop[0] < pop[1], "bit-serial popcount beats Fulcrum: {pop:?}");
+    }
+
+    #[test]
+    fn reduction_bitserial_fastest() {
+        let n = 1u64 << 28; // 256M, the Fig. 6 input size
+        let mut red = Vec::new();
+        for target in PimTarget::ALL {
+            let cfg = DeviceConfig::new(target, 32);
+            let layout = layout_for(&cfg, n);
+            red.push(op_cost(&cfg, OpKind::RedSum, DataType::Int32, &layout).time_ms);
+        }
+        assert!(red[0] < red[1] && red[0] < red[2], "reduction latencies {red:?}");
+    }
+
+    #[test]
+    fn more_ranks_never_slower() {
+        let n = 1 << 26;
+        for target in PimTarget::ALL {
+            let mut prev = f64::INFINITY;
+            for ranks in [1, 2, 4, 8, 16, 32] {
+                let cfg = DeviceConfig::new(target, ranks);
+                let layout = layout_for(&cfg, n);
+                let t = op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &layout).time_ms;
+                assert!(t <= prev * 1.0001, "{target}: ranks={ranks} t={t} prev={prev}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn bitserial_mul_quadratic_in_width() {
+        let cfg = DeviceConfig::new(PimTarget::BitSerial, 4);
+        let n = 1 << 20;
+        let l8 = ObjectLayout::compute(&cfg, n, DataType::Int8, None).unwrap();
+        let l32 = ObjectLayout::compute(&cfg, n, DataType::Int32, None).unwrap();
+        let t8 = op_cost(&cfg, OpKind::Binary(BinaryOp::Mul), DataType::Int8, &l8).time_ms;
+        let t32 = op_cost(&cfg, OpKind::Binary(BinaryOp::Mul), DataType::Int32, &l32).time_ms;
+        assert!(t32 / t8 > 8.0, "quadratic width scaling, got {}", t32 / t8);
+    }
+
+    #[test]
+    fn fulcrum_mul_width_independent_within_word() {
+        let cfg = DeviceConfig::new(PimTarget::Fulcrum, 4);
+        let n = 1 << 20;
+        let l32 = ObjectLayout::compute(&cfg, n, DataType::Int32, None).unwrap();
+        let t_add = op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &l32).time_ms;
+        let t_mul = op_cost(&cfg, OpKind::Binary(BinaryOp::Mul), DataType::Int32, &l32).time_ms;
+        assert!((t_mul / t_add - 1.0).abs() < 1e-9, "1 cycle each on the scalar ALU");
+    }
+
+    #[test]
+    fn energy_is_positive_and_additive() {
+        let cfg = DeviceConfig::new(PimTarget::Fulcrum, 4);
+        let layout = layout_for(&cfg, 1 << 20);
+        let a = op_cost(&cfg, OpKind::Binary(BinaryOp::Add, ), DataType::Int32, &layout);
+        assert!(a.energy_mj > 0.0 && a.time_ms > 0.0);
+        let sum = a.plus(a);
+        assert!((sum.energy_mj - 2.0 * a.energy_mj).abs() < 1e-12);
+    }
+}

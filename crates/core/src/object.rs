@@ -1,0 +1,132 @@
+//! PIM data objects and their physical layouts.
+
+use std::fmt;
+
+use crate::config::DeviceConfig;
+use crate::dtype::DataType;
+use crate::error::{PimError, Result};
+
+/// Opaque handle to a PIM data object (the `PimObjId` of the C API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub(crate) u64);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// How an object's elements are arranged in DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataLayout {
+    /// One element per column, `bits` consecutive rows per element group
+    /// (bit-serial PIM).
+    Vertical,
+    /// Elements packed along rows, `cols / bits` per row (bit-parallel
+    /// PIM).
+    Horizontal,
+}
+
+/// The physical placement of one object, computed at allocation time.
+///
+/// The performance models consume this: the per-core element count sets
+/// how much serial work each core performs, and `cores_used` sets the
+/// parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectLayout {
+    /// Vertical or horizontal.
+    pub layout: DataLayout,
+    /// Cores this object is spread across.
+    pub cores_used: usize,
+    /// Elements resident on the busiest core.
+    pub elems_per_core: u64,
+    /// DRAM rows the object occupies on the busiest core.
+    pub rows_per_core: u64,
+    /// Elements that fit in one row (horizontal) or one stripe
+    /// (vertical = one element per column).
+    pub elems_per_unit: u64,
+    /// Row groups per core: data rows for horizontal, stripes
+    /// (of `bits` rows each) for vertical.
+    pub units_per_core: u64,
+}
+
+impl ObjectLayout {
+    /// Computes the auto-placement (`PIM_ALLOC_AUTO`) for `count` elements
+    /// of `dtype` on `config`'s device, optionally constrained to the same
+    /// number of cores as an associated object.
+    ///
+    /// Elements are spread across as many cores as possible, one
+    /// unit (row or stripe) at a time, to maximize parallelism.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::InvalidArg`] for zero-sized allocations,
+    /// [`PimError::OutOfMemory`] if the busiest core would need more rows
+    /// than one core has (capacity across objects is enforced by the
+    /// resource manager).
+    pub fn compute(
+        config: &DeviceConfig,
+        count: u64,
+        dtype: DataType,
+        cores_cap: Option<usize>,
+    ) -> Result<ObjectLayout> {
+        if count == 0 {
+            return Err(PimError::InvalidArg("cannot allocate zero elements".into()));
+        }
+        let bits = dtype.bits() as u64;
+        let cols = config.cols_per_core() as u64;
+        let total_cores = cores_cap.unwrap_or_else(|| config.core_count()).max(1);
+        let (layout, elems_per_unit, rows_per_unit) = if config.target.is_horizontal() {
+            (DataLayout::Horizontal, (cols / bits).max(1), 1u64)
+        } else {
+            (DataLayout::Vertical, cols, bits)
+        };
+        let units_total = count.div_ceil(elems_per_unit);
+        let cores_used = units_total.min(total_cores as u64) as usize;
+        let units_per_core = units_total.div_ceil(cores_used as u64);
+        let rows_per_core = units_per_core * rows_per_unit;
+        if rows_per_core > config.rows_per_core() {
+            return Err(PimError::OutOfMemory {
+                rows_needed: rows_per_core,
+                rows_available: config.rows_per_core(),
+            });
+        }
+        let elems_per_core = (units_per_core * elems_per_unit).min(count);
+        Ok(ObjectLayout {
+            layout,
+            cores_used,
+            elems_per_core,
+            rows_per_core,
+            elems_per_unit,
+            units_per_core,
+        })
+    }
+
+    /// Fraction of the device's cores this object keeps busy.
+    pub fn core_utilization(&self, config: &DeviceConfig) -> f64 {
+        self.cores_used as f64 / config.core_count() as f64
+    }
+}
+
+/// A live PIM data object: metadata plus (in functional mode) host-side
+/// backing data in canonical `i64` form.
+#[derive(Debug, Clone)]
+pub struct PimObject {
+    /// The object's handle.
+    pub id: ObjId,
+    /// Element type.
+    pub dtype: DataType,
+    /// Element count.
+    pub count: u64,
+    /// Physical placement.
+    pub layout: ObjectLayout,
+    /// Backing data (absent in model-only mode).
+    pub data: Option<Vec<i64>>,
+}
+
+impl PimObject {
+    /// Size of the object in bytes (logical, not padded).
+    pub fn bytes(&self) -> u64 {
+        self.count * self.dtype.bits() as u64 / 8
+    }
+}

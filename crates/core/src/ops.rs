@@ -1,0 +1,247 @@
+//! PIM operation descriptors: the vocabulary shared by the functional
+//! executor, the performance/energy models, and the statistics engine.
+
+use pim_microcode::gen::{BinaryOp, CmpOp};
+
+use crate::dtype::DataType;
+
+/// The operation categories of the paper's Fig. 8 ("PIM operation
+/// frequency distribution").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpCategory {
+    /// Additions (incl. scalar variants).
+    Add,
+    /// Subtractions.
+    Sub,
+    /// Multiplications.
+    Mul,
+    /// Other bit manipulation (not/xnor/select/copy).
+    Bit,
+    /// Shifts.
+    Shift,
+    /// Element-wise max.
+    Max,
+    /// Element-wise min.
+    Min,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise AND.
+    And,
+    /// Bitwise XOR.
+    Xor,
+    /// Less/greater comparisons.
+    Less,
+    /// Equality comparisons.
+    Eq,
+    /// Reduction sums.
+    Reduction,
+    /// Broadcasts.
+    Broadcast,
+    /// Population counts.
+    Popcount,
+    /// Absolute value.
+    Abs,
+}
+
+impl OpCategory {
+    /// All categories in the Fig. 8 legend order.
+    pub const ALL: [OpCategory; 16] = [
+        OpCategory::Add,
+        OpCategory::Sub,
+        OpCategory::Mul,
+        OpCategory::Bit,
+        OpCategory::Shift,
+        OpCategory::Max,
+        OpCategory::Min,
+        OpCategory::Or,
+        OpCategory::And,
+        OpCategory::Xor,
+        OpCategory::Less,
+        OpCategory::Eq,
+        OpCategory::Reduction,
+        OpCategory::Broadcast,
+        OpCategory::Popcount,
+        OpCategory::Abs,
+    ];
+
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpCategory::Add => "add",
+            OpCategory::Sub => "sub",
+            OpCategory::Mul => "mul",
+            OpCategory::Bit => "bit",
+            OpCategory::Shift => "shift",
+            OpCategory::Max => "max",
+            OpCategory::Min => "min",
+            OpCategory::Or => "or",
+            OpCategory::And => "and",
+            OpCategory::Xor => "xor",
+            OpCategory::Less => "less",
+            OpCategory::Eq => "eq",
+            OpCategory::Reduction => "reduction",
+            OpCategory::Broadcast => "broadcast",
+            OpCategory::Popcount => "popcount",
+            OpCategory::Abs => "abs",
+        }
+    }
+}
+
+/// One PIM API operation, as seen by the models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpKind {
+    /// Element-wise binary op `dst = a OP b`.
+    Binary(BinaryOp),
+    /// Element-wise binary op against a scalar, `dst = a OP k`.
+    BinaryScalar(BinaryOp, i64),
+    /// Comparison producing 0/1, `dst = a OP b`.
+    Cmp(CmpOp),
+    /// Comparison against a scalar.
+    CmpScalar(CmpOp, i64),
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum against a scalar.
+    MinScalar(i64),
+    /// Element-wise maximum against a scalar.
+    MaxScalar(i64),
+    /// Bitwise NOT.
+    Not,
+    /// Absolute value (signed).
+    Abs,
+    /// Per-element population count.
+    Popcount,
+    /// Logical shift left by a constant.
+    ShiftL(u32),
+    /// Shift right by a constant (arithmetic iff the dtype is signed).
+    ShiftR(u32),
+    /// `dst = cond ? a : b`.
+    Select,
+    /// Fill with a constant.
+    Broadcast(i64),
+    /// Reduction sum across all elements.
+    RedSum,
+    /// Reduction minimum across all elements.
+    RedMin,
+    /// Reduction maximum across all elements.
+    RedMax,
+    /// Device-to-device copy.
+    Copy,
+}
+
+impl OpKind {
+    /// Number of PIM object inputs read (excluding the destination).
+    pub fn input_operands(&self) -> u32 {
+        match self {
+            OpKind::Binary(_) | OpKind::Cmp(_) | OpKind::Min | OpKind::Max => 2,
+            OpKind::Select => 3,
+            OpKind::Broadcast(_) => 0,
+            _ => 1,
+        }
+    }
+
+    /// True if the op writes an output object (reductions do not).
+    pub fn writes_output(&self) -> bool {
+        !matches!(self, OpKind::RedSum | OpKind::RedMin | OpKind::RedMax)
+    }
+
+    /// Fig. 8 category.
+    pub fn category(&self) -> OpCategory {
+        match self {
+            OpKind::Binary(b) | OpKind::BinaryScalar(b, _) => match b {
+                BinaryOp::Add => OpCategory::Add,
+                BinaryOp::Sub => OpCategory::Sub,
+                BinaryOp::Mul => OpCategory::Mul,
+                BinaryOp::And => OpCategory::And,
+                BinaryOp::Or => OpCategory::Or,
+                BinaryOp::Xor => OpCategory::Xor,
+                BinaryOp::Xnor => OpCategory::Bit,
+            },
+            OpKind::Cmp(c) | OpKind::CmpScalar(c, _) => match c {
+                CmpOp::Lt | CmpOp::Gt => OpCategory::Less,
+                CmpOp::Eq => OpCategory::Eq,
+            },
+            OpKind::Min | OpKind::MinScalar(_) => OpCategory::Min,
+            OpKind::Max | OpKind::MaxScalar(_) => OpCategory::Max,
+            OpKind::Not | OpKind::Select | OpKind::Copy => OpCategory::Bit,
+            OpKind::Abs => OpCategory::Abs,
+            OpKind::Popcount => OpCategory::Popcount,
+            OpKind::ShiftL(_) | OpKind::ShiftR(_) => OpCategory::Shift,
+            OpKind::Broadcast(_) => OpCategory::Broadcast,
+            OpKind::RedSum | OpKind::RedMin | OpKind::RedMax => OpCategory::Reduction,
+        }
+    }
+
+    /// Statistics key in the artifact's style, e.g. `add.int32`.
+    pub fn stat_name(&self, dtype: DataType) -> String {
+        let base = match self {
+            OpKind::Binary(b) => b.mnemonic().to_string(),
+            OpKind::BinaryScalar(b, _) => format!("{}_scalar", b.mnemonic()),
+            OpKind::Cmp(c) => c.mnemonic().to_string(),
+            OpKind::CmpScalar(c, _) => format!("{}_scalar", c.mnemonic()),
+            OpKind::Min => "min".into(),
+            OpKind::Max => "max".into(),
+            OpKind::MinScalar(_) => "min_scalar".into(),
+            OpKind::MaxScalar(_) => "max_scalar".into(),
+            OpKind::Not => "not".into(),
+            OpKind::Abs => "abs".into(),
+            OpKind::Popcount => "popcount".into(),
+            OpKind::ShiftL(k) => format!("shl{k}"),
+            OpKind::ShiftR(k) => format!("shr{k}"),
+            OpKind::Select => "select".into(),
+            OpKind::Broadcast(_) => "broadcast".into(),
+            OpKind::RedSum => "redsum".into(),
+            OpKind::RedMin => "redmin".into(),
+            OpKind::RedMax => "redmax".into(),
+            OpKind::Copy => "copy".into(),
+        };
+        format!("{base}.{}", dtype.short_name())
+    }
+
+    /// ALU cycles per element on a bit-parallel target whose popcount
+    /// takes `popcount_cycles` (12 for Fulcrum's SWAR, 1 for the
+    /// bank-level CPOP-capable ALPU). `Copy` and `Broadcast` are pure row
+    /// movement with one register cycle per row, handled by the model.
+    pub fn alu_cycles(&self, popcount_cycles: u32) -> u32 {
+        match self {
+            OpKind::Popcount => popcount_cycles,
+            OpKind::Copy | OpKind::Broadcast(_) => 0,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_cover_fig8_legend() {
+        assert_eq!(OpCategory::ALL.len(), 16);
+        assert_eq!(OpCategory::ALL[0].label(), "add");
+        assert_eq!(OpCategory::ALL[15].label(), "abs");
+    }
+
+    #[test]
+    fn stat_names_match_artifact_style() {
+        assert_eq!(OpKind::Binary(BinaryOp::Add).stat_name(DataType::Int32), "add.int32");
+        assert_eq!(OpKind::CmpScalar(CmpOp::Lt, 3).stat_name(DataType::UInt8), "lt_scalar.uint8");
+        assert_eq!(OpKind::ShiftR(2).stat_name(DataType::Int32), "shr2.int32");
+    }
+
+    #[test]
+    fn operand_counts() {
+        assert_eq!(OpKind::Select.input_operands(), 3);
+        assert_eq!(OpKind::Broadcast(1).input_operands(), 0);
+        assert_eq!(OpKind::Binary(BinaryOp::Mul).input_operands(), 2);
+        assert!(!OpKind::RedSum.writes_output());
+    }
+
+    #[test]
+    fn popcount_cycles_differ_by_target() {
+        assert_eq!(OpKind::Popcount.alu_cycles(12), 12);
+        assert_eq!(OpKind::Popcount.alu_cycles(1), 1);
+        assert_eq!(OpKind::Binary(BinaryOp::Mul).alu_cycles(12), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! PIM resource manager: object allocation, association, and capacity
+//! tracking (§V-A "PIM Resource Mgr").
+
+use std::collections::BTreeMap;
+
+use crate::config::{DeviceConfig, SimMode};
+use crate::dtype::DataType;
+use crate::error::{PimError, Result};
+use crate::object::{ObjId, ObjectLayout, PimObject};
+
+/// Tracks live objects and device row capacity.
+///
+/// Capacity accounting is aggregate: each object consumes
+/// `rows_per_core × cores_used` row-core units out of the device total
+/// (`rows_per_core × core_count`), and no single object may need more
+/// rows on one core than a core has. Narrow objects are assumed to pack
+/// round-robin across cores, which matches PIMeval's simple allocator
+/// (§V-E notes its allocation strategy is approximate).
+#[derive(Debug)]
+pub struct ResourceManager {
+    objects: BTreeMap<u64, PimObject>,
+    next_id: u64,
+    /// Row-core units in use (Σ rows_per_core × cores_used).
+    rows_in_use: u64,
+    /// Rows one core can hold.
+    rows_per_core: u64,
+    /// Total row-core units in the device.
+    rows_capacity: u64,
+    peak_rows: u64,
+}
+
+impl ResourceManager {
+    /// Creates a manager for a device with `rows_per_core` rows per core
+    /// and `core_count` cores.
+    pub fn new(rows_per_core: u64, core_count: u64) -> Self {
+        ResourceManager {
+            objects: BTreeMap::new(),
+            next_id: 0,
+            rows_in_use: 0,
+            rows_per_core,
+            rows_capacity: rows_per_core * core_count,
+            peak_rows: 0,
+        }
+    }
+
+    /// Allocates `count` elements of `dtype`.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::OutOfMemory`] when the per-core row budget is exceeded,
+    /// [`PimError::InvalidArg`] for zero-element requests.
+    pub fn alloc(
+        &mut self,
+        config: &DeviceConfig,
+        count: u64,
+        dtype: DataType,
+        cores_cap: Option<usize>,
+    ) -> Result<ObjId> {
+        let layout = ObjectLayout::compute(config, count, dtype, cores_cap)?;
+        if layout.rows_per_core > self.rows_per_core {
+            return Err(PimError::OutOfMemory {
+                rows_needed: layout.rows_per_core,
+                rows_available: self.rows_per_core,
+            });
+        }
+        let units = layout.rows_per_core * layout.cores_used as u64;
+        if self.rows_in_use + units > self.rows_capacity {
+            return Err(PimError::OutOfMemory {
+                rows_needed: self.rows_in_use + units,
+                rows_available: self.rows_capacity,
+            });
+        }
+        let id = ObjId(self.next_id);
+        self.next_id += 1;
+        self.rows_in_use += units;
+        self.peak_rows = self.peak_rows.max(self.rows_in_use);
+        let data = match config.mode {
+            SimMode::Functional => Some(vec![0i64; count as usize]),
+            SimMode::ModelOnly => None,
+        };
+        self.objects.insert(id.0, PimObject { id, dtype, count, layout, data });
+        Ok(id)
+    }
+
+    /// Allocates an object associated with `reference`: same element
+    /// count, placed over the same cores so element *i* of both objects
+    /// is resident on the same core (required for element-wise ops).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ResourceManager::alloc`], plus
+    /// [`PimError::UnknownObject`] for a dead reference.
+    pub fn alloc_associated(
+        &mut self,
+        config: &DeviceConfig,
+        reference: ObjId,
+        dtype: DataType,
+    ) -> Result<ObjId> {
+        let (count, cores) = {
+            let obj = self.get(reference)?;
+            (obj.count, obj.layout.cores_used)
+        };
+        self.alloc(config, count, dtype, Some(cores))
+    }
+
+    /// Frees an object.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::UnknownObject`] if the ID is not live.
+    pub fn free(&mut self, id: ObjId) -> Result<()> {
+        let obj = self.objects.remove(&id.0).ok_or(PimError::UnknownObject(id))?;
+        self.rows_in_use -= obj.layout.rows_per_core * obj.layout.cores_used as u64;
+        Ok(())
+    }
+
+    /// Borrows an object.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::UnknownObject`] if the ID is not live.
+    pub fn get(&self, id: ObjId) -> Result<&PimObject> {
+        self.objects.get(&id.0).ok_or(PimError::UnknownObject(id))
+    }
+
+    /// Mutably borrows an object.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::UnknownObject`] if the ID is not live.
+    pub fn get_mut(&mut self, id: ObjId) -> Result<&mut PimObject> {
+        self.objects.get_mut(&id.0).ok_or(PimError::UnknownObject(id))
+    }
+
+    /// Number of live objects.
+    pub fn live_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Row-core units currently in use.
+    pub fn rows_in_use(&self) -> u64 {
+        self.rows_in_use
+    }
+
+    /// High-water mark of row-core usage.
+    pub fn peak_rows(&self) -> u64 {
+        self.peak_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimTarget;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::new(PimTarget::Fulcrum, 1)
+    }
+
+    #[test]
+    fn alloc_free_reclaims_rows() {
+        let config = cfg();
+        let mut rm = ResourceManager::new(config.rows_per_core(), config.core_count() as u64);
+        let a = rm.alloc(&config, 1 << 20, DataType::Int32, None).unwrap();
+        let used = rm.rows_in_use();
+        assert!(used > 0);
+        rm.free(a).unwrap();
+        assert_eq!(rm.rows_in_use(), 0);
+        assert_eq!(rm.peak_rows(), used);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let config = cfg();
+        let mut rm = ResourceManager::new(config.rows_per_core(), config.core_count() as u64);
+        let a = rm.alloc(&config, 100, DataType::Int32, None).unwrap();
+        rm.free(a).unwrap();
+        assert!(matches!(rm.free(a), Err(PimError::UnknownObject(_))));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let config = cfg();
+        let mut rm = ResourceManager::new(config.rows_per_core(), config.core_count() as u64);
+        // One core stores rows_per_core × (cols/32) int32 elements; the
+        // device stores that × core_count. Ask for more than fits.
+        let per_core = config.rows_per_core() * (config.cols_per_core() as u64 / 32);
+        let total = per_core * config.core_count() as u64;
+        let a = rm.alloc(&config, total / 2, DataType::Int32, None);
+        assert!(a.is_ok());
+        let b = rm.alloc(&config, total, DataType::Int32, None);
+        assert!(matches!(b, Err(PimError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn associated_objects_share_core_mapping() {
+        let config = cfg();
+        let mut rm = ResourceManager::new(config.rows_per_core(), config.core_count() as u64);
+        let a = rm.alloc(&config, 12345, DataType::Int32, None).unwrap();
+        let b = rm.alloc_associated(&config, a, DataType::Int32).unwrap();
+        let (la, lb) = (rm.get(a).unwrap().layout, rm.get(b).unwrap().layout);
+        assert_eq!(la.cores_used, lb.cores_used);
+        assert_eq!(la.elems_per_core, lb.elems_per_core);
+    }
+
+    #[test]
+    fn associated_with_dead_reference_fails() {
+        let config = cfg();
+        let mut rm = ResourceManager::new(config.rows_per_core(), config.core_count() as u64);
+        let a = rm.alloc(&config, 10, DataType::Int32, None).unwrap();
+        rm.free(a).unwrap();
+        assert!(matches!(
+            rm.alloc_associated(&config, a, DataType::Int32),
+            Err(PimError::UnknownObject(_))
+        ));
+    }
+}

@@ -1,0 +1,277 @@
+//! Simulation statistics and report rendering (the artifact's Listing 3
+//! output format).
+
+use std::collections::BTreeMap;
+
+use crate::config::DeviceConfig;
+use crate::model::OpCost;
+use crate::ops::OpCategory;
+
+/// Aggregate statistics for one PIM command name.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CmdStat {
+    /// Number of invocations.
+    pub count: u64,
+    /// Total estimated runtime (ms).
+    pub time_ms: f64,
+    /// Total estimated energy (mJ).
+    pub energy_mj: f64,
+}
+
+/// Host↔device and device↔device copy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CopyStats {
+    /// Bytes copied host → device.
+    pub host_to_device_bytes: u64,
+    /// Bytes copied device → host.
+    pub device_to_host_bytes: u64,
+    /// Bytes copied device → device.
+    pub device_to_device_bytes: u64,
+    /// Total copy time (ms).
+    pub time_ms: f64,
+    /// Total copy energy (mJ).
+    pub energy_mj: f64,
+}
+
+impl CopyStats {
+    /// Total bytes moved in any direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.host_to_device_bytes + self.device_to_host_bytes + self.device_to_device_bytes
+    }
+}
+
+/// Full statistics for a simulation run.
+///
+/// Three time components mirror the paper's Fig. 7 breakdown: data
+/// movement ([`CopyStats::time_ms`]), host execution ([`SimStats::host_time_ms`])
+/// and PIM kernel time ([`SimStats::kernel_time_ms`]).
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Copy statistics.
+    pub copy: CopyStats,
+    /// Per-command statistics, keyed by names like `add.int32`.
+    pub cmds: BTreeMap<String, CmdStat>,
+    /// Operation counts per Fig. 8 category.
+    pub categories: BTreeMap<OpCategory, u64>,
+    /// Modeled host-side execution time (ms).
+    pub host_time_ms: f64,
+    /// Most cores kept busy by any single command (for background energy).
+    pub max_cores_used: usize,
+}
+
+impl SimStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        SimStats::default()
+    }
+
+    /// Records one PIM command invocation.
+    pub fn record_cmd(&mut self, name: String, category: OpCategory, cost: OpCost, cores_used: usize) {
+        let e = self.cmds.entry(name).or_default();
+        e.count += 1;
+        e.time_ms += cost.time_ms;
+        e.energy_mj += cost.energy_mj;
+        *self.categories.entry(category).or_default() += 1;
+        self.max_cores_used = self.max_cores_used.max(cores_used);
+    }
+
+    /// Records a data copy. Directions: 0 = host→device, 1 = device→host,
+    /// 2 = device→device.
+    pub fn record_copy(&mut self, bytes: u64, direction: u8, time_ms: f64, energy_mj: f64) {
+        match direction {
+            0 => self.copy.host_to_device_bytes += bytes,
+            1 => self.copy.device_to_host_bytes += bytes,
+            _ => self.copy.device_to_device_bytes += bytes,
+        }
+        self.copy.time_ms += time_ms;
+        self.copy.energy_mj += energy_mj;
+    }
+
+    /// Adds modeled host execution time.
+    pub fn record_host_ms(&mut self, ms: f64) {
+        self.host_time_ms += ms;
+    }
+
+    /// Scales every kernel command's time/energy and the copy
+    /// time/energy by `factor`. Used by the paper-scale harness for
+    /// benchmarks whose *serial* operation count (not just data-parallel
+    /// width) was scaled down — e.g. GEMV runs fewer column sweeps, so
+    /// its kernel time is multiplied back up by the column ratio.
+    /// Byte counters and host time are left untouched.
+    pub fn scale_kernel_and_copies(&mut self, factor: f64) {
+        for c in self.cmds.values_mut() {
+            c.time_ms *= factor;
+            c.energy_mj *= factor;
+        }
+        self.copy.time_ms *= factor;
+        self.copy.energy_mj *= factor;
+    }
+
+    /// Total PIM kernel time across all commands (ms).
+    pub fn kernel_time_ms(&self) -> f64 {
+        self.cmds.values().map(|c| c.time_ms).sum()
+    }
+
+    /// Total PIM kernel energy across all commands (mJ), excluding
+    /// background energy.
+    pub fn kernel_energy_mj(&self) -> f64 {
+        self.cmds.values().map(|c| c.energy_mj).sum()
+    }
+
+    /// Total op invocations.
+    pub fn total_ops(&self) -> u64 {
+        self.cmds.values().map(|c| c.count).sum()
+    }
+
+    /// Background energy (§V-D iii): per-subarray standby delta × active
+    /// subarrays × kernel time.
+    pub fn background_energy_mj(&self, config: &DeviceConfig) -> f64 {
+        let subarrays = config.active_subarrays(self.max_cores_used);
+        config.power.background_energy_mj(subarrays, self.kernel_time_ms())
+    }
+
+    /// CPU idle energy while waiting on PIM (10 W default): W × ms = mJ.
+    pub fn host_idle_energy_mj(&self, config: &DeviceConfig) -> f64 {
+        config.pe.host_idle_w * self.kernel_time_ms()
+    }
+
+    /// End-to-end time: copies + host + kernel (ms). This is the
+    /// "Kernel + Data Movement" series of Fig. 9.
+    pub fn total_time_ms(&self) -> f64 {
+        self.copy.time_ms + self.host_time_ms + self.kernel_time_ms()
+    }
+
+    /// Total PIM-side energy: kernel + copies + background (mJ).
+    pub fn total_energy_mj(&self, config: &DeviceConfig) -> f64 {
+        self.kernel_energy_mj() + self.copy.energy_mj + self.background_energy_mj(config)
+    }
+
+    /// Fractional time breakdown `(data movement, host, kernel)`, the
+    /// rows of Fig. 7. Returns zeros for an empty run.
+    pub fn breakdown(&self) -> (f64, f64, f64) {
+        let total = self.total_time_ms();
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.copy.time_ms / total,
+            self.host_time_ms / total,
+            self.kernel_time_ms() / total,
+        )
+    }
+
+    /// Renders the artifact-style statistics report (Listing 3).
+    pub fn report(&self, config: &DeviceConfig) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let g = &config.geometry;
+        let _ = writeln!(out, "----------------------------------------");
+        let _ = writeln!(out, "PIM Params:");
+        let _ = writeln!(out, "  Simulation Target             : {}", config.target);
+        let _ = writeln!(
+            out,
+            "  Rank, Bank, Subarray, Row, Col: {}, {}, {}, {}, {}",
+            g.ranks, g.banks_per_rank, g.subarrays_per_bank, g.rows_per_subarray, g.cols_per_row
+        );
+        let _ = writeln!(out, "  Number of PIM Cores           : {}", config.core_count());
+        let _ = writeln!(out, "  Number of Rows per Core       : {}", config.rows_per_core());
+        let _ = writeln!(out, "  Number of Cols per Core       : {}", config.cols_per_core());
+        let _ = writeln!(out, "  Typical Rank BW               : {:.6} GB/s", config.timing.rank_bandwidth_gbs);
+        let _ = writeln!(out, "  Row Read (ns)                 : {:.6}", config.timing.row_read_ns);
+        let _ = writeln!(out, "  Row Write (ns)                : {:.6}", config.timing.row_write_ns);
+        let _ = writeln!(out, "  tCCD (ns)                     : {:.6}", config.timing.t_ccd_ns);
+        let _ = writeln!(out, "Data Copy Stats:");
+        let _ = writeln!(out, "  Host to Device   : {} bytes", self.copy.host_to_device_bytes);
+        let _ = writeln!(out, "  Device to Host   : {} bytes", self.copy.device_to_host_bytes);
+        let _ = writeln!(out, "  Device to Device : {} bytes", self.copy.device_to_device_bytes);
+        let _ = writeln!(
+            out,
+            "  TOTAL ---------- : {} bytes {:.6}ms Runtime {:.6}mJ Energy",
+            self.copy.total_bytes(),
+            self.copy.time_ms,
+            self.copy.energy_mj
+        );
+        let _ = writeln!(out, "PIM Command Stats:");
+        let _ = writeln!(
+            out,
+            "  {:<22}: {:>8} {:>22} {:>30}",
+            "PIM-CMD", "CNT", "EstimatedRuntime(ms)", "EstimatedEnergyConsumption(mJ)"
+        );
+        for (name, c) in &self.cmds {
+            let _ = writeln!(
+                out,
+                "  {:<22}: {:>8} {:>22.6} {:>30.6}",
+                name, c.count, c.time_ms, c.energy_mj
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<22}: {:>8} {:>22.6} {:>30.6}",
+            "TOTAL -----",
+            self.total_ops(),
+            self.kernel_time_ms(),
+            self.kernel_energy_mj()
+        );
+        if self.host_time_ms > 0.0 {
+            let _ = writeln!(out, "Host elapsed (modeled): {:.6} ms", self.host_time_ms);
+        }
+        let _ = writeln!(out, "----------------------------------------");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceConfig, PimTarget};
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let mut s = SimStats::new();
+        s.record_copy(1024, 0, 0.5, 0.1);
+        s.record_host_ms(0.25);
+        s.record_cmd("add.int32".into(), OpCategory::Add, OpCost { time_ms: 0.25, energy_mj: 0.2 }, 7);
+        let (dm, host, kernel) = s.breakdown();
+        assert!((dm + host + kernel - 1.0).abs() < 1e-12);
+        assert!((dm - 0.5).abs() < 1e-12);
+        assert_eq!(s.max_cores_used, 7);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        assert_eq!(SimStats::new().breakdown(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn cmd_aggregation_accumulates() {
+        let mut s = SimStats::new();
+        for _ in 0..3 {
+            s.record_cmd("mul.int32".into(), OpCategory::Mul, OpCost { time_ms: 1.0, energy_mj: 2.0 }, 1);
+        }
+        let c = s.cmds["mul.int32"];
+        assert_eq!(c.count, 3);
+        assert!((c.time_ms - 3.0).abs() < 1e-12);
+        assert_eq!(s.categories[&OpCategory::Mul], 3);
+        assert_eq!(s.total_ops(), 3);
+    }
+
+    #[test]
+    fn report_contains_key_sections() {
+        let cfg = DeviceConfig::new(PimTarget::Fulcrum, 4);
+        let mut s = SimStats::new();
+        s.record_cmd("add.int32".into(), OpCategory::Add, OpCost { time_ms: 0.00166, energy_mj: 0.0042 }, 8192);
+        let r = s.report(&cfg);
+        assert!(r.contains("PIM Params:"));
+        assert!(r.contains("Data Copy Stats:"));
+        assert!(r.contains("add.int32"));
+        assert!(r.contains("TOTAL"));
+    }
+
+    #[test]
+    fn idle_energy_is_watts_times_ms() {
+        let cfg = DeviceConfig::new(PimTarget::BitSerial, 1);
+        let mut s = SimStats::new();
+        s.record_cmd("add.int32".into(), OpCategory::Add, OpCost { time_ms: 100.0, energy_mj: 1.0 }, 1);
+        assert!((s.host_idle_energy_mj(&cfg) - 1000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,240 @@
+//! Integration tests for the Device API: functional correctness on all
+//! three targets, aliasing, error paths, statistics, and the report.
+
+use pimeval::{DataType, Device, PimError, PimTarget, SimMode};
+use proptest::prelude::*;
+
+fn devices() -> Vec<Device> {
+    PimTarget::ALL.iter().map(|&t| Device::new(pimeval::DeviceConfig::new(t, 2)).unwrap()).collect()
+}
+
+#[test]
+fn full_binary_op_matrix_on_all_targets() {
+    let a: Vec<i32> = (0..257).map(|i| i * 1_000_003 - 7).collect();
+    let b: Vec<i32> = (0..257).map(|i| -i * 77 + 13).collect();
+    for mut dev in devices() {
+        let oa = dev.alloc_vec(&a).unwrap();
+        let ob = dev.alloc_vec(&b).unwrap();
+        let od = dev.alloc_associated(oa, DataType::Int32).unwrap();
+        type OpFn = fn(&mut Device, pimeval::ObjId, pimeval::ObjId, pimeval::ObjId) -> pimeval::Result<()>;
+        let cases: Vec<(OpFn, fn(i32, i32) -> i32)> = vec![
+            (Device::add, |x, y| x.wrapping_add(y)),
+            (Device::sub, |x, y| x.wrapping_sub(y)),
+            (Device::mul, |x, y| x.wrapping_mul(y)),
+            (Device::and, |x, y| x & y),
+            (Device::or, |x, y| x | y),
+            (Device::xor, |x, y| x ^ y),
+            (Device::xnor, |x, y| !(x ^ y)),
+            (Device::min, |x, y| x.min(y)),
+            (Device::max, |x, y| x.max(y)),
+            (Device::lt, |x, y| i32::from(x < y)),
+            (Device::gt, |x, y| i32::from(x > y)),
+            (Device::eq, |x, y| i32::from(x == y)),
+        ];
+        for (op, reference) in cases {
+            op(&mut dev, oa, ob, od).unwrap();
+            let got = dev.to_vec::<i32>(od).unwrap();
+            for i in 0..a.len() {
+                assert_eq!(got[i], reference(a[i], b[i]), "target {}", dev.config().target);
+            }
+        }
+    }
+}
+
+#[test]
+fn unary_and_scalar_ops_on_all_targets() {
+    let a: Vec<i32> = (-64..64).map(|i| i * 3_000_017).collect();
+    for mut dev in devices() {
+        let oa = dev.alloc_vec(&a).unwrap();
+        let od = dev.alloc_associated(oa, DataType::Int32).unwrap();
+
+        dev.abs(oa, od).unwrap();
+        assert!(dev.to_vec::<i32>(od).unwrap().iter().zip(&a).all(|(g, x)| *g == x.wrapping_abs()));
+
+        dev.not(oa, od).unwrap();
+        assert!(dev.to_vec::<i32>(od).unwrap().iter().zip(&a).all(|(g, x)| *g == !x));
+
+        dev.popcount(oa, od).unwrap();
+        assert!(dev
+            .to_vec::<i32>(od)
+            .unwrap()
+            .iter()
+            .zip(&a)
+            .all(|(g, x)| *g == x.count_ones() as i32));
+
+        dev.add_scalar(oa, 41, od).unwrap();
+        assert!(dev.to_vec::<i32>(od).unwrap().iter().zip(&a).all(|(g, x)| *g == x.wrapping_add(41)));
+
+        dev.mul_scalar(oa, -3, od).unwrap();
+        assert!(dev.to_vec::<i32>(od).unwrap().iter().zip(&a).all(|(g, x)| *g == x.wrapping_mul(-3)));
+
+        dev.min_scalar(oa, 0, od).unwrap();
+        assert!(dev.to_vec::<i32>(od).unwrap().iter().zip(&a).all(|(g, x)| *g == (*x).min(0)));
+
+        dev.shift_left(oa, 4, od).unwrap();
+        assert!(dev.to_vec::<i32>(od).unwrap().iter().zip(&a).all(|(g, x)| *g == x.wrapping_shl(4)));
+
+        dev.shift_right(oa, 3, od).unwrap();
+        assert!(dev.to_vec::<i32>(od).unwrap().iter().zip(&a).all(|(g, x)| *g == x >> 3));
+
+        dev.lt_scalar(oa, 100, od).unwrap();
+        assert!(dev.to_vec::<i32>(od).unwrap().iter().zip(&a).all(|(g, x)| *g == i32::from(*x < 100)));
+
+        dev.broadcast(od, 7).unwrap();
+        assert!(dev.to_vec::<i32>(od).unwrap().iter().all(|g| *g == 7));
+    }
+}
+
+#[test]
+fn unsigned_semantics() {
+    let a: Vec<u32> = vec![0, 1, u32::MAX, 0x8000_0000, 12345];
+    let b: Vec<u32> = vec![u32::MAX, 2, 1, 0x7FFF_FFFF, 54321];
+    for mut dev in devices() {
+        let oa = dev.alloc_vec(&a).unwrap();
+        let ob = dev.alloc_vec(&b).unwrap();
+        let od = dev.alloc_associated(oa, DataType::UInt32).unwrap();
+        dev.lt(oa, ob, od).unwrap();
+        let got = dev.to_vec::<u32>(od).unwrap();
+        for i in 0..a.len() {
+            assert_eq!(got[i] == 1, a[i] < b[i], "unsigned lt at {i}");
+        }
+        dev.min(oa, ob, od).unwrap();
+        let got = dev.to_vec::<u32>(od).unwrap();
+        for i in 0..a.len() {
+            assert_eq!(got[i], a[i].min(b[i]));
+        }
+        dev.shift_right(oa, 8, od).unwrap();
+        let got = dev.to_vec::<u32>(od).unwrap();
+        for i in 0..a.len() {
+            assert_eq!(got[i], a[i] >> 8, "logical shift for unsigned");
+        }
+        let sum = dev.red_sum(oa).unwrap();
+        assert_eq!(sum, a.iter().map(|&v| v as i128).sum::<i128>());
+    }
+}
+
+#[test]
+fn aliasing_dst_with_source_works() {
+    // Listing 1 does pimScaledAdd(objX, objY, objY, A).
+    let x: Vec<i32> = (0..100).collect();
+    let y: Vec<i32> = (0..100).map(|i| 1000 - i).collect();
+    for mut dev in devices() {
+        let ox = dev.alloc_vec(&x).unwrap();
+        let oy = dev.alloc_vec(&y).unwrap();
+        dev.scaled_add(ox, oy, oy, 5).unwrap();
+        let got = dev.to_vec::<i32>(oy).unwrap();
+        for i in 0..x.len() {
+            assert_eq!(got[i], x[i] * 5 + y[i]);
+        }
+        dev.add(ox, ox, ox).unwrap();
+        let got = dev.to_vec::<i32>(ox).unwrap();
+        for i in 0..x.len() {
+            assert_eq!(got[i], x[i] * 2);
+        }
+    }
+}
+
+#[test]
+fn select_and_red_sum_range() {
+    let a: Vec<i32> = (0..50).collect();
+    let b: Vec<i32> = (0..50).map(|i| -i).collect();
+    let c: Vec<i32> = (0..50).map(|i| i % 2).collect();
+    let mut dev = Device::bit_serial(1).unwrap();
+    let (oa, ob, oc) = (dev.alloc_vec(&a).unwrap(), dev.alloc_vec(&b).unwrap(), dev.alloc_vec(&c).unwrap());
+    let od = dev.alloc_associated(oa, DataType::Int32).unwrap();
+    dev.select(oc, oa, ob, od).unwrap();
+    let got = dev.to_vec::<i32>(od).unwrap();
+    for i in 0..a.len() {
+        assert_eq!(got[i], if c[i] != 0 { a[i] } else { b[i] });
+    }
+    let partial = dev.red_sum_range(oa, 10, 20).unwrap();
+    assert_eq!(partial, (10..20).sum::<i128>());
+    assert!(matches!(dev.red_sum_range(oa, 20, 10), Err(PimError::InvalidArg(_))));
+    assert!(matches!(dev.red_sum_range(oa, 0, 51), Err(PimError::InvalidArg(_))));
+}
+
+#[test]
+fn error_paths() {
+    let mut dev = Device::fulcrum(1).unwrap();
+    let a = dev.alloc_vec(&[1i32, 2, 3]).unwrap();
+    let b = dev.alloc_vec(&[1i32, 2]).unwrap();
+    let c = dev.alloc_vec(&[1i64, 2, 3]).unwrap();
+    let d = dev.alloc_associated(a, DataType::Int32).unwrap();
+    assert!(matches!(dev.add(a, b, d), Err(PimError::CountMismatch { .. })));
+    assert!(matches!(dev.add(a, c, d), Err(PimError::DTypeMismatch { .. })));
+    assert!(matches!(dev.copy_to_device(&[1i32, 2], a), Err(PimError::CountMismatch { .. })));
+    assert!(matches!(dev.copy_to_device(&[1i64, 2, 3], a), Err(PimError::DTypeMismatch { .. })));
+    dev.free(b).unwrap();
+    assert!(matches!(dev.add(a, b, d), Err(PimError::UnknownObject(_))));
+    assert!(matches!(dev.alloc(0, DataType::Int32), Err(PimError::InvalidArg(_))));
+}
+
+#[test]
+fn stats_track_commands_and_copies() {
+    let mut dev = Device::fulcrum(4).unwrap();
+    let a = dev.alloc_vec(&vec![1i32; 2048]).unwrap();
+    let b = dev.alloc_associated(a, DataType::Int32).unwrap();
+    dev.copy_to_device(&vec![2i32; 2048], b).unwrap();
+    dev.add(a, b, b).unwrap();
+    dev.add(a, b, b).unwrap();
+    let _ = dev.red_sum(b).unwrap();
+    let s = dev.stats();
+    assert_eq!(s.cmds["add.int32"].count, 2);
+    assert_eq!(s.cmds["redsum.int32"].count, 1);
+    assert_eq!(s.copy.host_to_device_bytes, 2 * 2048 * 4);
+    assert!(s.kernel_time_ms() > 0.0);
+    assert!(s.kernel_energy_mj() > 0.0);
+    let report = dev.report();
+    assert!(report.contains("add.int32"));
+    assert!(report.contains("Simulation Target"));
+    dev.reset_stats();
+    assert_eq!(dev.stats().total_ops(), 0);
+}
+
+#[test]
+fn model_only_mode_charges_without_data() {
+    let cfg = pimeval::DeviceConfig::new(PimTarget::BitSerial, 32).model_only();
+    let mut dev = Device::new(cfg).unwrap();
+    // Paper-scale allocation: 2 billion elements, no memory materialized.
+    let a = dev.alloc(2_035_544_320, DataType::Int32).unwrap();
+    let b = dev.alloc_associated(a, DataType::Int32).unwrap();
+    dev.add(a, b, b).unwrap();
+    assert_eq!(dev.config().mode, SimMode::ModelOnly);
+    assert!(dev.stats().kernel_time_ms() > 0.0);
+    assert!(matches!(dev.to_vec::<i32>(b), Err(PimError::NotSupported(_))));
+}
+
+#[test]
+fn copy_object_moves_data_and_counts_d2d() {
+    let mut dev = Device::bank_level(1).unwrap();
+    let a = dev.alloc_vec(&[9i32, 8, 7]).unwrap();
+    let b = dev.alloc_associated(a, DataType::Int32).unwrap();
+    dev.copy_object(a, b).unwrap();
+    assert_eq!(dev.to_vec::<i32>(b).unwrap(), vec![9, 8, 7]);
+    assert_eq!(dev.stats().copy.device_to_device_bytes, 12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn device_matches_scalar_reference(
+        vals in proptest::collection::vec((any::<i32>(), any::<i32>()), 1..200),
+        target_idx in 0usize..3,
+    ) {
+        let target = PimTarget::ALL[target_idx];
+        let mut dev = Device::new(pimeval::DeviceConfig::new(target, 1)).unwrap();
+        let a: Vec<i32> = vals.iter().map(|v| v.0).collect();
+        let b: Vec<i32> = vals.iter().map(|v| v.1).collect();
+        let oa = dev.alloc_vec(&a).unwrap();
+        let ob = dev.alloc_vec(&b).unwrap();
+        let od = dev.alloc_associated(oa, DataType::Int32).unwrap();
+        dev.mul(oa, ob, od).unwrap();
+        let got = dev.to_vec::<i32>(od).unwrap();
+        for i in 0..a.len() {
+            prop_assert_eq!(got[i], a[i].wrapping_mul(b[i]));
+        }
+        let sum = dev.red_sum(oa).unwrap();
+        prop_assert_eq!(sum, a.iter().map(|&v| v as i128).sum::<i128>());
+    }
+}

@@ -1,0 +1,175 @@
+//! Physical address decomposition for the PIM-dedicated module.
+//!
+//! §III notes that PIM data layouts "may necessitate a different layout
+//! than the typical address interleaving", and that a separate module
+//! "provides a location to place the data in the desired layout and to
+//! work around the memory system's address interleaving". This module
+//! provides the straightforward rank→bank→subarray→row→column
+//! decomposition the PIM resource manager assumes (no interleaving),
+//! with bidirectional conversion.
+
+use crate::error::DramError;
+use crate::geometry::DramGeometry;
+
+/// A fully decomposed DRAM location (bit granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Address {
+    /// Rank index.
+    pub rank: usize,
+    /// Bank within the rank.
+    pub bank: usize,
+    /// Subarray within the bank.
+    pub subarray: usize,
+    /// Row within the subarray.
+    pub row: usize,
+    /// Column (bitline) within the row.
+    pub col: usize,
+}
+
+/// Maps between flat bit addresses and [`Address`] components using the
+/// PIM module's linear (non-interleaved) layout:
+/// `rank ≫ bank ≫ subarray ≫ row ≫ col`.
+///
+/// # Example
+///
+/// ```
+/// use pim_dram::{AddressMapper, DramGeometry};
+///
+/// let mapper = AddressMapper::new(DramGeometry::paper_default(2));
+/// let addr = mapper.decode(123_456_789).unwrap();
+/// assert_eq!(mapper.encode(&addr).unwrap(), 123_456_789);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMapper {
+    geometry: DramGeometry,
+}
+
+impl AddressMapper {
+    /// Creates a mapper over `geometry`.
+    pub fn new(geometry: DramGeometry) -> Self {
+        AddressMapper { geometry }
+    }
+
+    /// Total addressable bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.geometry.capacity_bytes() * 8
+    }
+
+    /// Decodes a flat bit address.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::RowOutOfRange`] if the address exceeds capacity
+    /// (reported against the total row count).
+    pub fn decode(&self, bit_addr: u64) -> Result<Address, DramError> {
+        if bit_addr >= self.capacity_bits() {
+            return Err(DramError::RowOutOfRange {
+                row: (bit_addr / self.geometry.cols_per_row as u64) as usize,
+                rows: (self.capacity_bits() / self.geometry.cols_per_row as u64) as usize,
+            });
+        }
+        let g = &self.geometry;
+        let col = (bit_addr % g.cols_per_row as u64) as usize;
+        let rest = bit_addr / g.cols_per_row as u64;
+        let row = (rest % g.rows_per_subarray as u64) as usize;
+        let rest = rest / g.rows_per_subarray as u64;
+        let subarray = (rest % g.subarrays_per_bank as u64) as usize;
+        let rest = rest / g.subarrays_per_bank as u64;
+        let bank = (rest % g.banks_per_rank as u64) as usize;
+        let rank = (rest / g.banks_per_rank as u64) as usize;
+        Ok(Address { rank, bank, subarray, row, col })
+    }
+
+    /// Encodes components back into a flat bit address.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::InvalidGeometry`] if any component is out of range.
+    pub fn encode(&self, addr: &Address) -> Result<u64, DramError> {
+        let g = &self.geometry;
+        if addr.rank >= g.ranks
+            || addr.bank >= g.banks_per_rank
+            || addr.subarray >= g.subarrays_per_bank
+            || addr.row >= g.rows_per_subarray
+            || addr.col >= g.cols_per_row
+        {
+            return Err(DramError::InvalidGeometry(format!(
+                "address component out of range: {addr:?}"
+            )));
+        }
+        let mut flat = addr.rank as u64;
+        flat = flat * g.banks_per_rank as u64 + addr.bank as u64;
+        flat = flat * g.subarrays_per_bank as u64 + addr.subarray as u64;
+        flat = flat * g.rows_per_subarray as u64 + addr.row as u64;
+        flat = flat * g.cols_per_row as u64 + addr.col as u64;
+        Ok(flat)
+    }
+
+    /// The global subarray index (`0 .. total_subarrays`) of an address —
+    /// the PIM core the bit belongs to on subarray-level targets.
+    pub fn subarray_index(&self, addr: &Address) -> usize {
+        let g = &self.geometry;
+        (addr.rank * g.banks_per_rank + addr.bank) * g.subarrays_per_bank + addr.subarray
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mapper() -> AddressMapper {
+        AddressMapper::new(DramGeometry::paper_default(2))
+    }
+
+    #[test]
+    fn decode_zero_and_last() {
+        let m = mapper();
+        let zero = m.decode(0).unwrap();
+        assert_eq!(zero, Address { rank: 0, bank: 0, subarray: 0, row: 0, col: 0 });
+        let last = m.decode(m.capacity_bits() - 1).unwrap();
+        assert_eq!(last.rank, 1);
+        assert_eq!(last.col, 8191);
+        assert!(m.decode(m.capacity_bits()).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range_components() {
+        let m = mapper();
+        let bad = Address { rank: 0, bank: 200, subarray: 0, row: 0, col: 0 };
+        assert!(m.encode(&bad).is_err());
+    }
+
+    #[test]
+    fn subarray_index_is_dense() {
+        let m = mapper();
+        let g = DramGeometry::paper_default(2);
+        let a = Address { rank: 1, bank: 2, subarray: 3, row: 0, col: 0 };
+        assert_eq!(
+            m.subarray_index(&a),
+            (g.banks_per_rank + 2) * g.subarrays_per_bank + 3
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(bit_addr in 0u64..DramGeometry::paper_default(2).capacity_bytes() * 8) {
+            let m = mapper();
+            let addr = m.decode(bit_addr).unwrap();
+            prop_assert_eq!(m.encode(&addr).unwrap(), bit_addr);
+        }
+
+        #[test]
+        fn consecutive_bits_share_a_row_within_a_row(
+            base in 0u64..1_000_000u64,
+        ) {
+            let m = mapper();
+            let a = m.decode(base * 8192).unwrap();
+            let b = m.decode(base * 8192 + 8191).unwrap();
+            prop_assert_eq!(a.row, b.row);
+            prop_assert_eq!(a.subarray, b.subarray);
+            prop_assert_eq!(a.col, 0);
+            prop_assert_eq!(b.col, 8191);
+        }
+    }
+}

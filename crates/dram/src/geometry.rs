@@ -1,0 +1,190 @@
+//! DRAM organization: ranks, banks, subarrays, rows, and columns.
+//!
+//! Mirrors the hierarchy described in §III of the paper. PIMeval treats each
+//! rank as an independent channel (a documented limitation carried over from
+//! the original simulator), so bandwidth scales linearly in the rank count.
+
+use crate::error::DramError;
+
+/// The physical organization of the PIM-dedicated DRAM module(s).
+///
+/// The paper's evaluated configuration (Table II, and the artifact output in
+/// its Listing 3) is, per rank: 128 banks (16 banks × 8 x8 chips, counted
+/// per-chip as in the artifact), 32 subarrays per bank, 1024 rows and 8192
+/// columns per subarray. [`DramGeometry::paper_default`] builds exactly that.
+///
+/// # Example
+///
+/// ```
+/// use pim_dram::DramGeometry;
+///
+/// let g = DramGeometry::paper_default(4);
+/// assert_eq!(g.total_banks(), 512);
+/// assert_eq!(g.subarray_bits(), 1024 * 8192);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramGeometry {
+    /// Number of ranks. PIMeval models each rank as an independent channel.
+    pub ranks: usize,
+    /// Banks per rank (per-chip bank count × chips, as in the artifact).
+    pub banks_per_rank: usize,
+    /// Subarrays per bank.
+    pub subarrays_per_bank: usize,
+    /// Rows per subarray.
+    pub rows_per_subarray: usize,
+    /// Columns (bitlines / sense amplifiers) per subarray row.
+    pub cols_per_row: usize,
+}
+
+impl DramGeometry {
+    /// The configuration used throughout the paper's evaluation, with a
+    /// caller-selected rank count (the paper sweeps 1–64 ranks).
+    pub fn paper_default(ranks: usize) -> Self {
+        DramGeometry {
+            ranks,
+            banks_per_rank: 128,
+            subarrays_per_bank: 32,
+            rows_per_subarray: 1024,
+            cols_per_row: 8192,
+        }
+    }
+
+    /// Validates that every dimension is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidGeometry`] naming the zero field.
+    pub fn validate(&self) -> Result<(), DramError> {
+        let fields = [
+            (self.ranks, "ranks"),
+            (self.banks_per_rank, "banks_per_rank"),
+            (self.subarrays_per_bank, "subarrays_per_bank"),
+            (self.rows_per_subarray, "rows_per_subarray"),
+            (self.cols_per_row, "cols_per_row"),
+        ];
+        for (value, name) in fields {
+            if value == 0 {
+                return Err(DramError::InvalidGeometry(format!("{name} must be non-zero")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of banks across all ranks.
+    pub fn total_banks(&self) -> usize {
+        self.ranks * self.banks_per_rank
+    }
+
+    /// Total number of subarrays across all ranks.
+    pub fn total_subarrays(&self) -> usize {
+        self.total_banks() * self.subarrays_per_bank
+    }
+
+    /// Bits stored in one subarray.
+    pub fn subarray_bits(&self) -> u64 {
+        self.rows_per_subarray as u64 * self.cols_per_row as u64
+    }
+
+    /// Total capacity in bytes across all ranks.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_subarrays() as u64 * self.subarray_bits() / 8
+    }
+
+    /// Returns a copy with a different rank count (used by the rank-scaling
+    /// experiments of Figs. 12–13).
+    #[must_use]
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks;
+        self
+    }
+
+    /// Returns a copy with a different column width (Fig. 6a sweep).
+    #[must_use]
+    pub fn with_cols(mut self, cols: usize) -> Self {
+        self.cols_per_row = cols;
+        self
+    }
+
+    /// Returns a copy with a different per-rank bank count (Fig. 6b sweep).
+    #[must_use]
+    pub fn with_banks_per_rank(mut self, banks: usize) -> Self {
+        self.banks_per_rank = banks;
+        self
+    }
+
+    /// Returns a copy scaled so that total capacity stays constant while the
+    /// rank count changes: subarrays-per-bank is scaled inversely with rank
+    /// count. Used for Fig. 13's "same capacity" comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaling does not divide evenly (the paper only uses
+    /// power-of-two rank counts, which always divide).
+    #[must_use]
+    pub fn with_ranks_same_capacity(&self, ranks: usize) -> Self {
+        let total_sa = self.total_subarrays();
+        let sa_per_bank = total_sa / (ranks * self.banks_per_rank);
+        assert!(
+            sa_per_bank * ranks * self.banks_per_rank == total_sa && sa_per_bank > 0,
+            "capacity-preserving rescale must divide evenly"
+        );
+        DramGeometry {
+            ranks,
+            subarrays_per_bank: sa_per_bank,
+            ..*self
+        }
+    }
+}
+
+impl Default for DramGeometry {
+    /// Four ranks — the artifact's default device.
+    fn default() -> Self {
+        DramGeometry::paper_default(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_counts() {
+        let g = DramGeometry::paper_default(32);
+        assert_eq!(g.total_banks(), 4096);
+        assert_eq!(g.total_subarrays(), 131_072);
+        assert_eq!(g.subarray_bits(), 8_388_608);
+    }
+
+    #[test]
+    fn capacity_scales_with_ranks() {
+        let g1 = DramGeometry::paper_default(1);
+        let g2 = DramGeometry::paper_default(2);
+        assert_eq!(g2.capacity_bytes(), 2 * g1.capacity_bytes());
+    }
+
+    #[test]
+    fn same_capacity_rescale_preserves_bytes() {
+        let g = DramGeometry::paper_default(32);
+        for ranks in [1, 2, 4, 8, 16, 32] {
+            let scaled = g.with_ranks_same_capacity(ranks);
+            assert_eq!(scaled.capacity_bytes(), g.capacity_bytes(), "ranks={ranks}");
+            assert_eq!(scaled.ranks, ranks);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_dimension() {
+        let mut g = DramGeometry::default();
+        g.rows_per_subarray = 0;
+        assert!(matches!(g.validate(), Err(DramError::InvalidGeometry(_))));
+        assert!(DramGeometry::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let g = DramGeometry::default().with_ranks(8).with_cols(2048).with_banks_per_rank(64);
+        assert_eq!(g.ranks, 8);
+        assert_eq!(g.cols_per_row, 2048);
+        assert_eq!(g.banks_per_rank, 64);
+    }
+}

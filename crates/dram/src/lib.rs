@@ -1,0 +1,50 @@
+//! DRAM organization, DDR timing, and power modeling substrate for PIMeval-rs.
+//!
+//! This crate implements the pieces of the DRAM hierarchy that the PIM
+//! simulator (`pimeval`) builds on, following §III of the IISWC 2024
+//! PIMeval/PIMbench paper:
+//!
+//! * [`DramGeometry`] — the rank/bank/subarray/row/column organization,
+//!   capacity math, and per-level parallelism counts.
+//! * [`DramTiming`] — DDR timing parameters (row read/write latencies, tCCD,
+//!   tRAS/tRP, rank bandwidth) used by the performance models.
+//! * [`power::DramPower`] — the Micron power model (TN-40-07 style) used to
+//!   derive per-operation energies (Eq. 1 and Eq. 2 of the paper), plus
+//!   background power for many-subarray activation.
+//! * [`subarray::Subarray`] and [`subarray::BitMatrix`] — a functional model
+//!   of a DRAM subarray as a 2-D bit array with destructive row activation
+//!   semantics and access statistics. The bit-serial micro-op VM in
+//!   `pim-microcode` executes on top of these.
+//!
+//! The default values mirror the configuration used throughout the paper's
+//! evaluation (Table II and the artifact's example output): per rank,
+//! 128 banks × 32 subarrays × 1024 rows × 8192 columns, 25.6 GB/s rank
+//! bandwidth, 28.5 ns row reads, 43.5 ns row writes and 3 ns tCCD.
+//!
+//! # Example
+//!
+//! ```
+//! use pim_dram::{DramGeometry, DramTiming};
+//!
+//! let geom = DramGeometry::paper_default(32); // 32 ranks
+//! assert_eq!(geom.total_subarrays(), 32 * 128 * 32);
+//! let timing = DramTiming::ddr4_default();
+//! assert!(timing.row_write_ns > timing.row_read_ns);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod error;
+pub mod geometry;
+pub mod power;
+pub mod protocol;
+pub mod subarray;
+pub mod timing;
+
+pub use address::{Address, AddressMapper};
+pub use error::DramError;
+pub use geometry::DramGeometry;
+pub use power::DramPower;
+pub use subarray::{BitMatrix, RowStats, Subarray};
+pub use timing::DramTiming;

@@ -1,0 +1,366 @@
+//! Command-level DRAM protocol timing (a DRAMsim3-lite).
+//!
+//! §V-C: "For more precise modeling, integration with DRAMsim3 has been
+//! left as future work. PIMeval currently does not differentiate between
+//! channels and ranks". This module is a self-contained step in that
+//! direction: a bank-state machine that times an ACT/RD/WR/PRE command
+//! stream with row-buffer hit/miss accounting, usable to sanity-check
+//! the closed-form copy model against a protocol-level replay.
+//!
+//! Modeled constraints (per bank): tRCD between ACT and column command,
+//! tRAS minimum row-open time, tRP after PRE, CL read latency, and tCCD
+//! between column commands on the same rank. Banks interleave freely, as
+//! §III describes ("one bank can be precharging while another is
+//! providing data").
+
+use crate::timing::DramTiming;
+
+/// Protocol-level timing parameters derived from [`DramTiming`] plus the
+/// column-access latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolTiming {
+    /// ACT → column command (ns).
+    pub t_rcd_ns: f64,
+    /// Minimum ACT → PRE (ns).
+    pub t_ras_ns: f64,
+    /// PRE → next ACT (ns).
+    pub t_rp_ns: f64,
+    /// Column command → data (CAS latency, ns).
+    pub cl_ns: f64,
+    /// Column command → column command, same rank (ns).
+    pub t_ccd_ns: f64,
+}
+
+impl ProtocolTiming {
+    /// Derives protocol parameters from the coarse [`DramTiming`]:
+    /// the coarse `row_read_ns` is interpreted as tRCD + CL.
+    pub fn from_coarse(t: &DramTiming) -> Self {
+        let t_rcd = t.row_read_ns / 2.0;
+        ProtocolTiming {
+            t_rcd_ns: t_rcd,
+            t_ras_ns: t.t_ras_ns,
+            t_rp_ns: t.t_rp_ns,
+            cl_ns: t.row_read_ns - t_rcd,
+            t_ccd_ns: t.t_ccd_ns,
+        }
+    }
+}
+
+/// One DRAM command addressed to a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Activate `row` in `bank`.
+    Activate {
+        /// Target bank.
+        bank: usize,
+        /// Row to open.
+        row: usize,
+    },
+    /// Column read from `bank` (open row required).
+    Read {
+        /// Target bank.
+        bank: usize,
+    },
+    /// Column write to `bank` (open row required).
+    Write {
+        /// Target bank.
+        bank: usize,
+    },
+    /// Precharge `bank`.
+    Precharge {
+        /// Target bank.
+        bank: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankState {
+    open_row: Option<usize>,
+    ready_at: f64,   // earliest time the bank accepts its next command
+    opened_at: f64,  // ACT issue time (for tRAS)
+}
+
+/// Accounting from a replayed command stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProtocolStats {
+    /// Row activations issued.
+    pub activations: u64,
+    /// Column reads issued.
+    pub reads: u64,
+    /// Column writes issued.
+    pub writes: u64,
+    /// Precharges issued.
+    pub precharges: u64,
+    /// Column commands that hit an already-open row.
+    pub row_hits: u64,
+    /// Total elapsed time (ns).
+    pub elapsed_ns: f64,
+}
+
+/// An in-order, per-rank command scheduler over `banks` bank state
+/// machines.
+///
+/// # Example
+///
+/// ```
+/// use pim_dram::protocol::{Command, ProtocolTiming, RankSim};
+/// use pim_dram::DramTiming;
+///
+/// let mut sim = RankSim::new(ProtocolTiming::from_coarse(&DramTiming::ddr4_default()), 4);
+/// sim.issue(Command::Activate { bank: 0, row: 7 }).unwrap();
+/// sim.issue(Command::Read { bank: 0 }).unwrap();
+/// sim.issue(Command::Read { bank: 0 }).unwrap(); // row-buffer hit
+/// assert_eq!(sim.stats().row_hits, 2);
+/// ```
+#[derive(Debug)]
+pub struct RankSim {
+    timing: ProtocolTiming,
+    banks: Vec<BankState>,
+    /// Earliest time the shared command/data bus accepts a column command.
+    bus_free_at: f64,
+    now: f64,
+    stats: ProtocolStats,
+}
+
+/// Protocol violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Command addressed a bank the rank does not have.
+    NoSuchBank(usize),
+    /// Column command to a bank with no open row.
+    RowNotOpen(usize),
+    /// ACT to a bank that already has an open row.
+    RowAlreadyOpen(usize),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::NoSuchBank(b) => write!(f, "no such bank {b}"),
+            ProtocolError::RowNotOpen(b) => write!(f, "bank {b} has no open row"),
+            ProtocolError::RowAlreadyOpen(b) => write!(f, "bank {b} already has an open row"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl RankSim {
+    /// Creates a rank with `banks` banks at time 0.
+    pub fn new(timing: ProtocolTiming, banks: usize) -> Self {
+        RankSim {
+            timing,
+            banks: vec![BankState::default(); banks],
+            bus_free_at: 0.0,
+            now: 0.0,
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    /// The accumulated statistics (elapsed time includes the CAS latency
+    /// of the last column command).
+    pub fn stats(&self) -> ProtocolStats {
+        let mut s = self.stats;
+        s.elapsed_ns = self.now.max(self.bus_free_at);
+        s
+    }
+
+    /// Issues one command at the earliest legal time.
+    ///
+    /// # Errors
+    ///
+    /// A [`ProtocolError`] if the command is illegal in the current bank
+    /// state; timing constraints never error — they stall.
+    pub fn issue(&mut self, cmd: Command) -> Result<(), ProtocolError> {
+        let t = self.timing;
+        let bank_idx = match cmd {
+            Command::Activate { bank, .. }
+            | Command::Read { bank }
+            | Command::Write { bank }
+            | Command::Precharge { bank } => bank,
+        };
+        let nbanks = self.banks.len();
+        let bank = self.banks.get_mut(bank_idx).ok_or(ProtocolError::NoSuchBank(bank_idx))?;
+        let _ = nbanks;
+        match cmd {
+            Command::Activate { row, .. } => {
+                if bank.open_row.is_some() {
+                    return Err(ProtocolError::RowAlreadyOpen(bank_idx));
+                }
+                let start = self.now.max(bank.ready_at);
+                bank.open_row = Some(row);
+                bank.opened_at = start;
+                bank.ready_at = start + t.t_rcd_ns;
+                self.now = start; // command bus occupancy is negligible here
+                self.stats.activations += 1;
+            }
+            Command::Read { .. } | Command::Write { .. } => {
+                if bank.open_row.is_none() {
+                    return Err(ProtocolError::RowNotOpen(bank_idx));
+                }
+                let start = self.now.max(bank.ready_at).max(self.bus_free_at);
+                self.bus_free_at = start + t.t_ccd_ns;
+                bank.ready_at = start + t.t_ccd_ns;
+                self.now = start;
+                if matches!(cmd, Command::Read { .. }) {
+                    self.stats.reads += 1;
+                } else {
+                    self.stats.writes += 1;
+                }
+                self.stats.row_hits += 1;
+            }
+            Command::Precharge { .. } => {
+                if bank.open_row.is_none() {
+                    return Err(ProtocolError::RowNotOpen(bank_idx));
+                }
+                let start = self.now.max(bank.ready_at).max(bank.opened_at + t.t_ras_ns);
+                bank.open_row = None;
+                bank.ready_at = start + t.t_rp_ns;
+                self.now = start;
+                self.stats.precharges += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays a streaming read of `bursts` column reads per row across
+    /// `rows` rows, round-robin over all banks with the next row's
+    /// activation issued ahead of time (the §III interleaving that lets
+    /// "one bank ... be precharging while another is providing data").
+    /// Returns achieved bandwidth in GB/s for `bytes_per_burst` bytes per
+    /// column command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors (none occur for valid parameters).
+    pub fn stream_read_bandwidth(
+        &mut self,
+        rows: usize,
+        bursts: usize,
+        bytes_per_burst: usize,
+    ) -> Result<f64, ProtocolError> {
+        let nbanks = self.banks.len();
+        if rows > 0 {
+            self.issue(Command::Activate { bank: 0, row: 0 })?;
+        }
+        for r in 0..rows {
+            let bank = r % nbanks;
+            // Pre-activate the next row's bank so its tRCD (and the
+            // previous cycle's tRP on that bank) hide under this row's
+            // column reads.
+            if r + 1 < rows && nbanks > 1 {
+                self.issue(Command::Activate { bank: (r + 1) % nbanks, row: r + 1 })?;
+            }
+            for _ in 0..bursts {
+                self.issue(Command::Read { bank })?;
+            }
+            self.issue(Command::Precharge { bank })?;
+            if r + 1 < rows && nbanks == 1 {
+                self.issue(Command::Activate { bank: 0, row: r + 1 })?;
+            }
+        }
+        let total_bytes = (rows * bursts * bytes_per_burst) as f64;
+        Ok(total_bytes / self.stats().elapsed_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> ProtocolTiming {
+        ProtocolTiming::from_coarse(&DramTiming::ddr4_default())
+    }
+
+    #[test]
+    fn column_before_activate_is_rejected() {
+        let mut sim = RankSim::new(timing(), 2);
+        assert_eq!(sim.issue(Command::Read { bank: 0 }), Err(ProtocolError::RowNotOpen(0)));
+        assert_eq!(
+            sim.issue(Command::Precharge { bank: 1 }),
+            Err(ProtocolError::RowNotOpen(1))
+        );
+        assert_eq!(sim.issue(Command::Read { bank: 9 }), Err(ProtocolError::NoSuchBank(9)));
+    }
+
+    #[test]
+    fn double_activate_is_rejected() {
+        let mut sim = RankSim::new(timing(), 1);
+        sim.issue(Command::Activate { bank: 0, row: 0 }).unwrap();
+        assert_eq!(
+            sim.issue(Command::Activate { bank: 0, row: 1 }),
+            Err(ProtocolError::RowAlreadyOpen(0))
+        );
+    }
+
+    #[test]
+    fn row_hits_avoid_activation_latency() {
+        // 64 reads from one open row must take ~64×tCCD, far below
+        // 64×(tRCD + tRP + ...) with a miss per access.
+        let t = timing();
+        let mut sim = RankSim::new(t, 1);
+        sim.issue(Command::Activate { bank: 0, row: 0 }).unwrap();
+        for _ in 0..64 {
+            sim.issue(Command::Read { bank: 0 }).unwrap();
+        }
+        let hit_time = sim.stats().elapsed_ns;
+        assert!(hit_time <= t.t_rcd_ns + 64.0 * t.t_ccd_ns + 1e-9, "{hit_time}");
+
+        // The same 64 reads with an ACT/PRE per access are much slower.
+        let mut churn = RankSim::new(t, 1);
+        for r in 0..64 {
+            churn.issue(Command::Activate { bank: 0, row: r }).unwrap();
+            churn.issue(Command::Read { bank: 0 }).unwrap();
+            churn.issue(Command::Precharge { bank: 0 }).unwrap();
+        }
+        assert!(churn.stats().elapsed_ns > 5.0 * hit_time);
+    }
+
+    #[test]
+    fn bank_interleaving_hides_precharge() {
+        // Alternate reads across two banks while each precharges —
+        // elapsed time stays near the tCCD-limited floor.
+        let t = timing();
+        let mut sim = RankSim::new(t, 2);
+        sim.issue(Command::Activate { bank: 0, row: 0 }).unwrap();
+        sim.issue(Command::Activate { bank: 1, row: 0 }).unwrap();
+        for _ in 0..32 {
+            sim.issue(Command::Read { bank: 0 }).unwrap();
+            sim.issue(Command::Read { bank: 1 }).unwrap();
+        }
+        let elapsed = sim.stats().elapsed_ns;
+        let floor = 64.0 * t.t_ccd_ns;
+        assert!(elapsed <= floor + t.t_rcd_ns + 1e-9, "{elapsed} vs floor {floor}");
+    }
+
+    #[test]
+    fn streaming_bandwidth_approaches_the_coarse_model() {
+        // A long streaming read should land within ~25 % of the coarse
+        // model's rank bandwidth — the cross-check the paper defers to
+        // DRAMsim3.
+        let coarse = DramTiming::ddr4_default();
+        let mut sim = RankSim::new(ProtocolTiming::from_coarse(&coarse), 16);
+        // DDR4 BL8 on a 64-bit bus: 64 bytes per column command; a
+        // 1024-byte row page is 16 bursts.
+        let gbs = sim.stream_read_bandwidth(512, 16, 64).unwrap();
+        let ratio = gbs / coarse.rank_bandwidth_gbs;
+        assert!(
+            (0.75..=1.35).contains(&ratio),
+            "protocol replay {gbs:.1} GB/s vs coarse {} GB/s",
+            coarse.rank_bandwidth_gbs
+        );
+    }
+
+    #[test]
+    fn tras_delays_early_precharge() {
+        let t = timing();
+        let mut sim = RankSim::new(t, 1);
+        sim.issue(Command::Activate { bank: 0, row: 0 }).unwrap();
+        sim.issue(Command::Precharge { bank: 0 }).unwrap();
+        // PRE cannot complete before tRAS + tRP after the ACT.
+        assert!(sim.stats().precharges == 1);
+        sim.issue(Command::Activate { bank: 0, row: 1 }).unwrap();
+        let s = sim.stats();
+        assert!(s.elapsed_ns >= t.t_ras_ns + t.t_rp_ns - 1e-9, "{s:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! DDR timing parameters used by the PIM performance models.
+//!
+//! The simulator is not cycle-accurate at the DRAM-protocol level (the paper
+//! leaves DRAMsim3 integration as future work); instead each PIM operation is
+//! charged closed-form latencies derived from these parameters.
+
+/// DDR timing and bandwidth parameters.
+///
+/// Defaults follow the values the artifact prints for its DDR4 device:
+/// 28.5 ns row read, 43.5 ns row write, 3 ns tCCD, and 25.6 GB/s of
+/// per-rank bandwidth. `t_ras`/`t_rp` feed the Micron activate–precharge
+/// energy equation (Eq. 2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use pim_dram::DramTiming;
+///
+/// let t = DramTiming::ddr4_default();
+/// // Transferring one 8192-bit row over a 128-bit GDL takes 64 beats.
+/// let beats = 8192 / t.gdl_width_bits;
+/// assert_eq!(beats, 64);
+/// assert!((t.gdl_row_transfer_ns(8192) - 64.0 * t.t_ccd_ns).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramTiming {
+    /// Latency to activate + read a full row into the local row buffer (ns).
+    pub row_read_ns: f64,
+    /// Latency to write a full row back from the local row buffer (ns).
+    pub row_write_ns: f64,
+    /// Column-to-column command delay, one GDL beat (ns).
+    pub t_ccd_ns: f64,
+    /// Row-active time, used by the Micron AP energy equation (ns).
+    pub t_ras_ns: f64,
+    /// Row-precharge time, used by the Micron AP energy equation (ns).
+    pub t_rp_ns: f64,
+    /// Global data line width at the bank interface (bits).
+    pub gdl_width_bits: usize,
+    /// Sustained bandwidth of one rank for host<->PIM copies (GB/s).
+    pub rank_bandwidth_gbs: f64,
+}
+
+impl DramTiming {
+    /// The DDR4 parameters used in the paper's evaluation.
+    pub fn ddr4_default() -> Self {
+        DramTiming {
+            row_read_ns: 28.5,
+            row_write_ns: 43.5,
+            t_ccd_ns: 3.0,
+            t_ras_ns: 32.0,
+            t_rp_ns: 13.75,
+            gdl_width_bits: 128,
+            rank_bandwidth_gbs: 25.6,
+        }
+    }
+
+    /// HBM2-style parameters for the paper's §IX "modeling 3D memories
+    /// such as HBM" future-work direction: a much wider GDL at the bank
+    /// interface and higher per-channel bandwidth, with row timings close
+    /// to DDR4 (the DRAM core is similar; the interface is what changes).
+    pub fn hbm2_default() -> Self {
+        DramTiming {
+            row_read_ns: 28.5,
+            row_write_ns: 43.5,
+            t_ccd_ns: 2.0,
+            t_ras_ns: 32.0,
+            t_rp_ns: 13.75,
+            gdl_width_bits: 512,
+            rank_bandwidth_gbs: 64.0, // one pseudo-channel pair
+        }
+    }
+
+    /// Time to move `row_bits` across the global data lines, in ns.
+    ///
+    /// The GDL is the bottleneck for bank-level PIM: a full 8192-bit row
+    /// needs `row_bits / gdl_width_bits` beats of `t_ccd_ns` each.
+    pub fn gdl_row_transfer_ns(&self, row_bits: usize) -> f64 {
+        let beats = (row_bits + self.gdl_width_bits - 1) / self.gdl_width_bits;
+        beats as f64 * self.t_ccd_ns
+    }
+
+    /// Time to copy `bytes` between host and the PIM module using
+    /// `ranks` independently-operating ranks, in ms.
+    ///
+    /// PIMeval treats every rank as an independent channel (documented
+    /// limitation in §V-C of the paper), so aggregate bandwidth is
+    /// `ranks × rank_bandwidth_gbs`.
+    pub fn host_copy_ms(&self, bytes: u64, ranks: usize) -> f64 {
+        debug_assert!(ranks > 0, "copy requires at least one rank");
+        let gbs = self.rank_bandwidth_gbs * ranks.max(1) as f64;
+        // bytes / (GB/s) = ns when GB is 1e9 bytes; convert to ms.
+        bytes as f64 / gbs / 1e6
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        DramTiming::ddr4_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gdl_transfer_rounds_up_partial_beats() {
+        let t = DramTiming::ddr4_default();
+        assert_eq!(t.gdl_row_transfer_ns(1), t.t_ccd_ns);
+        assert_eq!(t.gdl_row_transfer_ns(129), 2.0 * t.t_ccd_ns);
+    }
+
+    #[test]
+    fn host_copy_scales_inversely_with_ranks() {
+        let t = DramTiming::ddr4_default();
+        let one = t.host_copy_ms(1 << 30, 1);
+        let four = t.host_copy_ms(1 << 30, 4);
+        assert!((one / four - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hbm_has_wider_gdl_and_more_bandwidth() {
+        let ddr = DramTiming::ddr4_default();
+        let hbm = DramTiming::hbm2_default();
+        assert!(hbm.gdl_width_bits >= 4 * ddr.gdl_width_bits);
+        assert!(hbm.rank_bandwidth_gbs > 2.0 * ddr.rank_bandwidth_gbs);
+        assert!(hbm.gdl_row_transfer_ns(8192) < ddr.gdl_row_transfer_ns(8192) / 3.0);
+    }
+
+    #[test]
+    fn host_copy_matches_hand_computation() {
+        let t = DramTiming::ddr4_default();
+        // 25.6 GB/s, 25.6e9 bytes should take exactly 1000 ms on one rank.
+        let ms = t.host_copy_ms(25_600_000_000, 1);
+        assert!((ms - 1000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,438 @@
+//! Analog bit-serial microprogram generators (Ambit / SIMDRAM style).
+//!
+//! §IV of the paper describes the *analog* bit-serial technique that
+//! digital DRAM-AP improves on: charge-sharing **triple-row activation**
+//! (TRA) computes the bitwise MAJority of three rows, **dual-contact
+//! cell** (DCC) rows provide NOT, and operands must first be copied into
+//! the few TRA-capable rows with **AAP** (activate-activate-precharge)
+//! RowClone copies. §IX notes PIMeval "is already being extended to
+//! support various forms of analog bit-serial PIM" — this module is that
+//! extension: a complete second lowering of the PIM operation set onto
+//! {AAP, AAP-DCC, TRA}, functionally executable on the same row-wide VM
+//! and costed by the same counting scheme.
+//!
+//! The generated programs make the paper's §IV argument quantitative:
+//! every Boolean gate costs ~4 row copies + 1 TRA instead of one
+//! digital sense-amp gate, so analog addition needs ~4× the row
+//! activations of DRAM-AP (see `ablation_analog` in the bench harness).
+//!
+//! Scratch-region convention: rows `0..3` are the TRA triple
+//! (`T0`–`T2`) plus one spare (`T3`); rows `4`/`5` hold the constant
+//! 0/1 control rows (initialized once per program); rows `6..` are
+//! program-specific carry/accumulator rows.
+
+use crate::isa::{Loc, MicroOp, RowRef};
+use crate::program::MicroProgram;
+
+pub use crate::gen::{BinaryOp, CmpOp};
+
+const T0: u32 = 0;
+const T1: u32 = 1;
+const T2: u32 = 2;
+const T3: u32 = 3;
+const C0: u32 = 4;
+const C1: u32 = 5;
+/// First free scratch row for program-specific state.
+const SCRATCH: u32 = 6;
+
+const A: u8 = 0;
+const B: u8 = 1;
+const DST: u8 = 2;
+
+/// Assembler for analog programs.
+struct Asm {
+    ops: Vec<MicroOp>,
+    temp_rows: u32,
+}
+
+impl Asm {
+    /// Starts a program and initializes the constant control rows
+    /// (a real device keeps these pre-initialized; charging two writes
+    /// per program is conservative).
+    fn new() -> Self {
+        let mut asm = Asm { ops: Vec::new(), temp_rows: SCRATCH };
+        asm.ops.push(MicroOp::Set { dst: Loc::Sa, value: false });
+        asm.ops.push(MicroOp::Write(RowRef::temp(C0)));
+        asm.ops.push(MicroOp::Set { dst: Loc::Sa, value: true });
+        asm.ops.push(MicroOp::Write(RowRef::temp(C1)));
+        asm
+    }
+
+    fn need_temp(&mut self, rows: u32) {
+        self.temp_rows = self.temp_rows.max(rows);
+    }
+
+    fn aap(&mut self, src: RowRef, dst: RowRef) {
+        self.ops.push(MicroOp::Aap { src, dst });
+    }
+
+    fn aap_not(&mut self, src: RowRef, dst: RowRef) {
+        self.ops.push(MicroOp::AapNot { src, dst });
+    }
+
+    fn tra(&mut self) {
+        self.ops.push(MicroOp::Tra {
+            a: RowRef::temp(T0),
+            b: RowRef::temp(T1),
+            c: RowRef::temp(T2),
+        });
+    }
+
+    /// `dst = MAJ(x, y, z)` where each input is `(row, negated)`.
+    fn maj_into(&mut self, x: (RowRef, bool), y: (RowRef, bool), z: (RowRef, bool), dst: RowRef) {
+        for (i, (src, neg)) in [x, y, z].into_iter().enumerate() {
+            let t = RowRef::temp(T0 + i as u32);
+            if neg {
+                self.aap_not(src, t);
+            } else {
+                self.aap(src, t);
+            }
+        }
+        self.tra();
+        self.aap(RowRef::temp(T0), dst);
+    }
+
+    /// `dst = x AND y` = MAJ(x, y, 0).
+    fn and_into(&mut self, x: (RowRef, bool), y: (RowRef, bool), dst: RowRef) {
+        self.maj_into(x, y, (RowRef::temp(C0), false), dst);
+    }
+
+    /// `dst = x OR y` = MAJ(x, y, 1).
+    fn or_into(&mut self, x: (RowRef, bool), y: (RowRef, bool), dst: RowRef) {
+        self.maj_into(x, y, (RowRef::temp(C1), false), dst);
+    }
+
+    /// `dst = x XOR y` = (x ∧ ¬y) ∨ (¬x ∧ y). Uses `T3` and `dst`.
+    fn xor_into(&mut self, x: RowRef, y: RowRef, dst: RowRef) {
+        self.and_into((x, false), (y, true), RowRef::temp(T3));
+        self.and_into((x, true), (y, false), dst);
+        self.or_into((RowRef::temp(T3), false), (dst, false), dst);
+    }
+
+    /// Full adder on rows: `sum_dst = a ⊕ b ⊕ carry`,
+    /// `carry = MAJ(a, b, carry)` (updated in place). `scratch` and
+    /// `carry_out` must be distinct from every other row involved.
+    ///
+    /// Uses the identity `sum = MAJ(¬carry_out, MAJ(a, b, ¬c), c)`.
+    #[allow(clippy::too_many_arguments)]
+    fn full_adder(
+        &mut self,
+        a: RowRef,
+        b: RowRef,
+        carry: RowRef,
+        sum_dst: RowRef,
+        scratch: RowRef,
+        carry_out: RowRef,
+    ) {
+        // scratch = MAJ(a, b, ¬c)
+        self.maj_into((a, false), (b, false), (carry, true), scratch);
+        // carry' = MAJ(a, b, c)  (compute before overwriting sum row)
+        self.maj_into((a, false), (b, false), (carry, false), carry_out);
+        // sum = MAJ(¬carry', scratch, c)
+        self.maj_into((carry_out, true), (scratch, false), (carry, false), sum_dst);
+        self.aap(carry_out, carry);
+    }
+
+    fn finish(self, name: impl Into<String>, operands: u8) -> MicroProgram {
+        MicroProgram::new(name, self.ops, operands, self.temp_rows)
+    }
+}
+
+/// Element-wise binary operation `dst = a OP b` lowered to AAP/TRA.
+///
+/// Multiplication composes shift-and-add with AND-gated addends; its
+/// cost is quadratic in the width, as for the digital lowering, but each
+/// gate costs several row activations instead of one.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `1..=64`.
+pub fn binary(op: BinaryOp, bits: u32) -> MicroProgram {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    if let BinaryOp::Mul = op {
+        return mul(bits);
+    }
+    let mut asm = Asm::new();
+    let carry = RowRef::temp(SCRATCH + 1);
+    let scratch = RowRef::temp(SCRATCH + 2);
+    let nb = RowRef::temp(SCRATCH + 3);
+    asm.need_temp(SCRATCH + 4);
+    match op {
+        BinaryOp::Add => asm.aap(RowRef::temp(C0), carry),
+        BinaryOp::Sub => asm.aap(RowRef::temp(C1), carry),
+        _ => {}
+    }
+    for i in 0..bits {
+        let (a, b, d) = (RowRef::op(A, i), RowRef::op(B, i), RowRef::op(DST, i));
+        match op {
+            BinaryOp::Add => asm.full_adder(a, b, carry, d, scratch, RowRef::temp(SCRATCH)),
+            BinaryOp::Sub => {
+                asm.aap_not(b, nb);
+                asm.full_adder(a, nb, carry, d, scratch, RowRef::temp(SCRATCH));
+            }
+            BinaryOp::And => asm.and_into((a, false), (b, false), d),
+            BinaryOp::Or => asm.or_into((a, false), (b, false), d),
+            BinaryOp::Xor => asm.xor_into(a, b, d),
+            BinaryOp::Xnor => {
+                asm.xor_into(a, b, d);
+                asm.aap_not(d, scratch);
+                asm.aap(scratch, d);
+            }
+            BinaryOp::Mul => unreachable!("handled above"),
+        }
+    }
+    asm.finish(format!("analog_{}.i{bits}", op.mnemonic()), 3)
+}
+
+fn mul(bits: u32) -> MicroProgram {
+    let mut asm = Asm::new();
+    let carry = RowRef::temp(SCRATCH + 1);
+    let scratch = RowRef::temp(SCRATCH + 2);
+    let gated = RowRef::temp(SCRATCH + 3);
+    asm.need_temp(SCRATCH + 4);
+    // Zero the accumulator (the destination).
+    for i in 0..bits {
+        asm.aap(RowRef::temp(C0), RowRef::op(DST, i));
+    }
+    for j in 0..bits {
+        asm.aap(RowRef::temp(C0), carry);
+        for i in 0..(bits - j) {
+            // gated = a_i AND b_j
+            asm.and_into((RowRef::op(A, i), false), (RowRef::op(B, j), false), gated);
+            let d = RowRef::op(DST, i + j);
+            asm.full_adder(gated, d, carry, d, scratch, RowRef::temp(SCRATCH));
+        }
+    }
+    asm.finish(format!("analog_mul.i{bits}"), 3)
+}
+
+/// Bitwise NOT through DCC rows. Slots: 0 = A, 1 = Dst.
+pub fn not(bits: u32) -> MicroProgram {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    let mut asm = Asm::new();
+    for i in 0..bits {
+        asm.aap_not(RowRef::op(0, i), RowRef::op(1, i));
+    }
+    asm.finish(format!("analog_not.i{bits}"), 2)
+}
+
+/// Row-by-row AAP copy. Slots: 0 = A, 1 = Dst.
+pub fn copy(bits: u32) -> MicroProgram {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    let mut asm = Asm::new();
+    for i in 0..bits {
+        asm.aap(RowRef::op(0, i), RowRef::op(1, i));
+    }
+    asm.finish(format!("analog_copy.i{bits}"), 2)
+}
+
+/// Comparison `dst[0] = a OP b`. Less/greater extract the final borrow
+/// of an analog subtraction (sign bits pre-flipped for signed inputs);
+/// equality OR-reduces the XOR rows and inverts.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `1..=64`.
+pub fn cmp(op: CmpOp, bits: u32, signed: bool) -> MicroProgram {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    let mut asm = Asm::new();
+    let carry = RowRef::temp(SCRATCH + 1);
+    let scratch = RowRef::temp(SCRATCH + 2);
+    let nb = RowRef::temp(SCRATCH + 3);
+    let acc = RowRef::temp(SCRATCH + 4);
+    let na = RowRef::temp(SCRATCH + 5);
+    asm.need_temp(SCRATCH + 6);
+    match op {
+        CmpOp::Eq => {
+            // acc = OR of all xor bits; dst = NOT acc.
+            asm.aap(RowRef::temp(C0), acc);
+            for i in 0..bits {
+                asm.xor_into(RowRef::op(A, i), RowRef::op(B, i), scratch);
+                asm.or_into((acc, false), (scratch, false), acc);
+            }
+            asm.aap_not(acc, RowRef::op(DST, 0));
+        }
+        CmpOp::Lt | CmpOp::Gt => {
+            // lt(a, b): compute a - b, borrow = NOT carry_out. For
+            // signed inputs the MSBs are complemented first (bias flip).
+            // gt swaps the operand roles.
+            let (x_slot, y_slot) = if matches!(op, CmpOp::Lt) { (A, B) } else { (B, A) };
+            asm.aap(RowRef::temp(C1), carry); // two's-complement +1
+            for i in 0..bits {
+                let flip = signed && i == bits - 1;
+                let x = RowRef::op(x_slot, i);
+                let y = RowRef::op(y_slot, i);
+                let xin = if flip {
+                    asm.aap_not(x, na);
+                    na
+                } else {
+                    x
+                };
+                if flip {
+                    asm.aap(y, nb); // ¬(¬y) = y: flipped sign cancels NOT
+                } else {
+                    asm.aap_not(y, nb);
+                }
+                asm.full_adder(xin, nb, carry, scratch, acc, RowRef::temp(SCRATCH));
+            }
+            asm.aap_not(carry, RowRef::op(DST, 0));
+        }
+    }
+    let s = if signed { "s" } else { "u" };
+    asm.finish(format!("analog_{}.{s}{bits}", op.mnemonic()), 3)
+}
+
+/// Conditional select `dst = cond ? a : b` = (a ∧ c) ∨ (b ∧ ¬c).
+/// Slots: 0 = cond (1-bit), 1 = A, 2 = B, 3 = Dst.
+pub fn select(bits: u32) -> MicroProgram {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    let mut asm = Asm::new();
+    let t = RowRef::temp(SCRATCH + 1);
+    asm.need_temp(SCRATCH + 2);
+    let c = RowRef::op(0, 0);
+    for i in 0..bits {
+        asm.and_into((RowRef::op(1, i), false), (c, false), t);
+        asm.and_into((RowRef::op(2, i), false), (c, true), RowRef::op(3, i));
+        asm.or_into((t, false), (RowRef::op(3, i), false), RowRef::op(3, i));
+    }
+    asm.finish(format!("analog_select.i{bits}"), 4)
+}
+
+/// Element-wise min/max: an analog less-than producing a mask row,
+/// then a masked select sweep.
+pub fn min_max(is_max: bool, bits: u32, signed: bool) -> MicroProgram {
+    let lt = cmp(CmpOp::Lt, bits, signed);
+    let mut asm = Asm::new();
+    let mask = RowRef::temp(SCRATCH + 6);
+    asm.need_temp(SCRATCH + 7 + 7); // lt scratch + mask + select scratch
+    // Inline the comparison body, redirecting its result row to `mask`.
+    for op in &lt.ops()[4..] {
+        // skip the duplicate C0/C1 init
+        let mut op = *op;
+        if let MicroOp::AapNot { src, dst } = &mut op {
+            if *dst == RowRef::op(DST, 0) {
+                let _ = src;
+                *dst = mask;
+            }
+        }
+        asm.ops.push(op);
+    }
+    let t = RowRef::temp(SCRATCH + 1);
+    for i in 0..bits {
+        // min: mask=a<b picks a; max picks b.
+        let (pick_t, pick_f) = if is_max { (B, A) } else { (A, B) };
+        asm.and_into((RowRef::op(pick_t, i), false), (mask, false), t);
+        asm.and_into((RowRef::op(pick_f, i), false), (mask, true), RowRef::op(DST, i));
+        asm.or_into((t, false), (RowRef::op(DST, i), false), RowRef::op(DST, i));
+    }
+    let name = if is_max { "max" } else { "min" };
+    let s = if signed { "s" } else { "u" };
+    asm.finish(format!("analog_{name}.{s}{bits}"), 3)
+}
+
+/// Broadcast a constant: the controller writes each row pattern once.
+pub fn broadcast(bits: u32, value: u64) -> MicroProgram {
+    // Identical to the digital broadcast: row writes come from the
+    // controller, not from sense-amp logic.
+    let digital = crate::gen::broadcast(bits, value);
+    MicroProgram::new(
+        format!("analog_broadcast.i{bits}"),
+        digital.ops().to_vec(),
+        digital.operand_slots(),
+        digital.temp_rows(),
+    )
+}
+
+/// Shift by row remapping: AAP copies with offset, zero-fill from C0.
+pub fn shift_left(bits: u32, k: u32) -> MicroProgram {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    let k = k.min(bits);
+    let mut asm = Asm::new();
+    for i in (k..bits).rev() {
+        asm.aap(RowRef::op(0, i - k), RowRef::op(1, i));
+    }
+    for i in 0..k {
+        asm.aap(RowRef::temp(C0), RowRef::op(1, i));
+    }
+    asm.finish(format!("analog_shl{k}.i{bits}"), 2)
+}
+
+/// Weighted row-popcount reduction, as in the digital lowering (the
+/// row-wide popcount hardware sits at the periphery and is layout
+/// agnostic).
+pub fn red_sum(bits: u32, signed: bool) -> MicroProgram {
+    let digital = crate::gen::red_sum(bits, signed);
+    MicroProgram::new(
+        format!("analog_redsum.{}{bits}", if signed { "s" } else { "u" }),
+        digital.ops().to_vec(),
+        digital.operand_slots(),
+        digital.temp_rows(),
+    )
+}
+
+/// Per-element popcount: ripple-add each input bit into an accumulator
+/// built from analog full adders.
+pub fn popcount(bits: u32) -> MicroProgram {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    let acc_bits = 64 - (bits as u64).leading_zeros();
+    let mut asm = Asm::new();
+    let acc_base = SCRATCH + 3;
+    let carry = RowRef::temp(SCRATCH);
+    let scratch = RowRef::temp(SCRATCH + 1);
+    let carry_out = RowRef::temp(SCRATCH + 2);
+    asm.need_temp(acc_base + acc_bits);
+    for j in 0..acc_bits {
+        asm.aap(RowRef::temp(C0), RowRef::temp(acc_base + j));
+    }
+    for i in 0..bits {
+        // carry-in = input bit, then ripple through the accumulator.
+        asm.aap(RowRef::op(0, i), carry);
+        for j in 0..acc_bits {
+            let a = RowRef::temp(acc_base + j);
+            asm.full_adder(a, RowRef::temp(C0), carry, a, scratch, carry_out);
+        }
+    }
+    for j in 0..acc_bits.min(bits) {
+        asm.aap(RowRef::temp(acc_base + j), RowRef::op(1, j));
+    }
+    for j in acc_bits..bits {
+        asm.aap(RowRef::temp(C0), RowRef::op(1, j));
+    }
+    asm.finish(format!("analog_popcount.i{bits}"), 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analog_add_costs_several_times_digital() {
+        // The quantitative version of the paper's §IV argument for
+        // digital PIM.
+        let analog = binary(BinaryOp::Add, 32).cost();
+        let digital = crate::gen::binary(BinaryOp::Add, 32).cost();
+        let ratio = analog.row_accesses() as f64 / digital.row_accesses() as f64;
+        assert!(ratio > 2.0, "analog should cost much more: {ratio}");
+        assert!(analog.tra_ops >= 3 * 32, "three MAJ per full adder");
+    }
+
+    #[test]
+    fn and_is_one_tra_plus_copies() {
+        let c = binary(BinaryOp::And, 1).cost();
+        assert_eq!(c.tra_ops, 1);
+        assert!(c.aap_ops >= 3, "{c}");
+    }
+
+    #[test]
+    fn programs_reserve_scratch() {
+        assert!(binary(BinaryOp::Add, 8).temp_rows() >= SCRATCH);
+        assert!(popcount(32).temp_rows() > SCRATCH + 2);
+    }
+
+    #[test]
+    fn mul_is_quadratic_like_digital() {
+        let c8 = binary(BinaryOp::Mul, 8).cost().row_accesses();
+        let c16 = binary(BinaryOp::Mul, 16).cost().row_accesses();
+        assert!(c16 as f64 / c8 as f64 > 3.0);
+    }
+}

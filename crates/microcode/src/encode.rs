@@ -1,0 +1,139 @@
+//! Vertical data layout helpers.
+//!
+//! Bit-serial PIM lays data out *vertically*: bit `b` of element `e` lives
+//! at row `base + b`, column `e` (§III of the paper). These helpers move
+//! host integers in and out of that layout, using two's-complement
+//! truncation to the element width on encode and optional sign extension
+//! on decode — the same wrapping semantics the microprograms implement.
+
+use pim_dram::BitMatrix;
+
+/// Encodes `values` vertically into `mat` starting at `base_row`, one
+/// element per column, `bits` rows per element.
+///
+/// Values are truncated to `bits` (two's complement).
+///
+/// # Panics
+///
+/// Panics if the matrix is too small for `base_row + bits` rows or
+/// `values.len()` columns, or if `bits` is not in `1..=64`.
+pub fn encode_vertical(mat: &mut BitMatrix, base_row: usize, bits: u32, values: &[i64]) {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(base_row + bits as usize <= mat.rows(), "matrix has too few rows");
+    assert!(values.len() <= mat.cols(), "matrix has too few columns");
+    for (col, &v) in values.iter().enumerate() {
+        let u = v as u64;
+        for b in 0..bits {
+            mat.set(base_row + b as usize, col, (u >> b) & 1 == 1);
+        }
+    }
+}
+
+/// Decodes `count` vertically-laid-out elements of `bits` width from
+/// `mat` starting at `base_row`. If `signed`, the top bit is
+/// sign-extended.
+///
+/// # Panics
+///
+/// Panics if the matrix is too small or `bits` is not in `1..=64`.
+pub fn decode_vertical(
+    mat: &BitMatrix,
+    base_row: usize,
+    bits: u32,
+    count: usize,
+    signed: bool,
+) -> Vec<i64> {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(base_row + bits as usize <= mat.rows(), "matrix has too few rows");
+    assert!(count <= mat.cols(), "matrix has too few columns");
+    let mut out = Vec::with_capacity(count);
+    for col in 0..count {
+        let mut u: u64 = 0;
+        for b in 0..bits {
+            if mat.get(base_row + b as usize, col) {
+                u |= 1 << b;
+            }
+        }
+        out.push(extend(u, bits, signed));
+    }
+    out
+}
+
+/// Truncates `v` to `bits` and reinterprets per `signed` — the canonical
+/// wrapping used across the workspace to compare PIM results with scalar
+/// references.
+pub fn truncate(v: i64, bits: u32, signed: bool) -> i64 {
+    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    let u = (v as u64) & mask(bits);
+    extend(u, bits, signed)
+}
+
+/// All-ones mask of the low `bits` bits.
+pub fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+fn extend(u: u64, bits: u32, signed: bool) -> i64 {
+    let u = u & mask(bits);
+    if signed && bits < 64 && (u >> (bits - 1)) & 1 == 1 {
+        (u | !mask(bits)) as i64
+    } else {
+        u as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_signed() {
+        let mut mat = BitMatrix::new(16, 8);
+        let vals = [-1i64, 0, 1, -128, 127, 42, -42, 100];
+        encode_vertical(&mut mat, 0, 8, &vals);
+        let back = decode_vertical(&mat, 0, 8, vals.len(), true);
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn roundtrip_unsigned() {
+        let mut mat = BitMatrix::new(16, 4);
+        let vals = [0i64, 255, 128, 7];
+        encode_vertical(&mut mat, 4, 8, &vals);
+        let back = decode_vertical(&mat, 4, 8, vals.len(), false);
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn encode_truncates_to_width() {
+        let mut mat = BitMatrix::new(4, 2);
+        encode_vertical(&mut mat, 0, 4, &[0x1F, -1]);
+        let back = decode_vertical(&mat, 0, 4, 2, false);
+        assert_eq!(back, vec![0xF, 0xF]);
+    }
+
+    #[test]
+    fn truncate_matches_encode_decode() {
+        for v in [-300i64, -1, 0, 1, 127, 128, 255, 1000] {
+            for bits in [4u32, 8, 13, 32, 64] {
+                for signed in [false, true] {
+                    let mut mat = BitMatrix::new(64, 1);
+                    encode_vertical(&mut mat, 0, bits, &[v]);
+                    let back = decode_vertical(&mat, 0, bits, 1, signed)[0];
+                    assert_eq!(back, truncate(v, bits, signed), "v={v} bits={bits} signed={signed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(64), u64::MAX);
+        assert_eq!(mask(63), u64::MAX >> 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! The DRAM-AP micro-op instruction set.
+//!
+//! Matches the hardware sketched in Fig. 3 of the paper and Table II's
+//! bit-serial row: per bitline, a sense-amp latch (`SA`), four single-bit
+//! registers (`R0`–`R3`), and `move` / `set` / `and` / `xnor` / `mux`
+//! operations, plus row read/write and a controller-assisted row popcount
+//! (§V-C "row-wide pop counts for integer reduction sums").
+
+use std::fmt;
+
+/// A per-bitline storage location: the sense-amp latch or one of the four
+/// bit registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// The sense-amplifier latch (loaded by [`MicroOp::Read`], stored by
+    /// [`MicroOp::Write`]).
+    Sa,
+    /// Bit register 0 (conventionally the carry / condition register).
+    R0,
+    /// Bit register 1.
+    R1,
+    /// Bit register 2.
+    R2,
+    /// Bit register 3.
+    R3,
+}
+
+impl Loc {
+    /// All five locations, for iteration in tests.
+    pub const ALL: [Loc; 5] = [Loc::Sa, Loc::R0, Loc::R1, Loc::R2, Loc::R3];
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Sa => write!(f, "SA"),
+            Loc::R0 => write!(f, "R0"),
+            Loc::R1 => write!(f, "R1"),
+            Loc::R2 => write!(f, "R2"),
+            Loc::R3 => write!(f, "R3"),
+        }
+    }
+}
+
+/// A symbolic row address, resolved against bound operand regions when the
+/// program executes. Keeping programs symbolic lets one generated program
+/// run on any allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowRef {
+    /// Bit `bit` of operand `operand` (0-based operand binding slot).
+    Operand {
+        /// Binding slot index (e.g. 0 = A, 1 = B, 2 = destination).
+        operand: u8,
+        /// Bit position within the element (row offset inside the region).
+        bit: u32,
+    },
+    /// Row `index` of the program's scratch region.
+    Temp {
+        /// Scratch row index.
+        index: u32,
+    },
+}
+
+impl RowRef {
+    /// Bit `bit` of operand `operand`.
+    pub fn op(operand: u8, bit: u32) -> Self {
+        RowRef::Operand { operand, bit }
+    }
+
+    /// Scratch row `index`.
+    pub fn temp(index: u32) -> Self {
+        RowRef::Temp { index }
+    }
+}
+
+impl fmt::Display for RowRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RowRef::Operand { operand, bit } => write!(f, "op{operand}[{bit}]"),
+            RowRef::Temp { index } => write!(f, "tmp[{index}]"),
+        }
+    }
+}
+
+/// One bit-serial micro-operation, applied to **all** bitlines in unison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Activate a row and latch it into `SA` (one row-read cycle).
+    Read(RowRef),
+    /// Write `SA` back into a row (one row-write cycle).
+    Write(RowRef),
+    /// Set every bitline's `dst` to a constant.
+    Set {
+        /// Destination location.
+        dst: Loc,
+        /// The constant bit value.
+        value: bool,
+    },
+    /// Copy `src` into `dst`.
+    Move {
+        /// Source location.
+        src: Loc,
+        /// Destination location.
+        dst: Loc,
+    },
+    /// `dst = a AND b`.
+    And {
+        /// First input.
+        a: Loc,
+        /// Second input.
+        b: Loc,
+        /// Destination.
+        dst: Loc,
+    },
+    /// `dst = NOT (a XOR b)`.
+    Xnor {
+        /// First input.
+        a: Loc,
+        /// Second input.
+        b: Loc,
+        /// Destination.
+        dst: Loc,
+    },
+    /// `dst = cond ? if_true : if_false` (the 2:1 mux enabling associative
+    /// conditional-update processing).
+    Sel {
+        /// Mux select input.
+        cond: Loc,
+        /// Value taken when `cond` is 1.
+        if_true: Loc,
+        /// Value taken when `cond` is 0.
+        if_false: Loc,
+        /// Destination.
+        dst: Loc,
+    },
+    /// Controller-assisted: read a row, popcount it across the full row
+    /// width, and accumulate `±(count << shift)` into the controller's
+    /// reduction accumulator. Requires the row-wide popcount hardware the
+    /// paper assumes for integer reduction sums.
+    Popcount {
+        /// The row to count.
+        row: RowRef,
+        /// Power-of-two weight applied to the count.
+        shift: u32,
+        /// Subtract instead of add (used for the sign bit of signed
+        /// two's-complement reductions).
+        negate: bool,
+    },
+
+    // ------------------------------------------------------------------
+    // Analog (charge-sharing) micro-ops — Ambit/SIMDRAM-style TRA.
+    // The paper's §IV describes these as the *prior* analog technique
+    // that digital DRAM-AP improves upon; PIMeval "is already being
+    // extended to support various forms of analog bit-serial PIM" (§IX),
+    // which this reproduction implements as a fourth target.
+    // ------------------------------------------------------------------
+    /// Activate-activate-precharge row copy (RowClone AAP): `dst = src`.
+    Aap {
+        /// Source row.
+        src: RowRef,
+        /// Destination row.
+        dst: RowRef,
+    },
+    /// AAP through a dual-contact cell (DCC) row: `dst = NOT src`.
+    /// DCC rows are the only way analog TRA gets inversion, and their
+    /// area cost is one reason vendors prefer digital PIM (§IV).
+    AapNot {
+        /// Source row.
+        src: RowRef,
+        /// Destination row.
+        dst: RowRef,
+    },
+    /// Triple-row activation: charge sharing leaves the bit-wise
+    /// MAJority of the three rows in *all three* rows (destructive).
+    Tra {
+        /// First TRA-capable row.
+        a: RowRef,
+        /// Second TRA-capable row.
+        b: RowRef,
+        /// Third TRA-capable row.
+        c: RowRef,
+    },
+}
+
+impl MicroOp {
+    /// True if this op performs a row activation (read or popcount).
+    /// The analog AAP/TRA primitives activate rows too but are counted
+    /// separately ([`MicroOp::is_analog`]) because their timing differs.
+    pub fn is_row_read(&self) -> bool {
+        matches!(self, MicroOp::Read(_) | MicroOp::Popcount { .. })
+    }
+
+    /// True if this op performs a row write-back.
+    pub fn is_row_write(&self) -> bool {
+        matches!(self, MicroOp::Write(_))
+    }
+
+    /// True for analog charge-sharing primitives (AAP / AAP-DCC / TRA).
+    pub fn is_analog(&self) -> bool {
+        matches!(self, MicroOp::Aap { .. } | MicroOp::AapNot { .. } | MicroOp::Tra { .. })
+    }
+
+    /// True if this op is pure per-bitline logic (no row access).
+    pub fn is_logic(&self) -> bool {
+        !self.is_row_read() && !self.is_row_write() && !self.is_analog()
+    }
+}
+
+impl fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicroOp::Read(r) => write!(f, "read   {r}"),
+            MicroOp::Write(r) => write!(f, "write  {r}"),
+            MicroOp::Set { dst, value } => write!(f, "set    {dst} <- {}", u8::from(*value)),
+            MicroOp::Move { src, dst } => write!(f, "move   {dst} <- {src}"),
+            MicroOp::And { a, b, dst } => write!(f, "and    {dst} <- {a}, {b}"),
+            MicroOp::Xnor { a, b, dst } => write!(f, "xnor   {dst} <- {a}, {b}"),
+            MicroOp::Sel { cond, if_true, if_false, dst } => {
+                write!(f, "sel    {dst} <- {cond} ? {if_true} : {if_false}")
+            }
+            MicroOp::Popcount { row, shift, negate } => {
+                write!(f, "popcnt acc {} (popcount({row}) << {shift})", if *negate { "-=" } else { "+=" })
+            }
+            MicroOp::Aap { src, dst } => write!(f, "aap    {dst} <- {src}"),
+            MicroOp::AapNot { src, dst } => write!(f, "aapn   {dst} <- ~{src}"),
+            MicroOp::Tra { a, b, c } => write!(f, "tra    maj({a}, {b}, {c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification_is_exclusive() {
+        let ops = [
+            MicroOp::Read(RowRef::op(0, 3)),
+            MicroOp::Write(RowRef::temp(1)),
+            MicroOp::Set { dst: Loc::R0, value: true },
+            MicroOp::Move { src: Loc::Sa, dst: Loc::R1 },
+            MicroOp::And { a: Loc::R1, b: Loc::R2, dst: Loc::R3 },
+            MicroOp::Xnor { a: Loc::Sa, b: Loc::R0, dst: Loc::Sa },
+            MicroOp::Sel { cond: Loc::R0, if_true: Loc::R1, if_false: Loc::Sa, dst: Loc::R2 },
+            MicroOp::Popcount { row: RowRef::op(0, 0), shift: 4, negate: true },
+        ];
+        for op in ops {
+            let kinds =
+                [op.is_row_read(), op.is_row_write(), op.is_logic()].iter().filter(|b| **b).count();
+            assert_eq!(kinds, 1, "{op}");
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        let a = MicroOp::Read(RowRef::op(1, 2)).to_string();
+        let b = MicroOp::Write(RowRef::op(1, 2)).to_string();
+        assert!(!a.is_empty() && a != b);
+        assert_eq!(RowRef::op(1, 2).to_string(), "op1[2]");
+        assert_eq!(RowRef::temp(7).to_string(), "tmp[7]");
+    }
+}

@@ -1,0 +1,409 @@
+//! Row-wide executor for bit-serial microprograms.
+//!
+//! One [`Vm`] models the per-bitline logic of a whole subarray: every logic
+//! micro-op applies to all active columns at once (64 bitlines per `u64`
+//! word). Rows live in a [`BitMatrix`]; operand regions are bound to the
+//! program's symbolic slots before running.
+
+use std::error::Error;
+use std::fmt;
+
+use pim_dram::BitMatrix;
+
+use crate::isa::{Loc, MicroOp, RowRef};
+use crate::program::{Cost, MicroProgram};
+
+/// A contiguous band of rows inside the VM's bit matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First row of the region.
+    pub base_row: usize,
+    /// Number of rows (the element bit-width for operand regions).
+    pub rows: u32,
+}
+
+impl Region {
+    /// Creates a region starting at `base_row` spanning `rows` rows.
+    pub fn new(base_row: usize, rows: u32) -> Self {
+        Region { base_row, rows }
+    }
+}
+
+/// Errors raised while executing a microprogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The program referenced an operand slot that was never bound.
+    UnboundSlot(u8),
+    /// A row reference fell outside its bound region.
+    RowOutOfRegion {
+        /// The offending reference.
+        reference: String,
+        /// Rows available in the region.
+        rows: u32,
+    },
+    /// The program needs more scratch rows than were bound.
+    TempTooSmall {
+        /// Scratch rows the program requires.
+        needed: u32,
+        /// Scratch rows bound.
+        bound: u32,
+    },
+    /// A resolved row index exceeded the matrix.
+    RowOutOfMatrix {
+        /// The absolute row index.
+        row: usize,
+        /// Rows in the matrix.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UnboundSlot(s) => write!(f, "operand slot {s} is not bound"),
+            VmError::RowOutOfRegion { reference, rows } => {
+                write!(f, "row reference {reference} outside its region of {rows} rows")
+            }
+            VmError::TempTooSmall { needed, bound } => {
+                write!(f, "program needs {needed} scratch rows but only {bound} are bound")
+            }
+            VmError::RowOutOfMatrix { row, rows } => {
+                write!(f, "absolute row {row} exceeds matrix of {rows} rows")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+/// The bit-slice virtual machine: SA latch + four bit registers per
+/// bitline, a controller reduction accumulator, and access statistics.
+///
+/// See the crate-level example for typical usage.
+#[derive(Debug)]
+pub struct Vm<'a> {
+    mat: &'a mut BitMatrix,
+    slots: Vec<Option<Region>>,
+    temp: Option<Region>,
+    sa: Vec<u64>,
+    regs: [Vec<u64>; 4],
+    tail_mask: u64,
+    acc: i128,
+    stats: Cost,
+}
+
+impl<'a> Vm<'a> {
+    /// Creates a VM over `mat` with `slots` operand binding slots. All
+    /// columns of the matrix are active bitlines.
+    pub fn new(mat: &'a mut BitMatrix, slots: usize) -> Self {
+        let words = mat.words_per_row();
+        let extra = mat.cols() % 64;
+        let tail_mask = if extra == 0 { u64::MAX } else { (1u64 << extra) - 1 };
+        Vm {
+            mat,
+            slots: vec![None; slots],
+            temp: None,
+            sa: vec![0; words],
+            regs: [vec![0; words], vec![0; words], vec![0; words], vec![0; words]],
+            tail_mask,
+            acc: 0,
+            stats: Cost::default(),
+        }
+    }
+
+    /// Binds operand slot `slot` to `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range for the VM's slot count.
+    pub fn bind(&mut self, slot: usize, region: Region) {
+        self.slots[slot] = Some(region);
+    }
+
+    /// Binds the scratch region used by `RowRef::Temp` references.
+    pub fn bind_temp(&mut self, region: Region) {
+        self.temp = Some(region);
+    }
+
+    /// The backing matrix (for decoding results).
+    pub fn matrix(&self) -> &BitMatrix {
+        self.mat
+    }
+
+    /// Mutable access to the backing matrix (for loading inputs).
+    pub fn matrix_mut(&mut self) -> &mut BitMatrix {
+        self.mat
+    }
+
+    /// The controller reduction accumulator (written by `Popcount` ops).
+    pub fn accumulator(&self) -> i128 {
+        self.acc
+    }
+
+    /// Clears the controller accumulator.
+    pub fn reset_accumulator(&mut self) {
+        self.acc = 0;
+    }
+
+    /// Accumulated execution statistics across all `run` calls.
+    pub fn stats(&self) -> &Cost {
+        &self.stats
+    }
+
+    fn resolve(&self, r: RowRef) -> Result<usize, VmError> {
+        let (region, bit) = match r {
+            RowRef::Operand { operand, bit } => {
+                let region = self
+                    .slots
+                    .get(operand as usize)
+                    .copied()
+                    .flatten()
+                    .ok_or(VmError::UnboundSlot(operand))?;
+                (region, bit)
+            }
+            RowRef::Temp { index } => {
+                let region = self.temp.ok_or(VmError::UnboundSlot(u8::MAX))?;
+                (region, index)
+            }
+        };
+        if bit >= region.rows {
+            return Err(VmError::RowOutOfRegion { reference: r.to_string(), rows: region.rows });
+        }
+        let row = region.base_row + bit as usize;
+        if row >= self.mat.rows() {
+            return Err(VmError::RowOutOfMatrix { row, rows: self.mat.rows() });
+        }
+        Ok(row)
+    }
+
+    fn fetch(&self, loc: Loc) -> Vec<u64> {
+        match loc {
+            Loc::Sa => self.sa.clone(),
+            Loc::R0 => self.regs[0].clone(),
+            Loc::R1 => self.regs[1].clone(),
+            Loc::R2 => self.regs[2].clone(),
+            Loc::R3 => self.regs[3].clone(),
+        }
+    }
+
+    fn store(&mut self, loc: Loc, mut value: Vec<u64>) {
+        if let Some(last) = value.last_mut() {
+            *last &= self.tail_mask;
+        }
+        match loc {
+            Loc::Sa => self.sa = value,
+            Loc::R0 => self.regs[0] = value,
+            Loc::R1 => self.regs[1] = value,
+            Loc::R2 => self.regs[2] = value,
+            Loc::R3 => self.regs[3] = value,
+        }
+    }
+
+    /// Executes `program` against the bound regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if a referenced slot is unbound, a row falls
+    /// outside its region or the matrix, or the scratch region is too
+    /// small. The matrix may be partially modified on error.
+    pub fn run(&mut self, program: &MicroProgram) -> Result<(), VmError> {
+        let temp_bound = self.temp.map_or(0, |r| r.rows);
+        if program.temp_rows() > temp_bound {
+            return Err(VmError::TempTooSmall { needed: program.temp_rows(), bound: temp_bound });
+        }
+        for op in program.ops() {
+            self.step(*op)?;
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, op: MicroOp) -> Result<(), VmError> {
+        match op {
+            MicroOp::Read(r) => {
+                let row = self.resolve(r)?;
+                let mut v = self.mat.row(row).to_vec();
+                if let Some(last) = v.last_mut() {
+                    *last &= self.tail_mask;
+                }
+                self.sa = v;
+                self.stats.row_reads += 1;
+            }
+            MicroOp::Write(r) => {
+                let row = self.resolve(r)?;
+                let sa = self.sa.clone();
+                self.mat.row_mut(row).copy_from_slice(&sa);
+                self.stats.row_writes += 1;
+            }
+            MicroOp::Set { dst, value } => {
+                let words = self.sa.len();
+                let fill = if value { u64::MAX } else { 0 };
+                self.store(dst, vec![fill; words]);
+                self.stats.logic_ops += 1;
+            }
+            MicroOp::Move { src, dst } => {
+                let v = self.fetch(src);
+                self.store(dst, v);
+                self.stats.logic_ops += 1;
+            }
+            MicroOp::And { a, b, dst } => {
+                let (va, vb) = (self.fetch(a), self.fetch(b));
+                let out = va.iter().zip(&vb).map(|(x, y)| x & y).collect();
+                self.store(dst, out);
+                self.stats.logic_ops += 1;
+            }
+            MicroOp::Xnor { a, b, dst } => {
+                let (va, vb) = (self.fetch(a), self.fetch(b));
+                let out = va.iter().zip(&vb).map(|(x, y)| !(x ^ y)).collect();
+                self.store(dst, out);
+                self.stats.logic_ops += 1;
+            }
+            MicroOp::Sel { cond, if_true, if_false, dst } => {
+                let (vc, vt, vf) = (self.fetch(cond), self.fetch(if_true), self.fetch(if_false));
+                let out = vc
+                    .iter()
+                    .zip(vt.iter().zip(&vf))
+                    .map(|(c, (t, f))| (c & t) | (!c & f))
+                    .collect();
+                self.store(dst, out);
+                self.stats.logic_ops += 1;
+            }
+            MicroOp::Aap { src, dst } => {
+                let (s, d) = (self.resolve(src)?, self.resolve(dst)?);
+                if s != d {
+                    let row = self.mat.row(s).to_vec();
+                    self.mat.row_mut(d).copy_from_slice(&row);
+                }
+                self.stats.aap_ops += 1;
+            }
+            MicroOp::AapNot { src, dst } => {
+                let (s, d) = (self.resolve(src)?, self.resolve(dst)?);
+                let mut row = self.mat.row(s).to_vec();
+                for w in &mut row {
+                    *w = !*w;
+                }
+                if let Some(last) = row.last_mut() {
+                    *last &= self.tail_mask;
+                }
+                self.mat.row_mut(d).copy_from_slice(&row);
+                self.stats.aap_ops += 1;
+            }
+            MicroOp::Tra { a, b, c } => {
+                let (ra, rb, rc) = (self.resolve(a)?, self.resolve(b)?, self.resolve(c)?);
+                if ra == rb || rb == rc || ra == rc {
+                    return Err(VmError::RowOutOfRegion {
+                        reference: "TRA rows must be distinct".into(),
+                        rows: 0,
+                    });
+                }
+                let va = self.mat.row(ra).to_vec();
+                let vb = self.mat.row(rb).to_vec();
+                let vc = self.mat.row(rc).to_vec();
+                let maj: Vec<u64> = va
+                    .iter()
+                    .zip(vb.iter().zip(&vc))
+                    .map(|(x, (y, z))| (x & y) | (y & z) | (x & z))
+                    .collect();
+                // Charge sharing leaves the majority in all three rows.
+                self.mat.row_mut(ra).copy_from_slice(&maj);
+                self.mat.row_mut(rb).copy_from_slice(&maj);
+                self.mat.row_mut(rc).copy_from_slice(&maj);
+                self.stats.tra_ops += 1;
+            }
+            MicroOp::Popcount { row, shift, negate } => {
+                let abs_row = self.resolve(row)?;
+                let mut count: u64 = 0;
+                let words = self.mat.row(abs_row);
+                for (i, w) in words.iter().enumerate() {
+                    let w = if i + 1 == words.len() { w & self.tail_mask } else { *w };
+                    count += w.count_ones() as u64;
+                }
+                let term = (count as i128) << shift;
+                if negate {
+                    self.acc -= term;
+                } else {
+                    self.acc += term;
+                }
+                self.stats.popcount_reads += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, BinaryOp};
+    use crate::isa::{Loc, MicroOp, RowRef};
+    use crate::program::MicroProgram;
+
+    #[test]
+    fn unbound_slot_is_reported() {
+        let mut mat = BitMatrix::new(8, 64);
+        let prog = MicroProgram::new("t", vec![MicroOp::Read(RowRef::op(1, 0))], 2, 0);
+        let mut vm = Vm::new(&mut mat, 2);
+        vm.bind(0, Region::new(0, 4));
+        assert_eq!(vm.run(&prog), Err(VmError::UnboundSlot(1)));
+    }
+
+    #[test]
+    fn temp_too_small_is_reported() {
+        let mut mat = BitMatrix::new(64, 64);
+        let prog = gen::abs(8); // needs 8 temp rows
+        let mut vm = Vm::new(&mut mat, 2);
+        vm.bind(0, Region::new(0, 8));
+        vm.bind(1, Region::new(8, 8));
+        vm.bind_temp(Region::new(16, 4));
+        assert_eq!(vm.run(&prog), Err(VmError::TempTooSmall { needed: 8, bound: 4 }));
+    }
+
+    #[test]
+    fn row_out_of_region_is_reported() {
+        let mut mat = BitMatrix::new(8, 64);
+        let prog = MicroProgram::new("t", vec![MicroOp::Read(RowRef::op(0, 5))], 1, 0);
+        let mut vm = Vm::new(&mut mat, 1);
+        vm.bind(0, Region::new(0, 4));
+        assert!(matches!(vm.run(&prog), Err(VmError::RowOutOfRegion { .. })));
+    }
+
+    #[test]
+    fn stats_match_program_cost() {
+        let mut mat = BitMatrix::new(96, 128);
+        let prog = gen::binary(BinaryOp::Add, 32);
+        let mut vm = Vm::new(&mut mat, 3);
+        vm.bind(0, Region::new(0, 32));
+        vm.bind(1, Region::new(32, 32));
+        vm.bind(2, Region::new(64, 32));
+        vm.run(&prog).unwrap();
+        assert_eq!(*vm.stats(), prog.cost());
+    }
+
+    #[test]
+    fn popcount_masks_padding_columns() {
+        let mut mat = BitMatrix::new(1, 10); // 10 active columns
+        mat.row_mut(0)[0] = u64::MAX; // garbage beyond column 9
+        let prog =
+            MicroProgram::new("p", vec![MicroOp::Popcount { row: RowRef::op(0, 0), shift: 2, negate: false }], 1, 0);
+        let mut vm = Vm::new(&mut mat, 1);
+        vm.bind(0, Region::new(0, 1));
+        vm.run(&prog).unwrap();
+        assert_eq!(vm.accumulator(), 10 << 2);
+        vm.reset_accumulator();
+        assert_eq!(vm.accumulator(), 0);
+    }
+
+    #[test]
+    fn set_respects_active_column_mask() {
+        let mut mat = BitMatrix::new(2, 10);
+        let prog = MicroProgram::new(
+            "b",
+            vec![MicroOp::Set { dst: Loc::Sa, value: true }, MicroOp::Write(RowRef::op(0, 0))],
+            1,
+            0,
+        );
+        let mut vm = Vm::new(&mut mat, 1);
+        vm.bind(0, Region::new(0, 2));
+        vm.run(&prog).unwrap();
+        assert_eq!(mat.row_popcount(0), 10, "only active bitlines are driven");
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests for the analog (AAP/TRA/DCC) lowering: every analog
+//! microprogram must compute the same results as the digital lowering
+//! and the scalar reference — only the row-activation cost differs.
+
+use pim_dram::BitMatrix;
+use pim_microcode::analog;
+use pim_microcode::encode::{decode_vertical, encode_vertical, truncate};
+use pim_microcode::gen::{BinaryOp, CmpOp};
+use pim_microcode::vm::{Region, Vm};
+use pim_microcode::MicroProgram;
+use proptest::prelude::*;
+
+fn run_binary(prog: &MicroProgram, bits: u32, a: &[i64], b: &[i64], signed: bool) -> Vec<i64> {
+    let n = a.len();
+    let rows = 3 * bits as usize + prog.temp_rows() as usize;
+    let mut mat = BitMatrix::new(rows.max(1), n.max(1));
+    encode_vertical(&mut mat, 0, bits, a);
+    encode_vertical(&mut mat, bits as usize, bits, b);
+    let mut vm = Vm::new(&mut mat, 3);
+    vm.bind(0, Region::new(0, bits));
+    vm.bind(1, Region::new(bits as usize, bits));
+    vm.bind(2, Region::new(2 * bits as usize, bits));
+    vm.bind_temp(Region::new(3 * bits as usize, prog.temp_rows().max(1)));
+    vm.run(prog).unwrap();
+    decode_vertical(vm.matrix(), 2 * bits as usize, bits, n, signed)
+}
+
+fn run_unary(prog: &MicroProgram, bits: u32, a: &[i64], signed: bool) -> Vec<i64> {
+    let n = a.len();
+    let rows = 2 * bits as usize + prog.temp_rows() as usize;
+    let mut mat = BitMatrix::new(rows.max(1), n.max(1));
+    encode_vertical(&mut mat, 0, bits, a);
+    let mut vm = Vm::new(&mut mat, 2);
+    vm.bind(0, Region::new(0, bits));
+    vm.bind(1, Region::new(bits as usize, bits));
+    vm.bind_temp(Region::new(2 * bits as usize, prog.temp_rows().max(1)));
+    vm.run(prog).unwrap();
+    decode_vertical(vm.matrix(), bits as usize, bits, n, signed)
+}
+
+fn ref_cmp(a: i64, b: i64, bits: u32, signed: bool) -> std::cmp::Ordering {
+    if signed {
+        truncate(a, bits, true).cmp(&truncate(b, bits, true))
+    } else {
+        (truncate(a, bits, false) as u64).cmp(&(truncate(b, bits, false) as u64))
+    }
+}
+
+fn widths() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(1u32), Just(8), Just(16), Just(32)]
+}
+
+fn vecs() -> impl Strategy<Value = (Vec<i64>, Vec<i64>)> {
+    (1usize..24).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(any::<i64>(), n),
+            proptest::collection::vec(any::<i64>(), n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn analog_arithmetic_matches_reference((a, b) in vecs(), bits in widths()) {
+        for (op, f) in [
+            (BinaryOp::Add, (|x: i64, y: i64| x.wrapping_add(y)) as fn(i64, i64) -> i64),
+            (BinaryOp::Sub, |x, y| x.wrapping_sub(y)),
+            (BinaryOp::And, |x, y| x & y),
+            (BinaryOp::Or, |x, y| x | y),
+            (BinaryOp::Xor, |x, y| x ^ y),
+            (BinaryOp::Xnor, |x, y| !(x ^ y)),
+        ] {
+            let got = run_binary(&analog::binary(op, bits), bits, &a, &b, true);
+            for i in 0..a.len() {
+                prop_assert_eq!(got[i], truncate(f(a[i], b[i]), bits, true), "op={:?}", op);
+            }
+        }
+    }
+
+    #[test]
+    fn analog_mul_matches_reference((a, b) in vecs(), bits in prop_oneof![Just(4u32), Just(8), Just(16)]) {
+        let got = run_binary(&analog::binary(BinaryOp::Mul, bits), bits, &a, &b, true);
+        for i in 0..a.len() {
+            prop_assert_eq!(got[i], truncate(a[i].wrapping_mul(b[i]), bits, true));
+        }
+    }
+
+    #[test]
+    fn analog_cmp_matches_reference((a, b) in vecs(), bits in widths(), signed in any::<bool>()) {
+        for op in [CmpOp::Lt, CmpOp::Gt, CmpOp::Eq] {
+            let prog = analog::cmp(op, bits, signed);
+            let n = a.len();
+            let rows = 2 * bits as usize + 1 + prog.temp_rows() as usize;
+            let mut mat = BitMatrix::new(rows, n);
+            encode_vertical(&mut mat, 0, bits, &a);
+            encode_vertical(&mut mat, bits as usize, bits, &b);
+            let mut vm = Vm::new(&mut mat, 3);
+            vm.bind(0, Region::new(0, bits));
+            vm.bind(1, Region::new(bits as usize, bits));
+            vm.bind(2, Region::new(2 * bits as usize, 1));
+            vm.bind_temp(Region::new(2 * bits as usize + 1, prog.temp_rows()));
+            vm.run(&prog).unwrap();
+            let got = decode_vertical(vm.matrix(), 2 * bits as usize, 1, n, false);
+            for i in 0..n {
+                let ord = ref_cmp(a[i], b[i], bits, signed);
+                let expected = match op {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Eq => ord.is_eq(),
+                };
+                prop_assert_eq!(got[i] == 1, expected,
+                    "op={:?} signed={} bits={} a={} b={}", op, signed, bits, a[i], b[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn analog_min_max_matches_reference((a, b) in vecs(), bits in widths(), signed in any::<bool>()) {
+        for is_max in [false, true] {
+            let got = run_binary(&analog::min_max(is_max, bits, signed), bits, &a, &b, signed);
+            for i in 0..a.len() {
+                let a_wins = if is_max {
+                    ref_cmp(a[i], b[i], bits, signed).is_gt()
+                } else {
+                    ref_cmp(a[i], b[i], bits, signed).is_lt()
+                };
+                let expected = truncate(if a_wins { a[i] } else { b[i] }, bits, signed);
+                prop_assert_eq!(got[i], expected, "is_max={} signed={}", is_max, signed);
+            }
+        }
+    }
+
+    #[test]
+    fn analog_unary_matches_reference((a, _b) in vecs(), bits in widths()) {
+        let got_not = run_unary(&analog::not(bits), bits, &a, true);
+        let got_copy = run_unary(&analog::copy(bits), bits, &a, true);
+        let got_pop = run_unary(&analog::popcount(bits), bits, &a, false);
+        for i in 0..a.len() {
+            prop_assert_eq!(got_not[i], truncate(!a[i], bits, true));
+            prop_assert_eq!(got_copy[i], truncate(a[i], bits, true));
+            let ua = truncate(a[i], bits, false) as u64;
+            prop_assert_eq!(got_pop[i], ua.count_ones() as i64);
+        }
+    }
+
+    #[test]
+    fn analog_select_matches_reference((a, b) in vecs(), bits in widths(), seed in any::<u64>()) {
+        let n = a.len();
+        let cond: Vec<i64> = (0..n).map(|i| ((seed >> (i % 64)) & 1) as i64).collect();
+        let prog = analog::select(bits);
+        let rows = 1 + 3 * bits as usize + prog.temp_rows() as usize;
+        let mut mat = BitMatrix::new(rows, n);
+        encode_vertical(&mut mat, 0, 1, &cond);
+        encode_vertical(&mut mat, 1, bits, &a);
+        encode_vertical(&mut mat, 1 + bits as usize, bits, &b);
+        let mut vm = Vm::new(&mut mat, 4);
+        vm.bind(0, Region::new(0, 1));
+        vm.bind(1, Region::new(1, bits));
+        vm.bind(2, Region::new(1 + bits as usize, bits));
+        vm.bind(3, Region::new(1 + 2 * bits as usize, bits));
+        vm.bind_temp(Region::new(1 + 3 * bits as usize, prog.temp_rows()));
+        vm.run(&prog).unwrap();
+        let got = decode_vertical(vm.matrix(), 1 + 2 * bits as usize, bits, n, true);
+        for i in 0..n {
+            let expected =
+                if cond[i] == 1 { truncate(a[i], bits, true) } else { truncate(b[i], bits, true) };
+            prop_assert_eq!(got[i], expected);
+        }
+    }
+}
+
+#[test]
+fn analog_shift_left_matches_reference() {
+    let bits = 16u32;
+    let a: Vec<i64> = (0..20).map(|i| i * 4093 - 3000).collect();
+    for k in [0u32, 1, 5, 16] {
+        let prog = analog::shift_left(bits, k);
+        let rows = 2 * bits as usize + prog.temp_rows() as usize;
+        let mut mat = BitMatrix::new(rows, a.len());
+        encode_vertical(&mut mat, 0, bits, &a);
+        let mut vm = Vm::new(&mut mat, 2);
+        vm.bind(0, Region::new(0, bits));
+        vm.bind(1, Region::new(bits as usize, bits));
+        vm.bind_temp(Region::new(2 * bits as usize, prog.temp_rows()));
+        vm.run(&prog).unwrap();
+        let got = decode_vertical(vm.matrix(), bits as usize, bits, a.len(), false);
+        for i in 0..a.len() {
+            let ua = truncate(a[i], bits, false) as u64;
+            let expected = if k >= 64 { 0 } else { truncate((ua << k) as i64, bits, false) };
+            assert_eq!(got[i], expected, "k={k}");
+        }
+    }
+}
+
+#[test]
+fn analog_stats_match_program_cost() {
+    let prog = analog::binary(BinaryOp::Add, 16);
+    let a: Vec<i64> = (0..10).collect();
+    let rows = 3 * 16 + prog.temp_rows() as usize;
+    let mut mat = BitMatrix::new(rows, a.len());
+    encode_vertical(&mut mat, 0, 16, &a);
+    encode_vertical(&mut mat, 16, 16, &a);
+    let mut vm = Vm::new(&mut mat, 3);
+    vm.bind(0, Region::new(0, 16));
+    vm.bind(1, Region::new(16, 16));
+    vm.bind(2, Region::new(32, 16));
+    vm.bind_temp(Region::new(48, prog.temp_rows()));
+    vm.run(&prog).unwrap();
+    assert_eq!(*vm.stats(), prog.cost());
+    assert!(vm.stats().tra_ops > 0 && vm.stats().aap_ops > 0);
+}

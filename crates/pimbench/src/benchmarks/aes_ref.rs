@@ -1,0 +1,242 @@
+//! Reference AES-256 (ECB) implementation used to verify the PIM
+//! bitsliced version. Tables are derived algebraically (GF(2⁸) inverse +
+//! affine transform) rather than hardcoded, and checked against FIPS-197
+//! known values in the tests.
+
+/// GF(2⁸) multiplication modulo x⁸+x⁴+x³+x+1 (0x11B).
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut r = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            r ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    r
+}
+
+/// Multiplicative inverse in GF(2⁸) (0 maps to 0), via a^254.
+pub fn gf_inv(a: u8) -> u8 {
+    let mut result = 1u8;
+    let mut base = a;
+    let mut e = 254u32;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        e >>= 1;
+    }
+    result
+}
+
+/// The AES S-box, computed as affine(inverse(a)).
+pub fn sbox(a: u8) -> u8 {
+    let b = gf_inv(a);
+    b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63
+}
+
+/// The inverse AES S-box.
+pub fn inv_sbox(a: u8) -> u8 {
+    // Invert the affine transform, then the field inverse.
+    let b = a.rotate_left(1) ^ a.rotate_left(3) ^ a.rotate_left(6) ^ 0x05;
+    gf_inv(b)
+}
+
+/// AES-256 expanded key: 15 round keys of 16 bytes.
+pub fn expand_key(key: &[u8; 32]) -> [[u8; 16]; 15] {
+    let mut w = [[0u8; 4]; 60];
+    for (i, chunk) in key.chunks(4).enumerate() {
+        w[i].copy_from_slice(chunk);
+    }
+    let mut rcon = 1u8;
+    for i in 8..60 {
+        let mut t = w[i - 1];
+        if i % 8 == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = sbox(*b);
+            }
+            t[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+        } else if i % 8 == 4 {
+            for b in &mut t {
+                *b = sbox(*b);
+            }
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 8][j] ^ t[j];
+        }
+    }
+    let mut rk = [[0u8; 16]; 15];
+    for r in 0..15 {
+        for c in 0..4 {
+            rk[r][4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+        }
+    }
+    rk
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for r in 0..4 {
+        for c in 0..4 {
+            state[4 * c + r] = old[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for r in 0..4 {
+        for c in 0..4 {
+            state[4 * ((c + r) % 4) + r] = old[4 * c + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().unwrap();
+        for r in 0..4 {
+            state[4 * c + r] = gf_mul(col[r], 2)
+                ^ gf_mul(col[(r + 1) % 4], 3)
+                ^ col[(r + 2) % 4]
+                ^ col[(r + 3) % 4];
+        }
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().unwrap();
+        for r in 0..4 {
+            state[4 * c + r] = gf_mul(col[r], 14)
+                ^ gf_mul(col[(r + 1) % 4], 11)
+                ^ gf_mul(col[(r + 2) % 4], 13)
+                ^ gf_mul(col[(r + 3) % 4], 9);
+        }
+    }
+}
+
+/// Encrypts one 16-byte block with an expanded AES-256 key.
+pub fn encrypt_block(block: &[u8; 16], rk: &[[u8; 16]; 15]) -> [u8; 16] {
+    let mut s = *block;
+    add_round_key(&mut s, &rk[0]);
+    for round in 1..14 {
+        for b in &mut s {
+            *b = sbox(*b);
+        }
+        shift_rows(&mut s);
+        mix_columns(&mut s);
+        add_round_key(&mut s, &rk[round]);
+    }
+    for b in &mut s {
+        *b = sbox(*b);
+    }
+    shift_rows(&mut s);
+    add_round_key(&mut s, &rk[14]);
+    s
+}
+
+/// Decrypts one 16-byte block with an expanded AES-256 key.
+pub fn decrypt_block(block: &[u8; 16], rk: &[[u8; 16]; 15]) -> [u8; 16] {
+    let mut s = *block;
+    add_round_key(&mut s, &rk[14]);
+    inv_shift_rows(&mut s);
+    for b in &mut s {
+        *b = inv_sbox(*b);
+    }
+    for round in (1..14).rev() {
+        add_round_key(&mut s, &rk[round]);
+        inv_mix_columns(&mut s);
+        inv_shift_rows(&mut s);
+        for b in &mut s {
+            *b = inv_sbox(*b);
+        }
+    }
+    add_round_key(&mut s, &rk[0]);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_values() {
+        // FIPS-197 table entries.
+        assert_eq!(sbox(0x00), 0x63);
+        assert_eq!(sbox(0x01), 0x7C);
+        assert_eq!(sbox(0x53), 0xED);
+        assert_eq!(sbox(0xFF), 0x16);
+    }
+
+    #[test]
+    fn inv_sbox_inverts_sbox() {
+        for a in 0..=255u8 {
+            assert_eq!(inv_sbox(sbox(a)), a, "a={a:#04x}");
+        }
+    }
+
+    #[test]
+    fn gf_mul_known_values() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xC1); // FIPS-197 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xFE);
+        assert_eq!(gf_mul(1, 0xAB), 0xAB);
+        assert_eq!(gf_mul(0, 0xAB), 0);
+    }
+
+    #[test]
+    fn gf_inv_is_an_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a:#04x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn aes256_fips197_vector() {
+        // FIPS-197 Appendix C.3.
+        let key: [u8; 32] = [
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f, 0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b,
+            0x1c, 0x1d, 0x1e, 0x1f,
+        ];
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expected: [u8; 16] = [
+            0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+            0x60, 0x89,
+        ];
+        let rk = expand_key(&key);
+        assert_eq!(encrypt_block(&pt, &rk), expected);
+        assert_eq!(decrypt_block(&expected, &rk), pt);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_random() {
+        let key = [0xA7u8; 32];
+        let rk = expand_key(&key);
+        for i in 0..32u8 {
+            let mut block = [0u8; 16];
+            for (j, b) in block.iter_mut().enumerate() {
+                *b = i.wrapping_mul(31).wrapping_add(j as u8 * 7);
+            }
+            assert_eq!(decrypt_block(&encrypt_block(&block, &rk), &rk), block);
+        }
+    }
+}

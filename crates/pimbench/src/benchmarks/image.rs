@@ -1,0 +1,301 @@
+//! Image-processing benchmarks: histogram, brightness, image
+//! downsampling. All operate on synthetic 24-bit RGB bitmaps whose three
+//! channels are extracted into separate PIM objects (the paper extracts
+//! "the pixels for each color channel" to keep access sequential).
+
+use pim_baseline::WorkloadProfile;
+use pimeval::{DataType, Device};
+
+use crate::common::{
+    finish, BenchError, BenchSpec, Benchmark, Domain, ExecType, Params, RunOutcome, SplitMix64,
+};
+
+/// Generates a synthetic image: three channel vectors of 0..=255 values.
+fn synth_image(pixels: usize, seed: u64) -> [Vec<i32>; 3] {
+    let mut rng = SplitMix64::new(seed);
+    // Skew the distribution a little so histograms are not flat.
+    let gen = |rng: &mut SplitMix64| {
+        (0..pixels)
+            .map(|_| {
+                let v = rng.below(256) as i32;
+                let w = rng.below(256) as i32;
+                v.min(w) // triangular-ish
+            })
+            .collect()
+    };
+    [gen(&mut rng), gen(&mut rng), gen(&mut rng)]
+}
+
+/// RGB histogram (Table I; modeled after Phoenix).
+///
+/// PIM mapping (§VIII): for each channel and each key 0–255, an equality
+/// sweep produces a bitmap whose reduction sum is the bin count —
+/// reduction is the limiting factor, especially for bit-serial.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Histogram;
+
+impl Histogram {
+    const BASE_PIXELS: u64 = 1 << 14;
+    /// Bins swept per channel. 256 in the paper; reduced by `scale` only
+    /// below 1.0 to keep tiny test runs fast.
+    fn bins(params: &Params) -> usize {
+        if params.scale >= 1.0 {
+            256
+        } else {
+            ((256.0 * params.scale) as usize).clamp(8, 256)
+        }
+    }
+}
+
+impl Benchmark for Histogram {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "Histogram",
+            domain: Domain::ImageProcessing,
+            sequential: true,
+            random: false,
+            exec: ExecType::Pim,
+            paper_input: "1.4 x 10^9 24-bit .bmp",
+        }
+    }
+
+    fn run(&self, dev: &mut Device, params: &Params) -> Result<RunOutcome, BenchError> {
+        dev.reset_stats();
+        let pixels = params.scaled(Self::BASE_PIXELS) as usize;
+        let bins = Self::bins(params);
+        let channels = synth_image(pixels, params.seed);
+
+        let mut ok = true;
+        for ch in &channels {
+            let o = dev.alloc_vec(ch)?;
+            let mask = dev.alloc_associated(o, DataType::Int32)?;
+            for key in 0..bins {
+                dev.eq_scalar(o, key as i64, mask)?;
+                let count = dev.red_sum(mask)? as usize;
+                let expected = ch.iter().filter(|&&v| v == key as i32).count();
+                if count != expected {
+                    ok = false;
+                }
+            }
+            dev.free(mask)?;
+            dev.free(o)?;
+        }
+        finish(dev, ok, "histogram bin count")
+    }
+
+    fn cpu_profile(&self, params: &Params) -> WorkloadProfile {
+        let n = 3.0 * params.scaled(Self::BASE_PIXELS) as f64;
+        // One pass, random bin increments defeat some locality.
+        WorkloadProfile::new(2.0 * n, 4.0 * n).with_efficiency(0.6)
+    }
+
+    fn gpu_profile(&self, params: &Params) -> WorkloadProfile {
+        let n = 3.0 * params.scaled(Self::BASE_PIXELS) as f64;
+        // Atomics-based GPU histogram streams the image once.
+        WorkloadProfile::new(2.0 * n, 4.0 * n).with_efficiency(0.8)
+    }
+
+    fn paper_factor(&self, params: &Params) -> f64 {
+        // ~1.4 GB of 24-bit pixels in the paper; PIM work scales with
+        // pixels x bins.
+        let pixels = params.scaled(Self::BASE_PIXELS) as f64;
+        let bins = Self::bins(params) as f64;
+        (1.4e9 / 3.0) * 256.0 / (pixels * bins)
+    }
+
+    fn serial_factor(&self, params: &Params) -> f64 {
+        // Each bin is one serial eq + reduction sweep.
+        256.0 / Self::bins(params) as f64
+    }
+}
+
+/// Brightness adjustment with saturating addition (Table I; modeled
+/// after the SIMDRAM benchmark): add a coefficient, clamp to [0, 255]
+/// with min/max.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Brightness;
+
+impl Brightness {
+    const BASE_PIXELS: u64 = 1 << 18;
+    const DELTA: i64 = 40;
+}
+
+impl Benchmark for Brightness {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "Brightness",
+            domain: Domain::ImageProcessing,
+            sequential: true,
+            random: false,
+            exec: ExecType::Pim,
+            paper_input: "1.4 x 10^9 24-bit .bmp",
+        }
+    }
+
+    fn run(&self, dev: &mut Device, params: &Params) -> Result<RunOutcome, BenchError> {
+        dev.reset_stats();
+        let pixels = params.scaled(Self::BASE_PIXELS) as usize;
+        let channels = synth_image(pixels, params.seed);
+
+        let mut ok = true;
+        for ch in &channels {
+            let o = dev.alloc_vec(ch)?;
+            dev.add_scalar(o, Self::DELTA, o)?;
+            dev.min_scalar(o, 255, o)?;
+            dev.max_scalar(o, 0, o)?;
+            let got = dev.to_vec::<i32>(o)?;
+            dev.free(o)?;
+            ok &= got
+                .iter()
+                .zip(ch)
+                .all(|(g, v)| *g == (v + Self::DELTA as i32).clamp(0, 255));
+        }
+        finish(dev, ok, "brightness pixel")
+    }
+
+    fn cpu_profile(&self, params: &Params) -> WorkloadProfile {
+        let n = 3.0 * params.scaled(Self::BASE_PIXELS) as f64;
+        WorkloadProfile::new(3.0 * n, 8.0 * n)
+    }
+
+    fn gpu_profile(&self, params: &Params) -> WorkloadProfile {
+        let n = 3.0 * params.scaled(Self::BASE_PIXELS) as f64;
+        WorkloadProfile::new(3.0 * n, 8.0 * n)
+    }
+
+    fn paper_factor(&self, params: &Params) -> f64 {
+        (1.4e9 / 3.0) / params.scaled(Self::BASE_PIXELS) as f64
+    }
+}
+
+/// 2× image downsampling by box filtering (Table I): each output pixel
+/// averages a 2×2 input box via additions and a shift — both PIM-friendly.
+/// The phase split (even/odd rows/columns) is prepared host-side and
+/// charged as data movement, matching the paper's re-layout cost account.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ImageDownsample;
+
+impl ImageDownsample {
+    const BASE_SIDE: u64 = 512;
+
+    fn side(params: &Params) -> usize {
+        let s = params.scaled(Self::BASE_SIDE) as usize;
+        s.max(2) & !1 // even
+    }
+}
+
+impl Benchmark for ImageDownsample {
+    fn spec(&self) -> BenchSpec {
+        BenchSpec {
+            name: "Image Downsampling",
+            domain: Domain::ImageProcessing,
+            sequential: true,
+            random: false,
+            exec: ExecType::Pim,
+            paper_input: "1.4 x 10^9 24-bit .bmp",
+        }
+    }
+
+    fn run(&self, dev: &mut Device, params: &Params) -> Result<RunOutcome, BenchError> {
+        dev.reset_stats();
+        let side = Self::side(params);
+        let out_n = (side / 2) * (side / 2);
+        let channels = synth_image(side * side, params.seed);
+
+        let mut ok = true;
+        for ch in &channels {
+            // Host-side phase split into the four 2x2-box corners.
+            let mut phases = [vec![], vec![], vec![], vec![]];
+            for oy in 0..side / 2 {
+                for ox in 0..side / 2 {
+                    phases[0].push(ch[(2 * oy) * side + 2 * ox]);
+                    phases[1].push(ch[(2 * oy) * side + 2 * ox + 1]);
+                    phases[2].push(ch[(2 * oy + 1) * side + 2 * ox]);
+                    phases[3].push(ch[(2 * oy + 1) * side + 2 * ox + 1]);
+                }
+            }
+            let objs: Vec<_> =
+                phases.iter().map(|p| dev.alloc_vec(p)).collect::<Result<Vec<_>, _>>()?;
+            let acc = objs[0];
+            dev.add(acc, objs[1], acc)?;
+            dev.add(acc, objs[2], acc)?;
+            dev.add(acc, objs[3], acc)?;
+            dev.shift_right(acc, 2, acc)?;
+            let got = dev.to_vec::<i32>(acc)?;
+            for o in objs {
+                dev.free(o)?;
+            }
+            debug_assert_eq!(got.len(), out_n);
+            for oy in 0..side / 2 {
+                for ox in 0..side / 2 {
+                    let s = ch[(2 * oy) * side + 2 * ox]
+                        + ch[(2 * oy) * side + 2 * ox + 1]
+                        + ch[(2 * oy + 1) * side + 2 * ox]
+                        + ch[(2 * oy + 1) * side + 2 * ox + 1];
+                    if got[oy * (side / 2) + ox] != s >> 2 {
+                        ok = false;
+                    }
+                }
+            }
+        }
+        finish(dev, ok, "downsampled pixel")
+    }
+
+    fn cpu_profile(&self, params: &Params) -> WorkloadProfile {
+        let side = Self::side(params) as f64;
+        let n = 3.0 * side * side;
+        WorkloadProfile::new(n, 5.0 * n)
+    }
+
+    fn gpu_profile(&self, params: &Params) -> WorkloadProfile {
+        let side = Self::side(params) as f64;
+        let n = 3.0 * side * side;
+        WorkloadProfile::new(n, 5.0 * n)
+    }
+
+    fn paper_factor(&self, params: &Params) -> f64 {
+        let side = Self::side(params) as f64;
+        (1.4e9 / 3.0) / (side * side)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimeval::PimTarget;
+
+    fn small() -> Params {
+        Params { scale: 1.0 / 32.0, seed: 11 }
+    }
+
+    #[test]
+    fn histogram_verifies_on_all_targets() {
+        for t in PimTarget::ALL {
+            let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
+            let out = Histogram.run(&mut dev, &small()).unwrap();
+            assert!(out.verified, "{t}");
+            assert!(out.stats.cmds.contains_key("redsum.int32"));
+        }
+    }
+
+    #[test]
+    fn brightness_saturates() {
+        let mut dev = Device::bit_serial(1).unwrap();
+        let out = Brightness.run(&mut dev, &small()).unwrap();
+        assert!(out.verified);
+        assert!(out.stats.cmds.contains_key("min_scalar.int32"));
+        assert!(out.stats.cmds.contains_key("max_scalar.int32"));
+    }
+
+    #[test]
+    fn downsample_verifies_on_all_targets() {
+        for t in PimTarget::ALL {
+            let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
+            let out = ImageDownsample.run(&mut dev, &small()).unwrap();
+            assert!(out.verified, "{t}");
+            // add + shift, the Fig. 8 signature of this benchmark.
+            assert!(out.stats.categories[&pimeval::OpCategory::Add] >= 9);
+            assert!(out.stats.categories[&pimeval::OpCategory::Shift] >= 3);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The PIMbench benchmark implementations, one module per Table I group.
+
+mod aes;
+pub mod aes_ref;
+mod extensions;
+mod filter;
+mod image;
+mod kmeans;
+mod learn;
+mod linalg;
+mod radix;
+mod triangle;
+mod vgg;
+
+pub use aes::Aes;
+pub use extensions::{PrefixSum, StringMatch, TransitiveClosure};
+pub use filter::FilterByKey;
+pub use image::{Brightness, Histogram, ImageDownsample};
+pub use kmeans::KMeans;
+pub use learn::{Knn, LinearRegression};
+pub use linalg::{Axpy, Gemm, Gemv, VectorAdd};
+pub use radix::RadixSort;
+pub use triangle::TriangleCount;
+pub use vgg::{Vgg, VggVariant};

@@ -1,0 +1,154 @@
+//! PIMbench command-line runner — the Rust equivalent of the artifact's
+//! per-benchmark executables and `build_run.sh`.
+//!
+//! ```text
+//! pimbench [--bench <name>|all|extensions] [--target <t>|all]
+//!          [--ranks N] [--scale F] [--seed S] [--report]
+//! ```
+//!
+//! Targets: `bitserial`, `fulcrum`, `bank`, `analog`, `upmem`, `all`
+//! (the paper's three). Prints one verification/timing line per run and,
+//! with `--report`, the full Listing-3 statistics block.
+
+use pimbench::{all_benchmarks, extension_benchmarks, Benchmark, Params};
+use pimeval::{Device, DeviceConfig, PimTarget};
+use std::process::ExitCode;
+
+struct Cli {
+    bench: String,
+    targets: Vec<PimTarget>,
+    ranks: usize,
+    params: Params,
+    report: bool,
+}
+
+fn parse_target(s: &str) -> Option<Vec<PimTarget>> {
+    match s.to_ascii_lowercase().as_str() {
+        "bitserial" | "bit-serial" => Some(vec![PimTarget::BitSerial]),
+        "fulcrum" => Some(vec![PimTarget::Fulcrum]),
+        "bank" | "bank-level" => Some(vec![PimTarget::BankLevel]),
+        "analog" => Some(vec![PimTarget::AnalogBitSerial]),
+        "upmem" => Some(vec![PimTarget::UpmemLike]),
+        "all" => Some(PimTarget::ALL.to_vec()),
+        "extended" => Some(PimTarget::EXTENDED.to_vec()),
+        _ => None,
+    }
+}
+
+fn parse() -> Result<Cli, String> {
+    let mut cli = Cli {
+        bench: "all".into(),
+        targets: PimTarget::ALL.to_vec(),
+        ranks: 4,
+        params: Params::default(),
+        report: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> Result<&String, String> {
+            args.get(i + 1).ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--bench" => {
+                cli.bench = need(i)?.clone();
+                i += 1;
+            }
+            "--target" => {
+                cli.targets =
+                    parse_target(need(i)?).ok_or_else(|| format!("unknown target {}", args[i + 1]))?;
+                i += 1;
+            }
+            "--ranks" => {
+                cli.ranks = need(i)?.parse().map_err(|e| format!("--ranks: {e}"))?;
+                i += 1;
+            }
+            "--scale" => {
+                cli.params.scale = need(i)?.parse().map_err(|e| format!("--scale: {e}"))?;
+                i += 1;
+            }
+            "--seed" => {
+                cli.params.seed = need(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 1;
+            }
+            "--report" => cli.report = true,
+            "--help" | "-h" => {
+                println!(
+                    "pimbench --bench <name>|all|extensions --target \
+                     bitserial|fulcrum|bank|analog|upmem|all|extended \
+                     [--ranks N] [--scale F] [--seed S] [--report]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn selected(bench: &str) -> Result<Vec<Box<dyn Benchmark>>, String> {
+    match bench.to_ascii_lowercase().as_str() {
+        "all" => Ok(all_benchmarks()),
+        "extensions" => Ok(extension_benchmarks()),
+        name => pimbench::benchmark_by_name(name)
+            .map(|b| vec![b])
+            .ok_or_else(|| format!("unknown benchmark '{name}' (try --bench all)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let benches = match selected(&cli.bench) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = 0usize;
+    for target in &cli.targets {
+        for bench in &benches {
+            let mut dev = match Device::new(DeviceConfig::new(*target, cli.ranks)) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("error: cannot create device: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match bench.run(&mut dev, &cli.params) {
+                Ok(out) => {
+                    let s = &out.stats;
+                    println!(
+                        "[{}] {:<22} VERIFIED  kernel {:>12.6} ms  copy {:>12.6} ms  host {:>12.6} ms  energy {:>12.6} mJ",
+                        target,
+                        bench.spec().name,
+                        s.kernel_time_ms(),
+                        s.copy.time_ms,
+                        s.host_time_ms,
+                        s.kernel_energy_mj(),
+                    );
+                    if cli.report {
+                        println!("{}", dev.report());
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("[{}] {:<22} FAILED: {e}", target, bench.spec().name);
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} run(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

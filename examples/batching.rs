@@ -1,0 +1,66 @@
+//! Batching small problems to fill the PIM device — §IX of the paper:
+//! "many use cases call for smaller problem sizes, requiring batching to
+//! utilize the full PIM computation bandwidth."
+//!
+//! Runs K independent small vector-adds two ways on the same device:
+//! sequentially (K kernel launches, each under-filling the device) and
+//! batched (one concatenated object), and prints modeled kernel time and
+//! core utilization for both.
+//!
+//! Run with: `cargo run --release --example batching`
+
+use pimeval_suite::bench_suite::SplitMix64;
+use pimeval_suite::sim::{Device, PimError, PimTarget};
+
+const K: usize = 64; // independent small problems
+const N: usize = 4096; // elements each
+
+fn main() -> Result<(), PimError> {
+    let mut rng = SplitMix64::new(4);
+    let a: Vec<i32> = rng.i32_vec(K * N, -1000, 1000);
+    let b: Vec<i32> = rng.i32_vec(K * N, -1000, 1000);
+
+    println!("Batching {K} independent {N}-element vector adds\n");
+    println!(
+        "{:<12} {:>16} {:>16} {:>10}",
+        "Target", "sequential (ms)", "batched (ms)", "speedup"
+    );
+    for target in PimTarget::ALL {
+        // Sequential: one kernel per small problem.
+        let mut dev = Device::new(pimeval_suite::sim::DeviceConfig::new(target, 32))?;
+        for k in 0..K {
+            let oa = dev.alloc_vec(&a[k * N..(k + 1) * N])?;
+            let ob = dev.alloc_vec(&b[k * N..(k + 1) * N])?;
+            dev.add(oa, ob, ob)?;
+            dev.free(oa)?;
+            dev.free(ob)?;
+        }
+        let sequential_ms = dev.stats().kernel_time_ms();
+
+        // Batched: one concatenated object, one kernel.
+        let mut dev = Device::new(pimeval_suite::sim::DeviceConfig::new(target, 32))?;
+        let oa = dev.alloc_vec(&a)?;
+        let ob = dev.alloc_vec(&b)?;
+        dev.add(oa, ob, ob)?;
+        let got = dev.to_vec::<i32>(ob)?;
+        let batched_ms = dev.stats().kernel_time_ms();
+        for i in 0..K * N {
+            assert_eq!(got[i], a[i].wrapping_add(b[i]));
+        }
+        let util = dev.object(oa)?.layout.core_utilization(dev.config());
+        dev.free(oa)?;
+        dev.free(ob)?;
+
+        println!(
+            "{:<12} {:>16.6} {:>16.6} {:>9.1}x   (batched fills {:.2}% of cores)",
+            target.to_string(),
+            sequential_ms,
+            batched_ms,
+            sequential_ms / batched_ms,
+            100.0 * util,
+        );
+    }
+    println!("\nSequential launches pay the per-kernel row sweep K times while leaving");
+    println!("most cores idle; one batched launch amortizes it — the paper's §IX point.");
+    Ok(())
+}

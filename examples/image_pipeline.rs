@@ -1,0 +1,75 @@
+//! Image-processing pipeline on PIM: brightness adjustment, 2× box
+//! downsampling, and a grayscale histogram — three of the paper's image
+//! benchmarks chained on one device, demonstrating object reuse across
+//! kernels.
+//!
+//! Run with: `cargo run --example image_pipeline`
+
+use pimeval_suite::bench_suite::SplitMix64;
+use pimeval_suite::sim::{DataType, Device, PimError};
+
+const SIDE: usize = 128;
+
+fn main() -> Result<(), PimError> {
+    let mut rng = SplitMix64::new(99);
+    let image = rng.i32_vec(SIDE * SIDE, 0, 256);
+    let mut dev = Device::bit_serial(4)?;
+
+    // Stage 1: brightness (+32, saturating to [0, 255]).
+    let img = dev.alloc_vec(&image)?;
+    dev.add_scalar(img, 32, img)?;
+    dev.min_scalar(img, 255, img)?;
+    dev.max_scalar(img, 0, img)?;
+    let bright = dev.to_vec::<i32>(img)?;
+    dev.free(img)?;
+    assert!(bright.iter().zip(&image).all(|(b, o)| *b == (o + 32).clamp(0, 255)));
+    println!("brightness : {} pixels adjusted", bright.len());
+
+    // Stage 2: 2x downsample via phase split + add + shift.
+    let half = SIDE / 2;
+    let mut phases: [Vec<i32>; 4] = Default::default();
+    for y in 0..half {
+        for x in 0..half {
+            phases[0].push(bright[(2 * y) * SIDE + 2 * x]);
+            phases[1].push(bright[(2 * y) * SIDE + 2 * x + 1]);
+            phases[2].push(bright[(2 * y + 1) * SIDE + 2 * x]);
+            phases[3].push(bright[(2 * y + 1) * SIDE + 2 * x + 1]);
+        }
+    }
+    let objs: Vec<_> = phases.iter().map(|p| dev.alloc_vec(p)).collect::<Result<_, _>>()?;
+    dev.add(objs[0], objs[1], objs[0])?;
+    dev.add(objs[0], objs[2], objs[0])?;
+    dev.add(objs[0], objs[3], objs[0])?;
+    dev.shift_right(objs[0], 2, objs[0])?;
+    let small = dev.to_vec::<i32>(objs[0])?;
+    println!("downsample : {}x{} -> {}x{}", SIDE, SIDE, half, half);
+
+    // Stage 3: 16-bin histogram of the downsampled image.
+    let hist_src = objs[0];
+    let mask = dev.alloc_associated(hist_src, DataType::Int32)?;
+    let mut histogram = [0i128; 16];
+    for (bin, slot) in histogram.iter_mut().enumerate() {
+        // bucket = value >> 4 — compare against the bucket bounds.
+        let lo = (bin * 16) as i64;
+        let hi = lo + 16;
+        let ge_lo = dev.alloc_associated(hist_src, DataType::Int32)?;
+        dev.gt_scalar(hist_src, lo - 1, ge_lo)?;
+        dev.lt_scalar(hist_src, hi, mask)?;
+        dev.and(ge_lo, mask, mask)?;
+        *slot = dev.red_sum(mask)?;
+        dev.free(ge_lo)?;
+    }
+    assert_eq!(histogram.iter().sum::<i128>(), (half * half) as i128);
+    for (bin, count) in histogram.iter().enumerate() {
+        let expected = small.iter().filter(|&&v| v / 16 == bin as i32).count();
+        assert_eq!(*count as usize, expected, "bin {bin}");
+    }
+    println!("histogram  : {histogram:?}");
+
+    dev.free(mask)?;
+    for o in objs {
+        dev.free(o)?;
+    }
+    println!("\nPipeline statistics:\n{}", dev.report());
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: AXPY on a simulated Fulcrum PIM device — the Rust
+//! equivalent of the paper's Listing 1 — followed by the artifact-style
+//! statistics report (Listing 3).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pimeval_suite::sim::{DataType, Device, PimError};
+
+fn main() -> Result<(), PimError> {
+    let vector_length = 2048usize;
+    let a = 5i64;
+    let x: Vec<i32> = (0..vector_length as i32).collect();
+    let mut y: Vec<i32> = (0..vector_length as i32).map(|i| 10_000 - i).collect();
+    println!("Running AXPY on PIM for vector length: {vector_length}\n");
+
+    // Create the PIM device (4 ranks, the artifact's default).
+    let mut dev = Device::fulcrum(4)?;
+    println!("{}\n", dev.info_banner());
+
+    // Allocate device memory (pimAlloc / pimAllocAssociated).
+    let obj_x = dev.alloc(vector_length as u64, DataType::Int32)?;
+    let obj_y = dev.alloc_associated(obj_x, DataType::Int32)?;
+
+    // Copy inputs, perform the operation, copy back results.
+    dev.copy_to_device(&x, obj_x)?;
+    dev.copy_to_device(&y, obj_y)?;
+    dev.scaled_add(obj_x, obj_y, obj_y, a)?;
+    dev.copy_to_host(obj_y, &mut y)?;
+
+    // Free allocated memory.
+    dev.free(obj_x)?;
+    dev.free(obj_y)?;
+
+    // Verify against the host.
+    for i in 0..vector_length {
+        assert_eq!(y[i], x[i] * a as i32 + (10_000 - i as i32));
+    }
+    println!("Verified: y = {a}*x + y for all {vector_length} elements.\n");
+
+    // The Listing-3-style statistics report.
+    println!("{}", dev.report());
+    Ok(())
+}

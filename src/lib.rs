@@ -1,0 +1,18 @@
+//! Umbrella crate for the PIMeval/PIMbench Rust reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. See the individual crates for the real APIs:
+//!
+//! * [`pimeval`] — the simulator core and PIM API.
+//! * [`pimbench`] — the 18-application benchmark suite.
+//! * [`pim_dram`] — DRAM geometry, timing, and the Micron power model.
+//! * [`pim_microcode`] — the bit-serial micro-op VM.
+//! * [`pim_baseline`] — analytical CPU/GPU baseline models.
+//! * [`pim_analysis`] — PCA + hierarchical clustering for Figure 1.
+
+pub use pim_analysis as analysis;
+pub use pim_baseline as baseline;
+pub use pim_dram as dram;
+pub use pim_microcode as microcode;
+pub use pimbench as bench_suite;
+pub use pimeval as sim;

@@ -1,0 +1,128 @@
+//! Cross-crate model consistency: the device's bit-serial latency model
+//! must agree with the actual microprograms, decimation must be
+//! work-conserving, and the paper's §VII orderings must hold.
+
+use pimeval_suite::microcode::gen::{self, BinaryOp};
+use pimeval_suite::sim::{
+    model, DataType, Device, DeviceConfig, ObjectLayout, OpKind, PimTarget,
+};
+
+/// The bit-serial model's per-op time must equal the generated
+/// microprogram's row counts times the DRAM timing — no drift between
+/// functional microcode and the latency model.
+#[test]
+fn bitserial_model_matches_microprogram_counts() {
+    let cfg = DeviceConfig::new(PimTarget::BitSerial, 1);
+    let layout = ObjectLayout::compute(&cfg, 8192, DataType::Int32, None).unwrap();
+    assert_eq!(layout.units_per_core, 1);
+    for (kind, prog) in [
+        (OpKind::Binary(BinaryOp::Add), gen::binary(BinaryOp::Add, 32)),
+        (OpKind::Binary(BinaryOp::Mul), gen::binary(BinaryOp::Mul, 32)),
+        (OpKind::Not, gen::not(32)),
+        (OpKind::Popcount, gen::popcount(32)),
+    ] {
+        let c = prog.cost();
+        let expected_ns = c.row_reads as f64 * cfg.timing.row_read_ns
+            + c.row_writes as f64 * cfg.timing.row_write_ns
+            + c.logic_ops as f64 * cfg.pe.bitserial_logic_ns
+            + c.popcount_reads as f64
+                * (cfg.timing.row_read_ns + cfg.pe.bitserial_popcount_extra_ns);
+        let got = model::op_cost(&cfg, kind, DataType::Int32, &layout).time_ms;
+        assert!(
+            (got - expected_ns * 1e-6).abs() < 1e-12,
+            "{kind:?}: model {got} vs microprogram {expected_ns}e-6"
+        );
+    }
+}
+
+/// Decimation is work-conserving: running N elements on a device
+/// decimated by D must model (approximately) the same kernel time as
+/// N×D elements on the full device.
+#[test]
+fn decimation_conserves_kernel_time() {
+    for target in PimTarget::ALL {
+        let full = DeviceConfig::new(target, 4);
+        let deci = DeviceConfig::new(target, 4).with_decimation(16);
+        let n_full: u64 = 1 << 24;
+        let n_deci = n_full / 16;
+        let lf = ObjectLayout::compute(&full, n_full, DataType::Int32, None).unwrap();
+        let ld = ObjectLayout::compute(&deci, n_deci, DataType::Int32, None).unwrap();
+        for kind in [OpKind::Binary(BinaryOp::Add), OpKind::Binary(BinaryOp::Mul)] {
+            let tf = model::op_cost(&full, kind, DataType::Int32, &lf).time_ms;
+            let td = model::op_cost(&deci, kind, DataType::Int32, &ld).time_ms;
+            let ratio = td / tf;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{target} {kind:?}: decimated {td} vs full {tf} (ratio {ratio})"
+            );
+            let ef = model::op_cost(&full, kind, DataType::Int32, &lf).energy_mj;
+            let ed = model::op_cost(&deci, kind, DataType::Int32, &ld).energy_mj;
+            let eratio = ed / ef;
+            assert!(
+                (0.5..=2.0).contains(&eratio),
+                "{target} {kind:?}: decimated energy ratio {eratio}"
+            );
+        }
+    }
+}
+
+/// Device-level functional results are identical with and without
+/// decimation — it is a modeling knob only.
+#[test]
+fn decimation_does_not_change_functional_results() {
+    let a: Vec<i32> = (0..500).map(|i| i * 37 - 999).collect();
+    let b: Vec<i32> = (0..500).map(|i| -i * 11 + 3).collect();
+    let mut results = Vec::new();
+    for decimation in [1u64, 1000] {
+        let cfg = DeviceConfig::new(PimTarget::Fulcrum, 1).with_decimation(decimation);
+        let mut dev = Device::new(cfg).unwrap();
+        let oa = dev.alloc_vec(&a).unwrap();
+        let ob = dev.alloc_vec(&b).unwrap();
+        dev.mul(oa, ob, ob).unwrap();
+        results.push((dev.to_vec::<i32>(ob).unwrap(), dev.red_sum(ob).unwrap()));
+    }
+    assert_eq!(results[0], results[1]);
+}
+
+/// §VII orderings at the paper's 256M input (model-only, full device).
+#[test]
+fn section7_orderings_hold() {
+    let n: u64 = 1 << 28;
+    let time = |target: PimTarget, kind: OpKind| {
+        let cfg = DeviceConfig::new(target, 32).model_only();
+        let layout = ObjectLayout::compute(&cfg, n, DataType::Int32, None).unwrap();
+        model::op_cost(&cfg, kind, DataType::Int32, &layout).time_ms
+    };
+    use PimTarget::*;
+    let add = OpKind::Binary(BinaryOp::Add);
+    let mul = OpKind::Binary(BinaryOp::Mul);
+    // Addition: bit-serial highest performance.
+    assert!(time(BitSerial, add) < time(Fulcrum, add));
+    assert!(time(BitSerial, add) < time(BankLevel, add));
+    // Multiplication: Fulcrum best; bit-serial still beats bank-level.
+    assert!(time(Fulcrum, mul) < time(BitSerial, mul));
+    assert!(time(BitSerial, mul) < time(BankLevel, mul));
+    // Reduction: bit-serial best (popcount-based).
+    assert!(time(BitSerial, OpKind::RedSum) < time(Fulcrum, OpKind::RedSum));
+    assert!(time(BitSerial, OpKind::RedSum) < time(BankLevel, OpKind::RedSum));
+    // Popcount: bank-level and bit-serial outperform Fulcrum (SWAR).
+    assert!(time(BankLevel, OpKind::Popcount) < time(Fulcrum, OpKind::Popcount));
+    assert!(time(BitSerial, OpKind::Popcount) < time(Fulcrum, OpKind::Popcount));
+}
+
+/// The energy model's Micron components behave per §V-D: executing on
+/// more ranks costs proportionally more total energy for the same
+/// latency win.
+#[test]
+fn energy_grows_with_active_parallelism() {
+    let n: u64 = 1 << 28;
+    let mut prev_energy = 0.0;
+    for ranks in [4, 8, 16, 32] {
+        let cfg = DeviceConfig::new(PimTarget::BitSerial, ranks).model_only();
+        let layout = ObjectLayout::compute(&cfg, n, DataType::Int32, None).unwrap();
+        let e = model::op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &layout)
+            .energy_mj;
+        assert!(e >= prev_energy * 0.99, "ranks={ranks}: {e} vs {prev_energy}");
+        prev_energy = e;
+    }
+}

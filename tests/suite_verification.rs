@@ -1,0 +1,81 @@
+//! Cross-crate integration: every PIMbench benchmark verifies on every
+//! PIM target, and the statistics are structurally sound.
+
+use pimeval_suite::bench_suite::{all_benchmarks, ExecType, Params};
+use pimeval_suite::sim::{Device, DeviceConfig, PimTarget};
+
+fn tiny() -> Params {
+    Params { scale: 1.0 / 64.0, seed: 20240 }
+}
+
+#[test]
+fn every_benchmark_verifies_on_every_target() {
+    // All four targets, including the analog bit-serial extension.
+    for target in PimTarget::EXTENDED {
+        for bench in all_benchmarks() {
+            let mut dev = Device::new(DeviceConfig::new(target, 1)).unwrap();
+            let out = bench
+                .run(&mut dev, &tiny())
+                .unwrap_or_else(|e| panic!("{} on {target}: {e}", bench.spec().name));
+            assert!(out.verified, "{} on {target}", bench.spec().name);
+        }
+    }
+}
+
+#[test]
+fn stats_are_structurally_sound_for_each_benchmark() {
+    let mut dev = Device::fulcrum(1).unwrap();
+    for bench in all_benchmarks() {
+        let out = bench.run(&mut dev, &tiny()).unwrap();
+        let s = &out.stats;
+        let spec = bench.spec();
+        assert!(s.total_ops() > 0, "{}: no ops recorded", spec.name);
+        assert!(s.kernel_time_ms() > 0.0, "{}", spec.name);
+        assert!(s.kernel_energy_mj() > 0.0, "{}", spec.name);
+        assert!(s.copy.host_to_device_bytes > 0, "{}: inputs must be copied in", spec.name);
+        let (dm, host, kernel) = s.breakdown();
+        assert!((dm + host + kernel - 1.0).abs() < 1e-9, "{}", spec.name);
+        if spec.exec == ExecType::PimHost {
+            assert!(s.host_time_ms > 0.0, "{}: PIM+Host must charge host time", spec.name);
+        }
+    }
+}
+
+#[test]
+fn op_mix_is_target_independent() {
+    // The same API stream runs on every architecture, so the Fig. 8
+    // category counts must be identical across targets.
+    let bench = &all_benchmarks()[1]; // AXPY
+    let mut mixes = Vec::new();
+    for target in PimTarget::ALL {
+        let mut dev = Device::new(DeviceConfig::new(target, 1)).unwrap();
+        let out = bench.run(&mut dev, &tiny()).unwrap();
+        mixes.push(out.stats.categories.clone());
+    }
+    assert_eq!(mixes[0], mixes[1]);
+    assert_eq!(mixes[1], mixes[2]);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let bench = &all_benchmarks()[14]; // K-means
+    let mut dev = Device::bit_serial(1).unwrap();
+    let a = bench.run(&mut dev, &tiny()).unwrap();
+    let b = bench.run(&mut dev, &tiny()).unwrap();
+    assert_eq!(a.stats.cmds.len(), b.stats.cmds.len());
+    for (name, ca) in &a.stats.cmds {
+        let cb = &b.stats.cmds[name];
+        assert_eq!(ca.count, cb.count, "{name}");
+        assert!((ca.time_ms - cb.time_ms).abs() < 1e-12, "{name}");
+    }
+}
+
+#[test]
+fn different_seeds_change_data_not_structure() {
+    let bench = &all_benchmarks()[0]; // Vector Addition
+    let mut dev = Device::fulcrum(1).unwrap();
+    let a = bench.run(&mut dev, &Params { scale: 0.01, seed: 1 }).unwrap();
+    let b = bench.run(&mut dev, &Params { scale: 0.01, seed: 2 }).unwrap();
+    assert!(a.verified && b.verified);
+    assert_eq!(a.stats.total_ops(), b.stats.total_ops());
+}
