@@ -73,7 +73,10 @@ impl Dendrogram {
     ///
     /// Panics if either index is out of range.
     pub fn cophenetic_distance(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.n_leaves && j < self.n_leaves, "leaf index out of range");
+        assert!(
+            i < self.n_leaves && j < self.n_leaves,
+            "leaf index out of range"
+        );
         if i == j {
             return 0.0;
         }
@@ -140,10 +143,16 @@ impl Dendrogram {
                 }
             }
         }
-        let finite: Vec<f64> = join_dist.iter().copied().filter(|d| d.is_finite()).collect();
+        let finite: Vec<f64> = join_dist
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .collect();
         let (lo, hi) = finite
             .iter()
-            .fold((f64::INFINITY, 1e-6f64), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+            .fold((f64::INFINITY, 1e-6f64), |(lo, hi), &d| {
+                (lo.min(d), hi.max(d))
+            });
         let span = (hi.ln() - lo.ln()).max(1e-9);
         let _ = writeln!(out, "{:<28} linkage distance (log scale)", "benchmark");
         for &leaf in &self.leaf_order() {
@@ -183,8 +192,9 @@ pub fn linkage_with(data: &[Vec<f64>], criterion: Linkage) -> Dendrogram {
     let mut merges = Vec::with_capacity(n.saturating_sub(1));
     let mut next_id = n;
     // Precompute leaf-to-leaf distances.
-    let dist: Vec<Vec<f64>> =
-        (0..n).map(|i| (0..n).map(|j| euclidean(&data[i], &data[j])).collect()).collect();
+    let dist: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| euclidean(&data[i], &data[j])).collect())
+        .collect();
     while clusters.len() > 1 {
         // Find the closest pair by average linkage.
         let (mut bi, mut bj, mut best) = (0, 1, f64::INFINITY);
@@ -192,8 +202,8 @@ pub fn linkage_with(data: &[Vec<f64>], criterion: Linkage) -> Dendrogram {
             for j in (i + 1)..clusters.len() {
                 let (ma, mb) = (&clusters[i].1, &clusters[j].1);
                 let dist = &dist;
-                let d = criterion
-                    .combine(ma.iter().flat_map(|&x| mb.iter().map(move |&y| dist[x][y])));
+                let d =
+                    criterion.combine(ma.iter().flat_map(|&x| mb.iter().map(move |&y| dist[x][y])));
                 if d < best {
                     (bi, bj, best) = (i, j, d);
                 }
@@ -203,11 +213,19 @@ pub fn linkage_with(data: &[Vec<f64>], criterion: Linkage) -> Dendrogram {
         let (id_a, members_a) = clusters.remove(bi);
         let mut merged = members_a;
         merged.extend(members_b);
-        merges.push(Merge { a: id_a, b: id_b, distance: best, size: merged.len() });
+        merges.push(Merge {
+            a: id_a,
+            b: id_b,
+            distance: best,
+            size: merged.len(),
+        });
         clusters.push((next_id, merged));
         next_id += 1;
     }
-    Dendrogram { n_leaves: n, merges }
+    Dendrogram {
+        n_leaves: n,
+        merges,
+    }
 }
 
 #[cfg(test)]
@@ -215,7 +233,12 @@ mod tests {
     use super::*;
 
     fn two_groups() -> Vec<Vec<f64>> {
-        vec![vec![0.0, 0.0], vec![0.2, 0.0], vec![10.0, 10.0], vec![10.2, 10.0]]
+        vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.0],
+            vec![10.0, 10.0],
+            vec![10.2, 10.0],
+        ]
     }
 
     #[test]
@@ -230,8 +253,10 @@ mod tests {
     #[test]
     fn tight_pairs_merge_first() {
         let d = linkage(&two_groups());
-        let first_two: Vec<(usize, usize)> =
-            d.merges()[..2].iter().map(|m| (m.a.min(m.b), m.a.max(m.b))).collect();
+        let first_two: Vec<(usize, usize)> = d.merges()[..2]
+            .iter()
+            .map(|m| (m.a.min(m.b), m.a.max(m.b)))
+            .collect();
         assert!(first_two.contains(&(0, 1)));
         assert!(first_two.contains(&(2, 3)));
     }
@@ -247,8 +272,9 @@ mod tests {
     fn leaf_order_keeps_groups_adjacent() {
         let d = linkage(&two_groups());
         let order = d.leaf_order();
-        let pos: Vec<usize> =
-            (0..4).map(|leaf| order.iter().position(|&x| x == leaf).unwrap()).collect();
+        let pos: Vec<usize> = (0..4)
+            .map(|leaf| order.iter().position(|&x| x == leaf).unwrap())
+            .collect();
         assert_eq!(pos[0].abs_diff(pos[1]), 1, "pair (0,1) adjacent: {order:?}");
         assert_eq!(pos[2].abs_diff(pos[3]), 1, "pair (2,3) adjacent: {order:?}");
     }
@@ -279,10 +305,27 @@ mod tests {
 
     #[test]
     fn average_is_between_single_and_complete() {
-        let data = vec![vec![0.0, 0.0], vec![0.5, 0.0], vec![4.0, 3.0], vec![4.5, 3.0]];
-        let s = linkage_with(&data, Linkage::Single).merges().last().unwrap().distance;
-        let a = linkage_with(&data, Linkage::Average).merges().last().unwrap().distance;
-        let c = linkage_with(&data, Linkage::Complete).merges().last().unwrap().distance;
+        let data = vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.0],
+            vec![4.0, 3.0],
+            vec![4.5, 3.0],
+        ];
+        let s = linkage_with(&data, Linkage::Single)
+            .merges()
+            .last()
+            .unwrap()
+            .distance;
+        let a = linkage_with(&data, Linkage::Average)
+            .merges()
+            .last()
+            .unwrap()
+            .distance;
+        let c = linkage_with(&data, Linkage::Complete)
+            .merges()
+            .last()
+            .unwrap()
+            .distance;
         assert!(s <= a && a <= c, "s={s} a={a} c={c}");
     }
 

@@ -49,7 +49,10 @@ pub use cluster::{Dendrogram, Linkage, Merge};
 pub fn standardize(data: &[Vec<f64>]) -> Vec<Vec<f64>> {
     assert!(!data.is_empty(), "cannot standardize an empty matrix");
     let cols = data[0].len();
-    assert!(data.iter().all(|r| r.len() == cols), "ragged feature matrix");
+    assert!(
+        data.iter().all(|r| r.len() == cols),
+        "ragged feature matrix"
+    );
     let n = data.len() as f64;
     let mut out = data.to_vec();
     for c in 0..cols {
@@ -57,7 +60,11 @@ pub fn standardize(data: &[Vec<f64>]) -> Vec<Vec<f64>> {
         let var = data.iter().map(|r| (r[c] - mean).powi(2)).sum::<f64>() / n;
         let sd = var.sqrt();
         for (r, row) in out.iter_mut().enumerate() {
-            row[c] = if sd > 1e-12 { (data[r][c] - mean) / sd } else { 0.0 };
+            row[c] = if sd > 1e-12 {
+                (data[r][c] - mean) / sd
+            } else {
+                0.0
+            };
         }
     }
     out
@@ -70,7 +77,11 @@ pub fn standardize(data: &[Vec<f64>]) -> Vec<Vec<f64>> {
 /// Panics if lengths differ.
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dimension mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).powi(2))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -79,7 +90,12 @@ mod tests {
 
     #[test]
     fn standardize_gives_zero_mean_unit_variance() {
-        let data = vec![vec![1.0, 10.0], vec![2.0, 10.0], vec![3.0, 10.0], vec![6.0, 10.0]];
+        let data = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 10.0],
+            vec![3.0, 10.0],
+            vec![6.0, 10.0],
+        ];
         let z = standardize(&data);
         let n = z.len() as f64;
         let mean: f64 = z.iter().map(|r| r[0]).sum::<f64>() / n;

@@ -1,5 +1,8 @@
 //! Principal component analysis via a cyclic Jacobi eigensolver.
 
+// (i, j, k)-indexed loops follow the textbook Jacobi rotation updates.
+#![allow(clippy::needless_range_loop)]
+
 /// A fitted PCA: the leading eigenvectors of the feature covariance
 /// matrix, ordered by decreasing eigenvalue.
 #[derive(Debug, Clone)]
@@ -21,7 +24,9 @@ impl Pca {
         let d = data[0].len();
         assert!(data.iter().all(|r| r.len() == d), "ragged feature matrix");
         let n = data.len() as f64;
-        let mean: Vec<f64> = (0..d).map(|c| data.iter().map(|r| r[c]).sum::<f64>() / n).collect();
+        let mean: Vec<f64> = (0..d)
+            .map(|c| data.iter().map(|r| r[c]).sum::<f64>() / n)
+            .collect();
         // Covariance matrix.
         let mut cov = vec![vec![0.0; d]; d];
         for row in data {
@@ -45,7 +50,11 @@ impl Pca {
         eigenvalues = order.iter().map(|&i| eigenvalues[i]).collect();
         vectors = order.iter().map(|&i| vectors[i].clone()).collect();
         let k = k.min(d);
-        Pca { components: vectors[..k].to_vec(), eigenvalues: eigenvalues[..k].to_vec(), mean }
+        Pca {
+            components: vectors[..k].to_vec(),
+            eigenvalues: eigenvalues[..k].to_vec(),
+            mean,
+        }
     }
 
     /// The retained eigenvalues (explained variance), descending.
@@ -151,23 +160,34 @@ mod tests {
     #[test]
     fn first_component_captures_dominant_direction() {
         // Points spread along y = x.
-        let data: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![i as f64 + 0.01 * (i % 3) as f64, i as f64]).collect();
+        let data: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64 + 0.01 * (i % 3) as f64, i as f64])
+            .collect();
         let pca = Pca::fit(&data, 2);
         let c0 = &pca.components()[0];
         // Direction ≈ (±1/√2, ±1/√2).
-        assert!((c0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05, "{c0:?}");
+        assert!(
+            (c0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05,
+            "{c0:?}"
+        );
         assert!(pca.eigenvalues()[0] > 10.0 * pca.eigenvalues()[1].max(1e-12));
     }
 
     #[test]
     fn transform_preserves_pairwise_distance_with_full_rank() {
-        let data = vec![vec![1.0, 2.0, 0.5], vec![3.0, -1.0, 2.0], vec![0.0, 0.0, 1.0]];
+        let data = vec![
+            vec![1.0, 2.0, 0.5],
+            vec![3.0, -1.0, 2.0],
+            vec![0.0, 0.0, 1.0],
+        ];
         let pca = Pca::fit(&data, 3);
         let t = pca.transform(&data);
         let orig = crate::euclidean(&data[0], &data[1]);
         let proj = crate::euclidean(&t[0], &t[1]);
-        assert!((orig - proj).abs() < 1e-8, "orthogonal projection is an isometry");
+        assert!(
+            (orig - proj).abs() < 1e-8,
+            "orthogonal projection is an isometry"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub struct WorkloadProfile {
 impl WorkloadProfile {
     /// A streaming workload at full roofline efficiency.
     pub fn new(ops: f64, bytes: f64) -> Self {
-        WorkloadProfile { ops, bytes, efficiency: 1.0 }
+        WorkloadProfile {
+            ops,
+            bytes,
+            efficiency: 1.0,
+        }
     }
 
     /// Derates the roofline (e.g. 0.2 for random-access phases).
@@ -48,7 +52,10 @@ impl WorkloadProfile {
     /// Panics if `efficiency` is not in `(0, 1]`.
     #[must_use]
     pub fn with_efficiency(mut self, efficiency: f64) -> Self {
-        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
         self.efficiency = efficiency;
         self
     }
@@ -134,7 +141,12 @@ mod tests {
 
     #[test]
     fn roofline_picks_the_binding_constraint() {
-        let m = ComputeModel { name: "t", peak_ops_per_sec: 1e9, mem_bw_bytes_per_sec: 1e9, tdp_w: 100.0 };
+        let m = ComputeModel {
+            name: "t",
+            peak_ops_per_sec: 1e9,
+            mem_bw_bytes_per_sec: 1e9,
+            tdp_w: 100.0,
+        };
         // Compute-bound: 10x more ops than bytes.
         let c = WorkloadProfile::new(10e9, 1e9);
         assert!((m.runtime_ms(&c) - 10_000.0).abs() < 1e-6);
@@ -184,6 +196,8 @@ mod tests {
     fn arithmetic_intensity() {
         let p = WorkloadProfile::new(8.0, 4.0);
         assert!((p.arithmetic_intensity() - 2.0).abs() < 1e-12);
-        assert!(WorkloadProfile::new(1.0, 0.0).arithmetic_intensity().is_infinite());
+        assert!(WorkloadProfile::new(1.0, 0.0)
+            .arithmetic_intensity()
+            .is_infinite());
     }
 }

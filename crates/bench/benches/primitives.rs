@@ -1,37 +1,35 @@
-//! Criterion benchmarks of the four Fig. 6 primitive operations on each
-//! PIM target — measures the *simulator's* throughput (functional
-//! execution + modeling) for the operations the paper sweeps.
+//! Benchmarks of the four Fig. 6 primitive operations on each PIM
+//! target — measures the *simulator's* throughput (functional execution
+//! plus modeling) for the operations the paper sweeps. Run with
+//! `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pim_bench_harness::microbench::{bench_throughput, group};
 use pimeval::{DataType, Device, DeviceConfig, PimTarget};
 
 const N: usize = 1 << 16;
 
-fn bench_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primitives");
-    group.throughput(Throughput::Elements(N as u64));
-    let a: Vec<i32> = (0..N as i32).map(|i| i.wrapping_mul(2_654_435_761u32 as i32)).collect();
+fn main() {
+    group("primitives");
+    let a: Vec<i32> = (0..N as i32)
+        .map(|i| i.wrapping_mul(2_654_435_761u32 as i32))
+        .collect();
     let b: Vec<i32> = (0..N as i32).map(|i| i.wrapping_mul(40_503)).collect();
     for target in PimTarget::ALL {
         let mut dev = Device::new(DeviceConfig::new(target, 4)).unwrap();
         let oa = dev.alloc_vec(&a).unwrap();
         let ob = dev.alloc_vec(&b).unwrap();
         let oc = dev.alloc_associated(oa, DataType::Int32).unwrap();
-        group.bench_function(BenchmarkId::new("add", target.name()), |bench| {
-            bench.iter(|| dev.add(oa, ob, oc).unwrap())
+        bench_throughput(&format!("add/{}", target.name()), N as u64, || {
+            dev.add(oa, ob, oc).unwrap()
         });
-        group.bench_function(BenchmarkId::new("mul", target.name()), |bench| {
-            bench.iter(|| dev.mul(oa, ob, oc).unwrap())
+        bench_throughput(&format!("mul/{}", target.name()), N as u64, || {
+            dev.mul(oa, ob, oc).unwrap()
         });
-        group.bench_function(BenchmarkId::new("reduction", target.name()), |bench| {
-            bench.iter(|| dev.red_sum(oa).unwrap())
+        bench_throughput(&format!("reduction/{}", target.name()), N as u64, || {
+            dev.red_sum(oa).unwrap()
         });
-        group.bench_function(BenchmarkId::new("popcount", target.name()), |bench| {
-            bench.iter(|| dev.popcount(oa, oc).unwrap())
+        bench_throughput(&format!("popcount/{}", target.name()), N as u64, || {
+            dev.popcount(oa, oc).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_primitives);
-criterion_main!(benches);

@@ -1,44 +1,43 @@
-//! Criterion benchmarks of end-to-end simulator workflows: allocation
-//! churn and full small benchmark runs per target.
+//! Benchmarks of end-to-end simulator workflows: allocation churn and
+//! full small benchmark runs per target. Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_bench_harness::microbench::{bench, group};
 use pimbench::{benchmark_by_name, Params};
 use pimeval::{DataType, Device, DeviceConfig, PimTarget};
 
-fn bench_alloc_churn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alloc_churn");
+fn bench_alloc_churn() {
+    group("alloc_churn");
     for target in PimTarget::ALL {
-        group.bench_function(BenchmarkId::new("alloc_free_1k", target.name()), |b| {
-            let mut dev = Device::new(DeviceConfig::new(target, 1)).unwrap();
-            b.iter(|| {
-                let ids: Vec<_> =
-                    (0..64).map(|_| dev.alloc(1024, DataType::Int32).unwrap()).collect();
-                for id in ids {
-                    dev.free(id).unwrap();
-                }
-            })
+        let mut dev = Device::new(DeviceConfig::new(target, 1)).unwrap();
+        bench(&format!("alloc_free_1k/{}", target.name()), || {
+            let ids: Vec<_> = (0..64)
+                .map(|_| dev.alloc(1024, DataType::Int32).unwrap())
+                .collect();
+            for id in ids {
+                dev.free(id).unwrap();
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_full_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("benchmark_runs");
-    group.sample_size(10);
-    let params = Params { scale: 1.0 / 64.0, seed: 42 };
+fn bench_full_runs() {
+    group("benchmark_runs");
+    let params = Params {
+        scale: 1.0 / 64.0,
+        seed: 42,
+    };
     for name in ["Vector Addition", "K-means", "Histogram"] {
         for target in PimTarget::ALL {
-            let bench = benchmark_by_name(name).unwrap();
-            group.bench_function(BenchmarkId::new(name, target.name()), |b| {
-                b.iter(|| {
-                    let mut dev = Device::new(DeviceConfig::new(target, 1)).unwrap();
-                    bench.run(&mut dev, &params).unwrap()
-                })
+            let bench_impl = benchmark_by_name(name).unwrap();
+            bench(&format!("{name}/{}", target.name()), || {
+                let mut dev = Device::new(DeviceConfig::new(target, 1)).unwrap();
+                bench_impl.run(&mut dev, &params).unwrap()
             });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_alloc_churn, bench_full_runs);
-criterion_main!(benches);
+fn main() {
+    bench_alloc_churn();
+    bench_full_runs();
+}

@@ -58,16 +58,25 @@ fn main() {
     let mut on = DeviceConfig::new(PimTarget::Fulcrum, 32).model_only();
     let mut off = on.clone();
     off.pe.walker_pipelining = false;
-    let (t_on, t_off) =
-        (latency(&on, OpKind::Binary(BinaryOp::Add)), latency(&off, OpKind::Binary(BinaryOp::Add)));
-    println!("  pipelined {:>10.4} ms   serialized {:>10.4} ms   overlap saves {:.1}%",
-        t_on, t_off, 100.0 * (1.0 - t_on / t_off));
+    let (t_on, t_off) = (
+        latency(&on, OpKind::Binary(BinaryOp::Add)),
+        latency(&off, OpKind::Binary(BinaryOp::Add)),
+    );
+    println!(
+        "  pipelined {:>10.4} ms   serialized {:>10.4} ms   overlap saves {:.1}%",
+        t_on,
+        t_off,
+        100.0 * (1.0 - t_on / t_off)
+    );
 
     println!("\nAblation 3: bit-serial row-popcount hardware (reduction of 256M int32)");
     on = DeviceConfig::new(PimTarget::BitSerial, 32).model_only();
     let mut no_hw = on.clone();
     no_hw.pe.bitserial_row_popcount = false;
-    let (t_hw, t_no) = (latency(&on, OpKind::RedSum), latency(&no_hw, OpKind::RedSum));
+    let (t_hw, t_no) = (
+        latency(&on, OpKind::RedSum),
+        latency(&no_hw, OpKind::RedSum),
+    );
     println!(
         "  with popcount HW {:>10.4} ms   host fallback {:>10.4} ms   HW wins {:.0}x",
         t_hw,
@@ -76,7 +85,10 @@ fn main() {
     );
 
     println!("\nAblation 4: GDL width (bank-level on 256M int32)");
-    for (name, kind) in [("copy (traffic-bound)", OpKind::Copy), ("add (compute-bound)", OpKind::Binary(BinaryOp::Add))] {
+    for (name, kind) in [
+        ("copy (traffic-bound)", OpKind::Copy),
+        ("add (compute-bound)", OpKind::Binary(BinaryOp::Add)),
+    ] {
         print!("  {name:<22}");
         for width in [64usize, 128, 256, 512, 1024] {
             let mut cfg = DeviceConfig::new(PimTarget::BankLevel, 32).model_only();
@@ -87,9 +99,15 @@ fn main() {
     }
 
     println!("\nAblation 5: DDR4 vs HBM2 interface (bank-level, 256M int32)");
-    println!("{:<10} {:>12} {:>12} {:>8}", "Op", "DDR4 (ms)", "HBM2 (ms)", "ratio");
-    let ops_with_copy: Vec<(&str, OpKind)> =
-        ops.iter().copied().chain([("copy", OpKind::Copy)]).collect();
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}",
+        "Op", "DDR4 (ms)", "HBM2 (ms)", "ratio"
+    );
+    let ops_with_copy: Vec<(&str, OpKind)> = ops
+        .iter()
+        .copied()
+        .chain([("copy", OpKind::Copy)])
+        .collect();
     for (name, kind) in ops_with_copy {
         let ddr = DeviceConfig::new(PimTarget::BankLevel, 32).model_only();
         let mut hbm = ddr.clone();

@@ -11,7 +11,10 @@ use pimeval::{Device, DeviceConfig, PimTarget};
 fn main() {
     let params = cli_params(0.25);
     let cpu = ComputeModel::epyc_9124();
-    println!("Extension kernels — speedup over baseline CPU (32 ranks, scale {})\n", params.scale);
+    println!(
+        "Extension kernels — speedup over baseline CPU (32 ranks, scale {})\n",
+        params.scale
+    );
     println!(
         "{:<20} {:>14} {:>10} {:>12} {:>18}",
         "Kernel", "Bit-serial", "Fulcrum", "Bank-level", "Analog-bit-serial"

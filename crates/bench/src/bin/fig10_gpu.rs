@@ -2,7 +2,9 @@
 //! three PIM variants over the A100 GPU baseline, 32 ranks. Data
 //! movement and CPU idle energy are factored out on both sides (§VI).
 
-use pim_bench_harness::{cli_params, fmt_ratio, gmean_or_nan, positives, run_all_targets, suite_names};
+use pim_bench_harness::{
+    cli_params, export, fmt_ratio, gmean_or_nan, positives, run_all_targets, suite_names,
+};
 use pimeval::PimTarget;
 use std::collections::BTreeMap;
 
@@ -38,7 +40,10 @@ fn main() {
         }
         print!("{:<22}", "Gmean");
         for t in PimTarget::ALL {
-            print!(" {:>12}", fmt_ratio(gmean_or_nan(&positives(&per_target[&t.to_string()]))));
+            print!(
+                " {:>12}",
+                fmt_ratio(gmean_or_nan(&positives(&per_target[&t.to_string()])))
+            );
         }
         println!();
     };
@@ -48,4 +53,5 @@ fn main() {
     if which == "energy" || which == "both" {
         emit("b: energy reduction vs GPU", |v| v.1);
     }
+    export::maybe_export(&records);
 }

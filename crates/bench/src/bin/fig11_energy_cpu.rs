@@ -3,7 +3,9 @@
 //! host execution + CPU idle energy on the PIM side; TDP × runtime on
 //! the CPU side).
 
-use pim_bench_harness::{cli_params, fmt_ratio, gmean_or_nan, positives, run_all_targets, suite_names};
+use pim_bench_harness::{
+    cli_params, export, fmt_ratio, gmean_or_nan, positives, run_all_targets, suite_names,
+};
 use pimeval::PimTarget;
 use std::collections::BTreeMap;
 
@@ -12,10 +14,19 @@ fn main() {
     let records = run_all_targets(32, &params);
     let mut by: BTreeMap<(String, String), f64> = BTreeMap::new();
     for r in &records {
-        by.insert((r.name.clone(), r.target.to_string()), r.energy_reduction_cpu());
+        by.insert(
+            (r.name.clone(), r.target.to_string()),
+            r.energy_reduction_cpu(),
+        );
     }
-    println!("Fig. 11: energy reduction vs baseline CPU — 32 ranks, scale {}", params.scale);
-    println!("{:<22} {:>12} {:>12} {:>12}", "Benchmark", "Bit-serial", "Fulcrum", "Bank-level");
+    println!(
+        "Fig. 11: energy reduction vs baseline CPU — 32 ranks, scale {}",
+        params.scale
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "Benchmark", "Bit-serial", "Fulcrum", "Bank-level"
+    );
     let mut per_target: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for name in suite_names() {
         print!("{name:<22}");
@@ -28,7 +39,11 @@ fn main() {
     }
     print!("{:<22}", "Gmean");
     for t in PimTarget::ALL {
-        print!(" {:>12}", fmt_ratio(gmean_or_nan(&positives(&per_target[&t.to_string()]))));
+        print!(
+            " {:>12}",
+            fmt_ratio(gmean_or_nan(&positives(&per_target[&t.to_string()])))
+        );
     }
     println!();
+    export::maybe_export(&records);
 }

@@ -18,7 +18,10 @@ fn main() {
         let mut times: BTreeMap<String, Vec<f64>> = BTreeMap::new();
         for ranks in RANKS {
             for r in run_suite(&DeviceConfig::new(target, ranks), &params) {
-                times.entry(r.name.clone()).or_default().push(r.pim_kernel_ms());
+                times
+                    .entry(r.name.clone())
+                    .or_default()
+                    .push(r.pim_kernel_ms());
             }
         }
         println!("\n[{target}]");

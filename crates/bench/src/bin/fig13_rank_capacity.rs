@@ -13,12 +13,15 @@ fn main() {
         "Fig. 13: kernel-only speedup of #Rank=32 over #Rank=1 at equal capacity, scale {}",
         params.scale
     );
-    println!("{:<22} {:>12} {:>12} {:>12}", "Benchmark", "Bit-serial", "Fulcrum", "Bank-level");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "Benchmark", "Bit-serial", "Fulcrum", "Bank-level"
+    );
     let mut rows: Vec<Vec<f64>> = Vec::new();
     let mut names: Vec<String> = Vec::new();
     for (ti, target) in PimTarget::ALL.iter().enumerate() {
-        let one_rank = DeviceConfig::new(*target, 1)
-            .with_geometry(base.with_ranks_same_capacity(1));
+        let one_rank =
+            DeviceConfig::new(*target, 1).with_geometry(base.with_ranks_same_capacity(1));
         let full = DeviceConfig::new(*target, 32).with_geometry(base);
         let slow = run_suite(&one_rank, &params);
         let fast = run_suite(&full, &params);
@@ -31,6 +34,9 @@ fn main() {
         }
     }
     for (name, row) in names.iter().zip(&rows) {
-        println!("{:<22} {:>12.2} {:>12.2} {:>12.2}", name, row[0], row[1], row[2]);
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>12.2}",
+            name, row[0], row[1], row[2]
+        );
     }
 }

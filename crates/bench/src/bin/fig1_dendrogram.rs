@@ -24,9 +24,7 @@ fn main() {
         let total: u64 = record.stats.categories.values().sum();
         let mut row: Vec<f64> = OpCategory::ALL
             .iter()
-            .map(|c| {
-                *record.stats.categories.get(c).unwrap_or(&0) as f64 / total.max(1) as f64
-            })
+            .map(|c| *record.stats.categories.get(c).unwrap_or(&0) as f64 / total.max(1) as f64)
             .collect();
         row.push(f64::from(spec.sequential));
         row.push(f64::from(spec.random));
@@ -43,15 +41,24 @@ fn main() {
     let projected = pca.transform(&z);
     let dendro = cluster::linkage(&projected);
 
-    println!("Fig. 1: PIMbench similarity dendrogram (scale {})\n", params.scale);
+    println!(
+        "Fig. 1: PIMbench similarity dendrogram (scale {})\n",
+        params.scale
+    );
     let label_refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
     print!("{}", dendro.render(&label_refs));
-    println!("\nMerge table (cluster ids; leaves 0..{}):", labels.len() - 1);
+    println!(
+        "\nMerge table (cluster ids; leaves 0..{}):",
+        labels.len() - 1
+    );
     for (i, m) in dendro.merges().iter().enumerate() {
         println!(
             "  step {:>2}: {:>2} + {:>2} at distance {:.4} (size {})",
             i, m.a, m.b, m.distance, m.size
         );
     }
-    println!("\nExplained variance (top components): {:?}", pca.eigenvalues());
+    println!(
+        "\nExplained variance (top components): {:?}",
+        pca.eigenvalues()
+    );
 }

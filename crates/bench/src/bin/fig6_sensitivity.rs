@@ -53,7 +53,12 @@ fn main() {
             .iter()
             .map(|&c| {
                 let geom = DramGeometry::paper_default(32).with_cols(c);
-                (format!("#Col={c}"), DeviceConfig::new(PimTarget::BitSerial, 32).with_geometry(geom).model_only())
+                (
+                    format!("#Col={c}"),
+                    DeviceConfig::new(PimTarget::BitSerial, 32)
+                        .with_geometry(geom)
+                        .model_only(),
+                )
             })
             .collect();
         sweep("a (varying #columns)", &configs);
@@ -63,7 +68,12 @@ fn main() {
             .iter()
             .map(|&b| {
                 let geom = DramGeometry::paper_default(32).with_banks_per_rank(b);
-                (format!("#Bank={b}"), DeviceConfig::new(PimTarget::BitSerial, 32).with_geometry(geom).model_only())
+                (
+                    format!("#Bank={b}"),
+                    DeviceConfig::new(PimTarget::BitSerial, 32)
+                        .with_geometry(geom)
+                        .model_only(),
+                )
             })
             .collect();
         sweep("b (varying #banks per rank)", &configs);

@@ -2,16 +2,20 @@
 //! host, % PIM kernel) for every benchmark on all three targets with 32
 //! ranks.
 
-use pim_bench_harness::{cli_params, run_all_targets};
+use pim_bench_harness::{cli_params, export, run_all_targets};
 
 fn main() {
     let params = cli_params(0.25);
-    println!("Fig. 7: performance breakdown (percent of total) — 32 ranks, scale {}", params.scale);
+    println!(
+        "Fig. 7: performance breakdown (percent of total) — 32 ranks, scale {}",
+        params.scale
+    );
     println!(
         "{:<12} {:<22} {:>14} {:>8} {:>8}",
         "Target", "Benchmark", "DataMovement%", "Host%", "Kernel%"
     );
-    for r in run_all_targets(32, &params) {
+    let records = run_all_targets(32, &params);
+    for r in &records {
         let (dm, host, kernel) = r.stats.breakdown();
         println!(
             "{:<12} {:<22} {:>14.1} {:>8.1} {:>8.1}",
@@ -22,4 +26,5 @@ fn main() {
             100.0 * kernel
         );
     }
+    export::maybe_export(&records);
 }

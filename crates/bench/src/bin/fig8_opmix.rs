@@ -4,18 +4,22 @@
 //! Op mixes are architecture-independent (the same API stream runs on
 //! every target), so one Fulcrum pass suffices.
 
-use pim_bench_harness::{cli_params, run_suite};
+use pim_bench_harness::{cli_params, export, run_suite};
 use pimeval::{DeviceConfig, OpCategory, PimTarget};
 
 fn main() {
     let params = cli_params(0.25);
-    println!("Fig. 8: PIM operation frequency distribution (% of ops), scale {}", params.scale);
+    println!(
+        "Fig. 8: PIM operation frequency distribution (% of ops), scale {}",
+        params.scale
+    );
     print!("{:<22}", "Benchmark");
     for c in OpCategory::ALL {
         print!(" {:>9}", c.label());
     }
     println!();
-    for r in run_suite(&DeviceConfig::new(PimTarget::Fulcrum, 32), &params) {
+    let records = run_suite(&DeviceConfig::new(PimTarget::Fulcrum, 32), &params);
+    for r in &records {
         let total: u64 = r.stats.categories.values().sum();
         print!("{:<22}", r.name);
         for c in OpCategory::ALL {
@@ -24,4 +28,5 @@ fn main() {
         }
         println!();
     }
+    export::maybe_export(&records);
 }

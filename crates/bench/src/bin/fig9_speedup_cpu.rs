@@ -2,15 +2,22 @@
 //! over the baseline CPU, both with data movement ("Kernel + Data
 //! Movement") and without ("Kernel"), plus the geometric mean.
 
-use pim_bench_harness::{cli_params, fmt_ratio, gmean_or_nan, positives, run_suite};
+use pim_bench_harness::{cli_params, export, fmt_ratio, gmean_or_nan, positives, run_suite};
 use pimeval::{DeviceConfig, PimTarget};
 
 fn main() {
     let params = cli_params(0.25);
-    println!("Fig. 9: speedup over baseline CPU — 32 ranks, scale {}", params.scale);
+    println!(
+        "Fig. 9: speedup over baseline CPU — 32 ranks, scale {}",
+        params.scale
+    );
+    let mut all_records = Vec::new();
     for target in PimTarget::ALL {
         println!("\n[{target}]");
-        println!("{:<22} {:>18} {:>12}", "Benchmark", "Kernel+DataMove", "Kernel");
+        println!(
+            "{:<22} {:>18} {:>12}",
+            "Benchmark", "Kernel+DataMove", "Kernel"
+        );
         let records = run_suite(&DeviceConfig::new(target, 32), &params);
         let (mut totals, mut kernels) = (Vec::new(), Vec::new());
         for r in &records {
@@ -25,5 +32,7 @@ fn main() {
             fmt_ratio(gmean_or_nan(&positives(&totals))),
             fmt_ratio(gmean_or_nan(&positives(&kernels)))
         );
+        all_records.extend(records);
     }
+    export::maybe_export(&all_records);
 }

@@ -5,8 +5,8 @@ use pimbench::all_benchmarks;
 fn main() {
     println!("Table I: PIMbench Suite");
     println!(
-        "{:<22} {:<22} {:<11} {:<7} {:<11} {}",
-        "Domain", "Application", "Sequential", "Random", "Execution", "Input (paper)"
+        "{:<22} {:<22} {:<11} {:<7} {:<11} Input (paper)",
+        "Domain", "Application", "Sequential", "Random", "Execution"
     );
     println!("{}", "-".repeat(110));
     for b in all_benchmarks() {

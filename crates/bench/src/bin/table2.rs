@@ -46,9 +46,9 @@ fn main() {
                 "  {}-bit GDL, {}-bit Fulcrum-style ALPU + three walkers per bank",
                 cfg.timing.gdl_width_bits, cfg.pe.bank_alu_width_bits
             ),
-            PimTarget::AnalogBitSerial | PimTarget::UpmemLike => println!(
-                "  Extension target (not part of the paper's Table II evaluation)"
-            ),
+            PimTarget::AnalogBitSerial | PimTarget::UpmemLike => {
+                println!("  Extension target (not part of the paper's Table II evaluation)")
+            }
         }
         println!();
     }

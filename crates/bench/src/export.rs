@@ -1,0 +1,104 @@
+//! Machine-readable export of figure data: serializes [`SuiteRecord`]s
+//! as JSON so the tables the `src/bin/*` binaries print can also feed
+//! plotting scripts. Opt in with `--stats-json <file>` on any figure
+//! binary that calls [`maybe_export`].
+
+use std::path::PathBuf;
+
+use pimeval::trace::json::{num, stats_to_json, string};
+
+use crate::SuiteRecord;
+
+/// Renders one run record as a JSON object, embedding the full
+/// Listing-3 statistics plus the baseline comparisons the figures plot.
+pub fn record_to_json(r: &SuiteRecord) -> String {
+    format!(
+        "{{\"benchmark\":{},\"target\":{},\
+         \"pim_total_ms\":{},\"pim_kernel_ms\":{},\
+         \"cpu_ms\":{},\"gpu_ms\":{},\
+         \"cpu_energy_mj\":{},\"gpu_energy_mj\":{},\
+         \"speedup_cpu_total\":{},\"speedup_cpu_kernel\":{},\"speedup_gpu\":{},\
+         \"energy_reduction_cpu\":{},\"energy_reduction_gpu\":{},\
+         \"stats\":{}}}",
+        string(&r.name),
+        string(&r.target.to_string()),
+        num(r.pim_total_ms()),
+        num(r.pim_kernel_ms()),
+        num(r.cpu_ms),
+        num(r.gpu_ms),
+        num(r.cpu_energy_mj),
+        num(r.gpu_energy_mj),
+        num(r.speedup_cpu_total()),
+        num(r.speedup_cpu_kernel()),
+        num(r.speedup_gpu()),
+        num(r.energy_reduction_cpu()),
+        num(r.energy_reduction_gpu()),
+        stats_to_json(&r.stats, &r.config),
+    )
+}
+
+/// Renders a whole figure's records as `{"runs": [...]}`.
+pub fn records_to_json(records: &[SuiteRecord]) -> String {
+    let runs: Vec<String> = records.iter().map(record_to_json).collect();
+    format!("{{\"runs\":[\n{}\n]}}\n", runs.join(",\n"))
+}
+
+/// The `--stats-json <file>` argument, if present on the command line.
+pub fn stats_json_arg() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--stats-json")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Writes `records` to the `--stats-json` path when the flag is present;
+/// a no-op otherwise. Exits with an error message if the file cannot be
+/// written (a figure run that silently loses its export is worse than a
+/// failed one).
+pub fn maybe_export(records: &[SuiteRecord]) {
+    let Some(path) = stats_json_arg() else { return };
+    match std::fs::write(&path, records_to_json(records)) {
+        Ok(()) => eprintln!("wrote {} run(s) to {}", records.len(), path.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimbench::Params;
+    use pimeval::{DeviceConfig, PimTarget};
+
+    #[test]
+    fn records_round_trip_through_the_parser() {
+        let cfg = DeviceConfig::new(PimTarget::Fulcrum, 2);
+        let r = crate::run_one(
+            "AXPY",
+            &cfg,
+            &Params {
+                scale: 0.01,
+                seed: 1,
+            },
+        );
+        let json = records_to_json(std::slice::from_ref(&r));
+        let doc = pimeval::trace::json::Json::parse(&json).unwrap();
+        let runs = doc.get("runs").unwrap().as_array().unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.get("benchmark").unwrap().as_str(), Some("AXPY"));
+        let total = run
+            .get("stats")
+            .unwrap()
+            .get("totals")
+            .unwrap()
+            .get("kernel_time_ms")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((total - r.stats.kernel_time_ms()).abs() < 1e-9);
+    }
+}

@@ -8,6 +8,9 @@
 
 #![warn(missing_docs)]
 
+pub mod export;
+pub mod microbench;
+
 use pim_baseline::{geometric_mean, ComputeModel};
 use pimbench::{all_benchmarks, Params};
 use pimeval::{Device, DeviceConfig, PimTarget, SimStats};
@@ -75,9 +78,7 @@ impl SuiteRecord {
     /// factored out (§VI), host phases still charged.
     pub fn pim_energy_vs_gpu_mj(&self) -> f64 {
         let host_exec = self.stats.host_time_ms * ComputeModel::epyc_9124().tdp_w;
-        self.stats.kernel_energy_mj()
-            + self.stats.background_energy_mj(&self.config)
-            + host_exec
+        self.stats.kernel_energy_mj() + self.stats.background_energy_mj(&self.config) + host_exec
     }
 
     /// Energy reduction vs CPU (Fig. 11).
@@ -102,7 +103,11 @@ impl SuiteRecord {
 /// # Panics
 ///
 /// Panics if the benchmark fails to run or verify.
-fn run_paper_scale(bench: &dyn pimbench::Benchmark, config: &DeviceConfig, params: &Params) -> SuiteRecord {
+fn run_paper_scale(
+    bench: &dyn pimbench::Benchmark,
+    config: &DeviceConfig,
+    params: &Params,
+) -> SuiteRecord {
     let cpu = ComputeModel::epyc_9124();
     let gpu = ComputeModel::a100();
     let factor = bench.paper_factor(params).max(1.0);
@@ -138,7 +143,10 @@ fn run_paper_scale(bench: &dyn pimbench::Benchmark, config: &DeviceConfig, param
 /// Panics if a benchmark fails to run or verify — a failed verification
 /// would invalidate the figure being generated.
 pub fn run_suite(config: &DeviceConfig, params: &Params) -> Vec<SuiteRecord> {
-    all_benchmarks().iter().map(|bench| run_paper_scale(bench.as_ref(), config, params)).collect()
+    all_benchmarks()
+        .iter()
+        .map(|bench| run_paper_scale(bench.as_ref(), config, params))
+        .collect()
 }
 
 /// Runs the suite on all three targets with the paper's 32-rank device.
@@ -153,7 +161,10 @@ pub fn run_all_targets(ranks: usize, params: &Params) -> Vec<SuiteRecord> {
 /// scale.
 pub fn cli_params(default_scale: f64) -> Params {
     let args: Vec<String> = std::env::args().collect();
-    let mut params = Params { scale: default_scale, seed: 42 };
+    let mut params = Params {
+        scale: default_scale,
+        seed: 42,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -197,12 +208,19 @@ pub fn gmean_or_nan(values: &[f64]) -> f64 {
 
 /// The non-scalar positive part of a slice (for Gmean over ratios).
 pub fn positives(values: &[f64]) -> Vec<f64> {
-    values.iter().copied().filter(|v| *v > 0.0 && v.is_finite()).collect()
+    values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0 && v.is_finite())
+        .collect()
 }
 
 /// Benchmark names in Table I / figure order.
 pub fn suite_names() -> Vec<&'static str> {
-    all_benchmarks().iter().map(|b| b.spec().name).collect::<Vec<_>>()
+    all_benchmarks()
+        .iter()
+        .map(|b| b.spec().name)
+        .collect::<Vec<_>>()
 }
 
 /// Convenience: run one benchmark by name on one target.
@@ -222,7 +240,14 @@ mod tests {
     #[test]
     fn run_one_produces_consistent_record() {
         let cfg = DeviceConfig::new(PimTarget::Fulcrum, 4);
-        let r = run_one("AXPY", &cfg, &Params { scale: 0.01, seed: 1 });
+        let r = run_one(
+            "AXPY",
+            &cfg,
+            &Params {
+                scale: 0.01,
+                seed: 1,
+            },
+        );
         assert!(r.pim_total_ms() > r.pim_kernel_ms());
         assert!(r.speedup_cpu_kernel() >= r.speedup_cpu_total());
         assert!(r.pim_energy_vs_cpu_mj() > r.pim_energy_vs_gpu_mj());
@@ -231,7 +256,7 @@ mod tests {
     #[test]
     fn fmt_ratio_widths() {
         assert!(fmt_ratio(1234.5).contains("1234.5"));
-        assert!(fmt_ratio(3.14159).contains("3.14"));
+        assert!(fmt_ratio(3.25159).contains("3.25"));
         assert!(fmt_ratio(0.01234).contains("0.0123"));
         assert_eq!(fmt_ratio(f64::INFINITY), "inf");
     }

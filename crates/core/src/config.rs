@@ -29,7 +29,11 @@ pub enum PimTarget {
 
 impl PimTarget {
     /// The paper's three evaluated targets, in presentation order.
-    pub const ALL: [PimTarget; 3] = [PimTarget::BitSerial, PimTarget::Fulcrum, PimTarget::BankLevel];
+    pub const ALL: [PimTarget; 3] = [
+        PimTarget::BitSerial,
+        PimTarget::Fulcrum,
+        PimTarget::BankLevel,
+    ];
 
     /// All modeled targets, including the analog and UPMEM extensions.
     pub const EXTENDED: [PimTarget; 5] = [
@@ -54,7 +58,10 @@ impl PimTarget {
     /// True for the horizontal-layout (bit-parallel / word-oriented)
     /// targets.
     pub fn is_horizontal(&self) -> bool {
-        matches!(self, PimTarget::Fulcrum | PimTarget::BankLevel | PimTarget::UpmemLike)
+        matches!(
+            self,
+            PimTarget::Fulcrum | PimTarget::BankLevel | PimTarget::UpmemLike
+        )
     }
 }
 
@@ -290,15 +297,27 @@ mod tests {
     fn core_counts_match_paper() {
         // The artifact prints "8192 cores" for 4-rank Fulcrum.
         assert_eq!(DeviceConfig::new(PimTarget::Fulcrum, 4).core_count(), 8192);
-        assert_eq!(DeviceConfig::new(PimTarget::BitSerial, 4).core_count(), 16384);
+        assert_eq!(
+            DeviceConfig::new(PimTarget::BitSerial, 4).core_count(),
+            16384
+        );
         assert_eq!(DeviceConfig::new(PimTarget::BankLevel, 4).core_count(), 512);
     }
 
     #[test]
     fn rows_per_core_by_target() {
-        assert_eq!(DeviceConfig::new(PimTarget::BitSerial, 1).rows_per_core(), 1024);
-        assert_eq!(DeviceConfig::new(PimTarget::Fulcrum, 1).rows_per_core(), 2048);
-        assert_eq!(DeviceConfig::new(PimTarget::BankLevel, 1).rows_per_core(), 32768);
+        assert_eq!(
+            DeviceConfig::new(PimTarget::BitSerial, 1).rows_per_core(),
+            1024
+        );
+        assert_eq!(
+            DeviceConfig::new(PimTarget::Fulcrum, 1).rows_per_core(),
+            2048
+        );
+        assert_eq!(
+            DeviceConfig::new(PimTarget::BankLevel, 1).rows_per_core(),
+            32768
+        );
     }
 
     #[test]

@@ -16,6 +16,11 @@ use crate::object::{ObjId, PimObject};
 use crate::ops::OpKind;
 use crate::resource::ResourceManager;
 use crate::stats::SimStats;
+use crate::trace::{
+    CopyDirection, ProtocolCounters, TraceEvent, TraceSink, Tracer, DEFAULT_RECORDER_CAPACITY,
+    PROTOCOL_REPLAY_MAX_ROWS,
+};
+use crate::{pim_debug, pim_info, pim_trace};
 
 /// A simulated PIM device.
 ///
@@ -39,6 +44,7 @@ pub struct Device {
     config: DeviceConfig,
     rm: ResourceManager,
     stats: SimStats,
+    tracer: Tracer,
 }
 
 impl Device {
@@ -53,7 +59,18 @@ impl Device {
             .validate()
             .map_err(|e| PimError::InvalidArg(e.to_string()))?;
         let rm = ResourceManager::new(config.rows_per_core(), config.physical_core_count() as u64);
-        Ok(Device { config, rm, stats: SimStats::new() })
+        pim_info!(
+            "device created: target={} cores={} ranks={}",
+            config.target,
+            config.core_count(),
+            config.geometry.ranks
+        );
+        Ok(Device {
+            config,
+            rm,
+            stats: SimStats::new(),
+            tracer: Tracer::default(),
+        })
     }
 
     /// Bit-serial (DRAM-AP) device with the paper's geometry.
@@ -136,6 +153,98 @@ impl Device {
     /// Adds modeled host-side execution time (PIM + Host benchmarks).
     pub fn record_host_ms(&mut self, ms: f64) {
         self.stats.record_host_ms(ms);
+        if self.tracer.enabled() {
+            let start_ms = self.tracer.advance(ms);
+            self.tracer.emit(TraceEvent::HostPhase {
+                start_ms,
+                time_ms: ms,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    /// Enables timeline tracing into the built-in ring-buffer recorder
+    /// (capacity [`DEFAULT_RECORDER_CAPACITY`] events). Collect the
+    /// events with [`Device::take_trace`]. Tracing only *adds* events —
+    /// statistics and functional results are unchanged.
+    pub fn enable_tracing(&mut self) {
+        self.enable_tracing_with_capacity(DEFAULT_RECORDER_CAPACITY);
+    }
+
+    /// Enables tracing with an explicit recorder capacity; once the ring
+    /// fills, the oldest events are overwritten.
+    pub fn enable_tracing_with_capacity(&mut self, capacity: usize) {
+        self.tracer.install_recorder(capacity);
+        self.emit_device_created();
+    }
+
+    /// Routes trace events into a custom [`TraceSink`] instead of the
+    /// built-in recorder ([`Device::take_trace`] then returns nothing).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer.install_sink(sink);
+        self.emit_device_created();
+    }
+
+    /// Disables tracing; subsequent events are discarded. The simulated
+    /// clock keeps running so a re-enabled trace stays monotonic.
+    pub fn disable_tracing(&mut self) {
+        self.tracer.disable();
+    }
+
+    /// True if a trace sink is installed.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Drains the recorded trace, oldest event first. Empty when tracing
+    /// is disabled or routed to a custom sink.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.tracer.take_events()
+    }
+
+    /// A copy of the recorded trace without draining it.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.tracer.events()
+    }
+
+    fn emit_device_created(&mut self) {
+        let at_ms = self.tracer.clock_ms();
+        self.tracer.emit(TraceEvent::DeviceCreated {
+            at_ms,
+            target: self.config.target.to_string(),
+            cores: self.config.core_count(),
+            ranks: self.config.geometry.ranks,
+        });
+    }
+
+    /// Bounded DRAM protocol replay of one host↔device transfer: streams
+    /// up to [`PROTOCOL_REPLAY_MAX_ROWS`] row-sized chunks of the copy
+    /// through one rank's bank state machines.
+    fn protocol_replay(&self, bytes: u64) -> ProtocolCounters {
+        use pim_dram::protocol::{ProtocolTiming, RankSim};
+        let g = &self.config.geometry;
+        let row_bytes = (g.cols_per_row as u64 / 8).max(64);
+        let bursts = (row_bytes / 64).max(1) as usize;
+        let rows = bytes
+            .div_ceil(row_bytes)
+            .clamp(1, PROTOCOL_REPLAY_MAX_ROWS as u64) as usize;
+        let mut sim = RankSim::new(
+            ProtocolTiming::from_coarse(&self.config.timing),
+            g.banks_per_rank,
+        );
+        let achieved_gbs = sim.stream_read_bandwidth(rows, bursts, 64).unwrap_or(0.0);
+        let s = sim.stats();
+        ProtocolCounters {
+            activations: s.activations,
+            reads: s.reads,
+            writes: s.writes,
+            precharges: s.precharges,
+            row_hits: s.row_hits,
+            achieved_gbs,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -149,7 +258,9 @@ impl Device {
     ///
     /// [`PimError::OutOfMemory`] or [`PimError::InvalidArg`].
     pub fn alloc(&mut self, count: u64, dtype: DataType) -> Result<ObjId> {
-        self.rm.alloc(&self.config, count, dtype, None)
+        let id = self.rm.alloc(&self.config, count, dtype, None)?;
+        self.emit_alloc(id);
+        Ok(id)
     }
 
     /// Allocates an object associated with `reference`
@@ -159,7 +270,31 @@ impl Device {
     ///
     /// [`PimError::UnknownObject`], [`PimError::OutOfMemory`].
     pub fn alloc_associated(&mut self, reference: ObjId, dtype: DataType) -> Result<ObjId> {
-        self.rm.alloc_associated(&self.config, reference, dtype)
+        let id = self.rm.alloc_associated(&self.config, reference, dtype)?;
+        self.emit_alloc(id);
+        Ok(id)
+    }
+
+    fn emit_alloc(&mut self, id: ObjId) {
+        if let Ok(obj) = self.rm.get(id) {
+            pim_debug!(
+                "alloc {id}: {} x {} on {} cores",
+                obj.count,
+                obj.dtype,
+                obj.layout.cores_used
+            );
+            if self.tracer.enabled() {
+                let event = TraceEvent::Alloc {
+                    at_ms: self.tracer.clock_ms(),
+                    id: id.0,
+                    count: obj.count,
+                    dtype: obj.dtype.short_name().to_string(),
+                    cores_used: obj.layout.cores_used,
+                    rows_per_core: obj.layout.rows_per_core,
+                };
+                self.tracer.emit(event);
+            }
+        }
     }
 
     /// Allocates and initializes from a host slice in one call.
@@ -179,7 +314,13 @@ impl Device {
     ///
     /// [`PimError::UnknownObject`].
     pub fn free(&mut self, id: ObjId) -> Result<()> {
-        self.rm.free(id)
+        self.rm.free(id)?;
+        pim_debug!("free {id}");
+        if self.tracer.enabled() {
+            let at_ms = self.tracer.clock_ms();
+            self.tracer.emit(TraceEvent::Free { at_ms, id: id.0 });
+        }
+        Ok(())
     }
 
     /// Introspects a live object (layout, dtype, count).
@@ -195,15 +336,35 @@ impl Device {
     // Data movement
     // ------------------------------------------------------------------
 
-    fn charge_copy(&mut self, bytes: u64, direction: u8) {
+    fn charge_copy(&mut self, bytes: u64, direction: CopyDirection) {
         // Under decimation the functional buffer stands for `decimation`
         // times as much paper-scale data; charge transfer time/energy for
         // the represented bytes (recorded byte counts stay functional).
         let represented = bytes * self.config.decimation.max(1);
-        let time_ms = self.config.timing.host_copy_ms(represented, self.config.geometry.ranks);
-        let is_read = direction == 1;
+        let time_ms = self
+            .config
+            .timing
+            .host_copy_ms(represented, self.config.geometry.ranks);
+        let is_read = matches!(direction, CopyDirection::DeviceToHost);
         let energy_mj = self.config.power.transfer_energy_mj(time_ms, is_read);
-        self.stats.record_copy(bytes, direction, time_ms, energy_mj);
+        self.stats
+            .record_copy(bytes, direction.code(), time_ms, energy_mj);
+        pim_debug!(
+            "copy {}: {bytes} bytes in {time_ms:.6} ms",
+            direction.label()
+        );
+        if self.tracer.enabled() {
+            let protocol = Some(self.protocol_replay(bytes));
+            let start_ms = self.tracer.advance(time_ms);
+            self.tracer.emit(TraceEvent::Copy {
+                direction,
+                bytes,
+                start_ms,
+                time_ms,
+                energy_mj,
+                protocol,
+            });
+        }
     }
 
     /// Copies host data into an object (`pimCopyHostToDevice`).
@@ -216,10 +377,16 @@ impl Device {
     pub fn copy_to_device<T: PimScalar>(&mut self, data: &[T], id: ObjId) -> Result<()> {
         let obj = self.rm.get(id)?;
         if data.len() as u64 != obj.count {
-            return Err(PimError::CountMismatch { expected: obj.count, actual: data.len() as u64 });
+            return Err(PimError::CountMismatch {
+                expected: obj.count,
+                actual: data.len() as u64,
+            });
         }
         if obj.dtype != T::DTYPE {
-            return Err(PimError::DTypeMismatch { expected: obj.dtype, actual: T::DTYPE });
+            return Err(PimError::DTypeMismatch {
+                expected: obj.dtype,
+                actual: T::DTYPE,
+            });
         }
         let bytes = obj.bytes();
         let dtype = obj.dtype;
@@ -227,7 +394,7 @@ impl Device {
             let converted: Vec<i64> = data.iter().map(|v| dtype.truncate(v.to_device())).collect();
             self.rm.get_mut(id)?.data = Some(converted);
         }
-        self.charge_copy(bytes, 0);
+        self.charge_copy(bytes, CopyDirection::HostToDevice);
         Ok(())
     }
 
@@ -240,10 +407,16 @@ impl Device {
     pub fn copy_to_host<T: PimScalar>(&mut self, id: ObjId, out: &mut [T]) -> Result<()> {
         let obj = self.rm.get(id)?;
         if out.len() as u64 != obj.count {
-            return Err(PimError::CountMismatch { expected: obj.count, actual: out.len() as u64 });
+            return Err(PimError::CountMismatch {
+                expected: obj.count,
+                actual: out.len() as u64,
+            });
         }
         if obj.dtype != T::DTYPE {
-            return Err(PimError::DTypeMismatch { expected: obj.dtype, actual: T::DTYPE });
+            return Err(PimError::DTypeMismatch {
+                expected: obj.dtype,
+                actual: T::DTYPE,
+            });
         }
         let bytes = obj.bytes();
         match &obj.data {
@@ -258,7 +431,7 @@ impl Device {
                 ))
             }
         }
-        self.charge_copy(bytes, 1);
+        self.charge_copy(bytes, CopyDirection::DeviceToHost);
         Ok(())
     }
 
@@ -288,6 +461,17 @@ impl Device {
         }
         self.charge_op(OpKind::Copy, dst)?;
         self.stats.record_copy(bytes, 2, 0.0, 0.0);
+        if self.tracer.enabled() {
+            let start_ms = self.tracer.clock_ms();
+            self.tracer.emit(TraceEvent::Copy {
+                direction: CopyDirection::DeviceToDevice,
+                bytes,
+                start_ms,
+                time_ms: 0.0,
+                energy_mj: 0.0,
+                protocol: None,
+            });
+        }
         Ok(())
     }
 
@@ -298,10 +482,16 @@ impl Device {
     fn check_pair(&self, a: ObjId, b: ObjId) -> Result<()> {
         let (oa, ob) = (self.rm.get(a)?, self.rm.get(b)?);
         if oa.count != ob.count {
-            return Err(PimError::CountMismatch { expected: oa.count, actual: ob.count });
+            return Err(PimError::CountMismatch {
+                expected: oa.count,
+                actual: ob.count,
+            });
         }
         if oa.dtype != ob.dtype {
-            return Err(PimError::DTypeMismatch { expected: oa.dtype, actual: ob.dtype });
+            return Err(PimError::DTypeMismatch {
+                expected: oa.dtype,
+                actual: ob.dtype,
+            });
         }
         Ok(())
     }
@@ -311,14 +501,32 @@ impl Device {
     }
 
     fn charge_op(&mut self, kind: OpKind, costed_on: ObjId) -> Result<()> {
-        let obj = self.rm.get(costed_on)?;
-        let cost = model::op_cost(&self.config, kind, obj.dtype, &obj.layout);
-        self.stats.record_cmd(
-            kind.stat_name(obj.dtype),
-            kind.category(),
-            cost,
-            obj.layout.cores_used,
+        let (dtype, layout) = {
+            let obj = self.rm.get(costed_on)?;
+            (obj.dtype, obj.layout)
+        };
+        let cost = model::op_cost(&self.config, kind, dtype, &layout);
+        let name = kind.stat_name(dtype);
+        pim_trace!(
+            "cmd {name}: {:.6} ms on {} cores",
+            cost.time_ms,
+            layout.cores_used
         );
+        if self.tracer.enabled() {
+            let micro = model::micro_cost(&self.config, kind, dtype, &layout).map(Into::into);
+            let start_ms = self.tracer.advance(cost.time_ms);
+            self.tracer.emit(TraceEvent::Cmd {
+                name: name.clone(),
+                category: kind.category().label(),
+                start_ms,
+                time_ms: cost.time_ms,
+                energy_mj: cost.energy_mj,
+                cores_used: layout.cores_used,
+                micro,
+            });
+        }
+        self.stats
+            .record_cmd(name, kind.category(), cost, layout.cores_used);
         Ok(())
     }
 
@@ -337,7 +545,10 @@ impl Device {
             let out: Vec<i64> = {
                 let da = self.data(a)?.expect("functional object has data");
                 let db = self.data(b)?.expect("functional object has data");
-                da.iter().zip(db).map(|(&x, &y)| dtype.truncate(f(dtype, x, y))).collect()
+                da.iter()
+                    .zip(db)
+                    .map(|(&x, &y)| dtype.truncate(f(dtype, x, y)))
+                    .collect()
             };
             self.rm.get_mut(dst)?.data = Some(out);
         }
@@ -373,7 +584,9 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn add(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::Add), a, b, dst, |_, x, y| x.wrapping_add(y))
+        self.apply2(OpKind::Binary(BinaryOp::Add), a, b, dst, |_, x, y| {
+            x.wrapping_add(y)
+        })
     }
 
     /// `dst = a - b` (wrapping).
@@ -382,7 +595,9 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn sub(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::Sub), a, b, dst, |_, x, y| x.wrapping_sub(y))
+        self.apply2(OpKind::Binary(BinaryOp::Sub), a, b, dst, |_, x, y| {
+            x.wrapping_sub(y)
+        })
     }
 
     /// `dst = a * b` (wrapping, low half).
@@ -391,7 +606,9 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn mul(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::Mul), a, b, dst, |_, x, y| x.wrapping_mul(y))
+        self.apply2(OpKind::Binary(BinaryOp::Mul), a, b, dst, |_, x, y| {
+            x.wrapping_mul(y)
+        })
     }
 
     /// `dst = a & b`.
@@ -427,7 +644,9 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn xnor(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::Xnor), a, b, dst, |_, x, y| !(x ^ y))
+        self.apply2(OpKind::Binary(BinaryOp::Xnor), a, b, dst, |_, x, y| {
+            !(x ^ y)
+        })
     }
 
     /// `dst = !a`.
@@ -445,7 +664,13 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn abs(&mut self, a: ObjId, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::Abs, a, dst, |d, x| if d.is_signed() { x.wrapping_abs() } else { x })
+        self.apply1(OpKind::Abs, a, dst, |d, x| {
+            if d.is_signed() {
+                x.wrapping_abs()
+            } else {
+                x
+            }
+        })
     }
 
     /// `dst = min(a, b)` respecting signedness.
@@ -454,7 +679,13 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn min(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Min, a, b, dst, |d, x, y| if d.compare(x, y).is_lt() { x } else { y })
+        self.apply2(OpKind::Min, a, b, dst, |d, x, y| {
+            if d.compare(x, y).is_lt() {
+                x
+            } else {
+                y
+            }
+        })
     }
 
     /// `dst = max(a, b)` respecting signedness.
@@ -463,7 +694,13 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn max(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Max, a, b, dst, |d, x, y| if d.compare(x, y).is_gt() { x } else { y })
+        self.apply2(OpKind::Max, a, b, dst, |d, x, y| {
+            if d.compare(x, y).is_gt() {
+                x
+            } else {
+                y
+            }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -476,7 +713,12 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn add_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::BinaryScalar(BinaryOp::Add, k), a, dst, move |_, x| x.wrapping_add(k))
+        self.apply1(
+            OpKind::BinaryScalar(BinaryOp::Add, k),
+            a,
+            dst,
+            move |_, x| x.wrapping_add(k),
+        )
     }
 
     /// `dst = a - k`.
@@ -485,7 +727,12 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn sub_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::BinaryScalar(BinaryOp::Sub, k), a, dst, move |_, x| x.wrapping_sub(k))
+        self.apply1(
+            OpKind::BinaryScalar(BinaryOp::Sub, k),
+            a,
+            dst,
+            move |_, x| x.wrapping_sub(k),
+        )
     }
 
     /// `dst = a * k`.
@@ -494,7 +741,12 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn mul_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::BinaryScalar(BinaryOp::Mul, k), a, dst, move |_, x| x.wrapping_mul(k))
+        self.apply1(
+            OpKind::BinaryScalar(BinaryOp::Mul, k),
+            a,
+            dst,
+            move |_, x| x.wrapping_mul(k),
+        )
     }
 
     /// `dst = a & k`.
@@ -503,7 +755,12 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn and_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::BinaryScalar(BinaryOp::And, k), a, dst, move |_, x| x & k)
+        self.apply1(
+            OpKind::BinaryScalar(BinaryOp::And, k),
+            a,
+            dst,
+            move |_, x| x & k,
+        )
     }
 
     /// `dst = a | k`.
@@ -512,7 +769,12 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn or_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::BinaryScalar(BinaryOp::Or, k), a, dst, move |_, x| x | k)
+        self.apply1(
+            OpKind::BinaryScalar(BinaryOp::Or, k),
+            a,
+            dst,
+            move |_, x| x | k,
+        )
     }
 
     /// `dst = a ^ k`.
@@ -521,7 +783,12 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn xor_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::BinaryScalar(BinaryOp::Xor, k), a, dst, move |_, x| x ^ k)
+        self.apply1(
+            OpKind::BinaryScalar(BinaryOp::Xor, k),
+            a,
+            dst,
+            move |_, x| x ^ k,
+        )
     }
 
     /// `dst = min(a, k)`.
@@ -567,7 +834,9 @@ impl Device {
     pub fn scaled_add(&mut self, a: ObjId, b: ObjId, dst: ObjId, k: i64) -> Result<()> {
         let dtype = self.rm.get(a)?.dtype;
         let tmp = self.alloc_associated(a, dtype)?;
-        let result = self.mul_scalar(a, k, tmp).and_then(|()| self.add(tmp, b, dst));
+        let result = self
+            .mul_scalar(a, k, tmp)
+            .and_then(|()| self.add(tmp, b, dst));
         self.free(tmp)?;
         result
     }
@@ -582,7 +851,9 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn lt(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Cmp(CmpOp::Lt), a, b, dst, |d, x, y| i64::from(d.compare(x, y).is_lt()))
+        self.apply2(OpKind::Cmp(CmpOp::Lt), a, b, dst, |d, x, y| {
+            i64::from(d.compare(x, y).is_lt())
+        })
     }
 
     /// `dst = (a > b) ? 1 : 0`.
@@ -591,7 +862,9 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn gt(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Cmp(CmpOp::Gt), a, b, dst, |d, x, y| i64::from(d.compare(x, y).is_gt()))
+        self.apply2(OpKind::Cmp(CmpOp::Gt), a, b, dst, |d, x, y| {
+            i64::from(d.compare(x, y).is_gt())
+        })
     }
 
     /// `dst = (a == b) ? 1 : 0`.
@@ -600,7 +873,9 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn eq(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Cmp(CmpOp::Eq), a, b, dst, |_, x, y| i64::from(x == y))
+        self.apply2(OpKind::Cmp(CmpOp::Eq), a, b, dst, |_, x, y| {
+            i64::from(x == y)
+        })
     }
 
     /// `dst = (a < k) ? 1 : 0`.
@@ -648,7 +923,10 @@ impl Device {
         let c_count = self.rm.get(cond)?.count;
         let a_count = self.rm.get(a)?.count;
         if c_count != a_count {
-            return Err(PimError::CountMismatch { expected: a_count, actual: c_count });
+            return Err(PimError::CountMismatch {
+                expected: a_count,
+                actual: c_count,
+            });
         }
         if matches!(self.config.mode, SimMode::Functional) {
             let dtype = self.rm.get(a)?.dtype;
@@ -773,7 +1051,9 @@ impl Device {
         let out = match self.data(a)? {
             Some(data) => {
                 let dtype = self.rm.get(a)?.dtype;
-                data.iter().copied().reduce(|x, y| if dtype.compare(x, y).is_le() { x } else { y })
+                data.iter()
+                    .copied()
+                    .reduce(|x, y| if dtype.compare(x, y).is_le() { x } else { y })
             }
             None => None,
         };
@@ -791,7 +1071,9 @@ impl Device {
         let out = match self.data(a)? {
             Some(data) => {
                 let dtype = self.rm.get(a)?.dtype;
-                data.iter().copied().reduce(|x, y| if dtype.compare(x, y).is_ge() { x } else { y })
+                data.iter()
+                    .copied()
+                    .reduce(|x, y| if dtype.compare(x, y).is_ge() { x } else { y })
             }
             None => None,
         };
@@ -832,13 +1114,25 @@ impl Device {
         };
         let full = model::op_cost(&self.config, OpKind::RedSum, dtype, &layout);
         let frac = (end - start) as f64 / count as f64;
-        let cost = OpCost { time_ms: full.time_ms * frac, energy_mj: full.energy_mj * frac };
-        self.stats.record_cmd(
-            OpKind::RedSum.stat_name(dtype),
-            OpKind::RedSum.category(),
-            cost,
-            layout.cores_used,
-        );
+        let cost = OpCost {
+            time_ms: full.time_ms * frac,
+            energy_mj: full.energy_mj * frac,
+        };
+        let name = OpKind::RedSum.stat_name(dtype);
+        if self.tracer.enabled() {
+            let start_ms = self.tracer.advance(cost.time_ms);
+            self.tracer.emit(TraceEvent::Cmd {
+                name: name.clone(),
+                category: OpKind::RedSum.category().label(),
+                start_ms,
+                time_ms: cost.time_ms,
+                energy_mj: cost.energy_mj,
+                cores_used: layout.cores_used,
+                micro: None,
+            });
+        }
+        self.stats
+            .record_cmd(name, OpKind::RedSum.category(), cost, layout.cores_used);
         Ok(sum)
     }
 }

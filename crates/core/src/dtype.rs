@@ -45,7 +45,10 @@ impl DataType {
 
     /// True for signed two's-complement types.
     pub fn is_signed(&self) -> bool {
-        matches!(self, DataType::Int8 | DataType::Int16 | DataType::Int32 | DataType::Int64)
+        matches!(
+            self,
+            DataType::Int8 | DataType::Int16 | DataType::Int32 | DataType::Int64
+        )
     }
 
     /// Short name used in command statistics (e.g. `int32`).
@@ -174,7 +177,10 @@ mod tests {
     #[test]
     fn scalar_roundtrip() {
         assert_eq!(i32::from_device((-5i32).to_device()), -5);
-        assert_eq!(u32::from_device(4_000_000_000u32.to_device()), 4_000_000_000);
+        assert_eq!(
+            u32::from_device(4_000_000_000u32.to_device()),
+            4_000_000_000
+        );
         assert_eq!(u64::from_device(u64::MAX.to_device()), u64::MAX);
         assert!(bool::from_device(true.to_device()));
     }

@@ -44,13 +44,22 @@ impl fmt::Display for PimError {
         match self {
             PimError::UnknownObject(id) => write!(f, "unknown or freed PIM object {id}"),
             PimError::CountMismatch { expected, actual } => {
-                write!(f, "element count mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "element count mismatch: expected {expected}, got {actual}"
+                )
             }
             PimError::DTypeMismatch { expected, actual } => {
                 write!(f, "data type mismatch: expected {expected}, got {actual}")
             }
-            PimError::OutOfMemory { rows_needed, rows_available } => {
-                write!(f, "allocation needs {rows_needed} rows/core but only {rows_available} are free")
+            PimError::OutOfMemory {
+                rows_needed,
+                rows_available,
+            } => {
+                write!(
+                    f,
+                    "allocation needs {rows_needed} rows/core but only {rows_available} are free"
+                )
             }
             PimError::InvalidArg(msg) => write!(f, "invalid argument: {msg}"),
             PimError::NotSupported(msg) => write!(f, "not supported: {msg}"),

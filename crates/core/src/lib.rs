@@ -63,6 +63,7 @@ pub mod object;
 pub mod ops;
 pub mod resource;
 pub mod stats;
+pub mod trace;
 
 pub use config::{DeviceConfig, PeParams, PimTarget, SimMode};
 pub use device::Device;
@@ -72,6 +73,7 @@ pub use model::OpCost;
 pub use object::{DataLayout, ObjId, ObjectLayout, PimObject};
 pub use ops::{OpCategory, OpKind};
 pub use stats::{CmdStat, CopyStats, SimStats};
+pub use trace::{CopyDirection, Recorder, TraceEvent, TraceSink, Tracer};
 
 // Re-export substrate crates for downstream users.
 pub use pim_dram;

@@ -61,7 +61,10 @@ pub(crate) fn program_cost(kind: OpKind, dtype: DataType) -> Cost {
         // per bit plus the popcount survival test.
         OpKind::RedMin | OpKind::RedMax => {
             analog::binary(gen::BinaryOp::And, bits).cost()
-                + Cost { popcount_reads: bits as u64, ..Cost::default() }
+                + Cost {
+                    popcount_reads: bits as u64,
+                    ..Cost::default()
+                }
         }
         OpKind::Copy => analog::copy(bits).cost(),
     }
@@ -86,10 +89,8 @@ fn stripe_energy_mj(config: &DeviceConfig, cost: &Cost) -> f64 {
     let row_equiv = (cost.row_reads + cost.row_writes + cost.popcount_reads) as f64
         + cost.aap_ops as f64 * 2.0
         + cost.tra_ops as f64 * 2.0;
-    let gate_mj = cost.logic_ops as f64
-        * config.pe.bitserial_gate_pj
-        * config.cols_per_core() as f64
-        * 1e-9;
+    let gate_mj =
+        cost.logic_ops as f64 * config.pe.bitserial_gate_pj * config.cols_per_core() as f64 * 1e-9;
     let pop_mj = cost.popcount_reads as f64
         * config.pe.bitserial_popcount_pj_per_bit
         * config.cols_per_core() as f64

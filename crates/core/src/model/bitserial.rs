@@ -105,14 +105,21 @@ fn stripe_energy_mj(config: &DeviceConfig, cost: &Cost) -> f64 {
 }
 
 /// Latency and energy of `kind` on the bit-serial target.
-pub(crate) fn cost(config: &DeviceConfig, kind: OpKind, dtype: DataType, layout: &ObjectLayout) -> OpCost {
+pub(crate) fn cost(
+    config: &DeviceConfig,
+    kind: OpKind,
+    dtype: DataType,
+    layout: &ObjectLayout,
+) -> OpCost {
     if matches!(kind, OpKind::RedSum) && !config.pe.bitserial_row_popcount {
         // Ablation: without row-wide popcount hardware, the reduction
         // ships the whole object to the host over the rank interface.
-        let elems = layout.elems_per_core as u64
-            * config.physical_cores_represented(layout.cores_used) as u64;
+        let elems =
+            layout.elems_per_core * config.physical_cores_represented(layout.cores_used) as u64;
         let bytes = elems * dtype.bits() as u64 / 8;
-        let time_ms = config.timing.host_copy_ms(bytes.max(1), config.geometry.ranks);
+        let time_ms = config
+            .timing
+            .host_copy_ms(bytes.max(1), config.geometry.ranks);
         let energy_mj = config.power.transfer_energy_mj(time_ms, true);
         return OpCost { time_ms, energy_mj };
     }
@@ -154,8 +161,14 @@ mod tests {
         let layout = ObjectLayout::compute(&config, 8192, DataType::Int32, None).unwrap();
         assert_eq!(layout.units_per_core, 1);
         let c = program_cost(OpKind::Binary(BinaryOp::Add), DataType::Int32);
-        let expected_ns = c.row_reads as f64 * 28.5 + c.row_writes as f64 * 43.5 + c.logic_ops as f64;
-        let got = cost(&config, OpKind::Binary(BinaryOp::Add), DataType::Int32, &layout);
+        let expected_ns =
+            c.row_reads as f64 * 28.5 + c.row_writes as f64 * 43.5 + c.logic_ops as f64;
+        let got = cost(
+            &config,
+            OpKind::Binary(BinaryOp::Add),
+            DataType::Int32,
+            &layout,
+        );
         assert!((got.time_ms - expected_ns * 1e-6).abs() < 1e-12);
     }
 
@@ -168,8 +181,20 @@ mod tests {
         let four = ObjectLayout::compute(&config, 4 * cores * cols, DataType::Int32, None).unwrap();
         assert_eq!(one.units_per_core, 1);
         assert_eq!(four.units_per_core, 4);
-        let t1 = cost(&config, OpKind::Binary(BinaryOp::Add), DataType::Int32, &one).time_ms;
-        let t4 = cost(&config, OpKind::Binary(BinaryOp::Add), DataType::Int32, &four).time_ms;
+        let t1 = cost(
+            &config,
+            OpKind::Binary(BinaryOp::Add),
+            DataType::Int32,
+            &one,
+        )
+        .time_ms;
+        let t4 = cost(
+            &config,
+            OpKind::Binary(BinaryOp::Add),
+            DataType::Int32,
+            &four,
+        )
+        .time_ms;
         assert!((t4 / t1 - 4.0).abs() < 1e-9);
     }
 

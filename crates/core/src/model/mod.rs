@@ -29,13 +29,21 @@ impl OpCost {
     /// Sums two costs (sequential composition).
     #[must_use]
     pub fn plus(self, other: OpCost) -> OpCost {
-        OpCost { time_ms: self.time_ms + other.time_ms, energy_mj: self.energy_mj + other.energy_mj }
+        OpCost {
+            time_ms: self.time_ms + other.time_ms,
+            energy_mj: self.energy_mj + other.energy_mj,
+        }
     }
 }
 
 /// Models the latency and energy of `kind` applied to an object with
 /// `layout` holding elements of `dtype`.
-pub fn op_cost(config: &DeviceConfig, kind: OpKind, dtype: DataType, layout: &ObjectLayout) -> OpCost {
+pub fn op_cost(
+    config: &DeviceConfig,
+    kind: OpKind,
+    dtype: DataType,
+    layout: &ObjectLayout,
+) -> OpCost {
     match config.target {
         PimTarget::BitSerial => bitserial::cost(config, kind, dtype, layout),
         PimTarget::Fulcrum => parallel::cost_fulcrum(config, kind, dtype, layout),
@@ -43,6 +51,29 @@ pub fn op_cost(config: &DeviceConfig, kind: OpKind, dtype: DataType, layout: &Ob
         PimTarget::AnalogBitSerial => analog::cost(config, kind, dtype, layout),
         PimTarget::UpmemLike => upmem::cost(config, kind, dtype, layout),
     }
+}
+
+/// Low-level microcode counters for `kind` on one core, when the target
+/// executes ops as row-level microprograms.
+///
+/// For the bit-serial and analog bit-serial targets this returns the
+/// per-stripe program cost scaled by the number of stripes a core
+/// processes (`units_per_core`), i.e. the row reads/writes/logic ops one
+/// core issues to execute the command. The word-parallel targets
+/// (Fulcrum, bank-level, UPMEM-like) do not run microprograms, so this
+/// returns `None`.
+pub fn micro_cost(
+    config: &DeviceConfig,
+    kind: OpKind,
+    dtype: DataType,
+    layout: &ObjectLayout,
+) -> Option<pim_microcode::Cost> {
+    let per_stripe = match config.target {
+        PimTarget::BitSerial => bitserial::program_cost(kind, dtype),
+        PimTarget::AnalogBitSerial => analog::program_cost(kind, dtype),
+        _ => return None,
+    };
+    Some(per_stripe.scaled(layout.units_per_core.max(1)))
 }
 
 /// Cross-core merge cost for reductions: every used core ships an 8-byte
@@ -74,14 +105,33 @@ mod tests {
         for target in PimTarget::ALL {
             let cfg = DeviceConfig::new(target, 32);
             let layout = layout_for(&cfg, n);
-            add.push(op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &layout).time_ms);
-            mul.push(op_cost(&cfg, OpKind::Binary(BinaryOp::Mul), DataType::Int32, &layout).time_ms);
+            add.push(
+                op_cost(
+                    &cfg,
+                    OpKind::Binary(BinaryOp::Add),
+                    DataType::Int32,
+                    &layout,
+                )
+                .time_ms,
+            );
+            mul.push(
+                op_cost(
+                    &cfg,
+                    OpKind::Binary(BinaryOp::Mul),
+                    DataType::Int32,
+                    &layout,
+                )
+                .time_ms,
+            );
         }
         // add: bit-serial fastest.
         assert!(add[0] < add[1] && add[0] < add[2], "add latencies {add:?}");
         // mul: Fulcrum fastest; bit-serial still beats bank-level.
         assert!(mul[1] < mul[0] && mul[1] < mul[2], "mul latencies {mul:?}");
-        assert!(mul[0] < mul[2], "bit-serial should beat bank-level on mul: {mul:?}");
+        assert!(
+            mul[0] < mul[2],
+            "bit-serial should beat bank-level on mul: {mul:?}"
+        );
     }
 
     #[test]
@@ -93,8 +143,14 @@ mod tests {
             let layout = layout_for(&cfg, n);
             pop.push(op_cost(&cfg, OpKind::Popcount, DataType::Int32, &layout).time_ms);
         }
-        assert!(pop[2] < pop[1], "bank-level popcount beats Fulcrum: {pop:?}");
-        assert!(pop[0] < pop[1], "bit-serial popcount beats Fulcrum: {pop:?}");
+        assert!(
+            pop[2] < pop[1],
+            "bank-level popcount beats Fulcrum: {pop:?}"
+        );
+        assert!(
+            pop[0] < pop[1],
+            "bit-serial popcount beats Fulcrum: {pop:?}"
+        );
     }
 
     #[test]
@@ -106,7 +162,10 @@ mod tests {
             let layout = layout_for(&cfg, n);
             red.push(op_cost(&cfg, OpKind::RedSum, DataType::Int32, &layout).time_ms);
         }
-        assert!(red[0] < red[1] && red[0] < red[2], "reduction latencies {red:?}");
+        assert!(
+            red[0] < red[1] && red[0] < red[2],
+            "reduction latencies {red:?}"
+        );
     }
 
     #[test]
@@ -117,8 +176,17 @@ mod tests {
             for ranks in [1, 2, 4, 8, 16, 32] {
                 let cfg = DeviceConfig::new(target, ranks);
                 let layout = layout_for(&cfg, n);
-                let t = op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &layout).time_ms;
-                assert!(t <= prev * 1.0001, "{target}: ranks={ranks} t={t} prev={prev}");
+                let t = op_cost(
+                    &cfg,
+                    OpKind::Binary(BinaryOp::Add),
+                    DataType::Int32,
+                    &layout,
+                )
+                .time_ms;
+                assert!(
+                    t <= prev * 1.0001,
+                    "{target}: ranks={ranks} t={t} prev={prev}"
+                );
                 prev = t;
             }
         }
@@ -142,14 +210,22 @@ mod tests {
         let l32 = ObjectLayout::compute(&cfg, n, DataType::Int32, None).unwrap();
         let t_add = op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &l32).time_ms;
         let t_mul = op_cost(&cfg, OpKind::Binary(BinaryOp::Mul), DataType::Int32, &l32).time_ms;
-        assert!((t_mul / t_add - 1.0).abs() < 1e-9, "1 cycle each on the scalar ALU");
+        assert!(
+            (t_mul / t_add - 1.0).abs() < 1e-9,
+            "1 cycle each on the scalar ALU"
+        );
     }
 
     #[test]
     fn energy_is_positive_and_additive() {
         let cfg = DeviceConfig::new(PimTarget::Fulcrum, 4);
         let layout = layout_for(&cfg, 1 << 20);
-        let a = op_cost(&cfg, OpKind::Binary(BinaryOp::Add, ), DataType::Int32, &layout);
+        let a = op_cost(
+            &cfg,
+            OpKind::Binary(BinaryOp::Add),
+            DataType::Int32,
+            &layout,
+        );
         assert!(a.energy_mj > 0.0 && a.time_ms > 0.0);
         let sum = a.plus(a);
         assert!((sum.energy_mj - 2.0 * a.energy_mj).abs() < 1e-12);

@@ -25,7 +25,13 @@ struct Traffic {
     elems: f64,
 }
 
-fn traffic(kind: OpKind, dtype: DataType, layout: &ObjectLayout, alu_width: u32, popcount_cycles: u32) -> Traffic {
+fn traffic(
+    kind: OpKind,
+    dtype: DataType,
+    layout: &ObjectLayout,
+    alu_width: u32,
+    popcount_cycles: u32,
+) -> Traffic {
     let units = layout.units_per_core.max(1) as f64;
     let elems = layout.elems_per_core.max(1) as f64;
     let rows_in = kind.input_operands() as f64 * units;
@@ -36,7 +42,11 @@ fn traffic(kind: OpKind, dtype: DataType, layout: &ObjectLayout, alu_width: u32,
     let width = alu_width as f64;
     // Types wider than the datapath take ceil(bits/width) cycles per op;
     // narrower types pack width/bits SIMD lanes into one cycle.
-    let width_factor = if bits >= width { (bits / width).ceil() } else { bits / width };
+    let width_factor = if bits >= width {
+        (bits / width).ceil()
+    } else {
+        bits / width
+    };
     let per_elem = kind.alu_cycles(popcount_cycles) as f64 * width_factor;
     // Broadcast/copy move rows without per-element ALU work; charge one
     // register cycle per row for the walker fill.
@@ -44,7 +54,12 @@ fn traffic(kind: OpKind, dtype: DataType, layout: &ObjectLayout, alu_width: u32,
         OpKind::Copy | OpKind::Broadcast(_) => units,
         _ => elems * per_elem,
     };
-    Traffic { rows_in, rows_out, cycles, elems }
+    Traffic {
+        rows_in,
+        rows_out,
+        cycles,
+        elems,
+    }
 }
 
 fn combine(
@@ -57,7 +72,11 @@ fn combine(
     let timing = &config.timing;
     let pe = &config.pe;
     let cols = config.cols_per_core() as f64;
-    let gdl_ns = if gdl { timing.gdl_row_transfer_ns(config.cols_per_core()) } else { 0.0 };
+    let gdl_ns = if gdl {
+        timing.gdl_row_transfer_ns(config.cols_per_core())
+    } else {
+        0.0
+    };
 
     // When the decimation factor exceeds the physical core count, the
     // paper-scale machine holds `overflow`× more rows/elements per core
@@ -71,8 +90,11 @@ fn combine(
     let startup_ns = timing.row_read_ns + gdl_ns;
     // With the three walkers, fetch overlaps compute (max); without
     // pipelining they serialize (sum) — the ablation knob.
-    let busy_ns =
-        if pe.walker_pipelining { row_ns.max(compute_ns) } else { row_ns + compute_ns };
+    let busy_ns = if pe.walker_pipelining {
+        row_ns.max(compute_ns)
+    } else {
+        row_ns + compute_ns
+    };
     let time_ms = (busy_ns * overflow + startup_ns) * 1e-6;
 
     // Energy: activations for every row touched, walker latching, GDL
@@ -82,8 +104,16 @@ fn combine(
     let rows = t.rows_in + t.rows_out;
     let ap_mj = rows * ap_nj * 1e-6;
     let walker_mj = rows * cols * pe.walker_pj_per_bit * 1e-9;
-    let gdl_mj = if gdl { rows * cols * pe.gdl_pj_per_bit * 1e-9 } else { 0.0 };
-    let width_scale = if gdl { config.pe.bank_alu_width_bits as f64 / 32.0 } else { 1.0 };
+    let gdl_mj = if gdl {
+        rows * cols * pe.gdl_pj_per_bit * 1e-9
+    } else {
+        0.0
+    };
+    let width_scale = if gdl {
+        config.pe.bank_alu_width_bits as f64 / 32.0
+    } else {
+        1.0
+    };
     let alu_mj = match kind {
         OpKind::Copy | OpKind::Broadcast(_) => 0.0,
         _ => t.cycles * pe.alu_op_pj * width_scale * 1e-9,

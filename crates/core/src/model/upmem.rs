@@ -23,7 +23,8 @@ use super::{reduction_merge, OpCost};
 fn insns_per_elem(kind: OpKind, base: f64) -> f64 {
     match kind {
         // 32×32 multiply is a multi-instruction sequence on the DPU ISA.
-        OpKind::Binary(pim_microcode::gen::BinaryOp::Mul) | OpKind::BinaryScalar(pim_microcode::gen::BinaryOp::Mul, _) => base + 24.0,
+        OpKind::Binary(pim_microcode::gen::BinaryOp::Mul)
+        | OpKind::BinaryScalar(pim_microcode::gen::BinaryOp::Mul, _) => base + 24.0,
         // SWAR popcount, as on Fulcrum.
         OpKind::Popcount => base + 12.0,
         // Reductions keep the accumulator in a register: no store.
@@ -94,8 +95,12 @@ mod tests {
         let cfg = DeviceConfig::new(PimTarget::UpmemLike, 1);
         let n = 1u64 << 24;
         let layout = ObjectLayout::compute(&cfg, n, DataType::Int32, None).unwrap();
-        let t =
-            crate::model::op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &layout);
+        let t = crate::model::op_cost(
+            &cfg,
+            OpKind::Binary(BinaryOp::Add),
+            DataType::Int32,
+            &layout,
+        );
         // Per-DPU bytes (3 streams) over the modeled time must not
         // exceed the MRAM DMA bandwidth.
         let bytes_per_dpu = layout.elems_per_core as f64 * 4.0 * 3.0;
@@ -107,10 +112,18 @@ mod tests {
     fn mul_costs_more_than_add() {
         let cfg = DeviceConfig::new(PimTarget::UpmemLike, 1);
         let layout = ObjectLayout::compute(&cfg, 1 << 24, DataType::Int32, None).unwrap();
-        let add =
-            crate::model::op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &layout);
-        let mul =
-            crate::model::op_cost(&cfg, OpKind::Binary(BinaryOp::Mul), DataType::Int32, &layout);
+        let add = crate::model::op_cost(
+            &cfg,
+            OpKind::Binary(BinaryOp::Add),
+            DataType::Int32,
+            &layout,
+        );
+        let mul = crate::model::op_cost(
+            &cfg,
+            OpKind::Binary(BinaryOp::Mul),
+            DataType::Int32,
+            &layout,
+        );
         assert!(mul.time_ms > add.time_ms);
     }
 }

@@ -225,8 +225,14 @@ mod tests {
 
     #[test]
     fn stat_names_match_artifact_style() {
-        assert_eq!(OpKind::Binary(BinaryOp::Add).stat_name(DataType::Int32), "add.int32");
-        assert_eq!(OpKind::CmpScalar(CmpOp::Lt, 3).stat_name(DataType::UInt8), "lt_scalar.uint8");
+        assert_eq!(
+            OpKind::Binary(BinaryOp::Add).stat_name(DataType::Int32),
+            "add.int32"
+        );
+        assert_eq!(
+            OpKind::CmpScalar(CmpOp::Lt, 3).stat_name(DataType::UInt8),
+            "lt_scalar.uint8"
+        );
         assert_eq!(OpKind::ShiftR(2).stat_name(DataType::Int32), "shr2.int32");
     }
 

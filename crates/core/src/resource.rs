@@ -78,7 +78,16 @@ impl ResourceManager {
             SimMode::Functional => Some(vec![0i64; count as usize]),
             SimMode::ModelOnly => None,
         };
-        self.objects.insert(id.0, PimObject { id, dtype, count, layout, data });
+        self.objects.insert(
+            id.0,
+            PimObject {
+                id,
+                dtype,
+                count,
+                layout,
+                data,
+            },
+        );
         Ok(id)
     }
 
@@ -109,7 +118,10 @@ impl ResourceManager {
     ///
     /// [`PimError::UnknownObject`] if the ID is not live.
     pub fn free(&mut self, id: ObjId) -> Result<()> {
-        let obj = self.objects.remove(&id.0).ok_or(PimError::UnknownObject(id))?;
+        let obj = self
+            .objects
+            .remove(&id.0)
+            .ok_or(PimError::UnknownObject(id))?;
         self.rows_in_use -= obj.layout.rows_per_core * obj.layout.cores_used as u64;
         Ok(())
     }
@@ -129,7 +141,9 @@ impl ResourceManager {
     ///
     /// [`PimError::UnknownObject`] if the ID is not live.
     pub fn get_mut(&mut self, id: ObjId) -> Result<&mut PimObject> {
-        self.objects.get_mut(&id.0).ok_or(PimError::UnknownObject(id))
+        self.objects
+            .get_mut(&id.0)
+            .ok_or(PimError::UnknownObject(id))
     }
 
     /// Number of live objects.

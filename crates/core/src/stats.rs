@@ -45,7 +45,7 @@ impl CopyStats {
 /// Three time components mirror the paper's Fig. 7 breakdown: data
 /// movement ([`CopyStats::time_ms`]), host execution ([`SimStats::host_time_ms`])
 /// and PIM kernel time ([`SimStats::kernel_time_ms`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Copy statistics.
     pub copy: CopyStats,
@@ -66,7 +66,13 @@ impl SimStats {
     }
 
     /// Records one PIM command invocation.
-    pub fn record_cmd(&mut self, name: String, category: OpCategory, cost: OpCost, cores_used: usize) {
+    pub fn record_cmd(
+        &mut self,
+        name: String,
+        category: OpCategory,
+        cost: OpCost,
+        cores_used: usize,
+    ) {
         let e = self.cmds.entry(name).or_default();
         e.count += 1;
         e.time_ms += cost.time_ms;
@@ -127,7 +133,9 @@ impl SimStats {
     /// subarrays × kernel time.
     pub fn background_energy_mj(&self, config: &DeviceConfig) -> f64 {
         let subarrays = config.active_subarrays(self.max_cores_used);
-        config.power.background_energy_mj(subarrays, self.kernel_time_ms())
+        config
+            .power
+            .background_energy_mj(subarrays, self.kernel_time_ms())
     }
 
     /// CPU idle energy while waiting on PIM (10 W default): W × ms = mJ.
@@ -173,17 +181,57 @@ impl SimStats {
             "  Rank, Bank, Subarray, Row, Col: {}, {}, {}, {}, {}",
             g.ranks, g.banks_per_rank, g.subarrays_per_bank, g.rows_per_subarray, g.cols_per_row
         );
-        let _ = writeln!(out, "  Number of PIM Cores           : {}", config.core_count());
-        let _ = writeln!(out, "  Number of Rows per Core       : {}", config.rows_per_core());
-        let _ = writeln!(out, "  Number of Cols per Core       : {}", config.cols_per_core());
-        let _ = writeln!(out, "  Typical Rank BW               : {:.6} GB/s", config.timing.rank_bandwidth_gbs);
-        let _ = writeln!(out, "  Row Read (ns)                 : {:.6}", config.timing.row_read_ns);
-        let _ = writeln!(out, "  Row Write (ns)                : {:.6}", config.timing.row_write_ns);
-        let _ = writeln!(out, "  tCCD (ns)                     : {:.6}", config.timing.t_ccd_ns);
+        let _ = writeln!(
+            out,
+            "  Number of PIM Cores           : {}",
+            config.core_count()
+        );
+        let _ = writeln!(
+            out,
+            "  Number of Rows per Core       : {}",
+            config.rows_per_core()
+        );
+        let _ = writeln!(
+            out,
+            "  Number of Cols per Core       : {}",
+            config.cols_per_core()
+        );
+        let _ = writeln!(
+            out,
+            "  Typical Rank BW               : {:.6} GB/s",
+            config.timing.rank_bandwidth_gbs
+        );
+        let _ = writeln!(
+            out,
+            "  Row Read (ns)                 : {:.6}",
+            config.timing.row_read_ns
+        );
+        let _ = writeln!(
+            out,
+            "  Row Write (ns)                : {:.6}",
+            config.timing.row_write_ns
+        );
+        let _ = writeln!(
+            out,
+            "  tCCD (ns)                     : {:.6}",
+            config.timing.t_ccd_ns
+        );
         let _ = writeln!(out, "Data Copy Stats:");
-        let _ = writeln!(out, "  Host to Device   : {} bytes", self.copy.host_to_device_bytes);
-        let _ = writeln!(out, "  Device to Host   : {} bytes", self.copy.device_to_host_bytes);
-        let _ = writeln!(out, "  Device to Device : {} bytes", self.copy.device_to_device_bytes);
+        let _ = writeln!(
+            out,
+            "  Host to Device   : {} bytes",
+            self.copy.host_to_device_bytes
+        );
+        let _ = writeln!(
+            out,
+            "  Device to Host   : {} bytes",
+            self.copy.device_to_host_bytes
+        );
+        let _ = writeln!(
+            out,
+            "  Device to Device : {} bytes",
+            self.copy.device_to_device_bytes
+        );
         let _ = writeln!(
             out,
             "  TOTAL ---------- : {} bytes {:.6}ms Runtime {:.6}mJ Energy",
@@ -230,7 +278,15 @@ mod tests {
         let mut s = SimStats::new();
         s.record_copy(1024, 0, 0.5, 0.1);
         s.record_host_ms(0.25);
-        s.record_cmd("add.int32".into(), OpCategory::Add, OpCost { time_ms: 0.25, energy_mj: 0.2 }, 7);
+        s.record_cmd(
+            "add.int32".into(),
+            OpCategory::Add,
+            OpCost {
+                time_ms: 0.25,
+                energy_mj: 0.2,
+            },
+            7,
+        );
         let (dm, host, kernel) = s.breakdown();
         assert!((dm + host + kernel - 1.0).abs() < 1e-12);
         assert!((dm - 0.5).abs() < 1e-12);
@@ -246,7 +302,15 @@ mod tests {
     fn cmd_aggregation_accumulates() {
         let mut s = SimStats::new();
         for _ in 0..3 {
-            s.record_cmd("mul.int32".into(), OpCategory::Mul, OpCost { time_ms: 1.0, energy_mj: 2.0 }, 1);
+            s.record_cmd(
+                "mul.int32".into(),
+                OpCategory::Mul,
+                OpCost {
+                    time_ms: 1.0,
+                    energy_mj: 2.0,
+                },
+                1,
+            );
         }
         let c = s.cmds["mul.int32"];
         assert_eq!(c.count, 3);
@@ -259,7 +323,15 @@ mod tests {
     fn report_contains_key_sections() {
         let cfg = DeviceConfig::new(PimTarget::Fulcrum, 4);
         let mut s = SimStats::new();
-        s.record_cmd("add.int32".into(), OpCategory::Add, OpCost { time_ms: 0.00166, energy_mj: 0.0042 }, 8192);
+        s.record_cmd(
+            "add.int32".into(),
+            OpCategory::Add,
+            OpCost {
+                time_ms: 0.00166,
+                energy_mj: 0.0042,
+            },
+            8192,
+        );
         let r = s.report(&cfg);
         assert!(r.contains("PIM Params:"));
         assert!(r.contains("Data Copy Stats:"));
@@ -271,7 +343,15 @@ mod tests {
     fn idle_energy_is_watts_times_ms() {
         let cfg = DeviceConfig::new(PimTarget::BitSerial, 1);
         let mut s = SimStats::new();
-        s.record_cmd("add.int32".into(), OpCategory::Add, OpCost { time_ms: 100.0, energy_mj: 1.0 }, 1);
+        s.record_cmd(
+            "add.int32".into(),
+            OpCategory::Add,
+            OpCost {
+                time_ms: 100.0,
+                energy_mj: 1.0,
+            },
+            1,
+        );
         assert!((s.host_idle_energy_mj(&cfg) - 1000.0).abs() < 1e-9);
     }
 }

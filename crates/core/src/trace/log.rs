@@ -1,0 +1,147 @@
+//! Leveled diagnostic logging gated by the `PIM_LOG` environment
+//! variable.
+//!
+//! `PIM_LOG` is read once per process and accepts `off`, `error`,
+//! `warn`, `info`, `debug`, or `trace` (case-insensitive; unset or
+//! unrecognized values mean `off`). Messages go to stderr so they never
+//! interleave with report/JSON output on stdout.
+//!
+//! Use the [`pim_log!`](crate::pim_log) macro (or the level shorthands
+//! [`pim_info!`](crate::pim_info) etc.) so the format arguments are only
+//! evaluated when the level is enabled:
+//!
+//! ```
+//! pimeval::pim_info!("device ready with {} cores", 8192);
+//! ```
+
+use std::sync::OnceLock;
+
+/// Log verbosity, ordered from silent to most verbose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No logging (the default).
+    Off,
+    /// Unrecoverable problems.
+    Error,
+    /// Suspicious conditions.
+    Warn,
+    /// Lifecycle events: device creation, run boundaries, file exports.
+    Info,
+    /// Per-object events: allocations, frees, copies.
+    Debug,
+    /// Per-command events (hot path; very verbose).
+    Trace,
+}
+
+impl Level {
+    fn parse(s: &str) -> Level {
+        match s.to_ascii_lowercase().as_str() {
+            "error" | "1" => Level::Error,
+            "warn" | "warning" | "2" => Level::Warn,
+            "info" | "3" => Level::Info,
+            "debug" | "4" => Level::Debug,
+            "trace" | "5" => Level::Trace,
+            _ => Level::Off,
+        }
+    }
+
+    /// Lowercase label used as the log-line prefix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+static MAX_LEVEL: OnceLock<Level> = OnceLock::new();
+
+/// The process-wide maximum level, parsed from `PIM_LOG` on first use.
+pub fn max_level() -> Level {
+    *MAX_LEVEL.get_or_init(|| {
+        std::env::var("PIM_LOG")
+            .map(|v| Level::parse(&v))
+            .unwrap_or(Level::Off)
+    })
+}
+
+/// True if a message at `level` would be printed.
+pub fn enabled(level: Level) -> bool {
+    level <= max_level() && max_level() != Level::Off && level != Level::Off
+}
+
+/// Prints one log line to stderr. Prefer the macros, which skip argument
+/// formatting when the level is disabled.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("[pim {}] {}", level.label(), args);
+}
+
+/// Logs at an explicit [`Level`](crate::trace::log::Level); formatting is
+/// skipped entirely when the level is disabled.
+#[macro_export]
+macro_rules! pim_log {
+    ($lvl:expr, $($arg:tt)*) => {
+        if $crate::trace::log::enabled($lvl) {
+            $crate::trace::log::log($lvl, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at `Level::Error`.
+#[macro_export]
+macro_rules! pim_error {
+    ($($arg:tt)*) => { $crate::pim_log!($crate::trace::log::Level::Error, $($arg)*) };
+}
+
+/// Logs at `Level::Warn`.
+#[macro_export]
+macro_rules! pim_warn {
+    ($($arg:tt)*) => { $crate::pim_log!($crate::trace::log::Level::Warn, $($arg)*) };
+}
+
+/// Logs at `Level::Info`.
+#[macro_export]
+macro_rules! pim_info {
+    ($($arg:tt)*) => { $crate::pim_log!($crate::trace::log::Level::Info, $($arg)*) };
+}
+
+/// Logs at `Level::Debug`.
+#[macro_export]
+macro_rules! pim_debug {
+    ($($arg:tt)*) => { $crate::pim_log!($crate::trace::log::Level::Debug, $($arg)*) };
+}
+
+/// Logs at `Level::Trace`.
+#[macro_export]
+macro_rules! pim_trace {
+    ($($arg:tt)*) => { $crate::pim_log!($crate::trace::log::Level::Trace, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Error < Level::Trace);
+        assert!(Level::Off < Level::Error);
+    }
+
+    #[test]
+    fn parse_accepts_names_and_numbers() {
+        assert_eq!(Level::parse("DEBUG"), Level::Debug);
+        assert_eq!(Level::parse("3"), Level::Info);
+        assert_eq!(Level::parse("nonsense"), Level::Off);
+        assert_eq!(Level::parse(""), Level::Off);
+    }
+
+    #[test]
+    fn off_is_never_enabled() {
+        // Whatever PIM_LOG is set to, Level::Off messages never print.
+        assert!(!enabled(Level::Off));
+    }
+}

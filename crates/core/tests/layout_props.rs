@@ -1,119 +1,156 @@
-//! Property tests on layout computation and resource-manager invariants.
+//! Property tests on layout computation and resource-manager invariants,
+//! driven by a seeded SplitMix64 stream so they run deterministically
+//! without any registry dependency.
 
 use pimeval::{DataType, DeviceConfig, ObjectLayout, PimTarget};
-use proptest::prelude::*;
 
-fn dtypes() -> impl Strategy<Value = DataType> {
-    prop_oneof![
-        Just(DataType::Bool),
-        Just(DataType::Int8),
-        Just(DataType::Int16),
-        Just(DataType::Int32),
-        Just(DataType::Int64),
-        Just(DataType::UInt32),
-    ]
+const DTYPES: [DataType; 6] = [
+    DataType::Bool,
+    DataType::Int8,
+    DataType::Int16,
+    DataType::Int32,
+    DataType::Int64,
+    DataType::UInt32,
+];
+
+const TARGETS: [PimTarget; 4] = [
+    PimTarget::BitSerial,
+    PimTarget::Fulcrum,
+    PimTarget::BankLevel,
+    PimTarget::AnalogBitSerial,
+];
+
+/// Deterministic SplitMix64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
 }
 
-fn targets() -> impl Strategy<Value = PimTarget> {
-    prop_oneof![
-        Just(PimTarget::BitSerial),
-        Just(PimTarget::Fulcrum),
-        Just(PimTarget::BankLevel),
-        Just(PimTarget::AnalogBitSerial),
-    ]
+#[test]
+fn layout_invariants() {
+    let mut rng = Rng(0x1A70_0001);
+    for target in TARGETS {
+        for dtype in DTYPES {
+            for ranks in 1..8usize {
+                for _ in 0..8 {
+                    let count = 1 + rng.below(100_000_000 - 1);
+                    let cfg = DeviceConfig::new(target, ranks);
+                    if let Ok(layout) = ObjectLayout::compute(&cfg, count, dtype, None) {
+                        // Core usage bounded by the device.
+                        assert!(layout.cores_used >= 1);
+                        assert!(layout.cores_used <= cfg.core_count());
+                        // The busiest core's rows fit a core.
+                        assert!(layout.rows_per_core >= 1);
+                        assert!(layout.rows_per_core <= cfg.rows_per_core());
+                        // Capacity covers the element count.
+                        let capacity = layout.elems_per_core as u128 * layout.cores_used as u128;
+                        assert!(
+                            capacity >= count as u128,
+                            "capacity {capacity} < count {count} ({layout:?})"
+                        );
+                        // Vertical layouts use `bits` rows per stripe.
+                        if !target.is_horizontal() {
+                            assert_eq!(
+                                layout.rows_per_core,
+                                layout.units_per_core * dtype.bits() as u64
+                            );
+                        }
+                        // Utilization is a valid fraction.
+                        let u = layout.core_utilization(&cfg);
+                        assert!((0.0..=1.0).contains(&u));
+                    }
+                }
+            }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn associated_layouts_align() {
+    let mut rng = Rng(0x1A70_0002);
+    for target in TARGETS {
+        for _ in 0..32 {
+            let count = 1 + rng.below(10_000_000 - 1);
+            let cfg = DeviceConfig::new(target, 2);
+            let a = ObjectLayout::compute(&cfg, count, DataType::Int32, None).unwrap();
+            let b =
+                ObjectLayout::compute(&cfg, count, DataType::Int32, Some(a.cores_used)).unwrap();
+            assert_eq!(a.cores_used, b.cores_used);
+            assert_eq!(a.elems_per_core, b.elems_per_core);
+        }
+    }
+}
 
-    #[test]
-    fn layout_invariants(
-        count in 1u64..100_000_000,
-        dtype in dtypes(),
-        target in targets(),
-        ranks in 1usize..8,
-    ) {
-        let cfg = DeviceConfig::new(target, ranks);
-        if let Ok(layout) = ObjectLayout::compute(&cfg, count, dtype, None) {
-            // Core usage bounded by the device.
-            prop_assert!(layout.cores_used >= 1);
-            prop_assert!(layout.cores_used <= cfg.core_count());
-            // The busiest core's rows fit a core.
-            prop_assert!(layout.rows_per_core >= 1);
-            prop_assert!(layout.rows_per_core <= cfg.rows_per_core());
-            // Capacity covers the element count.
-            let capacity = layout.elems_per_core as u128 * layout.cores_used as u128;
-            prop_assert!(capacity >= count as u128,
-                "capacity {capacity} < count {count} ({layout:?})");
-            // Vertical layouts use `bits` rows per stripe.
-            if !target.is_horizontal() {
-                prop_assert_eq!(
-                    layout.rows_per_core,
-                    layout.units_per_core * dtype.bits() as u64
-                );
+#[test]
+fn alloc_free_sequences_preserve_accounting() {
+    let mut rng = Rng(0x1A70_0003);
+    for target in TARGETS {
+        for _ in 0..16 {
+            let n_ops = 1 + rng.below(59) as usize;
+            let cfg = DeviceConfig::new(target, 1);
+            let mut dev = pimeval::Device::new(cfg).unwrap();
+            let mut live = Vec::new();
+            for _ in 0..n_ops {
+                let count = 1 + rng.below(1_000_000 - 1);
+                let free_one = rng.next_bool();
+                if free_one && !live.is_empty() {
+                    let id = live.swap_remove(0);
+                    assert!(dev.free(id).is_ok());
+                } else if let Ok(id) = dev.alloc(count, DataType::Int32) {
+                    live.push(id);
+                }
             }
-            // Utilization is a valid fraction.
-            let u = layout.core_utilization(&cfg);
-            prop_assert!((0.0..=1.0).contains(&u));
-        }
-    }
-
-    #[test]
-    fn associated_layouts_align(
-        count in 1u64..10_000_000,
-        target in targets(),
-    ) {
-        let cfg = DeviceConfig::new(target, 2);
-        let a = ObjectLayout::compute(&cfg, count, DataType::Int32, None).unwrap();
-        let b = ObjectLayout::compute(&cfg, count, DataType::Int32, Some(a.cores_used)).unwrap();
-        prop_assert_eq!(a.cores_used, b.cores_used);
-        prop_assert_eq!(a.elems_per_core, b.elems_per_core);
-    }
-
-    #[test]
-    fn alloc_free_sequences_preserve_accounting(
-        ops in proptest::collection::vec((1u64..1_000_000, any::<bool>()), 1..60),
-        target in targets(),
-    ) {
-        let cfg = DeviceConfig::new(target, 1);
-        let mut dev = pimeval::Device::new(cfg).unwrap();
-        let mut live = Vec::new();
-        for (count, free_one) in ops {
-            if free_one && !live.is_empty() {
-                let id = live.swap_remove(0);
-                prop_assert!(dev.free(id).is_ok());
-            } else if let Ok(id) = dev.alloc(count, DataType::Int32) {
-                live.push(id);
+            for id in live {
+                assert!(dev.free(id).is_ok());
             }
+            // After freeing everything, a large allocation must succeed again.
+            assert!(dev.alloc(1_000_000, DataType::Int32).is_ok());
         }
-        for id in live {
-            prop_assert!(dev.free(id).is_ok());
-        }
-        // After freeing everything, a large allocation must succeed again.
-        prop_assert!(dev.alloc(1_000_000, DataType::Int32).is_ok());
     }
+}
 
-    #[test]
-    fn model_costs_are_finite_and_positive(
-        count in 1u64..50_000_000,
-        target in targets(),
-        dtype in dtypes(),
-    ) {
-        use pimeval::pim_microcode::gen::BinaryOp;
-        let cfg = DeviceConfig::new(target, 4);
-        if let Ok(layout) = ObjectLayout::compute(&cfg, count, dtype, None) {
-            for kind in [
-                pimeval::OpKind::Binary(BinaryOp::Add),
-                pimeval::OpKind::Binary(BinaryOp::Mul),
-                pimeval::OpKind::RedSum,
-                pimeval::OpKind::RedMin,
-                pimeval::OpKind::Popcount,
-                pimeval::OpKind::Select,
-                pimeval::OpKind::Copy,
-            ] {
-                let c = pimeval::model::op_cost(&cfg, kind, dtype, &layout);
-                prop_assert!(c.time_ms.is_finite() && c.time_ms > 0.0, "{kind:?} {c:?}");
-                prop_assert!(c.energy_mj.is_finite() && c.energy_mj > 0.0, "{kind:?} {c:?}");
+#[test]
+fn model_costs_are_finite_and_positive() {
+    use pimeval::pim_microcode::gen::BinaryOp;
+    let mut rng = Rng(0x1A70_0004);
+    for target in TARGETS {
+        for dtype in DTYPES {
+            for _ in 0..8 {
+                let count = 1 + rng.below(50_000_000 - 1);
+                let cfg = DeviceConfig::new(target, 4);
+                if let Ok(layout) = ObjectLayout::compute(&cfg, count, dtype, None) {
+                    for kind in [
+                        pimeval::OpKind::Binary(BinaryOp::Add),
+                        pimeval::OpKind::Binary(BinaryOp::Mul),
+                        pimeval::OpKind::RedSum,
+                        pimeval::OpKind::RedMin,
+                        pimeval::OpKind::Popcount,
+                        pimeval::OpKind::Select,
+                        pimeval::OpKind::Copy,
+                    ] {
+                        let c = pimeval::model::op_cost(&cfg, kind, dtype, &layout);
+                        assert!(c.time_ms.is_finite() && c.time_ms > 0.0, "{kind:?} {c:?}");
+                        assert!(
+                            c.energy_mj.is_finite() && c.energy_mj > 0.0,
+                            "{kind:?} {c:?}"
+                        );
+                    }
+                }
             }
         }
     }

@@ -28,7 +28,10 @@ fn report_sections_appear_in_listing3_order() {
     // The command-section total is the *last* TOTAL line (the copy
     // section has its own).
     let total = report.rfind("TOTAL -----").expect("command total line");
-    assert!(params < copy && copy < cmds && cmds < total, "section order");
+    assert!(
+        params < copy && copy < cmds && cmds < total,
+        "section order"
+    );
 }
 
 #[test]
@@ -67,5 +70,8 @@ fn report_counts_are_numerically_consistent() {
         .lines()
         .find(|l| l.contains("TOTAL ----------"))
         .expect("copy total line");
-    assert!(total_line.contains("24576 bytes"), "16384 + 8192 = 24576: {total_line}");
+    assert!(
+        total_line.contains("24576 bytes"),
+        "16384 + 8192 = 24576: {total_line}"
+    );
 }

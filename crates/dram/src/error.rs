@@ -38,7 +38,10 @@ impl fmt::Display for DramError {
                 write!(f, "row index {row} out of range (subarray has {rows} rows)")
             }
             DramError::ColOutOfRange { col, cols } => {
-                write!(f, "column index {col} out of range (subarray has {cols} columns)")
+                write!(
+                    f,
+                    "column index {col} out of range (subarray has {cols} columns)"
+                )
             }
             DramError::RowNotActive => write!(f, "operation requires an activated row"),
             DramError::RowAlreadyActive { open_row } => {

@@ -64,7 +64,9 @@ impl DramGeometry {
         ];
         for (value, name) in fields {
             if value == 0 {
-                return Err(DramError::InvalidGeometry(format!("{name} must be non-zero")));
+                return Err(DramError::InvalidGeometry(format!(
+                    "{name} must be non-zero"
+                )));
             }
         }
         Ok(())
@@ -174,15 +176,20 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_dimension() {
-        let mut g = DramGeometry::default();
-        g.rows_per_subarray = 0;
+        let g = DramGeometry {
+            rows_per_subarray: 0,
+            ..DramGeometry::default()
+        };
         assert!(matches!(g.validate(), Err(DramError::InvalidGeometry(_))));
         assert!(DramGeometry::default().validate().is_ok());
     }
 
     #[test]
     fn builder_style_overrides() {
-        let g = DramGeometry::default().with_ranks(8).with_cols(2048).with_banks_per_rank(64);
+        let g = DramGeometry::default()
+            .with_ranks(8)
+            .with_cols(2048)
+            .with_banks_per_rank(64);
         assert_eq!(g.ranks, 8);
         assert_eq!(g.cols_per_row, 2048);
         assert_eq!(g.banks_per_rank, 64);

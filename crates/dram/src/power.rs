@@ -93,7 +93,11 @@ impl DramPower {
     /// aggregate transfer time (`ms`), using read or write burst power for the
     /// whole rank (Eq. 1 × time).
     pub fn transfer_energy_mj(&self, ms: f64, is_read: bool) -> f64 {
-        let p = if is_read { self.read_power_w() } else { self.write_power_w() };
+        let p = if is_read {
+            self.read_power_w()
+        } else {
+            self.write_power_w()
+        };
         // One rank's worth of chips burst together.
         p * self.chips_per_rank as f64 * ms
     }

@@ -76,8 +76,8 @@ pub enum Command {
 #[derive(Debug, Clone, Copy, Default)]
 struct BankState {
     open_row: Option<usize>,
-    ready_at: f64,   // earliest time the bank accepts its next command
-    opened_at: f64,  // ACT issue time (for tRAS)
+    ready_at: f64,  // earliest time the bank accepts its next command
+    opened_at: f64, // ACT issue time (for tRAS)
 }
 
 /// Accounting from a replayed command stream.
@@ -180,7 +180,10 @@ impl RankSim {
             | Command::Precharge { bank } => bank,
         };
         let nbanks = self.banks.len();
-        let bank = self.banks.get_mut(bank_idx).ok_or(ProtocolError::NoSuchBank(bank_idx))?;
+        let bank = self
+            .banks
+            .get_mut(bank_idx)
+            .ok_or(ProtocolError::NoSuchBank(bank_idx))?;
         let _ = nbanks;
         match cmd {
             Command::Activate { row, .. } => {
@@ -249,14 +252,20 @@ impl RankSim {
             // previous cycle's tRP on that bank) hide under this row's
             // column reads.
             if r + 1 < rows && nbanks > 1 {
-                self.issue(Command::Activate { bank: (r + 1) % nbanks, row: r + 1 })?;
+                self.issue(Command::Activate {
+                    bank: (r + 1) % nbanks,
+                    row: r + 1,
+                })?;
             }
             for _ in 0..bursts {
                 self.issue(Command::Read { bank })?;
             }
             self.issue(Command::Precharge { bank })?;
             if r + 1 < rows && nbanks == 1 {
-                self.issue(Command::Activate { bank: 0, row: r + 1 })?;
+                self.issue(Command::Activate {
+                    bank: 0,
+                    row: r + 1,
+                })?;
             }
         }
         let total_bytes = (rows * bursts * bytes_per_burst) as f64;
@@ -275,12 +284,18 @@ mod tests {
     #[test]
     fn column_before_activate_is_rejected() {
         let mut sim = RankSim::new(timing(), 2);
-        assert_eq!(sim.issue(Command::Read { bank: 0 }), Err(ProtocolError::RowNotOpen(0)));
+        assert_eq!(
+            sim.issue(Command::Read { bank: 0 }),
+            Err(ProtocolError::RowNotOpen(0))
+        );
         assert_eq!(
             sim.issue(Command::Precharge { bank: 1 }),
             Err(ProtocolError::RowNotOpen(1))
         );
-        assert_eq!(sim.issue(Command::Read { bank: 9 }), Err(ProtocolError::NoSuchBank(9)));
+        assert_eq!(
+            sim.issue(Command::Read { bank: 9 }),
+            Err(ProtocolError::NoSuchBank(9))
+        );
     }
 
     #[test]
@@ -304,7 +319,10 @@ mod tests {
             sim.issue(Command::Read { bank: 0 }).unwrap();
         }
         let hit_time = sim.stats().elapsed_ns;
-        assert!(hit_time <= t.t_rcd_ns + 64.0 * t.t_ccd_ns + 1e-9, "{hit_time}");
+        assert!(
+            hit_time <= t.t_rcd_ns + 64.0 * t.t_ccd_ns + 1e-9,
+            "{hit_time}"
+        );
 
         // The same 64 reads with an ACT/PRE per access are much slower.
         let mut churn = RankSim::new(t, 1);
@@ -330,7 +348,10 @@ mod tests {
         }
         let elapsed = sim.stats().elapsed_ns;
         let floor = 64.0 * t.t_ccd_ns;
-        assert!(elapsed <= floor + t.t_rcd_ns + 1e-9, "{elapsed} vs floor {floor}");
+        assert!(
+            elapsed <= floor + t.t_rcd_ns + 1e-9,
+            "{elapsed} vs floor {floor}"
+        );
     }
 
     #[test]

@@ -41,9 +41,17 @@ impl BitMatrix {
     ///
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "BitMatrix dimensions must be non-zero");
-        let words_per_row = (cols + 63) / 64;
-        BitMatrix { rows, cols, words_per_row, bits: vec![0; rows * words_per_row] }
+        assert!(
+            rows > 0 && cols > 0,
+            "BitMatrix dimensions must be non-zero"
+        );
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
     }
 
     /// Number of rows.
@@ -200,7 +208,12 @@ impl Subarray {
     pub fn new(rows: usize, cols: usize) -> Self {
         let cells = BitMatrix::new(rows, cols);
         let words = cells.words_per_row();
-        Subarray { cells, row_buffer: vec![0; words], open_row: None, stats: RowStats::default() }
+        Subarray {
+            cells,
+            row_buffer: vec![0; words],
+            open_row: None,
+            stats: RowStats::default(),
+        }
     }
 
     /// The backing cell array.
@@ -234,7 +247,10 @@ impl Subarray {
             return Err(DramError::RowAlreadyActive { open_row: open });
         }
         if row >= self.cells.rows() {
-            return Err(DramError::RowOutOfRange { row, rows: self.cells.rows() });
+            return Err(DramError::RowOutOfRange {
+                row,
+                rows: self.cells.rows(),
+            });
         }
         self.row_buffer.copy_from_slice(self.cells.row(row));
         // Destructive read: cells lose their charge until restore.
@@ -348,13 +364,19 @@ mod tests {
     fn double_activate_rejected() {
         let mut sa = Subarray::new(4, 64);
         sa.activate(0).unwrap();
-        assert_eq!(sa.activate(1), Err(DramError::RowAlreadyActive { open_row: 0 }));
+        assert_eq!(
+            sa.activate(1),
+            Err(DramError::RowAlreadyActive { open_row: 0 })
+        );
     }
 
     #[test]
     fn activate_out_of_range_rejected() {
         let mut sa = Subarray::new(4, 64);
-        assert_eq!(sa.activate(4), Err(DramError::RowOutOfRange { row: 4, rows: 4 }));
+        assert_eq!(
+            sa.activate(4),
+            Err(DramError::RowOutOfRange { row: 4, rows: 4 })
+        );
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl DramTiming {
     /// The GDL is the bottleneck for bank-level PIM: a full 8192-bit row
     /// needs `row_bits / gdl_width_bits` beats of `t_ccd_ns` each.
     pub fn gdl_row_transfer_ns(&self, row_bits: usize) -> f64 {
-        let beats = (row_bits + self.gdl_width_bits - 1) / self.gdl_width_bits;
+        let beats = row_bits.div_ceil(self.gdl_width_bits);
         beats as f64 * self.t_ccd_ns
     }
 

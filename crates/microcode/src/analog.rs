@@ -50,10 +50,19 @@ impl Asm {
     /// (a real device keeps these pre-initialized; charging two writes
     /// per program is conservative).
     fn new() -> Self {
-        let mut asm = Asm { ops: Vec::new(), temp_rows: SCRATCH };
-        asm.ops.push(MicroOp::Set { dst: Loc::Sa, value: false });
+        let mut asm = Asm {
+            ops: Vec::new(),
+            temp_rows: SCRATCH,
+        };
+        asm.ops.push(MicroOp::Set {
+            dst: Loc::Sa,
+            value: false,
+        });
         asm.ops.push(MicroOp::Write(RowRef::temp(C0)));
-        asm.ops.push(MicroOp::Set { dst: Loc::Sa, value: true });
+        asm.ops.push(MicroOp::Set {
+            dst: Loc::Sa,
+            value: true,
+        });
         asm.ops.push(MicroOp::Write(RowRef::temp(C1)));
         asm
     }
@@ -148,7 +157,10 @@ impl Asm {
 ///
 /// Panics if `bits` is outside `1..=64`.
 pub fn binary(op: BinaryOp, bits: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     if let BinaryOp::Mul = op {
         return mul(bits);
     }
@@ -208,7 +220,10 @@ fn mul(bits: u32) -> MicroProgram {
 
 /// Bitwise NOT through DCC rows. Slots: 0 = A, 1 = Dst.
 pub fn not(bits: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     for i in 0..bits {
         asm.aap_not(RowRef::op(0, i), RowRef::op(1, i));
@@ -218,7 +233,10 @@ pub fn not(bits: u32) -> MicroProgram {
 
 /// Row-by-row AAP copy. Slots: 0 = A, 1 = Dst.
 pub fn copy(bits: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     for i in 0..bits {
         asm.aap(RowRef::op(0, i), RowRef::op(1, i));
@@ -234,7 +252,10 @@ pub fn copy(bits: u32) -> MicroProgram {
 ///
 /// Panics if `bits` is outside `1..=64`.
 pub fn cmp(op: CmpOp, bits: u32, signed: bool) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     let carry = RowRef::temp(SCRATCH + 1);
     let scratch = RowRef::temp(SCRATCH + 2);
@@ -256,7 +277,11 @@ pub fn cmp(op: CmpOp, bits: u32, signed: bool) -> MicroProgram {
             // lt(a, b): compute a - b, borrow = NOT carry_out. For
             // signed inputs the MSBs are complemented first (bias flip).
             // gt swaps the operand roles.
-            let (x_slot, y_slot) = if matches!(op, CmpOp::Lt) { (A, B) } else { (B, A) };
+            let (x_slot, y_slot) = if matches!(op, CmpOp::Lt) {
+                (A, B)
+            } else {
+                (B, A)
+            };
             asm.aap(RowRef::temp(C1), carry); // two's-complement +1
             for i in 0..bits {
                 let flip = signed && i == bits - 1;
@@ -285,7 +310,10 @@ pub fn cmp(op: CmpOp, bits: u32, signed: bool) -> MicroProgram {
 /// Conditional select `dst = cond ? a : b` = (a ∧ c) ∨ (b ∧ ¬c).
 /// Slots: 0 = cond (1-bit), 1 = A, 2 = B, 3 = Dst.
 pub fn select(bits: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     let t = RowRef::temp(SCRATCH + 1);
     asm.need_temp(SCRATCH + 2);
@@ -305,7 +333,7 @@ pub fn min_max(is_max: bool, bits: u32, signed: bool) -> MicroProgram {
     let mut asm = Asm::new();
     let mask = RowRef::temp(SCRATCH + 6);
     asm.need_temp(SCRATCH + 7 + 7); // lt scratch + mask + select scratch
-    // Inline the comparison body, redirecting its result row to `mask`.
+                                    // Inline the comparison body, redirecting its result row to `mask`.
     for op in &lt.ops()[4..] {
         // skip the duplicate C0/C1 init
         let mut op = *op;
@@ -322,7 +350,11 @@ pub fn min_max(is_max: bool, bits: u32, signed: bool) -> MicroProgram {
         // min: mask=a<b picks a; max picks b.
         let (pick_t, pick_f) = if is_max { (B, A) } else { (A, B) };
         asm.and_into((RowRef::op(pick_t, i), false), (mask, false), t);
-        asm.and_into((RowRef::op(pick_f, i), false), (mask, true), RowRef::op(DST, i));
+        asm.and_into(
+            (RowRef::op(pick_f, i), false),
+            (mask, true),
+            RowRef::op(DST, i),
+        );
         asm.or_into((t, false), (RowRef::op(DST, i), false), RowRef::op(DST, i));
     }
     let name = if is_max { "max" } else { "min" };
@@ -345,7 +377,10 @@ pub fn broadcast(bits: u32, value: u64) -> MicroProgram {
 
 /// Shift by row remapping: AAP copies with offset, zero-fill from C0.
 pub fn shift_left(bits: u32, k: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let k = k.min(bits);
     let mut asm = Asm::new();
     for i in (k..bits).rev() {
@@ -373,7 +408,10 @@ pub fn red_sum(bits: u32, signed: bool) -> MicroProgram {
 /// Per-element popcount: ripple-add each input bit into an accumulator
 /// built from analog full adders.
 pub fn popcount(bits: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let acc_bits = 64 - (bits as u64).leading_zeros();
     let mut asm = Asm::new();
     let acc_base = SCRATCH + 3;

@@ -18,8 +18,14 @@ use pim_dram::BitMatrix;
 /// Panics if the matrix is too small for `base_row + bits` rows or
 /// `values.len()` columns, or if `bits` is not in `1..=64`.
 pub fn encode_vertical(mat: &mut BitMatrix, base_row: usize, bits: u32, values: &[i64]) {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
-    assert!(base_row + bits as usize <= mat.rows(), "matrix has too few rows");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
+    assert!(
+        base_row + bits as usize <= mat.rows(),
+        "matrix has too few rows"
+    );
     assert!(values.len() <= mat.cols(), "matrix has too few columns");
     for (col, &v) in values.iter().enumerate() {
         let u = v as u64;
@@ -43,8 +49,14 @@ pub fn decode_vertical(
     count: usize,
     signed: bool,
 ) -> Vec<i64> {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
-    assert!(base_row + bits as usize <= mat.rows(), "matrix has too few rows");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
+    assert!(
+        base_row + bits as usize <= mat.rows(),
+        "matrix has too few rows"
+    );
     assert!(count <= mat.cols(), "matrix has too few columns");
     let mut out = Vec::with_capacity(count);
     for col in 0..count {
@@ -63,7 +75,10 @@ pub fn decode_vertical(
 /// wrapping used across the workspace to compare PIM results with scalar
 /// references.
 pub fn truncate(v: i64, bits: u32, signed: bool) -> i64 {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let u = (v as u64) & mask(bits);
     extend(u, bits, signed)
 }
@@ -124,7 +139,11 @@ mod tests {
                     let mut mat = BitMatrix::new(64, 1);
                     encode_vertical(&mut mat, 0, bits, &[v]);
                     let back = decode_vertical(&mat, 0, bits, 1, signed)[0];
-                    assert_eq!(back, truncate(v, bits, signed), "v={v} bits={bits} signed={signed}");
+                    assert_eq!(
+                        back,
+                        truncate(v, bits, signed),
+                        "v={v} bits={bits} signed={signed}"
+                    );
                 }
             }
         }

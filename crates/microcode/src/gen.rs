@@ -89,7 +89,10 @@ struct Asm {
 
 impl Asm {
     fn new() -> Self {
-        Asm { ops: Vec::new(), temp_rows: 0 }
+        Asm {
+            ops: Vec::new(),
+            temp_rows: 0,
+        }
     }
 
     fn need_temp(&mut self, rows: u32) {
@@ -121,7 +124,12 @@ impl Asm {
     }
 
     fn sel(&mut self, cond: Loc, if_true: Loc, if_false: Loc, dst: Loc) {
-        self.ops.push(MicroOp::Sel { cond, if_true, if_false, dst });
+        self.ops.push(MicroOp::Sel {
+            cond,
+            if_true,
+            if_false,
+            dst,
+        });
     }
 
     fn popcount(&mut self, row: RowRef, shift: u32, negate: bool) {
@@ -167,7 +175,10 @@ impl Rhs {
 }
 
 fn binary_impl(op: BinaryOp, bits: u32, rhs: Rhs, name: String) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     if let BinaryOp::Mul = op {
         return mul_impl(bits, rhs, name);
     }
@@ -255,11 +266,19 @@ pub fn binary(op: BinaryOp, bits: u32) -> MicroProgram {
 /// rather than read from DRAM (and zero partial products are skipped for
 /// multiplication).
 pub fn binary_scalar(op: BinaryOp, bits: u32, scalar: u64) -> MicroProgram {
-    binary_impl(op, bits, Rhs::Scalar(scalar), format!("{}_scalar.i{bits}", op.mnemonic()))
+    binary_impl(
+        op,
+        bits,
+        Rhs::Scalar(scalar),
+        format!("{}_scalar.i{bits}", op.mnemonic()),
+    )
 }
 
 fn cmp_impl(op: CmpOp, bits: u32, signed: bool, rhs: Rhs, name: String) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     asm.set(Loc::R0, matches!(op, CmpOp::Eq)); // acc: eq starts true, lt/gt false
     for i in 0..bits {
@@ -304,13 +323,25 @@ fn cmp_impl(op: CmpOp, bits: u32, signed: bool, rhs: Rhs, name: String) -> Micro
 /// Comparison `dst[0] = a OP b` (1-bit result row).
 pub fn cmp(op: CmpOp, bits: u32, signed: bool) -> MicroProgram {
     let s = if signed { "s" } else { "u" };
-    cmp_impl(op, bits, signed, Rhs::Operand, format!("{}.{s}{bits}", op.mnemonic()))
+    cmp_impl(
+        op,
+        bits,
+        signed,
+        Rhs::Operand,
+        format!("{}.{s}{bits}", op.mnemonic()),
+    )
 }
 
 /// Comparison against a broadcast scalar, `dst[0] = a OP k`.
 pub fn cmp_scalar(op: CmpOp, bits: u32, signed: bool, scalar: u64) -> MicroProgram {
     let s = if signed { "s" } else { "u" };
-    cmp_impl(op, bits, signed, Rhs::Scalar(scalar), format!("{}_scalar.{s}{bits}", op.mnemonic()))
+    cmp_impl(
+        op,
+        bits,
+        signed,
+        Rhs::Scalar(scalar),
+        format!("{}_scalar.{s}{bits}", op.mnemonic()),
+    )
 }
 
 /// Element-wise min (`is_max == false`) or max of two vectors.
@@ -343,7 +374,10 @@ pub fn min_max(is_max: bool, bits: u32, signed: bool) -> MicroProgram {
 ///
 /// Slots: 0 = condition (1-bit rows), 1 = A, 2 = B, 3 = Dst.
 pub fn select(bits: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     asm.read(RowRef::op(0, 0));
     asm.mv(Loc::Sa, Loc::R0);
@@ -359,7 +393,10 @@ pub fn select(bits: u32) -> MicroProgram {
 
 /// Bitwise NOT. Slots: 0 = A, 1 = Dst.
 pub fn not(bits: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     asm.set(Loc::R2, false);
     for i in 0..bits {
@@ -372,7 +409,10 @@ pub fn not(bits: u32) -> MicroProgram {
 
 /// Row-by-row copy. Slots: 0 = A, 1 = Dst.
 pub fn copy(bits: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     for i in 0..bits {
         asm.read(RowRef::op(0, i));
@@ -383,7 +423,10 @@ pub fn copy(bits: u32) -> MicroProgram {
 
 /// Logical shift left by `k`. Slots: 0 = A, 1 = Dst. Safe in place.
 pub fn shift_left(bits: u32, k: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let k = k.min(bits);
     let mut asm = Asm::new();
     for i in (k..bits).rev() {
@@ -402,7 +445,10 @@ pub fn shift_left(bits: u32, k: u32) -> MicroProgram {
 /// Shift right by `k`, logical or arithmetic. Slots: 0 = A, 1 = Dst.
 /// Safe in place.
 pub fn shift_right(bits: u32, k: u32, arithmetic: bool) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let k = k.min(bits);
     let mut asm = Asm::new();
     if arithmetic && k > 0 {
@@ -431,7 +477,10 @@ pub fn shift_right(bits: u32, k: u32, arithmetic: bool) -> MicroProgram {
 /// Absolute value of signed elements. Slots: 0 = A, 1 = Dst.
 /// Uses `bits` scratch rows for the negated value. Safe in place.
 pub fn abs(bits: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     asm.need_temp(bits);
     // Phase 1: temp = -a (two's complement: ~a + 1).
@@ -462,7 +511,10 @@ pub fn abs(bits: u32) -> MicroProgram {
 /// `ceil(log2(bits + 1))` scratch rows; destination must not alias the
 /// input. Cost is log-linear in the element width, as the paper notes.
 pub fn popcount(bits: u32) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let acc_bits = 64 - (bits as u64).leading_zeros(); // ceil(log2(bits+1))
     let mut asm = Asm::new();
     asm.need_temp(acc_bits);
@@ -501,7 +553,10 @@ pub fn popcount(bits: u32) -> MicroProgram {
 /// one weighted popcount per bit row (§V-C). Slot: 0 = A. The result is
 /// produced in the controller accumulator ([`crate::vm::Vm::accumulator`]).
 pub fn red_sum(bits: u32, signed: bool) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     for i in 0..bits {
         let negate = signed && i == bits - 1; // two's-complement MSB weight
@@ -513,7 +568,10 @@ pub fn red_sum(bits: u32, signed: bool) -> MicroProgram {
 
 /// Broadcast a constant to every element. Slot: 0 = Dst.
 pub fn broadcast(bits: u32, value: u64) -> MicroProgram {
-    assert!((1..=64).contains(&bits), "element width must be 1..=64 bits");
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
     let mut asm = Asm::new();
     for i in 0..bits {
         asm.set(Loc::Sa, (value >> i.min(63)) & 1 == 1);
@@ -551,7 +609,9 @@ mod tests {
     #[test]
     fn scalar_mul_skips_zero_bits() {
         let by_3 = binary_scalar(BinaryOp::Mul, 32, 3).cost().row_accesses();
-        let by_umax = binary_scalar(BinaryOp::Mul, 32, u64::MAX).cost().row_accesses();
+        let by_umax = binary_scalar(BinaryOp::Mul, 32, u64::MAX)
+            .cost()
+            .row_accesses();
         assert!(by_3 < by_umax / 4);
     }
 

@@ -197,7 +197,10 @@ impl MicroOp {
 
     /// True for analog charge-sharing primitives (AAP / AAP-DCC / TRA).
     pub fn is_analog(&self) -> bool {
-        matches!(self, MicroOp::Aap { .. } | MicroOp::AapNot { .. } | MicroOp::Tra { .. })
+        matches!(
+            self,
+            MicroOp::Aap { .. } | MicroOp::AapNot { .. } | MicroOp::Tra { .. }
+        )
     }
 
     /// True if this op is pure per-bitline logic (no row access).
@@ -215,11 +218,20 @@ impl fmt::Display for MicroOp {
             MicroOp::Move { src, dst } => write!(f, "move   {dst} <- {src}"),
             MicroOp::And { a, b, dst } => write!(f, "and    {dst} <- {a}, {b}"),
             MicroOp::Xnor { a, b, dst } => write!(f, "xnor   {dst} <- {a}, {b}"),
-            MicroOp::Sel { cond, if_true, if_false, dst } => {
+            MicroOp::Sel {
+                cond,
+                if_true,
+                if_false,
+                dst,
+            } => {
                 write!(f, "sel    {dst} <- {cond} ? {if_true} : {if_false}")
             }
             MicroOp::Popcount { row, shift, negate } => {
-                write!(f, "popcnt acc {} (popcount({row}) << {shift})", if *negate { "-=" } else { "+=" })
+                write!(
+                    f,
+                    "popcnt acc {} (popcount({row}) << {shift})",
+                    if *negate { "-=" } else { "+=" }
+                )
             }
             MicroOp::Aap { src, dst } => write!(f, "aap    {dst} <- {src}"),
             MicroOp::AapNot { src, dst } => write!(f, "aapn   {dst} <- ~{src}"),
@@ -237,16 +249,41 @@ mod tests {
         let ops = [
             MicroOp::Read(RowRef::op(0, 3)),
             MicroOp::Write(RowRef::temp(1)),
-            MicroOp::Set { dst: Loc::R0, value: true },
-            MicroOp::Move { src: Loc::Sa, dst: Loc::R1 },
-            MicroOp::And { a: Loc::R1, b: Loc::R2, dst: Loc::R3 },
-            MicroOp::Xnor { a: Loc::Sa, b: Loc::R0, dst: Loc::Sa },
-            MicroOp::Sel { cond: Loc::R0, if_true: Loc::R1, if_false: Loc::Sa, dst: Loc::R2 },
-            MicroOp::Popcount { row: RowRef::op(0, 0), shift: 4, negate: true },
+            MicroOp::Set {
+                dst: Loc::R0,
+                value: true,
+            },
+            MicroOp::Move {
+                src: Loc::Sa,
+                dst: Loc::R1,
+            },
+            MicroOp::And {
+                a: Loc::R1,
+                b: Loc::R2,
+                dst: Loc::R3,
+            },
+            MicroOp::Xnor {
+                a: Loc::Sa,
+                b: Loc::R0,
+                dst: Loc::Sa,
+            },
+            MicroOp::Sel {
+                cond: Loc::R0,
+                if_true: Loc::R1,
+                if_false: Loc::Sa,
+                dst: Loc::R2,
+            },
+            MicroOp::Popcount {
+                row: RowRef::op(0, 0),
+                shift: 4,
+                negate: true,
+            },
         ];
         for op in ops {
-            let kinds =
-                [op.is_row_read(), op.is_row_write(), op.is_logic()].iter().filter(|b| **b).count();
+            let kinds = [op.is_row_read(), op.is_row_write(), op.is_logic()]
+                .iter()
+                .filter(|b| **b)
+                .count();
             assert_eq!(kinds, 1, "{op}");
         }
     }

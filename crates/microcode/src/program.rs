@@ -34,6 +34,20 @@ impl Cost {
         self.row_reads + self.row_writes + self.popcount_reads + 2 * self.aap_ops + self.tra_ops
     }
 
+    /// The per-field difference `self - earlier` (saturating), for
+    /// isolating one run's counters from a cumulative snapshot.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Cost) -> Cost {
+        Cost {
+            row_reads: self.row_reads.saturating_sub(earlier.row_reads),
+            row_writes: self.row_writes.saturating_sub(earlier.row_writes),
+            logic_ops: self.logic_ops.saturating_sub(earlier.logic_ops),
+            popcount_reads: self.popcount_reads.saturating_sub(earlier.popcount_reads),
+            aap_ops: self.aap_ops.saturating_sub(earlier.aap_ops),
+            tra_ops: self.tra_ops.saturating_sub(earlier.tra_ops),
+        }
+    }
+
     /// Scales every counter by `n` (e.g. a program run once per element
     /// group).
     #[must_use]
@@ -115,7 +129,12 @@ impl MicroProgram {
     /// Creates a program from parts. `operands` is the number of binding
     /// slots the program references; `temp_rows` the scratch rows needed.
     pub fn new(name: impl Into<String>, ops: Vec<MicroOp>, operands: u8, temp_rows: u32) -> Self {
-        MicroProgram { name: name.into(), ops, operands, temp_rows }
+        MicroProgram {
+            name: name.into(),
+            ops,
+            operands,
+            temp_rows,
+        }
     }
 
     /// Human-readable program name, e.g. `"add.i32"`.
@@ -159,7 +178,13 @@ impl MicroProgram {
     pub fn disassemble(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "; {} ({} ops, {})", self.name, self.ops.len(), self.cost());
+        let _ = writeln!(
+            out,
+            "; {} ({} ops, {})",
+            self.name,
+            self.ops.len(),
+            self.cost()
+        );
         for (i, op) in self.ops.iter().enumerate() {
             let _ = writeln!(out, "{i:5}: {op}");
         }
@@ -169,7 +194,13 @@ impl MicroProgram {
 
 impl fmt::Display for MicroProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} ops, cost {})", self.name, self.ops.len(), self.cost())
+        write!(
+            f,
+            "{} ({} ops, cost {})",
+            self.name,
+            self.ops.len(),
+            self.cost()
+        )
     }
 }
 
@@ -183,8 +214,15 @@ mod tests {
             "sample",
             vec![
                 MicroOp::Read(RowRef::op(0, 0)),
-                MicroOp::Move { src: Loc::Sa, dst: Loc::R1 },
-                MicroOp::Popcount { row: RowRef::op(0, 1), shift: 0, negate: false },
+                MicroOp::Move {
+                    src: Loc::Sa,
+                    dst: Loc::R1,
+                },
+                MicroOp::Popcount {
+                    row: RowRef::op(0, 1),
+                    shift: 0,
+                    negate: false,
+                },
                 MicroOp::Write(RowRef::op(1, 0)),
             ],
             2,
@@ -195,8 +233,13 @@ mod tests {
     #[test]
     fn cost_counts_each_category() {
         let c = sample().cost();
-        let expected =
-            Cost { row_reads: 1, row_writes: 1, logic_ops: 1, popcount_reads: 1, ..Cost::default() };
+        let expected = Cost {
+            row_reads: 1,
+            row_writes: 1,
+            logic_ops: 1,
+            popcount_reads: 1,
+            ..Cost::default()
+        };
         assert_eq!(c, expected);
         assert_eq!(c.row_accesses(), 3);
     }

@@ -62,10 +62,16 @@ impl fmt::Display for VmError {
         match self {
             VmError::UnboundSlot(s) => write!(f, "operand slot {s} is not bound"),
             VmError::RowOutOfRegion { reference, rows } => {
-                write!(f, "row reference {reference} outside its region of {rows} rows")
+                write!(
+                    f,
+                    "row reference {reference} outside its region of {rows} rows"
+                )
             }
             VmError::TempTooSmall { needed, bound } => {
-                write!(f, "program needs {needed} scratch rows but only {bound} are bound")
+                write!(
+                    f,
+                    "program needs {needed} scratch rows but only {bound} are bound"
+                )
             }
             VmError::RowOutOfMatrix { row, rows } => {
                 write!(f, "absolute row {row} exceeds matrix of {rows} rows")
@@ -90,6 +96,7 @@ pub struct Vm<'a> {
     tail_mask: u64,
     acc: i128,
     stats: Cost,
+    last_run_cost: Cost,
 }
 
 impl<'a> Vm<'a> {
@@ -98,16 +105,26 @@ impl<'a> Vm<'a> {
     pub fn new(mat: &'a mut BitMatrix, slots: usize) -> Self {
         let words = mat.words_per_row();
         let extra = mat.cols() % 64;
-        let tail_mask = if extra == 0 { u64::MAX } else { (1u64 << extra) - 1 };
+        let tail_mask = if extra == 0 {
+            u64::MAX
+        } else {
+            (1u64 << extra) - 1
+        };
         Vm {
             mat,
             slots: vec![None; slots],
             temp: None,
             sa: vec![0; words],
-            regs: [vec![0; words], vec![0; words], vec![0; words], vec![0; words]],
+            regs: [
+                vec![0; words],
+                vec![0; words],
+                vec![0; words],
+                vec![0; words],
+            ],
             tail_mask,
             acc: 0,
             stats: Cost::default(),
+            last_run_cost: Cost::default(),
         }
     }
 
@@ -150,6 +167,12 @@ impl<'a> Vm<'a> {
         &self.stats
     }
 
+    /// Counters attributable to the most recent [`Vm::run`] call alone
+    /// (the delta the run added to [`Vm::stats`]). Zero before any run.
+    pub fn last_run_cost(&self) -> Cost {
+        self.last_run_cost
+    }
+
     fn resolve(&self, r: RowRef) -> Result<usize, VmError> {
         let (region, bit) = match r {
             RowRef::Operand { operand, bit } => {
@@ -167,11 +190,17 @@ impl<'a> Vm<'a> {
             }
         };
         if bit >= region.rows {
-            return Err(VmError::RowOutOfRegion { reference: r.to_string(), rows: region.rows });
+            return Err(VmError::RowOutOfRegion {
+                reference: r.to_string(),
+                rows: region.rows,
+            });
         }
         let row = region.base_row + bit as usize;
         if row >= self.mat.rows() {
-            return Err(VmError::RowOutOfMatrix { row, rows: self.mat.rows() });
+            return Err(VmError::RowOutOfMatrix {
+                row,
+                rows: self.mat.rows(),
+            });
         }
         Ok(row)
     }
@@ -209,12 +238,15 @@ impl<'a> Vm<'a> {
     pub fn run(&mut self, program: &MicroProgram) -> Result<(), VmError> {
         let temp_bound = self.temp.map_or(0, |r| r.rows);
         if program.temp_rows() > temp_bound {
-            return Err(VmError::TempTooSmall { needed: program.temp_rows(), bound: temp_bound });
+            return Err(VmError::TempTooSmall {
+                needed: program.temp_rows(),
+                bound: temp_bound,
+            });
         }
-        for op in program.ops() {
-            self.step(*op)?;
-        }
-        Ok(())
+        let before = self.stats;
+        let result = program.ops().iter().try_for_each(|op| self.step(*op));
+        self.last_run_cost = self.stats.delta_since(&before);
+        result
     }
 
     fn step(&mut self, op: MicroOp) -> Result<(), VmError> {
@@ -257,7 +289,12 @@ impl<'a> Vm<'a> {
                 self.store(dst, out);
                 self.stats.logic_ops += 1;
             }
-            MicroOp::Sel { cond, if_true, if_false, dst } => {
+            MicroOp::Sel {
+                cond,
+                if_true,
+                if_false,
+                dst,
+            } => {
                 let (vc, vt, vf) = (self.fetch(cond), self.fetch(if_true), self.fetch(if_false));
                 let out = vc
                     .iter()
@@ -314,7 +351,11 @@ impl<'a> Vm<'a> {
                 let mut count: u64 = 0;
                 let words = self.mat.row(abs_row);
                 for (i, w) in words.iter().enumerate() {
-                    let w = if i + 1 == words.len() { w & self.tail_mask } else { *w };
+                    let w = if i + 1 == words.len() {
+                        w & self.tail_mask
+                    } else {
+                        *w
+                    };
                     count += w.count_ones() as u64;
                 }
                 let term = (count as i128) << shift;
@@ -354,7 +395,13 @@ mod tests {
         vm.bind(0, Region::new(0, 8));
         vm.bind(1, Region::new(8, 8));
         vm.bind_temp(Region::new(16, 4));
-        assert_eq!(vm.run(&prog), Err(VmError::TempTooSmall { needed: 8, bound: 4 }));
+        assert_eq!(
+            vm.run(&prog),
+            Err(VmError::TempTooSmall {
+                needed: 8,
+                bound: 4
+            })
+        );
     }
 
     #[test]
@@ -382,8 +429,16 @@ mod tests {
     fn popcount_masks_padding_columns() {
         let mut mat = BitMatrix::new(1, 10); // 10 active columns
         mat.row_mut(0)[0] = u64::MAX; // garbage beyond column 9
-        let prog =
-            MicroProgram::new("p", vec![MicroOp::Popcount { row: RowRef::op(0, 0), shift: 2, negate: false }], 1, 0);
+        let prog = MicroProgram::new(
+            "p",
+            vec![MicroOp::Popcount {
+                row: RowRef::op(0, 0),
+                shift: 2,
+                negate: false,
+            }],
+            1,
+            0,
+        );
         let mut vm = Vm::new(&mut mat, 1);
         vm.bind(0, Region::new(0, 1));
         vm.run(&prog).unwrap();
@@ -397,7 +452,13 @@ mod tests {
         let mut mat = BitMatrix::new(2, 10);
         let prog = MicroProgram::new(
             "b",
-            vec![MicroOp::Set { dst: Loc::Sa, value: true }, MicroOp::Write(RowRef::op(0, 0))],
+            vec![
+                MicroOp::Set {
+                    dst: Loc::Sa,
+                    value: true,
+                },
+                MicroOp::Write(RowRef::op(0, 0)),
+            ],
             1,
             0,
         );

@@ -1,6 +1,9 @@
 //! Property tests for the analog (AAP/TRA/DCC) lowering: every analog
 //! microprogram must compute the same results as the digital lowering
 //! and the scalar reference — only the row-activation cost differs.
+//!
+//! Inputs come from a seeded SplitMix64 stream so runs are deterministic
+//! and need no registry dependency.
 
 use pim_dram::BitMatrix;
 use pim_microcode::analog;
@@ -8,7 +11,46 @@ use pim_microcode::encode::{decode_vertical, encode_vertical, truncate};
 use pim_microcode::gen::{BinaryOp, CmpOp};
 use pim_microcode::vm::{Region, Vm};
 use pim_microcode::MicroProgram;
-use proptest::prelude::*;
+
+const WIDTHS: [u32; 4] = [1, 8, 16, 32];
+const MUL_WIDTHS: [u32; 3] = [4, 8, 16];
+const CASES_PER_WIDTH: usize = 8;
+
+/// Deterministic SplitMix64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A pair of equal-length random vectors (length `1..24`).
+    fn vec_pair(&mut self) -> (Vec<i64>, Vec<i64>) {
+        let n = 1 + (self.next_u64() % 23) as usize;
+        let a = (0..n).map(|_| self.next_u64() as i64).collect();
+        let b = (0..n).map(|_| self.next_u64() as i64).collect();
+        (a, b)
+    }
+}
+
+/// Drives `check` with `CASES_PER_WIDTH` random vector pairs per width.
+fn for_cases(seed: u64, widths: &[u32], mut check: impl FnMut(&mut Rng, u32, &[i64], &[i64])) {
+    let mut rng = Rng(seed);
+    for &bits in widths {
+        for _ in 0..CASES_PER_WIDTH {
+            let (a, b) = rng.vec_pair();
+            check(&mut rng, bits, &a, &b);
+        }
+    }
+}
 
 fn run_binary(prog: &MicroProgram, bits: u32, a: &[i64], b: &[i64], signed: bool) -> Vec<i64> {
     let n = a.len();
@@ -46,56 +88,49 @@ fn ref_cmp(a: i64, b: i64, bits: u32, signed: bool) -> std::cmp::Ordering {
     }
 }
 
-fn widths() -> impl Strategy<Value = u32> {
-    prop_oneof![Just(1u32), Just(8), Just(16), Just(32)]
-}
-
-fn vecs() -> impl Strategy<Value = (Vec<i64>, Vec<i64>)> {
-    (1usize..24).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(any::<i64>(), n),
-            proptest::collection::vec(any::<i64>(), n),
-        )
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn analog_arithmetic_matches_reference((a, b) in vecs(), bits in widths()) {
+#[test]
+fn analog_arithmetic_matches_reference() {
+    for_cases(0xA7A1_0001, &WIDTHS, |_, bits, a, b| {
         for (op, f) in [
-            (BinaryOp::Add, (|x: i64, y: i64| x.wrapping_add(y)) as fn(i64, i64) -> i64),
+            (
+                BinaryOp::Add,
+                (|x: i64, y: i64| x.wrapping_add(y)) as fn(i64, i64) -> i64,
+            ),
             (BinaryOp::Sub, |x, y| x.wrapping_sub(y)),
             (BinaryOp::And, |x, y| x & y),
             (BinaryOp::Or, |x, y| x | y),
             (BinaryOp::Xor, |x, y| x ^ y),
             (BinaryOp::Xnor, |x, y| !(x ^ y)),
         ] {
-            let got = run_binary(&analog::binary(op, bits), bits, &a, &b, true);
+            let got = run_binary(&analog::binary(op, bits), bits, a, b, true);
             for i in 0..a.len() {
-                prop_assert_eq!(got[i], truncate(f(a[i], b[i]), bits, true), "op={:?}", op);
+                assert_eq!(got[i], truncate(f(a[i], b[i]), bits, true), "op={op:?}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn analog_mul_matches_reference((a, b) in vecs(), bits in prop_oneof![Just(4u32), Just(8), Just(16)]) {
-        let got = run_binary(&analog::binary(BinaryOp::Mul, bits), bits, &a, &b, true);
+#[test]
+fn analog_mul_matches_reference() {
+    for_cases(0xA7A1_0002, &MUL_WIDTHS, |_, bits, a, b| {
+        let got = run_binary(&analog::binary(BinaryOp::Mul, bits), bits, a, b, true);
         for i in 0..a.len() {
-            prop_assert_eq!(got[i], truncate(a[i].wrapping_mul(b[i]), bits, true));
+            assert_eq!(got[i], truncate(a[i].wrapping_mul(b[i]), bits, true));
         }
-    }
+    });
+}
 
-    #[test]
-    fn analog_cmp_matches_reference((a, b) in vecs(), bits in widths(), signed in any::<bool>()) {
+#[test]
+fn analog_cmp_matches_reference() {
+    for_cases(0xA7A1_0003, &WIDTHS, |rng, bits, a, b| {
+        let signed = rng.next_bool();
         for op in [CmpOp::Lt, CmpOp::Gt, CmpOp::Eq] {
             let prog = analog::cmp(op, bits, signed);
             let n = a.len();
             let rows = 2 * bits as usize + 1 + prog.temp_rows() as usize;
             let mut mat = BitMatrix::new(rows, n);
-            encode_vertical(&mut mat, 0, bits, &a);
-            encode_vertical(&mut mat, bits as usize, bits, &b);
+            encode_vertical(&mut mat, 0, bits, a);
+            encode_vertical(&mut mat, bits as usize, bits, b);
             let mut vm = Vm::new(&mut mat, 3);
             vm.bind(0, Region::new(0, bits));
             vm.bind(1, Region::new(bits as usize, bits));
@@ -110,16 +145,27 @@ proptest! {
                     CmpOp::Gt => ord.is_gt(),
                     CmpOp::Eq => ord.is_eq(),
                 };
-                prop_assert_eq!(got[i] == 1, expected,
-                    "op={:?} signed={} bits={} a={} b={}", op, signed, bits, a[i], b[i]);
+                assert_eq!(
+                    got[i] == 1,
+                    expected,
+                    "op={:?} signed={} bits={} a={} b={}",
+                    op,
+                    signed,
+                    bits,
+                    a[i],
+                    b[i]
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn analog_min_max_matches_reference((a, b) in vecs(), bits in widths(), signed in any::<bool>()) {
+#[test]
+fn analog_min_max_matches_reference() {
+    for_cases(0xA7A1_0004, &WIDTHS, |rng, bits, a, b| {
+        let signed = rng.next_bool();
         for is_max in [false, true] {
-            let got = run_binary(&analog::min_max(is_max, bits, signed), bits, &a, &b, signed);
+            let got = run_binary(&analog::min_max(is_max, bits, signed), bits, a, b, signed);
             for i in 0..a.len() {
                 let a_wins = if is_max {
                     ref_cmp(a[i], b[i], bits, signed).is_gt()
@@ -127,34 +173,39 @@ proptest! {
                     ref_cmp(a[i], b[i], bits, signed).is_lt()
                 };
                 let expected = truncate(if a_wins { a[i] } else { b[i] }, bits, signed);
-                prop_assert_eq!(got[i], expected, "is_max={} signed={}", is_max, signed);
+                assert_eq!(got[i], expected, "is_max={is_max} signed={signed}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn analog_unary_matches_reference((a, _b) in vecs(), bits in widths()) {
-        let got_not = run_unary(&analog::not(bits), bits, &a, true);
-        let got_copy = run_unary(&analog::copy(bits), bits, &a, true);
-        let got_pop = run_unary(&analog::popcount(bits), bits, &a, false);
+#[test]
+fn analog_unary_matches_reference() {
+    for_cases(0xA7A1_0005, &WIDTHS, |_, bits, a, _b| {
+        let got_not = run_unary(&analog::not(bits), bits, a, true);
+        let got_copy = run_unary(&analog::copy(bits), bits, a, true);
+        let got_pop = run_unary(&analog::popcount(bits), bits, a, false);
         for i in 0..a.len() {
-            prop_assert_eq!(got_not[i], truncate(!a[i], bits, true));
-            prop_assert_eq!(got_copy[i], truncate(a[i], bits, true));
+            assert_eq!(got_not[i], truncate(!a[i], bits, true));
+            assert_eq!(got_copy[i], truncate(a[i], bits, true));
             let ua = truncate(a[i], bits, false) as u64;
-            prop_assert_eq!(got_pop[i], ua.count_ones() as i64);
+            assert_eq!(got_pop[i], ua.count_ones() as i64);
         }
-    }
+    });
+}
 
-    #[test]
-    fn analog_select_matches_reference((a, b) in vecs(), bits in widths(), seed in any::<u64>()) {
+#[test]
+fn analog_select_matches_reference() {
+    for_cases(0xA7A1_0006, &WIDTHS, |rng, bits, a, b| {
         let n = a.len();
+        let seed = rng.next_u64();
         let cond: Vec<i64> = (0..n).map(|i| ((seed >> (i % 64)) & 1) as i64).collect();
         let prog = analog::select(bits);
         let rows = 1 + 3 * bits as usize + prog.temp_rows() as usize;
         let mut mat = BitMatrix::new(rows, n);
         encode_vertical(&mut mat, 0, 1, &cond);
-        encode_vertical(&mut mat, 1, bits, &a);
-        encode_vertical(&mut mat, 1 + bits as usize, bits, &b);
+        encode_vertical(&mut mat, 1, bits, a);
+        encode_vertical(&mut mat, 1 + bits as usize, bits, b);
         let mut vm = Vm::new(&mut mat, 4);
         vm.bind(0, Region::new(0, 1));
         vm.bind(1, Region::new(1, bits));
@@ -164,11 +215,14 @@ proptest! {
         vm.run(&prog).unwrap();
         let got = decode_vertical(vm.matrix(), 1 + 2 * bits as usize, bits, n, true);
         for i in 0..n {
-            let expected =
-                if cond[i] == 1 { truncate(a[i], bits, true) } else { truncate(b[i], bits, true) };
-            prop_assert_eq!(got[i], expected);
+            let expected = if cond[i] == 1 {
+                truncate(a[i], bits, true)
+            } else {
+                truncate(b[i], bits, true)
+            };
+            assert_eq!(got[i], expected);
         }
-    }
+    });
 }
 
 #[test]
@@ -188,7 +242,11 @@ fn analog_shift_left_matches_reference() {
         let got = decode_vertical(vm.matrix(), bits as usize, bits, a.len(), false);
         for i in 0..a.len() {
             let ua = truncate(a[i], bits, false) as u64;
-            let expected = if k >= 64 { 0 } else { truncate((ua << k) as i64, bits, false) };
+            let expected = if k >= 64 {
+                0
+            } else {
+                truncate((ua << k) as i64, bits, false)
+            };
             assert_eq!(got[i], expected, "k={k}");
         }
     }

@@ -16,6 +16,10 @@
 //! * **AddRoundKey**: the key is a controller constant, so key-bit XORs
 //!   lower to conditional NOTs (`xor_scalar`).
 
+// Index loops over the fixed 8-bit/16-byte AES state mirror FIPS-197
+// notation; iterator rewrites obscure the bit/byte positions.
+#![allow(clippy::needless_range_loop)]
+
 use std::collections::HashMap;
 
 use pim_baseline::WorkloadProfile;
@@ -43,7 +47,10 @@ struct Bdd {
 impl Bdd {
     fn new() -> Self {
         // Two placeholder terminal slots.
-        Bdd { nodes: vec![(u8::MAX, 0, 0), (u8::MAX, 1, 1)], unique: HashMap::new() }
+        Bdd {
+            nodes: vec![(u8::MAX, 0, 0), (u8::MAX, 1, 1)],
+            unique: HashMap::new(),
+        }
     }
 
     fn mk(&mut self, var: u8, lo: u32, hi: u32) -> u32 {
@@ -59,6 +66,7 @@ impl Bdd {
     /// Builds the BDD of a boolean function given as a truth table of
     /// length 2^k over variables `k-1 .. 0` (variable = bit of the
     /// index).
+    #[allow(clippy::wrong_self_convention)] // builder method, not a conversion
     fn from_table(&mut self, table: &[bool]) -> u32 {
         let k = table.len().trailing_zeros();
         debug_assert_eq!(table.len(), 1 << k);
@@ -283,7 +291,11 @@ impl Aes {
 impl Benchmark for Aes {
     fn spec(&self) -> BenchSpec {
         BenchSpec {
-            name: if self.decrypt { "AES-Decryption" } else { "AES-Encryption" },
+            name: if self.decrypt {
+                "AES-Decryption"
+            } else {
+                "AES-Encryption"
+            },
             domain: Domain::Cryptography,
             sequential: true,
             random: true,
@@ -298,12 +310,18 @@ impl Benchmark for Aes {
         let mut rng = SplitMix64::new(params.seed);
         let key: [u8; 32] = std::array::from_fn(|_| rng.below(256) as u8);
         let rk = aes_ref::expand_key(&key);
-        let plaintext: Vec<[u8; 16]> =
-            (0..n).map(|_| std::array::from_fn(|_| rng.below(256) as u8)).collect();
-        let ciphertext: Vec<[u8; 16]> =
-            plaintext.iter().map(|b| aes_ref::encrypt_block(b, &rk)).collect();
-        let (input, expected) =
-            if self.decrypt { (&ciphertext, &plaintext) } else { (&plaintext, &ciphertext) };
+        let plaintext: Vec<[u8; 16]> = (0..n)
+            .map(|_| std::array::from_fn(|_| rng.below(256) as u8))
+            .collect();
+        let ciphertext: Vec<[u8; 16]> = plaintext
+            .iter()
+            .map(|b| aes_ref::encrypt_block(b, &rk))
+            .collect();
+        let (input, expected) = if self.decrypt {
+            (&ciphertext, &plaintext)
+        } else {
+            (&plaintext, &ciphertext)
+        };
 
         // Bitslice the input: plane[byte][bit][block].
         let proto = dev.alloc(n as u64, DataType::Bool)?;
@@ -314,15 +332,20 @@ impl Benchmark for Aes {
         let mut state: State = [[proto; 8]; 16];
         for byte in 0..16 {
             for bit in 0..8 {
-                let plane: Vec<bool> =
-                    input.iter().map(|blk| (blk[byte] >> bit) & 1 == 1).collect();
+                let plane: Vec<bool> = input
+                    .iter()
+                    .map(|blk| (blk[byte] >> bit) & 1 == 1)
+                    .collect();
                 state[byte][bit] = dev.alloc_vec(&plane)?;
             }
         }
         dev.free(proto)?;
 
-        let circuit =
-            SboxCircuit::build(if self.decrypt { aes_ref::inv_sbox } else { aes_ref::sbox });
+        let circuit = SboxCircuit::build(if self.decrypt {
+            aes_ref::inv_sbox
+        } else {
+            aes_ref::sbox
+        });
 
         if self.decrypt {
             add_round_key(dev, &mut state, &rk[14])?;
@@ -390,13 +413,16 @@ impl Benchmark for Aes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pimeval::PimTarget;
 
     #[test]
     fn sbox_circuit_is_compact() {
         let c = SboxCircuit::build(aes_ref::sbox);
         // The AES S-box ROBDD is a few hundred shared nodes.
-        assert!(c.gate_count() > 50 && c.gate_count() < 1200, "{}", c.gate_count());
+        assert!(
+            c.gate_count() > 50 && c.gate_count() < 1200,
+            "{}",
+            c.gate_count()
+        );
     }
 
     #[test]
@@ -435,7 +461,13 @@ mod tests {
     fn aes_encrypt_verifies_on_fulcrum() {
         let mut dev = Device::fulcrum(1).unwrap();
         let out = Aes { decrypt: false }
-            .run(&mut dev, &Params { scale: 1.0 / 16.0, seed: 12 })
+            .run(
+                &mut dev,
+                &Params {
+                    scale: 1.0 / 16.0,
+                    seed: 12,
+                },
+            )
             .unwrap();
         assert!(out.verified);
         // Logic-gate heavy mix: xor + bit (select) dominate.
@@ -447,7 +479,13 @@ mod tests {
     fn aes_decrypt_verifies_on_bitserial() {
         let mut dev = Device::bit_serial(1).unwrap();
         let out = Aes { decrypt: true }
-            .run(&mut dev, &Params { scale: 1.0 / 16.0, seed: 13 })
+            .run(
+                &mut dev,
+                &Params {
+                    scale: 1.0 / 16.0,
+                    seed: 13,
+                },
+            )
             .unwrap();
         assert!(out.verified);
     }

@@ -3,6 +3,9 @@
 //! affine transform) rather than hardcoded, and checked against FIPS-197
 //! known values in the tests.
 
+// Round-indexed loops mirror FIPS-197 pseudocode.
+#![allow(clippy::needless_range_loop)]
+
 /// GF(2⁸) multiplication modulo x⁸+x⁴+x³+x+1 (0x11B).
 pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
     let mut r = 0u8;

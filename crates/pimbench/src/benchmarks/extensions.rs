@@ -156,7 +156,7 @@ impl Benchmark for StringMatch {
 
         let expected = text
             .windows(Self::M)
-            .filter(|w| w.iter().zip(&pattern) .all(|(a, b)| a == b))
+            .filter(|w| w.iter().zip(&pattern).all(|(a, b)| a == b))
             .count();
         finish(dev, count == expected as i128, "match count")
     }
@@ -230,7 +230,10 @@ impl Benchmark for TransitiveClosure {
 
         // PIM: rows live on device; the host inspects the pivot column
         // (kept as a mirror) and issues row-wide ORs.
-        let rows: Vec<_> = adj.iter().map(|r| dev.alloc_vec(r)).collect::<Result<Vec<_>, _>>()?;
+        let rows: Vec<_> = adj
+            .iter()
+            .map(|r| dev.alloc_vec(r))
+            .collect::<Result<Vec<_>, _>>()?;
         let mut mirror = adj;
         for k in 0..nodes {
             for i in 0..nodes {
@@ -291,7 +294,15 @@ mod tests {
     fn prefix_sum_verifies_on_all_targets() {
         for t in PimTarget::EXTENDED {
             let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
-            let out = PrefixSum.run(&mut dev, &Params { scale: 1.0 / 64.0, seed: 3 }).unwrap();
+            let out = PrefixSum
+                .run(
+                    &mut dev,
+                    &Params {
+                        scale: 1.0 / 64.0,
+                        seed: 3,
+                    },
+                )
+                .unwrap();
             assert!(out.verified, "{t}");
             assert!(out.stats.host_time_ms > 0.0);
         }
@@ -301,7 +312,15 @@ mod tests {
     fn string_match_verifies_on_all_targets() {
         for t in PimTarget::EXTENDED {
             let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
-            let out = StringMatch.run(&mut dev, &Params { scale: 1.0 / 8.0, seed: 5 }).unwrap();
+            let out = StringMatch
+                .run(
+                    &mut dev,
+                    &Params {
+                        scale: 1.0 / 8.0,
+                        seed: 5,
+                    },
+                )
+                .unwrap();
             assert!(out.verified, "{t}");
             assert!(out.stats.categories[&pimeval::OpCategory::Eq] > 0);
             assert!(out.stats.categories[&pimeval::OpCategory::And] > 0);
@@ -312,8 +331,15 @@ mod tests {
     fn transitive_closure_verifies_on_all_targets() {
         for t in PimTarget::EXTENDED {
             let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
-            let out =
-                TransitiveClosure.run(&mut dev, &Params { scale: 0.5, seed: 7 }).unwrap();
+            let out = TransitiveClosure
+                .run(
+                    &mut dev,
+                    &Params {
+                        scale: 0.5,
+                        seed: 7,
+                    },
+                )
+                .unwrap();
             assert!(out.verified, "{t}");
             assert!(out.stats.categories[&pimeval::OpCategory::Or] > 0);
         }

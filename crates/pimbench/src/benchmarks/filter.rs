@@ -58,9 +58,15 @@ impl Benchmark for FilterByKey {
         let gather_bytes = (n + matches.len() * 8) as f64 * 4.0;
         // The gather is the same random-access loop the CPU baseline
         // runs for its own gather portion (31 % of its runtime, SVIII).
-        charge_host(dev, &WorkloadProfile::new(n as f64, gather_bytes).with_efficiency(0.5));
+        charge_host(
+            dev,
+            &WorkloadProfile::new(n as f64, gather_bytes).with_efficiency(0.5),
+        );
 
-        let expected = keys.iter().filter(|&&k| (k as i64) < Self::THRESHOLD).count();
+        let expected = keys
+            .iter()
+            .filter(|&&k| (k as i64) < Self::THRESHOLD)
+            .count();
         let ok = matches.len() == expected
             && matches.iter().all(|&i| (keys[i] as i64) < Self::THRESHOLD);
         finish(dev, ok, "filter match set")
@@ -93,7 +99,15 @@ mod tests {
     fn filter_verifies_and_is_host_bound() {
         for t in PimTarget::ALL {
             let mut dev = Device::new(pimeval::DeviceConfig::new(t, 4)).unwrap();
-            let out = FilterByKey.run(&mut dev, &Params { scale: 0.05, seed: 9 }).unwrap();
+            let out = FilterByKey
+                .run(
+                    &mut dev,
+                    &Params {
+                        scale: 0.05,
+                        seed: 9,
+                    },
+                )
+                .unwrap();
             assert!(out.verified, "{t}");
             let (_dm, host, _kernel) = out.stats.breakdown();
             assert!(host > 0.0, "{t}: gather phase must be charged to the host");
@@ -104,7 +118,10 @@ mod tests {
     fn selectivity_is_about_one_percent() {
         let mut rng = SplitMix64::new(1);
         let keys = rng.i32_vec(100_000, 0, FilterByKey::KEY_SPACE);
-        let hits = keys.iter().filter(|&&k| (k as i64) < FilterByKey::THRESHOLD).count();
+        let hits = keys
+            .iter()
+            .filter(|&&k| (k as i64) < FilterByKey::THRESHOLD)
+            .count();
         let frac = hits as f64 / keys.len() as f64;
         assert!(frac > 0.005 && frac < 0.02, "selectivity {frac}");
     }

@@ -214,8 +214,10 @@ impl Benchmark for ImageDownsample {
                     phases[3].push(ch[(2 * oy + 1) * side + 2 * ox + 1]);
                 }
             }
-            let objs: Vec<_> =
-                phases.iter().map(|p| dev.alloc_vec(p)).collect::<Result<Vec<_>, _>>()?;
+            let objs: Vec<_> = phases
+                .iter()
+                .map(|p| dev.alloc_vec(p))
+                .collect::<Result<Vec<_>, _>>()?;
             let acc = objs[0];
             dev.add(acc, objs[1], acc)?;
             dev.add(acc, objs[2], acc)?;
@@ -265,7 +267,10 @@ mod tests {
     use pimeval::PimTarget;
 
     fn small() -> Params {
-        Params { scale: 1.0 / 32.0, seed: 11 }
+        Params {
+            scale: 1.0 / 32.0,
+            seed: 11,
+        }
     }
 
     #[test]

@@ -164,7 +164,15 @@ mod tests {
     fn kmeans_matches_reference_on_all_targets() {
         for t in PimTarget::ALL {
             let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
-            let out = KMeans.run(&mut dev, &Params { scale: 1.0 / 64.0, seed: 6 }).unwrap();
+            let out = KMeans
+                .run(
+                    &mut dev,
+                    &Params {
+                        scale: 1.0 / 64.0,
+                        seed: 6,
+                    },
+                )
+                .unwrap();
             assert!(out.verified, "{t}");
             // Simple-op mix: sub/add/eq/min-like ops, no multiplies.
             assert!(!out.stats.categories.contains_key(&pimeval::OpCategory::Mul));

@@ -39,7 +39,9 @@ impl Benchmark for Knn {
         let mut rng = SplitMix64::new(params.seed);
         let xs = rng.i32_vec(n, -10_000, 10_000);
         let ys = rng.i32_vec(n, -10_000, 10_000);
-        let labels: Vec<i64> = (0..n).map(|_| rng.below(Self::CLASSES as u64) as i64).collect();
+        let labels: Vec<i64> = (0..n)
+            .map(|_| rng.below(Self::CLASSES as u64) as i64)
+            .collect();
         let queries: Vec<(i32, i32)> = (0..Self::QUERIES)
             .map(|_| {
                 let mut r = || (rng.below(20_000) as i64 - 10_000) as i32;
@@ -70,15 +72,18 @@ impl Benchmark for Knn {
                 for &i in ids {
                     counts[labels[i] as usize] += 1;
                 }
-                counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0 as i64
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| **c)
+                    .unwrap()
+                    .0 as i64
             };
             let got = vote(&idx[..Self::K]);
 
             // Reference: full recomputation on the host.
             let mut ridx: Vec<usize> = (0..n).collect();
-            ridx.sort_by_key(|&i| {
-                ((xs[i] - qx).abs() + (ys[i] - qy).abs(), i)
-            });
+            ridx.sort_by_key(|&i| ((xs[i] - qx).abs() + (ys[i] - qy).abs(), i));
             ok &= got == vote(&ridx[..Self::K]);
         }
         // Host sorting/classification phase (dominates, Fig. 7).
@@ -139,8 +144,10 @@ impl Benchmark for LinearRegression {
         // y ≈ 3x + 17 with noise; keep magnitudes small so x·y and x²
         // stay within i32.
         let xs = rng.i32_vec(n, -1000, 1000);
-        let ys: Vec<i32> =
-            xs.iter().map(|&x| 3 * x + 17 + rng.i32_vec(1, -50, 50)[0]).collect();
+        let ys: Vec<i32> = xs
+            .iter()
+            .map(|&x| 3 * x + 17 + rng.i32_vec(1, -50, 50)[0])
+            .collect();
 
         let ox = dev.alloc_vec(&xs)?;
         let oy = dev.alloc_vec(&ys)?;
@@ -167,7 +174,11 @@ impl Benchmark for LinearRegression {
         // Reference sums.
         let r_sx: i128 = xs.iter().map(|&v| v as i128).sum();
         let r_sy: i128 = ys.iter().map(|&v| v as i128).sum();
-        let r_sxy: i128 = xs.iter().zip(&ys).map(|(&x, &y)| (x as i128) * (y as i128)).sum();
+        let r_sxy: i128 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| (x as i128) * (y as i128))
+            .sum();
         let r_sxx: i128 = xs.iter().map(|&x| (x as i128) * (x as i128)).sum();
         let sums_ok = sum_x == r_sx && sum_y == r_sy && sum_xy == r_sxy && sum_xx == r_sxx;
         let slope_ok = (slope - 3.0).abs() < 0.1;
@@ -198,7 +209,15 @@ mod tests {
     fn knn_verifies_on_all_targets() {
         for t in PimTarget::ALL {
             let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
-            let out = Knn.run(&mut dev, &Params { scale: 1.0 / 16.0, seed: 2 }).unwrap();
+            let out = Knn
+                .run(
+                    &mut dev,
+                    &Params {
+                        scale: 1.0 / 16.0,
+                        seed: 2,
+                    },
+                )
+                .unwrap();
             assert!(out.verified, "{t}");
             assert!(out.stats.cmds.contains_key("abs.int32"));
             assert!(out.stats.host_time_ms > 0.0);
@@ -209,8 +228,15 @@ mod tests {
     fn linreg_recovers_slope() {
         for t in PimTarget::ALL {
             let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
-            let out =
-                LinearRegression.run(&mut dev, &Params { scale: 1.0 / 32.0, seed: 4 }).unwrap();
+            let out = LinearRegression
+                .run(
+                    &mut dev,
+                    &Params {
+                        scale: 1.0 / 32.0,
+                        seed: 4,
+                    },
+                )
+                .unwrap();
             assert!(out.verified, "{t}");
             // Reduction-heavy mix (Fig. 8).
             assert_eq!(out.stats.categories[&pimeval::OpCategory::Reduction], 4);

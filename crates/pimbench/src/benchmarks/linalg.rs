@@ -48,7 +48,10 @@ impl Benchmark for VectorAdd {
         dev.free(ob)?;
         dev.free(oc)?;
 
-        let ok = got.iter().zip(a.iter().zip(&b)).all(|(g, (x, y))| *g == x.wrapping_add(*y));
+        let ok = got
+            .iter()
+            .zip(a.iter().zip(&b))
+            .all(|(g, (x, y))| *g == x.wrapping_add(*y));
         finish(dev, ok, "vector add output")
     }
 
@@ -165,7 +168,10 @@ impl Gemv {
     const BASE_K: u64 = 256;
 
     fn dims(params: &Params) -> (usize, usize) {
-        (params.scaled(Self::BASE_M) as usize, params.scaled(Self::BASE_K) as usize)
+        (
+            params.scaled(Self::BASE_M) as usize,
+            params.scaled(Self::BASE_K) as usize,
+        )
     }
 }
 
@@ -188,8 +194,10 @@ impl Benchmark for Gemv {
         let a: Vec<Vec<i32>> = (0..k).map(|_| rng.i32_vec(m, -100, 100)).collect();
         let x = rng.i32_vec(k, -10, 10);
 
-        let cols: Vec<_> =
-            a.iter().map(|col| dev.alloc_vec(col)).collect::<Result<Vec<_>, _>>()?;
+        let cols: Vec<_> = a
+            .iter()
+            .map(|col| dev.alloc_vec(col))
+            .collect::<Result<Vec<_>, _>>()?;
         let got = pim_gemv(dev, &cols, &x, m)?;
         for c in cols {
             dev.free(c)?;
@@ -259,8 +267,10 @@ impl Benchmark for Gemm {
         let a: Vec<Vec<i32>> = (0..k).map(|_| rng.i32_vec(m, -50, 50)).collect();
         let b: Vec<Vec<i32>> = (0..n).map(|_| rng.i32_vec(k, -10, 10)).collect();
 
-        let cols: Vec<_> =
-            a.iter().map(|col| dev.alloc_vec(col)).collect::<Result<Vec<_>, _>>()?;
+        let cols: Vec<_> = a
+            .iter()
+            .map(|col| dev.alloc_vec(col))
+            .collect::<Result<Vec<_>, _>>()?;
         let mut ok = true;
         for bn in &b {
             let got = pim_gemv(dev, &cols, bn, m)?;
@@ -309,7 +319,10 @@ mod tests {
     use pimeval::PimTarget;
 
     fn small() -> Params {
-        Params { scale: 1.0 / 64.0, seed: 3 }
+        Params {
+            scale: 1.0 / 64.0,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -344,7 +357,15 @@ mod tests {
     #[test]
     fn gemm_verifies_on_fulcrum() {
         let mut dev = Device::fulcrum(1).unwrap();
-        let out = Gemm.run(&mut dev, &Params { scale: 1.0 / 16.0, seed: 5 }).unwrap();
+        let out = Gemm
+            .run(
+                &mut dev,
+                &Params {
+                    scale: 1.0 / 16.0,
+                    seed: 5,
+                },
+            )
+            .unwrap();
         assert!(out.verified);
         // GEMM is mul-heavy (Fig. 8).
         let muls = out.stats.categories[&pimeval::OpCategory::Mul];

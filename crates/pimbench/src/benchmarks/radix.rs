@@ -114,7 +114,15 @@ mod tests {
     fn radix_sorts_on_all_targets() {
         for t in PimTarget::ALL {
             let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
-            let out = RadixSort.run(&mut dev, &Params { scale: 1.0 / 64.0, seed: 8 }).unwrap();
+            let out = RadixSort
+                .run(
+                    &mut dev,
+                    &Params {
+                        scale: 1.0 / 64.0,
+                        seed: 8,
+                    },
+                )
+                .unwrap();
             assert!(out.verified, "{t}");
             // Counting phase signature: eq + reduction dominate (Fig. 8).
             assert!(out.stats.categories[&pimeval::OpCategory::Eq] > 0);

@@ -46,7 +46,11 @@ fn reference_triangles(adj: &[Vec<u32>], edges: &[(usize, usize)]) -> u64 {
     let common: u64 = edges
         .iter()
         .map(|&(u, v)| {
-            adj[u].iter().zip(&adj[v]).map(|(a, b)| (a & b).count_ones() as u64).sum::<u64>()
+            adj[u]
+                .iter()
+                .zip(&adj[v])
+                .map(|(a, b)| (a & b).count_ones() as u64)
+                .sum::<u64>()
         })
         .sum();
     common / 3
@@ -70,8 +74,10 @@ impl Benchmark for TriangleCount {
         let (adj, edges) = synth_graph(nodes, params.seed);
 
         // Load adjacency rows as PIM objects.
-        let rows: Vec<_> =
-            adj.iter().map(|r| dev.alloc_vec(r)).collect::<Result<Vec<_>, _>>()?;
+        let rows: Vec<_> = adj
+            .iter()
+            .map(|r| dev.alloc_vec(r))
+            .collect::<Result<Vec<_>, _>>()?;
         let tmp = dev.alloc_associated(rows[0], DataType::UInt32)?;
         let cnt = dev.alloc_associated(rows[0], DataType::UInt32)?;
 
@@ -88,7 +94,11 @@ impl Benchmark for TriangleCount {
         }
 
         let got = common / 3;
-        finish(dev, got == reference_triangles(&adj, &edges), "triangle count")
+        finish(
+            dev,
+            got == reference_triangles(&adj, &edges),
+            "triangle count",
+        )
     }
 
     fn cpu_profile(&self, params: &Params) -> WorkloadProfile {
@@ -129,7 +139,15 @@ mod tests {
     fn triangle_count_matches_reference_on_all_targets() {
         for t in PimTarget::ALL {
             let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
-            let out = TriangleCount.run(&mut dev, &Params { scale: 0.5, seed: 10 }).unwrap();
+            let out = TriangleCount
+                .run(
+                    &mut dev,
+                    &Params {
+                        scale: 0.5,
+                        seed: 10,
+                    },
+                )
+                .unwrap();
             assert!(out.verified, "{t}");
             assert!(out.stats.categories[&pimeval::OpCategory::And] > 0);
             assert!(out.stats.categories[&pimeval::OpCategory::Popcount] > 0);

@@ -49,7 +49,13 @@ impl VggVariant {
             VggVariant::Vgg16 => [2, 2, 3, 3, 3],
             VggVariant::Vgg19 => [2, 2, 4, 4, 4],
         };
-        [(4, convs[0]), (8, convs[1]), (16, convs[2]), (32, convs[3]), (32, convs[4])]
+        [
+            (4, convs[0]),
+            (8, convs[1]),
+            (16, convs[2]),
+            (32, convs[3]),
+            (32, convs[4]),
+        ]
     }
 }
 
@@ -95,7 +101,11 @@ fn gen_weights(variant: VggVariant, rng: &mut SplitMix64) -> Weights {
             cin = cout;
         }
     }
-    let dims = [(cin, FC_HIDDEN), (FC_HIDDEN, FC_HIDDEN), (FC_HIDDEN, CLASSES)];
+    let dims = [
+        (cin, FC_HIDDEN),
+        (FC_HIDDEN, FC_HIDDEN),
+        (FC_HIDDEN, CLASSES),
+    ];
     let fc = dims
         .iter()
         .map(|&(i, o)| (0..o).map(|_| rng.i32_vec(i, -2, 3)).collect())
@@ -138,7 +148,9 @@ fn host_conv_layer(input: &HostMaps, side: usize, weights: &[Vec<[i32; 9]>]) -> 
                     }
                 }
             }
-            acc.iter().map(|&v| ((v.max(0)) >> SHIFT).min(CLAMP)).collect()
+            acc.iter()
+                .map(|&v| ((v.max(0)) >> SHIFT).min(CLAMP))
+                .collect()
         })
         .collect()
 }
@@ -154,7 +166,12 @@ fn host_pool(input: &HostMaps, side: usize) -> HostMaps {
                 for y in 0..half {
                     for x in 0..half {
                         let i = b * per + 2 * y * side + 2 * x;
-                        out.push(map[i].max(map[i + 1]).max(map[i + side]).max(map[i + side + 1]));
+                        out.push(
+                            map[i]
+                                .max(map[i + 1])
+                                .max(map[i + side])
+                                .max(map[i + side + 1]),
+                        );
                     }
                 }
             }
@@ -177,7 +194,7 @@ fn pim_conv_layer(
     for map in host_input {
         let mut per_k = Vec::with_capacity(9);
         for ki in 0..9 {
-            let (dy, dx) = ((ki / 3) as i32 - 1, (ki % 3) as i32 - 1);
+            let (dy, dx) = ((ki / 3) - 1, (ki % 3) - 1);
             per_k.push(dev.alloc_vec(&host_shift(map, side, dy, dx))?);
         }
         shifted.push(per_k);
@@ -210,15 +227,14 @@ fn pim_conv_layer(
     for &c in &input.channels {
         dev.free(c)?;
     }
-    Ok(Maps { channels: out_channels, side })
+    Ok(Maps {
+        channels: out_channels,
+        side,
+    })
 }
 
 /// PIM max-pool: four phase maps prepared host-side, max tree on PIM.
-fn pim_pool(
-    dev: &mut Device,
-    input: &Maps,
-    host_input: &HostMaps,
-) -> Result<Maps, BenchError> {
+fn pim_pool(dev: &mut Device, input: &Maps, host_input: &HostMaps) -> Result<Maps, BenchError> {
     let side = input.side;
     let half = side / 2;
     let per = side * side;
@@ -236,8 +252,10 @@ fn pim_pool(
                 }
             }
         }
-        let objs: Vec<ObjId> =
-            phases.iter().map(|p| dev.alloc_vec(p)).collect::<Result<Vec<_>, _>>()?;
+        let objs: Vec<ObjId> = phases
+            .iter()
+            .map(|p| dev.alloc_vec(p))
+            .collect::<Result<Vec<_>, _>>()?;
         dev.max(objs[0], objs[1], objs[0])?;
         dev.max(objs[0], objs[2], objs[0])?;
         dev.max(objs[0], objs[3], objs[0])?;
@@ -247,7 +265,10 @@ fn pim_pool(
         out_channels.push(objs[0]);
         dev.free(*ch)?;
     }
-    Ok(Maps { channels: out_channels, side: half })
+    Ok(Maps {
+        channels: out_channels,
+        side: half,
+    })
 }
 
 /// A VGG variant benchmark.
@@ -325,7 +346,11 @@ impl Benchmark for Vgg {
                     dev.mul(ow, ox, tmp)?;
                     let dot = dev.red_sum(tmp)? as i32;
                     dev.free(ow)?;
-                    next.push(if li + 1 < weights.fc.len() { dot.max(0) >> SHIFT } else { dot });
+                    next.push(if li + 1 < weights.fc.len() {
+                        dot.max(0) >> SHIFT
+                    } else {
+                        dot
+                    });
                 }
                 dev.free(tmp)?;
                 dev.free(ox)?;
@@ -334,7 +359,10 @@ impl Benchmark for Vgg {
             logits.push(x);
         }
         // Host: softmax + argmax (floating point, PIM-unsupported).
-        charge_host(dev, &WorkloadProfile::new((BATCH * CLASSES * 8) as f64, 4096.0));
+        charge_host(
+            dev,
+            &WorkloadProfile::new((BATCH * CLASSES * 8) as f64, 4096.0),
+        );
         for (b, l) in logits.iter().enumerate() {
             // Reference dense path.
             let mut x = feat_per_img[b].clone();
@@ -342,11 +370,7 @@ impl Benchmark for Vgg {
                 x = layer
                     .iter()
                     .map(|row| {
-                        let dot: i64 = row
-                            .iter()
-                            .zip(&x)
-                            .map(|(&w, &v)| w as i64 * v as i64)
-                            .sum();
+                        let dot: i64 = row.iter().zip(&x).map(|(&w, &v)| w as i64 * v as i64).sum();
                         if li + 1 < weights.fc.len() {
                             ((dot.max(0)) >> SHIFT) as i32
                         } else {
@@ -433,16 +457,46 @@ mod tests {
 
     #[test]
     fn variant_depths() {
-        assert_eq!(VggVariant::Vgg13.blocks().iter().map(|b| b.1).sum::<usize>(), 10);
-        assert_eq!(VggVariant::Vgg16.blocks().iter().map(|b| b.1).sum::<usize>(), 13);
-        assert_eq!(VggVariant::Vgg19.blocks().iter().map(|b| b.1).sum::<usize>(), 16);
+        assert_eq!(
+            VggVariant::Vgg13
+                .blocks()
+                .iter()
+                .map(|b| b.1)
+                .sum::<usize>(),
+            10
+        );
+        assert_eq!(
+            VggVariant::Vgg16
+                .blocks()
+                .iter()
+                .map(|b| b.1)
+                .sum::<usize>(),
+            13
+        );
+        assert_eq!(
+            VggVariant::Vgg19
+                .blocks()
+                .iter()
+                .map(|b| b.1)
+                .sum::<usize>(),
+            16
+        );
     }
 
     #[test]
     fn deeper_variants_cost_more_macs() {
-        let m13 = Vgg { variant: VggVariant::Vgg13 }.total_macs();
-        let m16 = Vgg { variant: VggVariant::Vgg16 }.total_macs();
-        let m19 = Vgg { variant: VggVariant::Vgg19 }.total_macs();
+        let m13 = Vgg {
+            variant: VggVariant::Vgg13,
+        }
+        .total_macs();
+        let m16 = Vgg {
+            variant: VggVariant::Vgg16,
+        }
+        .total_macs();
+        let m19 = Vgg {
+            variant: VggVariant::Vgg19,
+        }
+        .total_macs();
         assert!(m13 < m16 && m16 < m19);
     }
 
@@ -459,9 +513,16 @@ mod tests {
     #[test]
     fn vgg13_verifies_on_fulcrum() {
         let mut dev = Device::fulcrum(1).unwrap();
-        let out = Vgg { variant: VggVariant::Vgg13 }.run(&mut dev, &Params::default()).unwrap();
+        let out = Vgg {
+            variant: VggVariant::Vgg13,
+        }
+        .run(&mut dev, &Params::default())
+        .unwrap();
         assert!(out.verified);
         assert!(out.stats.host_time_ms > 0.0);
-        assert!(out.stats.categories[&pimeval::OpCategory::Max] > 0, "ReLU/pool maxes");
+        assert!(
+            out.stats.categories[&pimeval::OpCategory::Max] > 0,
+            "ReLU/pool maxes"
+        );
     }
 }

@@ -4,14 +4,24 @@
 //! ```text
 //! pimbench [--bench <name>|all|extensions] [--target <t>|all]
 //!          [--ranks N] [--scale F] [--seed S] [--report]
+//!          [--trace <file>] [--stats-json <file>]
 //! ```
 //!
 //! Targets: `bitserial`, `fulcrum`, `bank`, `analog`, `upmem`, `all`
 //! (the paper's three). Prints one verification/timing line per run and,
 //! with `--report`, the full Listing-3 statistics block.
+//!
+//! `--trace <file>` writes a Chrome-trace-event JSON timeline (load it
+//! at <https://ui.perfetto.dev>) with one process per (target,
+//! benchmark) run; `--stats-json <file>` writes the machine-readable
+//! statistics of every run. Set `PIM_LOG=info|debug|trace` for leveled
+//! diagnostics on stderr.
 
 use pimbench::{all_benchmarks, extension_benchmarks, Benchmark, Params};
-use pimeval::{Device, DeviceConfig, PimTarget};
+use pimeval::trace::chrome::ChromeTraceBuilder;
+use pimeval::trace::json::stats_to_json;
+use pimeval::{pim_info, Device, DeviceConfig, PimTarget};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Cli {
@@ -20,6 +30,8 @@ struct Cli {
     ranks: usize,
     params: Params,
     report: bool,
+    trace: Option<PathBuf>,
+    stats_json: Option<PathBuf>,
 }
 
 fn parse_target(s: &str) -> Option<Vec<PimTarget>> {
@@ -42,12 +54,15 @@ fn parse() -> Result<Cli, String> {
         ranks: 4,
         params: Params::default(),
         report: false,
+        trace: None,
+        stats_json: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| -> Result<&String, String> {
-            args.get(i + 1).ok_or_else(|| format!("{} needs a value", args[i]))
+            args.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
         };
         match args[i].as_str() {
             "--bench" => {
@@ -55,8 +70,8 @@ fn parse() -> Result<Cli, String> {
                 i += 1;
             }
             "--target" => {
-                cli.targets =
-                    parse_target(need(i)?).ok_or_else(|| format!("unknown target {}", args[i + 1]))?;
+                cli.targets = parse_target(need(i)?)
+                    .ok_or_else(|| format!("unknown target {}", args[i + 1]))?;
                 i += 1;
             }
             "--ranks" => {
@@ -72,11 +87,20 @@ fn parse() -> Result<Cli, String> {
                 i += 1;
             }
             "--report" => cli.report = true,
+            "--trace" => {
+                cli.trace = Some(PathBuf::from(need(i)?));
+                i += 1;
+            }
+            "--stats-json" => {
+                cli.stats_json = Some(PathBuf::from(need(i)?));
+                i += 1;
+            }
             "--help" | "-h" => {
                 println!(
                     "pimbench --bench <name>|all|extensions --target \
                      bitserial|fulcrum|bank|analog|upmem|all|extended \
-                     [--ranks N] [--scale F] [--seed S] [--report]"
+                     [--ranks N] [--scale F] [--seed S] [--report] \
+                     [--trace <file>] [--stats-json <file>]"
                 );
                 std::process::exit(0);
             }
@@ -113,6 +137,8 @@ fn main() -> ExitCode {
         }
     };
     let mut failures = 0usize;
+    let mut chrome = ChromeTraceBuilder::new();
+    let mut stats_runs: Vec<String> = Vec::new();
     for target in &cli.targets {
         for bench in &benches {
             let mut dev = match Device::new(DeviceConfig::new(*target, cli.ranks)) {
@@ -122,6 +148,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if cli.trace.is_some() {
+                dev.enable_tracing();
+            }
             match bench.run(&mut dev, &cli.params) {
                 Ok(out) => {
                     let s = &out.stats;
@@ -137,6 +166,17 @@ fn main() -> ExitCode {
                     if cli.report {
                         println!("{}", dev.report());
                     }
+                    if cli.trace.is_some() {
+                        let label = format!("{} / {}", target, bench.spec().name);
+                        chrome.add_run(&label, &dev.take_trace());
+                    }
+                    if cli.stats_json.is_some() {
+                        stats_runs.push(format!(
+                            "{{\"benchmark\":{},\"stats\":{}}}",
+                            pimeval::trace::json::string(bench.spec().name),
+                            stats_to_json(s, dev.config())
+                        ));
+                    }
                 }
                 Err(e) => {
                     failures += 1;
@@ -144,6 +184,21 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    if let Some(path) = &cli.trace {
+        if let Err(e) = chrome.write_to(path) {
+            eprintln!("error: cannot write trace {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        pim_info!("wrote Chrome trace to {}", path.display());
+    }
+    if let Some(path) = &cli.stats_json {
+        let doc = format!("{{\"runs\":[\n{}\n]}}\n", stats_runs.join(",\n"));
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write stats {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        pim_info!("wrote stats JSON to {}", path.display());
     }
     if failures > 0 {
         eprintln!("{failures} run(s) failed");

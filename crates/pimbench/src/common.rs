@@ -93,7 +93,10 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { scale: 1.0, seed: 42 }
+        Params {
+            scale: 1.0,
+            seed: 42,
+        }
     }
 }
 
@@ -203,9 +206,14 @@ pub fn charge_host(dev: &mut Device, profile: &WorkloadProfile) -> f64 {
 /// Finishes a run: snapshots stats and packages the verification flag.
 pub fn finish(dev: &Device, verified: bool, what: &str) -> Result<RunOutcome, BenchError> {
     if !verified {
-        return Err(BenchError::VerificationFailed { what: what.to_string() });
+        return Err(BenchError::VerificationFailed {
+            what: what.to_string(),
+        });
     }
-    Ok(RunOutcome { verified, stats: dev.stats().clone() })
+    Ok(RunOutcome {
+        verified,
+        stats: dev.stats().clone(),
+    })
 }
 
 /// A tiny deterministic PRNG (SplitMix64) so benchmark inputs do not
@@ -253,7 +261,9 @@ impl SplitMix64 {
     pub fn i32_vec(&mut self, n: usize, lo: i32, hi: i32) -> Vec<i32> {
         assert!(lo < hi, "empty range");
         let span = (hi as i64 - lo as i64) as u64;
-        (0..n).map(|_| (lo as i64 + self.below(span) as i64) as i32).collect()
+        (0..n)
+            .map(|_| (lo as i64 + self.below(span) as i64) as i32)
+            .collect()
     }
 }
 
@@ -273,7 +283,10 @@ mod tests {
 
     #[test]
     fn params_scaling_has_floor() {
-        let p = Params { scale: 1e-9, seed: 0 };
+        let p = Params {
+            scale: 1e-9,
+            seed: 0,
+        };
         assert_eq!(p.scaled(1_000_000), 16);
         let d = Params::default();
         assert_eq!(d.scaled(1024), 1024);

@@ -63,9 +63,15 @@ pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
         Box::new(Knn),
         Box::new(LinearRegression),
         Box::new(KMeans),
-        Box::new(Vgg { variant: VggVariant::Vgg13 }),
-        Box::new(Vgg { variant: VggVariant::Vgg16 }),
-        Box::new(Vgg { variant: VggVariant::Vgg19 }),
+        Box::new(Vgg {
+            variant: VggVariant::Vgg13,
+        }),
+        Box::new(Vgg {
+            variant: VggVariant::Vgg16,
+        }),
+        Box::new(Vgg {
+            variant: VggVariant::Vgg19,
+        }),
     ]
 }
 
@@ -74,15 +80,43 @@ pub fn all_benchmarks() -> Vec<Box<dyn Benchmark>> {
 /// out of [`all_benchmarks`] so Table I figures retain the paper's 18
 /// applications.
 pub fn extension_benchmarks() -> Vec<Box<dyn Benchmark>> {
-    vec![Box::new(PrefixSum), Box::new(StringMatch), Box::new(TransitiveClosure)]
+    vec![
+        Box::new(PrefixSum),
+        Box::new(StringMatch),
+        Box::new(TransitiveClosure),
+    ]
 }
 
-/// Looks a benchmark up by its figure label (case-insensitive).
+/// Short command-line aliases for benchmarks whose figure labels contain
+/// spaces or punctuation (`vecadd` for "Vector Addition", ...).
+pub const BENCH_ALIASES: &[(&str, &str)] = &[
+    ("vecadd", "Vector Addition"),
+    ("va", "Vector Addition"),
+    ("sort", "Radix Sort"),
+    ("radixsort", "Radix Sort"),
+    ("triangle", "Triangle Count"),
+    ("tc", "Triangle Count"),
+    ("filter", "Filter-By-Key"),
+    ("hist", "Histogram"),
+    ("downsample", "Image Downsampling"),
+    ("linreg", "Linear Regression"),
+    ("lr", "Linear Regression"),
+    ("kmeans", "K-means"),
+    ("prefixsum", "Prefix Sum"),
+    ("stringmatch", "String Match"),
+];
+
+/// Looks a benchmark up by its figure label or a [`BENCH_ALIASES`] short
+/// name (both case-insensitive).
 pub fn benchmark_by_name(name: &str) -> Option<Box<dyn Benchmark>> {
+    let resolved = BENCH_ALIASES
+        .iter()
+        .find(|(alias, _)| alias.eq_ignore_ascii_case(name))
+        .map_or(name, |(_, full)| full);
     all_benchmarks()
         .into_iter()
         .chain(extension_benchmarks())
-        .find(|b| b.spec().name.eq_ignore_ascii_case(name))
+        .find(|b| b.spec().name.eq_ignore_ascii_case(resolved))
 }
 
 #[cfg(test)]
@@ -93,8 +127,7 @@ mod tests {
     fn suite_has_eighteen_unique_benchmarks() {
         let suite = all_benchmarks();
         assert_eq!(suite.len(), 18);
-        let names: std::collections::BTreeSet<_> =
-            suite.iter().map(|b| b.spec().name).collect();
+        let names: std::collections::BTreeSet<_> = suite.iter().map(|b| b.spec().name).collect();
         assert_eq!(names.len(), 18);
     }
 

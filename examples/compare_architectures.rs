@@ -18,7 +18,10 @@ fn main() -> Result<(), PimError> {
         ("popcount", OpKind::Popcount),
     ];
     println!("Primitive latency/energy on 256M 32-bit INT, 32 ranks (model-only)\n");
-    println!("{:<12} {:<10} {:>14} {:>14} {:>8}", "Target", "Op", "Latency (ms)", "Energy (mJ)", "Cores");
+    println!(
+        "{:<12} {:<10} {:>14} {:>14} {:>8}",
+        "Target", "Op", "Latency (ms)", "Energy (mJ)", "Cores"
+    );
     for target in PimTarget::ALL {
         let cfg = DeviceConfig::new(target, 32).model_only();
         let layout = ObjectLayout::compute(&cfg, n, DataType::Int32, None)?;

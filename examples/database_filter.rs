@@ -30,8 +30,11 @@ fn main() -> Result<(), PimError> {
         let bitmap = dev.to_vec::<i32>(m1)?;
 
         // Host: gather matching row ids from the bitmap.
-        let ids: Vec<usize> =
-            bitmap.iter().enumerate().filter_map(|(i, &b)| (b == 1).then_some(i)).collect();
+        let ids: Vec<usize> = bitmap
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == 1).then_some(i))
+            .collect();
         assert_eq!(ids.len() as i128, matches);
         assert!(ids.iter().all(|&i| price[i] < 100 && quantity[i] > 5));
 

@@ -22,7 +22,10 @@ fn main() -> Result<(), PimError> {
     dev.max_scalar(img, 0, img)?;
     let bright = dev.to_vec::<i32>(img)?;
     dev.free(img)?;
-    assert!(bright.iter().zip(&image).all(|(b, o)| *b == (o + 32).clamp(0, 255)));
+    assert!(bright
+        .iter()
+        .zip(&image)
+        .all(|(b, o)| *b == (o + 32).clamp(0, 255)));
     println!("brightness : {} pixels adjusted", bright.len());
 
     // Stage 2: 2x downsample via phase split + add + shift.
@@ -36,7 +39,10 @@ fn main() -> Result<(), PimError> {
             phases[3].push(bright[(2 * y + 1) * SIDE + 2 * x + 1]);
         }
     }
-    let objs: Vec<_> = phases.iter().map(|p| dev.alloc_vec(p)).collect::<Result<_, _>>()?;
+    let objs: Vec<_> = phases
+        .iter()
+        .map(|p| dev.alloc_vec(p))
+        .collect::<Result<_, _>>()?;
     dev.add(objs[0], objs[1], objs[0])?;
     dev.add(objs[0], objs[2], objs[0])?;
     dev.add(objs[0], objs[3], objs[0])?;

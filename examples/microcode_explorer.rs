@@ -49,7 +49,10 @@ fn main() {
     // digital-vs-analog argument.
     use pimeval_suite::microcode::analog;
     println!("\nDigital vs analog lowering of the same operations:");
-    println!("{:<10} {:>24} {:>24}", "op", "digital rows touched", "analog rows touched");
+    println!(
+        "{:<10} {:>24} {:>24}",
+        "op", "digital rows touched", "analog rows touched"
+    );
     for bits in [8u32, 32] {
         for (name, dig, ana) in [
             (

@@ -9,7 +9,12 @@ use pimeval_suite::microcode::gen::{self, BinaryOp, CmpOp};
 use pimeval_suite::microcode::vm::{Region, Vm};
 use pimeval_suite::sim::{DataType, Device};
 
-fn vm_binary(prog: &pimeval_suite::microcode::MicroProgram, a: &[i64], b: &[i64], bits: u32) -> Vec<i64> {
+fn vm_binary(
+    prog: &pimeval_suite::microcode::MicroProgram,
+    a: &[i64],
+    b: &[i64],
+    bits: u32,
+) -> Vec<i64> {
     let n = a.len();
     let mut mat = BitMatrix::new(3 * bits as usize + 64, n);
     encode_vertical(&mut mat, 0, bits, a);
@@ -25,7 +30,9 @@ fn vm_binary(prog: &pimeval_suite::microcode::MicroProgram, a: &[i64], b: &[i64]
 
 #[test]
 fn device_and_vm_agree_on_arithmetic() {
-    let a: Vec<i32> = (0..300i32).map(|i| i.wrapping_mul(7_777_777) - 123).collect();
+    let a: Vec<i32> = (0..300i32)
+        .map(|i| i.wrapping_mul(7_777_777) - 123)
+        .collect();
     let b: Vec<i32> = (0..300i32).map(|i| -i * 991 + 45_678).collect();
     let a64: Vec<i64> = a.iter().map(|&v| v as i64).collect();
     let b64: Vec<i64> = b.iter().map(|&v| v as i64).collect();
@@ -36,7 +43,10 @@ fn device_and_vm_agree_on_arithmetic() {
     let oc = dev.alloc_associated(oa, DataType::Int32).unwrap();
 
     for (op, prog) in [
-        (Device::add as fn(&mut Device, _, _, _) -> _, gen::binary(BinaryOp::Add, 32)),
+        (
+            Device::add as fn(&mut Device, _, _, _) -> _,
+            gen::binary(BinaryOp::Add, 32),
+        ),
         (Device::sub, gen::binary(BinaryOp::Sub, 32)),
         (Device::mul, gen::binary(BinaryOp::Mul, 32)),
         (Device::xor, gen::binary(BinaryOp::Xor, 32)),
@@ -47,7 +57,12 @@ fn device_and_vm_agree_on_arithmetic() {
         let device_result = dev.to_vec::<i32>(oc).unwrap();
         let vm_result = vm_binary(&prog, &a64, &b64, 32);
         for i in 0..a.len() {
-            assert_eq!(device_result[i] as i64, vm_result[i], "{} at {i}", prog.name());
+            assert_eq!(
+                device_result[i] as i64,
+                vm_result[i],
+                "{} at {i}",
+                prog.name()
+            );
         }
     }
 }

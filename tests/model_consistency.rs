@@ -3,9 +3,7 @@
 //! work-conserving, and the paper's §VII orderings must hold.
 
 use pimeval_suite::microcode::gen::{self, BinaryOp};
-use pimeval_suite::sim::{
-    model, DataType, Device, DeviceConfig, ObjectLayout, OpKind, PimTarget,
-};
+use pimeval_suite::sim::{model, DataType, Device, DeviceConfig, ObjectLayout, OpKind, PimTarget};
 
 /// The bit-serial model's per-op time must equal the generated
 /// microprogram's row counts times the DRAM timing — no drift between
@@ -16,8 +14,14 @@ fn bitserial_model_matches_microprogram_counts() {
     let layout = ObjectLayout::compute(&cfg, 8192, DataType::Int32, None).unwrap();
     assert_eq!(layout.units_per_core, 1);
     for (kind, prog) in [
-        (OpKind::Binary(BinaryOp::Add), gen::binary(BinaryOp::Add, 32)),
-        (OpKind::Binary(BinaryOp::Mul), gen::binary(BinaryOp::Mul, 32)),
+        (
+            OpKind::Binary(BinaryOp::Add),
+            gen::binary(BinaryOp::Add, 32),
+        ),
+        (
+            OpKind::Binary(BinaryOp::Mul),
+            gen::binary(BinaryOp::Mul, 32),
+        ),
         (OpKind::Not, gen::not(32)),
         (OpKind::Popcount, gen::popcount(32)),
     ] {
@@ -120,9 +124,17 @@ fn energy_grows_with_active_parallelism() {
     for ranks in [4, 8, 16, 32] {
         let cfg = DeviceConfig::new(PimTarget::BitSerial, ranks).model_only();
         let layout = ObjectLayout::compute(&cfg, n, DataType::Int32, None).unwrap();
-        let e = model::op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &layout)
-            .energy_mj;
-        assert!(e >= prev_energy * 0.99, "ranks={ranks}: {e} vs {prev_energy}");
+        let e = model::op_cost(
+            &cfg,
+            OpKind::Binary(BinaryOp::Add),
+            DataType::Int32,
+            &layout,
+        )
+        .energy_mj;
+        assert!(
+            e >= prev_energy * 0.99,
+            "ranks={ranks}: {e} vs {prev_energy}"
+        );
         prev_energy = e;
     }
 }

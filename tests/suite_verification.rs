@@ -5,7 +5,10 @@ use pimeval_suite::bench_suite::{all_benchmarks, ExecType, Params};
 use pimeval_suite::sim::{Device, DeviceConfig, PimTarget};
 
 fn tiny() -> Params {
-    Params { scale: 1.0 / 64.0, seed: 20240 }
+    Params {
+        scale: 1.0 / 64.0,
+        seed: 20240,
+    }
 }
 
 #[test]
@@ -32,11 +35,19 @@ fn stats_are_structurally_sound_for_each_benchmark() {
         assert!(s.total_ops() > 0, "{}: no ops recorded", spec.name);
         assert!(s.kernel_time_ms() > 0.0, "{}", spec.name);
         assert!(s.kernel_energy_mj() > 0.0, "{}", spec.name);
-        assert!(s.copy.host_to_device_bytes > 0, "{}: inputs must be copied in", spec.name);
+        assert!(
+            s.copy.host_to_device_bytes > 0,
+            "{}: inputs must be copied in",
+            spec.name
+        );
         let (dm, host, kernel) = s.breakdown();
         assert!((dm + host + kernel - 1.0).abs() < 1e-9, "{}", spec.name);
         if spec.exec == ExecType::PimHost {
-            assert!(s.host_time_ms > 0.0, "{}: PIM+Host must charge host time", spec.name);
+            assert!(
+                s.host_time_ms > 0.0,
+                "{}: PIM+Host must charge host time",
+                spec.name
+            );
         }
     }
 }
@@ -74,8 +85,24 @@ fn runs_are_deterministic() {
 fn different_seeds_change_data_not_structure() {
     let bench = &all_benchmarks()[0]; // Vector Addition
     let mut dev = Device::fulcrum(1).unwrap();
-    let a = bench.run(&mut dev, &Params { scale: 0.01, seed: 1 }).unwrap();
-    let b = bench.run(&mut dev, &Params { scale: 0.01, seed: 2 }).unwrap();
+    let a = bench
+        .run(
+            &mut dev,
+            &Params {
+                scale: 0.01,
+                seed: 1,
+            },
+        )
+        .unwrap();
+    let b = bench
+        .run(
+            &mut dev,
+            &Params {
+                scale: 0.01,
+                seed: 2,
+            },
+        )
+        .unwrap();
     assert!(a.verified && b.verified);
     assert_eq!(a.stats.total_ops(), b.stats.total_ops());
 }

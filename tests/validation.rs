@@ -42,7 +42,10 @@ fn fulcrum_vecadd_matches_independent_calculator() {
         let ours = model_ms(OpKind::Binary(BinaryOp::Add), n, ranks);
         let reference = reference_fulcrum_ms(n, ranks as u64, 2, 1.0);
         let err = (ours - reference).abs() / reference;
-        assert!(err < 0.01, "n={n} ranks={ranks}: ours {ours} vs ref {reference} ({err:.3})");
+        assert!(
+            err < 0.01,
+            "n={n} ranks={ranks}: ours {ours} vs ref {reference} ({err:.3})"
+        );
     }
 }
 
@@ -94,9 +97,18 @@ fn bitserial_add_matches_published_row_count_rule() {
     // end-to-end model against the closed-form 3n rule.
     let cfg = DeviceConfig::new(PimTarget::BitSerial, 32).model_only();
     let layout = ObjectLayout::compute(&cfg, 8192, DataType::Int32, None).unwrap();
-    let t = model::op_cost(&cfg, OpKind::Binary(BinaryOp::Add), DataType::Int32, &layout).time_ms;
+    let t = model::op_cost(
+        &cfg,
+        OpKind::Binary(BinaryOp::Add),
+        DataType::Int32,
+        &layout,
+    )
+    .time_ms;
     // 64 reads × 28.5 + 32 writes × 43.5 = 3216 ns plus logic.
     let floor_ms = (64.0 * 28.5 + 32.0 * 43.5) * 1e-6;
     assert!(t >= floor_ms, "model below the 3n-row physical floor");
-    assert!(t <= floor_ms * 1.2, "logic overhead should be small: {t} vs {floor_ms}");
+    assert!(
+        t <= floor_ms * 1.2,
+        "logic overhead should be small: {t} vs {floor_ms}"
+    );
 }
