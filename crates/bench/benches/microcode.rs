@@ -3,6 +3,7 @@
 
 use pim_bench_harness::microbench::{bench, bench_throughput, group};
 use pim_dram::BitMatrix;
+use pim_microcode::cache::{self, ProgKey};
 use pim_microcode::encode::encode_vertical;
 use pim_microcode::gen::{self, BinaryOp};
 use pim_microcode::vm::{Region, Vm};
@@ -12,6 +13,10 @@ fn bench_codegen() {
     for bits in [8u32, 32, 64] {
         bench(&format!("add/{bits}"), || gen::binary(BinaryOp::Add, bits));
         bench(&format!("mul/{bits}"), || gen::binary(BinaryOp::Mul, bits));
+        // The cached path the VM hot loops actually take.
+        bench(&format!("add/{bits} (cached)"), || {
+            cache::program(ProgKey::Binary(BinaryOp::Add, bits))
+        });
     }
 }
 
@@ -21,9 +26,15 @@ fn bench_vm() {
     group("vm_row_wide");
     let values: Vec<i64> = (0..cols as i64).collect();
     for (name, prog) in [
-        ("add32", gen::binary(BinaryOp::Add, bits)),
-        ("mul32", gen::binary(BinaryOp::Mul, bits)),
-        ("redsum32", gen::red_sum(bits, true)),
+        (
+            "add32",
+            cache::program(ProgKey::Binary(BinaryOp::Add, bits)),
+        ),
+        (
+            "mul32",
+            cache::program(ProgKey::Binary(BinaryOp::Mul, bits)),
+        ),
+        ("redsum32", cache::program(ProgKey::RedSum(bits, true))),
     ] {
         let mut mat = BitMatrix::new(3 * bits as usize, cols);
         encode_vertical(&mut mat, 0, bits, &values);
@@ -40,12 +51,11 @@ fn bench_vm() {
 }
 
 fn bench_analog() {
-    use pim_microcode::analog;
     let cols = 8192;
     let bits = 32u32;
     group("analog_vm");
     let values: Vec<i64> = (0..cols as i64).collect();
-    let prog = analog::binary(BinaryOp::Add, bits);
+    let prog = cache::program(ProgKey::AnalogBinary(BinaryOp::Add, bits));
     let rows = 3 * bits as usize + prog.temp_rows() as usize;
     let mut mat = BitMatrix::new(rows, cols);
     encode_vertical(&mut mat, 0, bits, &values);

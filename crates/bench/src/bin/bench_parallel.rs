@@ -1,0 +1,130 @@
+//! Functional-mode throughput of the parallel execution engine:
+//! element-wise ops and reductions on a multi-million-element device,
+//! plus one end-to-end VGG-13 inference, each measured with the engine
+//! pinned to one worker and again at the host's default worker count.
+//!
+//! Writes the measurements and per-op speedups to `BENCH_parallel.json`
+//! (override with `--out <path>`). On a single-core host the speedup
+//! column honestly reports ~1×; the ≥3× engine headroom shows on
+//! multi-core runners (see the CI bench job).
+
+use pim_bench_harness::export::{parallel_runs_to_json, ParallelRun};
+use pim_bench_harness::microbench::{bench, bench_throughput, group};
+use pim_bench_harness::run_one;
+use pimbench::Params;
+use pimeval::{exec, DataType, Device, DeviceConfig, PimTarget};
+
+/// Elements per device object: large enough that every op fans out
+/// across many `exec::MIN_CHUNK` chunks.
+const N: u64 = 4 * 1024 * 1024;
+
+fn engine_runs(threads: usize, out: &mut Vec<ParallelRun>) {
+    exec::with_thread_count(threads, || {
+        let mut dev = Device::new(DeviceConfig::new(PimTarget::Fulcrum, 2)).unwrap();
+        let host: Vec<i32> = (0..N as i32)
+            .map(|i| i.wrapping_mul(2654435761u32 as i32))
+            .collect();
+        let a = dev.alloc(N, DataType::Int32).unwrap();
+        let b = dev.alloc_associated(a, DataType::Int32).unwrap();
+        let dst = dev.alloc_associated(a, DataType::Int32).unwrap();
+        dev.copy_to_device(&host, a).unwrap();
+        dev.copy_to_device(&host, b).unwrap();
+
+        group(&format!("functional ops, {N} × int32, {threads} thread(s)"));
+        let mut record = |name: &str, m: pim_bench_harness::microbench::Measurement| {
+            out.push(ParallelRun {
+                name: name.into(),
+                threads,
+                elems: N,
+                mean_ns: m.mean.as_nanos(),
+                min_ns: m.min.as_nanos(),
+            });
+        };
+        record(
+            "add",
+            bench_throughput("add", N, || dev.add(a, b, dst).unwrap()),
+        );
+        record(
+            "mul",
+            bench_throughput("mul", N, || dev.mul(a, b, dst).unwrap()),
+        );
+        record(
+            "lt",
+            bench_throughput("lt", N, || dev.lt(a, b, dst).unwrap()),
+        );
+        record(
+            "red_sum",
+            bench_throughput("red_sum", N, || dev.red_sum(a).unwrap()),
+        );
+        record(
+            "copy_to_device",
+            bench_throughput("copy_to_device", N, || {
+                dev.copy_to_device(&host, dst).unwrap()
+            }),
+        );
+
+        // End-to-end: a full (scaled-down) VGG-13 inference through the
+        // benchmark harness — dominated by functional GEMM/conv work.
+        let cfg = DeviceConfig::new(PimTarget::Fulcrum, 2);
+        let params = Params {
+            scale: 0.01,
+            seed: 42,
+        };
+        let m = bench("vgg13-e2e", || run_one("VGG-13", &cfg, &params));
+        out.push(ParallelRun {
+            name: "vgg13-e2e".into(),
+            threads,
+            elems: 0,
+            mean_ns: m.mean.as_nanos(),
+            min_ns: m.min.as_nanos(),
+        });
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parallel.json".into());
+
+    let default_threads = exec::thread_count();
+    println!(
+        "parallel execution engine benchmark — default {default_threads} worker(s) on this host"
+    );
+
+    let mut runs = Vec::new();
+    engine_runs(1, &mut runs);
+    if default_threads > 1 {
+        engine_runs(default_threads, &mut runs);
+    } else {
+        println!("\n(single-core host: skipping the multi-thread pass — speedups need a multi-core runner)");
+    }
+
+    let json = parallel_runs_to_json(default_threads, &runs);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {} measurement(s) to {out_path}", runs.len()),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if default_threads > 1 {
+        group("speedup (min-time ratio, 1 thread / default)");
+        for base in runs.iter().filter(|r| r.threads == 1) {
+            if let Some(par) = runs
+                .iter()
+                .find(|r| r.threads == default_threads && r.name == base.name)
+            {
+                println!(
+                    "{:<44} {:>8.2}x",
+                    base.name,
+                    base.min_ns as f64 / par.min_ns as f64
+                );
+            }
+        }
+    }
+}

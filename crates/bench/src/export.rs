@@ -67,6 +67,77 @@ pub fn maybe_export(records: &[SuiteRecord]) {
     }
 }
 
+/// One throughput measurement from the `bench_parallel` binary: an op
+/// class timed at a fixed worker count on the host machine.
+#[derive(Debug, Clone)]
+pub struct ParallelRun {
+    /// Operation label (`add`, `mul`, `lt`, `red_sum`, `vgg13-e2e`, …).
+    pub name: String,
+    /// Worker threads the execution engine was pinned to.
+    pub threads: usize,
+    /// Elements processed per iteration (0 for end-to-end runs where
+    /// throughput-per-element is not meaningful).
+    pub elems: u64,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: u128,
+    /// Best observed wall time per iteration, nanoseconds.
+    pub min_ns: u128,
+}
+
+impl ParallelRun {
+    /// Element throughput in Melem/s from the best iteration, or 0 for
+    /// end-to-end runs.
+    pub fn melem_per_s(&self) -> f64 {
+        if self.elems == 0 || self.min_ns == 0 {
+            return 0.0;
+        }
+        self.elems as f64 / (self.min_ns as f64 / 1e9) / 1e6
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"threads\":{},\"elems\":{},\
+             \"mean_ns\":{},\"min_ns\":{},\"melem_per_s\":{}}}",
+            string(&self.name),
+            self.threads,
+            self.elems,
+            self.mean_ns,
+            self.min_ns,
+            num(self.melem_per_s()),
+        )
+    }
+}
+
+/// Renders the `bench_parallel` report: host parallelism, every
+/// measurement, and per-op speedups of the multi-threaded run over the
+/// single-threaded one (best-time ratio, paired by op name).
+pub fn parallel_runs_to_json(default_threads: usize, runs: &[ParallelRun]) -> String {
+    let measured: Vec<String> = runs.iter().map(ParallelRun::to_json).collect();
+    let mut speedups = Vec::new();
+    if default_threads > 1 {
+        for base in runs.iter().filter(|r| r.threads == 1) {
+            if let Some(par) = runs
+                .iter()
+                .find(|r| r.threads == default_threads && r.name == base.name)
+            {
+                if par.min_ns > 0 {
+                    speedups.push(format!(
+                        "{{\"name\":{},\"speedup\":{}}}",
+                        string(&base.name),
+                        num(base.min_ns as f64 / par.min_ns as f64),
+                    ));
+                }
+            }
+        }
+    }
+    format!(
+        "{{\"threads_default\":{},\"runs\":[\n{}\n],\"speedups\":[{}]}}\n",
+        default_threads,
+        measured.join(",\n"),
+        speedups.join(","),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +171,36 @@ mod tests {
             .as_f64()
             .unwrap();
         assert!((total - r.stats.kernel_time_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_runs_export_pairs_speedups_by_name() {
+        let runs = vec![
+            ParallelRun {
+                name: "add".into(),
+                threads: 1,
+                elems: 1000,
+                mean_ns: 4000,
+                min_ns: 4000,
+            },
+            ParallelRun {
+                name: "add".into(),
+                threads: 8,
+                elems: 1000,
+                mean_ns: 1100,
+                min_ns: 1000,
+            },
+        ];
+        let json = parallel_runs_to_json(8, &runs);
+        let doc = pimeval::trace::json::Json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("threads_default").unwrap().as_f64().unwrap() as usize,
+            8
+        );
+        assert_eq!(doc.get("runs").unwrap().as_array().unwrap().len(), 2);
+        let speedups = doc.get("speedups").unwrap().as_array().unwrap();
+        assert_eq!(speedups.len(), 1);
+        let s = speedups[0].get("speedup").unwrap().as_f64().unwrap();
+        assert!((s - 4.0).abs() < 1e-9);
     }
 }

@@ -6,6 +6,7 @@
 //! model-only mode), charges the target's performance/energy model, and
 //! updates the per-command statistics.
 
+use pim_dram::exec;
 use pim_microcode::gen::{BinaryOp, CmpOp};
 
 use crate::config::{DeviceConfig, PimTarget, SimMode};
@@ -391,8 +392,14 @@ impl Device {
         let bytes = obj.bytes();
         let dtype = obj.dtype;
         if matches!(self.config.mode, SimMode::Functional) {
-            let converted: Vec<i64> = data.iter().map(|v| dtype.truncate(v.to_device())).collect();
-            self.rm.get_mut(id)?.data = Some(converted);
+            // Single-pass packing: reuse the object's existing device
+            // buffer when one is present (repeated uploads into the same
+            // object — the aes/vgg setup pattern — allocate nothing) and
+            // convert host elements in parallel.
+            let mut buf = self.rm.get_mut(id)?.data.take().unwrap_or_default();
+            buf.resize(data.len(), 0);
+            exec::par_map_into(data, &mut buf, |v| dtype.truncate(v.to_device()));
+            self.rm.get_mut(id)?.data = Some(buf);
         }
         self.charge_copy(bytes, CopyDirection::HostToDevice);
         Ok(())
@@ -420,11 +427,7 @@ impl Device {
         }
         let bytes = obj.bytes();
         match &obj.data {
-            Some(data) => {
-                for (o, v) in out.iter_mut().zip(data) {
-                    *o = T::from_device(*v);
-                }
-            }
+            Some(data) => exec::par_map_into(data, out, |&v| T::from_device(v)),
             None => {
                 return Err(PimError::NotSupported(
                     "copy_to_host in model-only mode".into(),
@@ -536,19 +539,16 @@ impl Device {
         a: ObjId,
         b: ObjId,
         dst: ObjId,
-        f: impl Fn(DataType, i64, i64) -> i64,
+        f: impl Fn(DataType, i64, i64) -> i64 + Sync,
     ) -> Result<()> {
         self.check_pair(a, b)?;
         self.check_pair(a, dst)?;
         if matches!(self.config.mode, SimMode::Functional) {
             let dtype = self.rm.get(a)?.dtype;
-            let out: Vec<i64> = {
+            let out = {
                 let da = self.data(a)?.expect("functional object has data");
                 let db = self.data(b)?.expect("functional object has data");
-                da.iter()
-                    .zip(db)
-                    .map(|(&x, &y)| dtype.truncate(f(dtype, x, y)))
-                    .collect()
+                exec::par_zip_map(da, db, |&x, &y| dtype.truncate(f(dtype, x, y)))
             };
             self.rm.get_mut(dst)?.data = Some(out);
         }
@@ -560,14 +560,14 @@ impl Device {
         kind: OpKind,
         a: ObjId,
         dst: ObjId,
-        f: impl Fn(DataType, i64) -> i64,
+        f: impl Fn(DataType, i64) -> i64 + Sync,
     ) -> Result<()> {
         self.check_pair(a, dst)?;
         if matches!(self.config.mode, SimMode::Functional) {
             let dtype = self.rm.get(a)?.dtype;
-            let out: Vec<i64> = {
+            let out = {
                 let da = self.data(a)?.expect("functional object has data");
-                da.iter().map(|&x| dtype.truncate(f(dtype, x))).collect()
+                exec::par_map(da, |&x| dtype.truncate(f(dtype, x)))
             };
             self.rm.get_mut(dst)?.data = Some(out);
         }
@@ -930,14 +930,13 @@ impl Device {
         }
         if matches!(self.config.mode, SimMode::Functional) {
             let dtype = self.rm.get(a)?.dtype;
-            let out: Vec<i64> = {
+            let out = {
                 let dc = self.data(cond)?.expect("functional object has data");
                 let da = self.data(a)?.expect("functional object has data");
                 let db = self.data(b)?.expect("functional object has data");
-                dc.iter()
-                    .zip(da.iter().zip(db))
-                    .map(|(&c, (&x, &y))| dtype.truncate(if c != 0 { x } else { y }))
-                    .collect()
+                exec::par_zip3_map(dc, da, db, |&c, &x, &y| {
+                    dtype.truncate(if c != 0 { x } else { y })
+                })
             };
             self.rm.get_mut(dst)?.data = Some(out);
         }
@@ -1025,20 +1024,37 @@ impl Device {
         let sum = match self.data(a)? {
             Some(data) => {
                 let dtype = self.rm.get(a)?.dtype;
-                data.iter()
-                    .map(|&v| {
-                        if dtype.is_signed() {
-                            v as i128
-                        } else {
-                            ((v as u64) & pim_microcode::encode::mask(dtype.bits())) as i128
-                        }
-                    })
-                    .sum()
+                Self::par_sum(data, dtype)
             }
             None => 0,
         };
         self.charge_op(OpKind::RedSum, a)?;
         Ok(sum)
+    }
+
+    /// Chunked parallel widening sum; per-chunk partials fold in chunk
+    /// order (i128 addition is associative, so this is bit-identical to
+    /// the sequential sum at every thread count).
+    fn par_sum(data: &[i64], dtype: DataType) -> i128 {
+        let signed = dtype.is_signed();
+        let mask = pim_microcode::encode::mask(dtype.bits());
+        exec::par_fold(
+            data.len(),
+            |r| {
+                data[r]
+                    .iter()
+                    .map(|&v| {
+                        if signed {
+                            v as i128
+                        } else {
+                            ((v as u64) & mask) as i128
+                        }
+                    })
+                    .sum::<i128>()
+            },
+            |x, y| x + y,
+        )
+        .unwrap_or(0)
     }
 
     /// Reduction minimum across all elements (`pimRedMin`), respecting
@@ -1051,9 +1067,17 @@ impl Device {
         let out = match self.data(a)? {
             Some(data) => {
                 let dtype = self.rm.get(a)?.dtype;
-                data.iter()
-                    .copied()
-                    .reduce(|x, y| if dtype.compare(x, y).is_le() { x } else { y })
+                exec::par_fold(
+                    data.len(),
+                    |r| {
+                        data[r]
+                            .iter()
+                            .copied()
+                            .reduce(|x, y| if dtype.compare(x, y).is_le() { x } else { y })
+                            .expect("chunks are non-empty")
+                    },
+                    |x, y| if dtype.compare(x, y).is_le() { x } else { y },
+                )
             }
             None => None,
         };
@@ -1071,9 +1095,17 @@ impl Device {
         let out = match self.data(a)? {
             Some(data) => {
                 let dtype = self.rm.get(a)?.dtype;
-                data.iter()
-                    .copied()
-                    .reduce(|x, y| if dtype.compare(x, y).is_ge() { x } else { y })
+                exec::par_fold(
+                    data.len(),
+                    |r| {
+                        data[r]
+                            .iter()
+                            .copied()
+                            .reduce(|x, y| if dtype.compare(x, y).is_ge() { x } else { y })
+                            .expect("chunks are non-empty")
+                    },
+                    |x, y| if dtype.compare(x, y).is_ge() { x } else { y },
+                )
             }
             None => None,
         };
@@ -1100,16 +1132,7 @@ impl Device {
             )));
         }
         let sum = match self.data(a)? {
-            Some(data) => data[start as usize..end as usize]
-                .iter()
-                .map(|&v| {
-                    if dtype.is_signed() {
-                        v as i128
-                    } else {
-                        ((v as u64) & pim_microcode::encode::mask(dtype.bits())) as i128
-                    }
-                })
-                .sum(),
+            Some(data) => Self::par_sum(&data[start as usize..end as usize], dtype),
             None => 0,
         };
         let full = model::op_cost(&self.config, OpKind::RedSum, dtype, &layout);

@@ -92,7 +92,10 @@ impl fmt::Display for DataType {
 /// The canonical device representation is an `i64` holding the truncated
 /// two's-complement value; this trait converts losslessly in both
 /// directions for every supported width.
-pub trait PimScalar: Copy {
+///
+/// `Send + Sync` so host↔device conversion loops can fan out across the
+/// [`pim_dram::exec`] worker threads; every implementor is a primitive.
+pub trait PimScalar: Copy + Send + Sync {
     /// The natural [`DataType`] for this host type.
     const DTYPE: DataType;
 

@@ -75,6 +75,12 @@ pub use ops::{OpCategory, OpKind};
 pub use stats::{CmdStat, CopyStats, SimStats};
 pub use trace::{CopyDirection, Recorder, TraceEvent, TraceSink, Tracer};
 
+/// Std-only parallel execution engine the functional hot paths run on
+/// (`PIM_THREADS`, deterministic chunked fan-out) — re-exported from
+/// [`pim_dram::exec`], the bottom of the crate DAG, so the bit-serial VM
+/// shares the same worker primitives.
+pub use pim_dram::exec;
+
 // Re-export substrate crates for downstream users.
 pub use pim_dram;
 pub use pim_microcode;

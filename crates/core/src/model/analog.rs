@@ -17,13 +17,19 @@ use crate::dtype::DataType;
 use crate::object::ObjectLayout;
 use crate::ops::OpKind;
 
-use super::{reduction_merge, OpCost};
+use super::{reduction_merge, CostMemo, OpCost};
 
-/// Per-stripe cost of `kind` on the analog target. Scalar variants are
+/// Per-stripe cost of `kind` on the analog target, memoized per
+/// `(OpKind, DataType)` pair like the digital model. Scalar variants are
 /// lowered as a broadcast of the constant into scratch rows followed by
 /// the vector program; shift-right and abs reuse the structurally
 /// identical left-shift / sub+select row counts.
 pub(crate) fn program_cost(kind: OpKind, dtype: DataType) -> Cost {
+    static MEMO: CostMemo = CostMemo::new();
+    MEMO.get_or_generate((kind, dtype), || program_cost_uncached(kind, dtype))
+}
+
+fn program_cost_uncached(kind: OpKind, dtype: DataType) -> Cost {
     let bits = dtype.bits();
     let signed = dtype.is_signed();
     let scalar_setup = |c: Cost| gen::broadcast(bits, 0).cost() + c;

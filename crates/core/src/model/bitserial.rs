@@ -15,14 +15,22 @@ use crate::dtype::DataType;
 use crate::object::ObjectLayout;
 use crate::ops::OpKind;
 
-use super::{reduction_merge, OpCost};
+use super::{reduction_merge, CostMemo, OpCost};
 
 /// Generates the microprogram for `kind` and returns its per-stripe cost.
+///
+/// Memoized per `(OpKind, DataType)` pair: the generators run at most
+/// once per pair per process, not on every charged command.
 ///
 /// Comparison results logically occupy a full element (0/1), so the
 /// `bits − 1` upper result rows are zero-filled — that write traffic is
 /// charged here even though the generator emits only the live row.
 pub(crate) fn program_cost(kind: OpKind, dtype: DataType) -> Cost {
+    static MEMO: CostMemo = CostMemo::new();
+    MEMO.get_or_generate((kind, dtype), || program_cost_uncached(kind, dtype))
+}
+
+fn program_cost_uncached(kind: OpKind, dtype: DataType) -> Cost {
     let bits = dtype.bits();
     let signed = dtype.is_signed();
     match kind {
@@ -53,12 +61,11 @@ pub(crate) fn program_cost(kind: OpKind, dtype: DataType) -> Cost {
                 logic_ops: 2 * bits as u64,
                 ..Cost::default()
             };
+            // cmp keeps its result in R0, so its write-back is dropped.
             Cost {
-                row_reads: cmp.row_reads + sweep.row_reads,
-                row_writes: sweep.row_writes, // cmp keeps its result in R0
-                logic_ops: cmp.logic_ops + sweep.logic_ops,
-                ..Cost::default()
-            }
+                row_writes: 0,
+                ..cmp
+            } + sweep
         }
         OpKind::Not => gen::not(bits).cost(),
         OpKind::Abs => gen::abs(bits).cost(),

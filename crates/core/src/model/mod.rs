@@ -10,10 +10,59 @@ mod bitserial;
 mod parallel;
 mod upmem;
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use pim_microcode::Cost;
+
 use crate::config::{DeviceConfig, PimTarget};
 use crate::dtype::DataType;
 use crate::object::ObjectLayout;
 use crate::ops::OpKind;
+
+/// Process-wide memo for per-stripe microprogram costs.
+///
+/// `program_cost` used to regenerate the full microprogram on *every*
+/// charged command; with the memo each distinct `(OpKind, DataType)`
+/// pair invokes the generators at most once per process (verified by
+/// `tests/cost_cache.rs` against `MicroProgram::generated_count`). The
+/// map is bounded: scalar immediates are part of `OpKind`'s identity, so
+/// a workload sweeping many distinct constants would otherwise grow it
+/// without limit — past [`CostMemo::CAP`] entries it is cleared
+/// wholesale, which only costs a regeneration.
+pub(crate) struct CostMemo {
+    map: OnceLock<Mutex<HashMap<(OpKind, DataType), Cost>>>,
+}
+
+impl CostMemo {
+    const CAP: usize = 4096;
+
+    pub(crate) const fn new() -> Self {
+        CostMemo {
+            map: OnceLock::new(),
+        }
+    }
+
+    /// Returns the memoized cost for `key`, computing it with `generate`
+    /// (outside the lock) on first use.
+    pub(crate) fn get_or_generate(
+        &self,
+        key: (OpKind, DataType),
+        generate: impl FnOnce() -> Cost,
+    ) -> Cost {
+        let map = self.map.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(c) = map.lock().unwrap().get(&key) {
+            return *c;
+        }
+        let cost = generate();
+        let mut guard = map.lock().unwrap();
+        if guard.len() >= Self::CAP {
+            guard.clear();
+        }
+        guard.insert(key, cost);
+        cost
+    }
+}
 
 /// Modeled cost of one PIM API call.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]

@@ -88,7 +88,12 @@ impl OpCategory {
 }
 
 /// One PIM API operation, as seen by the models.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// `Eq + Hash` because the per-stripe cost memo in [`crate::model`] is
+/// keyed by `(OpKind, DataType)` — scalar immediates are part of the
+/// identity since generators specialize on them (e.g. zero partial
+/// products are skipped for scalar multiplies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Element-wise binary op `dst = a OP b`.
     Binary(BinaryOp),

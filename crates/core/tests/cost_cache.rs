@@ -1,0 +1,65 @@
+//! Verifies the `program_cost` memoization layer: once a
+//! `(OpKind, DataType)` pair has been costed, charging the same op again
+//! must not invoke the microprogram generators at all.
+//!
+//! Generator invocations are counted at the single choke point every
+//! digital and analog generator funnels through
+//! (`MicroProgram::new`), so the delta below covers `gen::*` and
+//! `analog::*` alike.
+
+use pimeval::pim_microcode::MicroProgram;
+use pimeval::{DataType, Device, DeviceConfig, PimTarget};
+
+fn run_workload(dev: &mut Device) {
+    let a = dev.alloc(4096, DataType::Int32).unwrap();
+    let b = dev.alloc_associated(a, DataType::Int32).unwrap();
+    let dst = dev.alloc_associated(a, DataType::Int32).unwrap();
+    let data: Vec<i32> = (0..4096).map(|i| i * 3 - 1000).collect();
+    dev.copy_to_device(&data, a).unwrap();
+    dev.copy_to_device(&data, b).unwrap();
+    dev.add(a, b, dst).unwrap();
+    dev.mul(a, b, dst).unwrap();
+    dev.lt(a, b, dst).unwrap();
+    dev.min(a, b, dst).unwrap();
+    dev.add_scalar(a, 5, dst).unwrap();
+    dev.min_scalar(a, 7, dst).unwrap();
+    dev.max_scalar(a, -7, dst).unwrap();
+    dev.popcount(a, dst).unwrap();
+    dev.shift_left(a, 2, dst).unwrap();
+    dev.select(a, a, b, dst).unwrap();
+    dev.red_sum(a).unwrap();
+    dev.red_min(a).unwrap();
+    for id in [a, b, dst] {
+        dev.free(id).unwrap();
+    }
+}
+
+/// Single test fn (not split) so no other in-process test perturbs the
+/// global generator counter between our snapshots.
+#[test]
+fn repeat_ops_hit_the_cost_memo_instead_of_the_generators() {
+    // Only the microprogram-derived models (digital + analog bit-serial)
+    // call generators from program_cost; Fulcrum/bank-level are closed-form.
+    for target in [PimTarget::BitSerial, PimTarget::AnalogBitSerial] {
+        let mut dev = Device::new(DeviceConfig::new(target, 1)).unwrap();
+
+        // Warm-up: allowed to generate (at most once per distinct
+        // (OpKind, DataType) pair — process-global memo, so another test
+        // binary run cannot interfere, but a prior loop iteration's
+        // warm-up can already have filled shared entries; only assert
+        // the steady state).
+        run_workload(&mut dev);
+
+        let warm = MicroProgram::generated_count();
+        for _ in 0..3 {
+            run_workload(&mut dev);
+        }
+        let after = MicroProgram::generated_count();
+        assert_eq!(
+            after - warm,
+            0,
+            "{target}: repeated identical ops must be served from the \
+             cost memo without invoking any microprogram generator"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Parallel-execution determinism suite: for every target and every op
+//! class, `PIM_THREADS=1` and `PIM_THREADS=8` must produce bit-identical
+//! output buffers, identical `SimStats`, and identical trace-event
+//! streams. Buffers are sized past `exec::MIN_CHUNK` so the 8-thread
+//! runs genuinely fan out.
+
+use std::fmt::Debug;
+
+use pimeval::exec;
+use pimeval::trace::TraceEvent;
+use pimeval::{Device, DeviceConfig, PimScalar, PimTarget, SimStats};
+
+/// Large enough that 8-thread runs split into multiple chunks
+/// (`exec::MIN_CHUNK` elements per worker minimum).
+const N: usize = 4 * exec::MIN_CHUNK + 1234;
+
+/// Deterministic pseudo-random host values (SplitMix64).
+fn inputs<T: PimScalar>(seed: u64, n: usize) -> Vec<T> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            T::from_device((z ^ (z >> 31)) as i64)
+        })
+        .collect()
+}
+
+/// Exercises every op class: element-wise binary/unary, scalar variants,
+/// comparisons, select, shifts, popcount, broadcast, reductions (full
+/// and ranged), and all three copy directions. Returns everything the
+/// run produced: output buffers, reduction values, stats, and trace.
+#[allow(clippy::type_complexity)]
+fn run_all_ops<T: PimScalar>(
+    target: PimTarget,
+) -> (Vec<Vec<T>>, Vec<i128>, SimStats, Vec<TraceEvent>) {
+    let mut dev = Device::new(DeviceConfig::new(target, 2)).unwrap();
+    dev.enable_tracing();
+    let raw_a = inputs::<T>(7, N);
+    let raw_b = inputs::<T>(13, N);
+
+    let a = dev.alloc(N as u64, T::DTYPE).unwrap();
+    let b = dev.alloc_associated(a, T::DTYPE).unwrap();
+    let dst = dev.alloc_associated(a, T::DTYPE).unwrap();
+    let cond = dev.alloc_associated(a, T::DTYPE).unwrap();
+    // Upload `a` twice: the second upload exercises the buffer-reuse path.
+    dev.copy_to_device(&raw_b, a).unwrap();
+    dev.copy_to_device(&raw_a, a).unwrap();
+    dev.copy_to_device(&raw_b, b).unwrap();
+    dev.copy_to_device(&inputs::<T>(99, N), cond).unwrap();
+
+    let mut outs: Vec<Vec<T>> = Vec::new();
+    let mut reds: Vec<i128> = Vec::new();
+    let mut grab = |dev: &mut Device, id| outs.push(dev.to_vec::<T>(id).unwrap());
+
+    dev.add(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.sub(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.mul(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.and(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.or(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.xor(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.xnor(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.not(a, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.abs(a, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.min(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.max(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.add_scalar(a, 37, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.mul_scalar(a, -3, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.min_scalar(a, 1000, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.max_scalar(a, -1000, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.lt(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.gt(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.eq(a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.lt_scalar(a, 5, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.select(cond, a, b, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.shift_left(a, 3, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.shift_right(a, 2, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.popcount(a, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.broadcast(dst, 42).unwrap();
+    grab(&mut dev, dst);
+    dev.copy_object(a, dst).unwrap();
+    grab(&mut dev, dst);
+    dev.scaled_add(a, b, dst, 7).unwrap();
+    grab(&mut dev, dst);
+
+    reds.push(dev.red_sum(a).unwrap());
+    reds.push(i128::from(dev.red_min(a).unwrap()));
+    reds.push(i128::from(dev.red_max(a).unwrap()));
+    reds.push(dev.red_sum_range(a, 100, N as u64 - 100).unwrap());
+
+    let stats = dev.stats().clone();
+    let trace = dev.take_trace();
+    (outs, reds, stats, trace)
+}
+
+/// Runs the full op sweep at two thread counts and asserts every
+/// observable output is identical.
+fn assert_identical<T: PimScalar + PartialEq + Debug>(target: PimTarget, threads: usize) {
+    let seq = exec::with_thread_count(1, || run_all_ops::<T>(target));
+    let par = exec::with_thread_count(threads, || run_all_ops::<T>(target));
+    let tag = format!("{target}/{}/threads={threads}", T::DTYPE);
+    assert_eq!(seq.0, par.0, "{tag}: output buffers must be bit-identical");
+    assert_eq!(seq.1, par.1, "{tag}: reduction values");
+    assert_eq!(seq.2, par.2, "{tag}: SimStats");
+    assert_eq!(seq.3.len(), par.3.len(), "{tag}: trace event count");
+    assert_eq!(seq.3, par.3, "{tag}: trace event streams");
+}
+
+#[test]
+fn one_and_eight_threads_are_bit_identical_across_targets_and_ops() {
+    for target in PimTarget::EXTENDED {
+        assert_identical::<i32>(target, 8);
+        assert_identical::<u64>(target, 8);
+        assert_identical::<i8>(target, 8);
+    }
+}
+
+#[test]
+fn intermediate_thread_counts_match_too() {
+    // 3 does not divide the buffer evenly and 17 exceeds what MIN_CHUNK
+    // granularity grants for part of the range — both must still be exact.
+    for threads in [2, 3, 17] {
+        assert_identical::<i32>(PimTarget::Fulcrum, threads);
+    }
+}
+
+#[test]
+fn trace_totals_still_sum_to_stats_under_parallel_execution() {
+    // The PR-1 invariant (trace events sum exactly to SimStats) must
+    // survive the parallel engine on a fanned-out workload.
+    for target in PimTarget::ALL {
+        let (_, _, stats, events) = exec::with_thread_count(8, || run_all_ops::<i32>(target));
+        let mut cmd_count = 0u64;
+        let mut cmd_time = 0.0f64;
+        let mut cmd_energy = 0.0f64;
+        for e in &events {
+            if let TraceEvent::Cmd {
+                time_ms, energy_mj, ..
+            } = e
+            {
+                cmd_count += 1;
+                cmd_time += time_ms;
+                cmd_energy += energy_mj;
+            }
+        }
+        assert_eq!(cmd_count, stats.total_ops(), "{target}: one event per op");
+        assert!(
+            (cmd_time - stats.kernel_time_ms()).abs() < 1e-9,
+            "{target}: kernel time"
+        );
+        assert!(
+            (cmd_energy - stats.kernel_energy_mj()).abs() < 1e-9,
+            "{target}: kernel energy"
+        );
+    }
+}

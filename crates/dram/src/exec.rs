@@ -1,0 +1,413 @@
+//! Std-only parallel execution engine for the simulator's hot paths.
+//!
+//! The functional simulator spends nearly all of its time in three loop
+//! shapes: element-wise maps over `i64` buffers (`Device::apply1/2`),
+//! host↔device conversion packing, and word-wide row sweeps in the
+//! bit-serial VM. This module gives all of them one chunked fan-out
+//! primitive built on [`std::thread::scope`] — no third-party crates, no
+//! `unsafe` — sized by the `PIM_THREADS` environment variable (default:
+//! [`std::thread::available_parallelism`]).
+//!
+//! # Determinism
+//!
+//! Results are bit-identical to sequential execution for every thread
+//! count: inputs are split into contiguous chunks, each worker writes a
+//! disjoint output sub-slice, and reductions fold per-chunk partials in
+//! ascending chunk order on the calling thread. The determinism suite in
+//! `crates/core/tests/determinism.rs` asserts this across every target
+//! and op class.
+//!
+//! # Sizing
+//!
+//! Fan-out only happens when every worker gets at least [`MIN_CHUNK`]
+//! elements, so small operations (including almost all bit-slice VM row
+//! sweeps at paper-default subarray widths) stay on the calling thread
+//! and pay zero overhead. The thread count is resolved lazily, in
+//! priority order:
+//!
+//! 1. a thread-local override installed by [`with_thread_count`]
+//!    (used by the determinism tests and the `bench_parallel` harness),
+//! 2. a process-wide override from [`set_thread_count`]
+//!    (used by `pimbench --threads N`),
+//! 3. the `PIM_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Minimum elements per worker before a loop fans out. Below
+/// `2 × MIN_CHUNK` total elements everything runs on the calling thread.
+pub const MIN_CHUNK: usize = 8 * 1024;
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PIM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Process-wide override; 0 means "not set".
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override; 0 means "not set".
+    static LOCAL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Overrides the worker count for the whole process (`None` restores the
+/// `PIM_THREADS`/auto default). Exposed to CLIs as `--threads N`.
+pub fn set_thread_count(n: Option<usize>) {
+    GLOBAL_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count the next fan-out on this thread will use.
+pub fn thread_count() -> usize {
+    let local = LOCAL_OVERRIDE.with(Cell::get);
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    env_threads()
+}
+
+/// Runs `f` with the worker count pinned to `n` on the current thread
+/// (restored on exit, including on panic). This is the race-free way for
+/// tests and benchmarks to compare thread counts inside one process.
+pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Reset(usize);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            LOCAL_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_OVERRIDE.with(|c| {
+        let p = c.get();
+        c.set(n.max(1));
+        p
+    });
+    let _reset = Reset(prev);
+    f()
+}
+
+/// Workers a loop over `len` elements should fan out to.
+fn workers_for(len: usize) -> usize {
+    if len < 2 * MIN_CHUNK {
+        return 1;
+    }
+    thread_count().min(len / MIN_CHUNK).max(1)
+}
+
+/// Splits `0..len` into `parts` contiguous ranges covering every index
+/// exactly once, the first ranges one element longer when `len` does not
+/// divide evenly.
+fn split(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let end = start + base + usize::from(i < extra);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// The fan-out primitive: applies `work` to contiguous chunks of
+/// `0..len` and returns the per-chunk results **in ascending chunk
+/// order**. Chunk 0 runs on the calling thread; the rest on scoped
+/// workers. With one worker (or a short input) this is exactly
+/// `vec![work(0..len)]`.
+pub fn par_chunks<R: Send>(len: usize, work: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = workers_for(len);
+    if workers <= 1 {
+        return vec![work(0..len)];
+    }
+    let ranges = split(len, workers);
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges[1..]
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                scope.spawn(move || work(r))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(workers);
+        out.push(work(ranges[0].clone()));
+        for h in handles {
+            out.push(h.join().expect("PIM worker thread panicked"));
+        }
+        out
+    })
+}
+
+/// Chunk-ordered parallel reduction: maps each chunk of `0..len` with
+/// `map`, then folds the partials left-to-right in chunk order on the
+/// calling thread, so the result is bit-identical to a sequential fold.
+pub fn par_fold<R: Send>(
+    len: usize,
+    map: impl Fn(Range<usize>) -> R + Sync,
+    fold: impl FnMut(R, R) -> R,
+) -> Option<R> {
+    par_chunks(len, map).into_iter().reduce(fold)
+}
+
+/// `out[i] = f(&src[i])` in parallel over disjoint chunks.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn par_map_into<S: Sync, T: Send>(src: &[S], out: &mut [T], f: impl Fn(&S) -> T + Sync) {
+    assert_eq!(src.len(), out.len(), "par_map_into length mismatch");
+    let workers = workers_for(out.len());
+    if workers <= 1 {
+        for (o, s) in out.iter_mut().zip(src) {
+            *o = f(s);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut pairs = out.chunks_mut(chunk).zip(src.chunks(chunk));
+        let first = pairs.next();
+        for (oc, sc) in pairs {
+            scope.spawn(move || {
+                for (o, s) in oc.iter_mut().zip(sc) {
+                    *o = f(s);
+                }
+            });
+        }
+        if let Some((oc, sc)) = first {
+            for (o, s) in oc.iter_mut().zip(sc) {
+                *o = f(s);
+            }
+        }
+    });
+}
+
+/// `out[i] = f(&a[i], &b[i])` in parallel over disjoint chunks.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn par_zip_map_into<A: Sync, B: Sync, T: Send>(
+    a: &[A],
+    b: &[B],
+    out: &mut [T],
+    f: impl Fn(&A, &B) -> T + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "par_zip_map_into length mismatch");
+    assert_eq!(a.len(), out.len(), "par_zip_map_into length mismatch");
+    let workers = workers_for(out.len());
+    if workers <= 1 {
+        for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+            *o = f(x, y);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut triples = out
+            .chunks_mut(chunk)
+            .zip(a.chunks(chunk))
+            .zip(b.chunks(chunk));
+        let first = triples.next();
+        for ((oc, ac), bc) in triples {
+            scope.spawn(move || {
+                for ((o, x), y) in oc.iter_mut().zip(ac).zip(bc) {
+                    *o = f(x, y);
+                }
+            });
+        }
+        if let Some(((oc, ac), bc)) = first {
+            for ((o, x), y) in oc.iter_mut().zip(ac).zip(bc) {
+                *o = f(x, y);
+            }
+        }
+    });
+}
+
+/// `out[i] = f(&a[i], &b[i], &c[i])` in parallel over disjoint chunks
+/// (the three-operand `select` shape).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn par_zip3_map_into<A: Sync, B: Sync, C: Sync, T: Send>(
+    a: &[A],
+    b: &[B],
+    c: &[C],
+    out: &mut [T],
+    f: impl Fn(&A, &B, &C) -> T + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "par_zip3_map_into length mismatch");
+    assert_eq!(a.len(), c.len(), "par_zip3_map_into length mismatch");
+    assert_eq!(a.len(), out.len(), "par_zip3_map_into length mismatch");
+    let workers = workers_for(out.len());
+    if workers <= 1 {
+        for (((o, x), y), z) in out.iter_mut().zip(a).zip(b).zip(c) {
+            *o = f(x, y, z);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut quads = out
+            .chunks_mut(chunk)
+            .zip(a.chunks(chunk))
+            .zip(b.chunks(chunk))
+            .zip(c.chunks(chunk));
+        let first = quads.next();
+        for (((oc, ac), bc), cc) in quads {
+            scope.spawn(move || {
+                for (((o, x), y), z) in oc.iter_mut().zip(ac).zip(bc).zip(cc) {
+                    *o = f(x, y, z);
+                }
+            });
+        }
+        if let Some((((oc, ac), bc), cc)) = first {
+            for (((o, x), y), z) in oc.iter_mut().zip(ac).zip(bc).zip(cc) {
+                *o = f(x, y, z);
+            }
+        }
+    });
+}
+
+/// Parallel map into a fresh buffer.
+pub fn par_map<S: Sync, T: Send + Default + Clone>(
+    src: &[S],
+    f: impl Fn(&S) -> T + Sync,
+) -> Vec<T> {
+    let mut out = vec![T::default(); src.len()];
+    par_map_into(src, &mut out, f);
+    out
+}
+
+/// Parallel zip-map into a fresh buffer.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn par_zip_map<A: Sync, B: Sync, T: Send + Default + Clone>(
+    a: &[A],
+    b: &[B],
+    f: impl Fn(&A, &B) -> T + Sync,
+) -> Vec<T> {
+    let mut out = vec![T::default(); a.len()];
+    par_zip_map_into(a, b, &mut out, f);
+    out
+}
+
+/// Parallel three-way zip-map into a fresh buffer.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn par_zip3_map<A: Sync, B: Sync, C: Sync, T: Send + Default + Clone>(
+    a: &[A],
+    b: &[B],
+    c: &[C],
+    f: impl Fn(&A, &B, &C) -> T + Sync,
+) -> Vec<T> {
+    let mut out = vec![T::default(); a.len()];
+    par_zip3_map_into(a, b, c, &mut out, f);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_every_index_once() {
+        for len in [0usize, 1, 7, 100, 8191, 8192, 100_001] {
+            for parts in 1..=9 {
+                let ranges = split(len, parts);
+                assert_eq!(ranges.len(), parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_overrides_nest_and_restore() {
+        let outer = thread_count();
+        let inner = with_thread_count(3, || {
+            assert_eq!(thread_count(), 3);
+            with_thread_count(5, thread_count)
+        });
+        assert_eq!(inner, 5);
+        assert_eq!(thread_count(), outer);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_at_any_thread_count() {
+        let src: Vec<i64> = (0..100_000).map(|i| i * 7 - 50_000).collect();
+        let seq: Vec<i64> = src.iter().map(|&x| x.wrapping_mul(3) ^ 1).collect();
+        for threads in [1, 2, 8] {
+            let par = with_thread_count(threads, || par_map(&src, |&x| x.wrapping_mul(3) ^ 1));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_zip_maps_match_sequential() {
+        let a: Vec<i64> = (0..70_000).collect();
+        let b: Vec<i64> = (0..70_000).map(|i| i * 3).collect();
+        let c: Vec<i64> = (0..70_000).map(|i| i % 2).collect();
+        let seq2: Vec<i64> = a.iter().zip(&b).map(|(x, y)| x - y).collect();
+        let seq3: Vec<i64> = a
+            .iter()
+            .zip(b.iter().zip(&c))
+            .map(|(x, (y, z))| if *z != 0 { *x } else { *y })
+            .collect();
+        let par2 = with_thread_count(4, || par_zip_map(&a, &b, |x, y| x - y));
+        let par3 = with_thread_count(4, || {
+            par_zip3_map(&c, &a, &b, |z, x, y| if *z != 0 { *x } else { *y })
+        });
+        assert_eq!(par2, seq2);
+        assert_eq!(par3, seq3);
+    }
+
+    #[test]
+    fn par_fold_is_chunk_ordered() {
+        let len = 60_000;
+        let seq: usize = (0..len).sum();
+        let folded = with_thread_count(7, || {
+            par_fold(len, |r| r.sum::<usize>(), |a, b| a + b).unwrap()
+        });
+        assert_eq!(folded, seq);
+        let order = with_thread_count(7, || par_chunks(len, |r| r.start));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "chunks returned in ascending order");
+    }
+
+    #[test]
+    fn short_inputs_stay_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let ids = with_thread_count(8, || par_chunks(100, |_| std::thread::current().id()));
+        assert_eq!(ids, vec![caller]);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`power::DramPower`] — the Micron power model (TN-40-07 style) used to
 //!   derive per-operation energies (Eq. 1 and Eq. 2 of the paper), plus
 //!   background power for many-subarray activation.
+//! * [`exec`] — the std-only chunked fan-out engine (`PIM_THREADS`) the
+//!   functional simulator and the bit-serial VM run their element/word
+//!   loops on; deterministic for every thread count.
 //! * [`subarray::Subarray`] and [`subarray::BitMatrix`] — a functional model
 //!   of a DRAM subarray as a 2-D bit array with destructive row activation
 //!   semantics and access statistics. The bit-serial micro-op VM in
@@ -36,6 +39,7 @@
 
 pub mod address;
 pub mod error;
+pub mod exec;
 pub mod geometry;
 pub mod power;
 pub mod protocol;

@@ -1,0 +1,148 @@
+//! Process-wide microprogram cache for the VM execution path.
+//!
+//! Generating a microprogram allocates its full micro-op vector —
+//! hundreds to thousands of ops for the wider multiplies — which is
+//! wasteful when the same program runs once per stripe, per element
+//! group, or per benchmark iteration. [`program`] memoizes generation
+//! behind a [`ProgKey`], so callers that repeatedly execute the same
+//! `(operation, width)` pair share one immutable [`MicroProgram`]
+//! allocation via [`Arc`].
+//!
+//! The companion memo for *costs* (what the performance models need)
+//! lives in `pimeval::model`; this cache serves callers that actually
+//! run programs on a [`crate::vm::Vm`].
+//!
+//! # Example
+//!
+//! ```
+//! use pim_microcode::cache::{self, ProgKey};
+//! use pim_microcode::gen::BinaryOp;
+//!
+//! let a = cache::program(ProgKey::Binary(BinaryOp::Add, 32));
+//! let b = cache::program(ProgKey::Binary(BinaryOp::Add, 32));
+//! assert!(std::sync::Arc::ptr_eq(&a, &b)); // generated exactly once
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::analog;
+use crate::gen::{self, BinaryOp, CmpOp};
+use crate::program::MicroProgram;
+
+/// Entries kept before the cache is cleared wholesale. Scalar-keyed
+/// programs (`BinaryScalar`, `Broadcast`, …) can in principle take
+/// unboundedly many distinct constants; clearing beats eviction
+/// bookkeeping at this size.
+const CACHE_CAP: usize = 1024;
+
+/// Identity of a generated microprogram: the generator plus every
+/// argument that changes its output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants mirror the generator signatures 1:1
+pub enum ProgKey {
+    Binary(BinaryOp, u32),
+    BinaryScalar(BinaryOp, u32, u64),
+    Cmp(CmpOp, u32, bool),
+    CmpScalar(CmpOp, u32, bool, u64),
+    MinMax(bool, u32, bool),
+    Select(u32),
+    Not(u32),
+    Abs(u32),
+    Copy(u32),
+    ShiftLeft(u32, u32),
+    ShiftRight(u32, u32, bool),
+    Popcount(u32),
+    RedSum(u32, bool),
+    Broadcast(u32, u64),
+    AnalogBinary(BinaryOp, u32),
+    AnalogCmp(CmpOp, u32, bool),
+    AnalogMinMax(bool, u32, bool),
+    AnalogSelect(u32),
+    AnalogNot(u32),
+    AnalogCopy(u32),
+    AnalogShiftLeft(u32, u32),
+    AnalogPopcount(u32),
+    AnalogRedSum(u32, bool),
+    AnalogBroadcast(u32, u64),
+}
+
+impl ProgKey {
+    fn generate(self) -> MicroProgram {
+        match self {
+            ProgKey::Binary(op, bits) => gen::binary(op, bits),
+            ProgKey::BinaryScalar(op, bits, k) => gen::binary_scalar(op, bits, k),
+            ProgKey::Cmp(op, bits, signed) => gen::cmp(op, bits, signed),
+            ProgKey::CmpScalar(op, bits, signed, k) => gen::cmp_scalar(op, bits, signed, k),
+            ProgKey::MinMax(is_max, bits, signed) => gen::min_max(is_max, bits, signed),
+            ProgKey::Select(bits) => gen::select(bits),
+            ProgKey::Not(bits) => gen::not(bits),
+            ProgKey::Abs(bits) => gen::abs(bits),
+            ProgKey::Copy(bits) => gen::copy(bits),
+            ProgKey::ShiftLeft(bits, k) => gen::shift_left(bits, k),
+            ProgKey::ShiftRight(bits, k, arith) => gen::shift_right(bits, k, arith),
+            ProgKey::Popcount(bits) => gen::popcount(bits),
+            ProgKey::RedSum(bits, signed) => gen::red_sum(bits, signed),
+            ProgKey::Broadcast(bits, v) => gen::broadcast(bits, v),
+            ProgKey::AnalogBinary(op, bits) => analog::binary(op, bits),
+            ProgKey::AnalogCmp(op, bits, signed) => analog::cmp(op, bits, signed),
+            ProgKey::AnalogMinMax(is_max, bits, signed) => analog::min_max(is_max, bits, signed),
+            ProgKey::AnalogSelect(bits) => analog::select(bits),
+            ProgKey::AnalogNot(bits) => analog::not(bits),
+            ProgKey::AnalogCopy(bits) => analog::copy(bits),
+            ProgKey::AnalogShiftLeft(bits, k) => analog::shift_left(bits, k),
+            ProgKey::AnalogPopcount(bits) => analog::popcount(bits),
+            ProgKey::AnalogRedSum(bits, signed) => analog::red_sum(bits, signed),
+            ProgKey::AnalogBroadcast(bits, v) => analog::broadcast(bits, v),
+        }
+    }
+}
+
+fn store() -> &'static Mutex<HashMap<ProgKey, Arc<MicroProgram>>> {
+    static STORE: OnceLock<Mutex<HashMap<ProgKey, Arc<MicroProgram>>>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the cached program for `key`, generating it on first use.
+/// Subsequent calls with the same key share the allocation (live `Arc`s
+/// survive a capacity flush).
+pub fn program(key: ProgKey) -> Arc<MicroProgram> {
+    if let Some(p) = store().lock().unwrap().get(&key) {
+        return Arc::clone(p);
+    }
+    // Generate outside the lock: program construction can be expensive
+    // and must not serialize unrelated lookups.
+    let generated = Arc::new(key.generate());
+    let mut map = store().lock().unwrap();
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    Arc::clone(map.entry(key).or_insert(generated))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_the_generated_program() {
+        let key = ProgKey::Binary(BinaryOp::Add, 16);
+        assert_eq!(*program(key), key.generate());
+    }
+
+    #[test]
+    fn repeated_lookups_share_one_allocation() {
+        let key = ProgKey::AnalogBinary(BinaryOp::Sub, 8);
+        let before = MicroProgram::generated_count();
+        let first = program(key);
+        let again = program(key);
+        assert!(Arc::ptr_eq(&first, &again));
+        // At most one generation attributable to this key after warmup
+        // (other tests may generate concurrently, so only re-check the
+        // cached path stays allocation-free).
+        let _ = before;
+        let snapshot = MicroProgram::generated_count();
+        let _ = program(key);
+        assert_eq!(MicroProgram::generated_count(), snapshot);
+    }
+}

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod analog;
+pub mod cache;
 pub mod encode;
 pub mod gen;
 pub mod isa;

@@ -2,8 +2,15 @@
 
 use std::fmt;
 use std::ops::{Add, AddAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::isa::MicroOp;
+
+/// Process-wide count of [`MicroProgram`] constructions (every `gen::*`
+/// and `analog::*` generator builds its result through
+/// [`MicroProgram::new`]). The cost-memoization tests read this to prove
+/// that charged commands stop regenerating microprograms.
+static GENERATED: AtomicU64 = AtomicU64::new(0);
 
 /// Exact operation counts of a microprogram.
 ///
@@ -129,12 +136,20 @@ impl MicroProgram {
     /// Creates a program from parts. `operands` is the number of binding
     /// slots the program references; `temp_rows` the scratch rows needed.
     pub fn new(name: impl Into<String>, ops: Vec<MicroOp>, operands: u8, temp_rows: u32) -> Self {
+        GENERATED.fetch_add(1, Ordering::Relaxed);
         MicroProgram {
             name: name.into(),
             ops,
             operands,
             temp_rows,
         }
+    }
+
+    /// Total microprograms generated so far in this process, across all
+    /// threads. Monotonically increasing; take a snapshot before and
+    /// after a workload to count generator invocations it caused.
+    pub fn generated_count() -> u64 {
+        GENERATED.load(Ordering::Relaxed)
     }
 
     /// Human-readable program name, e.g. `"add.i32"`.

@@ -8,7 +8,7 @@
 use std::error::Error;
 use std::fmt;
 
-use pim_dram::BitMatrix;
+use pim_dram::{exec, BitMatrix};
 
 use crate::isa::{Loc, MicroOp, RowRef};
 use crate::program::{Cost, MicroProgram};
@@ -205,14 +205,18 @@ impl<'a> Vm<'a> {
         Ok(row)
     }
 
-    fn fetch(&self, loc: Loc) -> Vec<u64> {
+    fn loc(&self, loc: Loc) -> &[u64] {
         match loc {
-            Loc::Sa => self.sa.clone(),
-            Loc::R0 => self.regs[0].clone(),
-            Loc::R1 => self.regs[1].clone(),
-            Loc::R2 => self.regs[2].clone(),
-            Loc::R3 => self.regs[3].clone(),
+            Loc::Sa => &self.sa,
+            Loc::R0 => &self.regs[0],
+            Loc::R1 => &self.regs[1],
+            Loc::R2 => &self.regs[2],
+            Loc::R3 => &self.regs[3],
         }
+    }
+
+    fn fetch(&self, loc: Loc) -> Vec<u64> {
+        self.loc(loc).to_vec()
     }
 
     fn store(&mut self, loc: Loc, mut value: Vec<u64>) {
@@ -278,14 +282,12 @@ impl<'a> Vm<'a> {
                 self.stats.logic_ops += 1;
             }
             MicroOp::And { a, b, dst } => {
-                let (va, vb) = (self.fetch(a), self.fetch(b));
-                let out = va.iter().zip(&vb).map(|(x, y)| x & y).collect();
+                let out = exec::par_zip_map(self.loc(a), self.loc(b), |x, y| x & y);
                 self.store(dst, out);
                 self.stats.logic_ops += 1;
             }
             MicroOp::Xnor { a, b, dst } => {
-                let (va, vb) = (self.fetch(a), self.fetch(b));
-                let out = va.iter().zip(&vb).map(|(x, y)| !(x ^ y)).collect();
+                let out = exec::par_zip_map(self.loc(a), self.loc(b), |x, y| !(x ^ y));
                 self.store(dst, out);
                 self.stats.logic_ops += 1;
             }
@@ -295,12 +297,12 @@ impl<'a> Vm<'a> {
                 if_false,
                 dst,
             } => {
-                let (vc, vt, vf) = (self.fetch(cond), self.fetch(if_true), self.fetch(if_false));
-                let out = vc
-                    .iter()
-                    .zip(vt.iter().zip(&vf))
-                    .map(|(c, (t, f))| (c & t) | (!c & f))
-                    .collect();
+                let out = exec::par_zip3_map(
+                    self.loc(cond),
+                    self.loc(if_true),
+                    self.loc(if_false),
+                    |c, t, f| (c & t) | (!c & f),
+                );
                 self.store(dst, out);
                 self.stats.logic_ops += 1;
             }
@@ -314,10 +316,7 @@ impl<'a> Vm<'a> {
             }
             MicroOp::AapNot { src, dst } => {
                 let (s, d) = (self.resolve(src)?, self.resolve(dst)?);
-                let mut row = self.mat.row(s).to_vec();
-                for w in &mut row {
-                    *w = !*w;
-                }
+                let mut row = exec::par_map(self.mat.row(s), |w| !w);
                 if let Some(last) = row.last_mut() {
                     *last &= self.tail_mask;
                 }
@@ -332,14 +331,12 @@ impl<'a> Vm<'a> {
                         rows: 0,
                     });
                 }
-                let va = self.mat.row(ra).to_vec();
-                let vb = self.mat.row(rb).to_vec();
-                let vc = self.mat.row(rc).to_vec();
-                let maj: Vec<u64> = va
-                    .iter()
-                    .zip(vb.iter().zip(&vc))
-                    .map(|(x, (y, z))| (x & y) | (y & z) | (x & z))
-                    .collect();
+                let maj = exec::par_zip3_map(
+                    self.mat.row(ra),
+                    self.mat.row(rb),
+                    self.mat.row(rc),
+                    |x, y, z| (x & y) | (y & z) | (x & z),
+                );
                 // Charge sharing leaves the majority in all three rows.
                 self.mat.row_mut(ra).copy_from_slice(&maj);
                 self.mat.row_mut(rb).copy_from_slice(&maj);
@@ -348,16 +345,27 @@ impl<'a> Vm<'a> {
             }
             MicroOp::Popcount { row, shift, negate } => {
                 let abs_row = self.resolve(row)?;
-                let mut count: u64 = 0;
                 let words = self.mat.row(abs_row);
-                for (i, w) in words.iter().enumerate() {
-                    let w = if i + 1 == words.len() {
-                        w & self.tail_mask
-                    } else {
-                        *w
-                    };
-                    count += w.count_ones() as u64;
-                }
+                let tail_mask = self.tail_mask;
+                // Per-chunk partial counts fold in ascending chunk order,
+                // keeping `acc` bit-identical at every thread count.
+                let count = exec::par_fold(
+                    words.len(),
+                    |r| {
+                        let mut partial = 0u64;
+                        for i in r {
+                            let w = if i + 1 == words.len() {
+                                words[i] & tail_mask
+                            } else {
+                                words[i]
+                            };
+                            partial += w.count_ones() as u64;
+                        }
+                        partial
+                    },
+                    |a, b| a + b,
+                )
+                .unwrap_or(0);
                 let term = (count as i128) << shift;
                 if negate {
                     self.acc -= term;

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! pimbench [--bench <name>|all|extensions] [--target <t>|all]
-//!          [--ranks N] [--scale F] [--seed S] [--report]
+//!          [--ranks N] [--scale F] [--seed S] [--threads N] [--report]
 //!          [--trace <file>] [--stats-json <file>]
 //! ```
 //!
@@ -16,6 +16,11 @@
 //! benchmark) run; `--stats-json <file>` writes the machine-readable
 //! statistics of every run. Set `PIM_LOG=info|debug|trace` for leveled
 //! diagnostics on stderr.
+//!
+//! `--threads N` pins the functional execution engine to N worker
+//! threads (results are bit-identical at any count); it overrides the
+//! `PIM_THREADS` environment variable, which in turn overrides the
+//! host's available parallelism.
 
 use pimbench::{all_benchmarks, extension_benchmarks, Benchmark, Params};
 use pimeval::trace::chrome::ChromeTraceBuilder;
@@ -86,6 +91,14 @@ fn parse() -> Result<Cli, String> {
                 cli.params.seed = need(i)?.parse().map_err(|e| format!("--seed: {e}"))?;
                 i += 1;
             }
+            "--threads" => {
+                let n: usize = need(i)?.parse().map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                pimeval::exec::set_thread_count(Some(n));
+                i += 1;
+            }
             "--report" => cli.report = true,
             "--trace" => {
                 cli.trace = Some(PathBuf::from(need(i)?));
@@ -99,8 +112,8 @@ fn parse() -> Result<Cli, String> {
                 println!(
                     "pimbench --bench <name>|all|extensions --target \
                      bitserial|fulcrum|bank|analog|upmem|all|extended \
-                     [--ranks N] [--scale F] [--seed S] [--report] \
-                     [--trace <file>] [--stats-json <file>]"
+                     [--ranks N] [--scale F] [--seed S] [--threads N] \
+                     [--report] [--trace <file>] [--stats-json <file>]"
                 );
                 std::process::exit(0);
             }
