@@ -25,6 +25,7 @@ fn bench_full_runs() {
     let params = Params {
         scale: 1.0 / 64.0,
         seed: 42,
+        ..Params::default()
     };
     for name in ["Vector Addition", "K-means", "Histogram"] {
         for target in PimTarget::ALL {

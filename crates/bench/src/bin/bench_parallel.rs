@@ -2,13 +2,17 @@
 //! element-wise ops and reductions on a multi-million-element device,
 //! plus one end-to-end VGG-13 inference, each measured with the engine
 //! pinned to one worker and again at the host's default worker count.
+//! A final section times fusible command pipelines both eagerly and
+//! through a [`pimeval::CommandStream`], reporting host wall-clock and
+//! modeled device cost side by side.
 //!
-//! Writes the measurements and per-op speedups to `BENCH_parallel.json`
-//! (override with `--out <path>`). On a single-core host the speedup
-//! column honestly reports ~1×; the ≥3× engine headroom shows on
-//! multi-core runners (see the CI bench job).
+//! Writes the measurements, per-op speedups, and stream-vs-eager
+//! comparisons to `BENCH_parallel.json` (override with `--out <path>`).
+//! On a single-core host the speedup column honestly reports ~1×; the
+//! ≥3× engine headroom shows on multi-core runners (see the CI bench
+//! job).
 
-use pim_bench_harness::export::{parallel_runs_to_json, ParallelRun};
+use pim_bench_harness::export::{parallel_runs_to_json, ParallelRun, StreamVsEager};
 use pim_bench_harness::microbench::{bench, bench_throughput, group};
 use pim_bench_harness::run_one;
 use pimbench::Params;
@@ -69,6 +73,7 @@ fn engine_runs(threads: usize, out: &mut Vec<ParallelRun>) {
         let params = Params {
             scale: 0.01,
             seed: 42,
+            ..Params::default()
         };
         let m = bench("vgg13-e2e", || run_one("VGG-13", &cfg, &params));
         out.push(ParallelRun {
@@ -78,6 +83,82 @@ fn engine_runs(threads: usize, out: &mut Vec<ParallelRun>) {
             mean_ns: m.mean.as_nanos(),
             min_ns: m.min.as_nanos(),
         });
+    });
+}
+
+/// Times the fusible pipelines eagerly and streamed. Wall-clock comes
+/// from the microbench loop; modeled cost from one instrumented pass of
+/// each variant (`reset_stats` between them so the kernel-time delta is
+/// exactly the pipeline's).
+fn stream_vs_eager_runs(threads: usize, out: &mut Vec<StreamVsEager>) {
+    exec::with_thread_count(threads, || {
+        let mut dev = Device::new(DeviceConfig::new(PimTarget::Fulcrum, 2)).unwrap();
+        let host: Vec<i32> = (0..N as i32)
+            .map(|i| i.wrapping_mul(2654435761u32 as i32))
+            .collect();
+        let a = dev.alloc(N, DataType::Int32).unwrap();
+        let b = dev.alloc_associated(a, DataType::Int32).unwrap();
+        let t = dev.alloc_associated(a, DataType::Int32).unwrap();
+        let dst = dev.alloc_associated(a, DataType::Int32).unwrap();
+        dev.copy_to_device(&host, a).unwrap();
+        dev.copy_to_device(&host, b).unwrap();
+
+        group(&format!(
+            "stream vs eager, {N} × int32, {threads} thread(s)"
+        ));
+        let mut record = |name: &str,
+                          dev: &mut Device,
+                          eager: &mut dyn FnMut(&mut Device),
+                          stream: &mut dyn FnMut(&mut Device)| {
+            let me = bench_throughput(&format!("{name} (eager)"), N, || eager(&mut *dev));
+            let ms = bench_throughput(&format!("{name} (stream)"), N, || stream(&mut *dev));
+            dev.reset_stats();
+            eager(dev);
+            let eager_modeled_ms = dev.stats().kernel_time_ms();
+            dev.reset_stats();
+            stream(dev);
+            let stream_modeled_ms = dev.stats().kernel_time_ms();
+            out.push(StreamVsEager {
+                name: name.into(),
+                threads,
+                elems: N,
+                eager_mean_ns: me.mean.as_nanos(),
+                eager_min_ns: me.min.as_nanos(),
+                stream_mean_ns: ms.mean.as_nanos(),
+                stream_min_ns: ms.min.as_nanos(),
+                eager_modeled_ms,
+                stream_modeled_ms,
+            });
+        };
+
+        // mul_scalar + add → one scaled_add command after the flush.
+        record(
+            "axpy-pair",
+            &mut dev,
+            &mut |d| {
+                d.mul_scalar(a, 7, t).unwrap();
+                d.add(t, b, dst).unwrap();
+            },
+            &mut |d| {
+                let mut s = d.stream();
+                s.mul_scalar(a, 7, t).add(t, b, dst);
+                s.flush().unwrap();
+            },
+        );
+        // lt + select → one fused compare-select (the mask dies unread).
+        record(
+            "lt-select",
+            &mut dev,
+            &mut |d| {
+                d.lt(a, b, t).unwrap();
+                d.select(t, a, b, dst).unwrap();
+            },
+            &mut |d| {
+                let mut s = d.stream();
+                s.lt(a, b, t).select(t, a, b, dst);
+                s.flush().unwrap();
+            },
+        );
     });
 }
 
@@ -103,7 +184,10 @@ fn main() {
         println!("\n(single-core host: skipping the multi-thread pass — speedups need a multi-core runner)");
     }
 
-    let json = parallel_runs_to_json(default_threads, &runs);
+    let mut stream_runs = Vec::new();
+    stream_vs_eager_runs(default_threads, &mut stream_runs);
+
+    let json = parallel_runs_to_json(default_threads, &runs, &stream_runs);
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {} measurement(s) to {out_path}", runs.len()),
         Err(e) => {
@@ -126,5 +210,21 @@ fn main() {
                 );
             }
         }
+    }
+
+    group("stream vs eager (fused pipelines)");
+    println!(
+        "{:<20} {:>14} {:>16} {:>18} {:>12}",
+        "pipeline", "wall speedup", "modeled eager ms", "modeled stream ms", "cost ratio"
+    );
+    for s in &stream_runs {
+        println!(
+            "{:<20} {:>13.2}x {:>16.6} {:>18.6} {:>12.4}",
+            s.name,
+            s.wall_speedup(),
+            s.eager_modeled_ms,
+            s.stream_modeled_ms,
+            s.modeled_cost_ratio()
+        );
     }
 }

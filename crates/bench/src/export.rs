@@ -108,10 +108,85 @@ impl ParallelRun {
     }
 }
 
+/// One command pipeline measured twice by `bench_parallel`: issued
+/// eagerly (one [`pimeval::Device::issue`] per call) and recorded
+/// through a [`pimeval::CommandStream`] whose flush runs the peephole
+/// passes. Captures both host wall-clock and the modeled device cost so
+/// the export shows what fusion buys on each axis.
+#[derive(Debug, Clone)]
+pub struct StreamVsEager {
+    /// Pipeline label (`axpy-pair`, `lt-select`, …).
+    pub name: String,
+    /// Worker threads the execution engine was pinned to.
+    pub threads: usize,
+    /// Elements processed per iteration.
+    pub elems: u64,
+    /// Mean wall time per eager iteration, nanoseconds.
+    pub eager_mean_ns: u128,
+    /// Best wall time per eager iteration, nanoseconds.
+    pub eager_min_ns: u128,
+    /// Mean wall time per streamed iteration, nanoseconds.
+    pub stream_mean_ns: u128,
+    /// Best wall time per streamed iteration, nanoseconds.
+    pub stream_min_ns: u128,
+    /// Modeled device kernel time for one eager pass, milliseconds.
+    pub eager_modeled_ms: f64,
+    /// Modeled device kernel time for one streamed (fused) pass,
+    /// milliseconds.
+    pub stream_modeled_ms: f64,
+}
+
+impl StreamVsEager {
+    /// Host wall-clock speedup of the streamed path (best-time ratio),
+    /// or 0 when the streamed time was unmeasurably small.
+    pub fn wall_speedup(&self) -> f64 {
+        if self.stream_min_ns == 0 {
+            return 0.0;
+        }
+        self.eager_min_ns as f64 / self.stream_min_ns as f64
+    }
+
+    /// Modeled-cost ratio streamed/eager — ≤ 1.0 whenever the fusion
+    /// passes fire (the fused program never costs more than its pair).
+    pub fn modeled_cost_ratio(&self) -> f64 {
+        if self.eager_modeled_ms == 0.0 {
+            return 0.0;
+        }
+        self.stream_modeled_ms / self.eager_modeled_ms
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"threads\":{},\"elems\":{},\
+             \"eager_mean_ns\":{},\"eager_min_ns\":{},\
+             \"stream_mean_ns\":{},\"stream_min_ns\":{},\
+             \"wall_speedup\":{},\
+             \"eager_modeled_ms\":{},\"stream_modeled_ms\":{},\
+             \"modeled_cost_ratio\":{}}}",
+            string(&self.name),
+            self.threads,
+            self.elems,
+            self.eager_mean_ns,
+            self.eager_min_ns,
+            self.stream_mean_ns,
+            self.stream_min_ns,
+            num(self.wall_speedup()),
+            num(self.eager_modeled_ms),
+            num(self.stream_modeled_ms),
+            num(self.modeled_cost_ratio()),
+        )
+    }
+}
+
 /// Renders the `bench_parallel` report: host parallelism, every
-/// measurement, and per-op speedups of the multi-threaded run over the
-/// single-threaded one (best-time ratio, paired by op name).
-pub fn parallel_runs_to_json(default_threads: usize, runs: &[ParallelRun]) -> String {
+/// measurement, per-op speedups of the multi-threaded run over the
+/// single-threaded one (best-time ratio, paired by op name), and the
+/// stream-vs-eager comparisons.
+pub fn parallel_runs_to_json(
+    default_threads: usize,
+    runs: &[ParallelRun],
+    stream: &[StreamVsEager],
+) -> String {
     let measured: Vec<String> = runs.iter().map(ParallelRun::to_json).collect();
     let mut speedups = Vec::new();
     if default_threads > 1 {
@@ -130,11 +205,14 @@ pub fn parallel_runs_to_json(default_threads: usize, runs: &[ParallelRun]) -> St
             }
         }
     }
+    let compared: Vec<String> = stream.iter().map(StreamVsEager::to_json).collect();
     format!(
-        "{{\"threads_default\":{},\"runs\":[\n{}\n],\"speedups\":[{}]}}\n",
+        "{{\"threads_default\":{},\"runs\":[\n{}\n],\"speedups\":[{}],\
+         \"stream_vs_eager\":[\n{}\n]}}\n",
         default_threads,
         measured.join(",\n"),
         speedups.join(","),
+        compared.join(",\n"),
     )
 }
 
@@ -153,6 +231,7 @@ mod tests {
             &Params {
                 scale: 0.01,
                 seed: 1,
+                ..Params::default()
             },
         );
         let json = records_to_json(std::slice::from_ref(&r));
@@ -191,7 +270,7 @@ mod tests {
                 min_ns: 1000,
             },
         ];
-        let json = parallel_runs_to_json(8, &runs);
+        let json = parallel_runs_to_json(8, &runs, &[]);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         assert_eq!(
             doc.get("threads_default").unwrap().as_f64().unwrap() as usize,
@@ -202,5 +281,38 @@ mod tests {
         assert_eq!(speedups.len(), 1);
         let s = speedups[0].get("speedup").unwrap().as_f64().unwrap();
         assert!((s - 4.0).abs() < 1e-9);
+        assert!(doc
+            .get("stream_vs_eager")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn stream_vs_eager_export_carries_both_cost_axes() {
+        let cmp = StreamVsEager {
+            name: "axpy-pair".into(),
+            threads: 1,
+            elems: 1000,
+            eager_mean_ns: 2200,
+            eager_min_ns: 2000,
+            stream_mean_ns: 1200,
+            stream_min_ns: 1000,
+            eager_modeled_ms: 4.0,
+            stream_modeled_ms: 3.0,
+        };
+        assert!((cmp.wall_speedup() - 2.0).abs() < 1e-9);
+        assert!((cmp.modeled_cost_ratio() - 0.75).abs() < 1e-9);
+        let json = parallel_runs_to_json(1, &[], std::slice::from_ref(&cmp));
+        let doc = pimeval::trace::json::Json::parse(&json).unwrap();
+        let entries = doc.get("stream_vs_eager").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("name").unwrap().as_str(), Some("axpy-pair"));
+        assert!((e.get("wall_speedup").unwrap().as_f64().unwrap() - 2.0).abs() < 1e-9);
+        assert!((e.get("modeled_cost_ratio").unwrap().as_f64().unwrap() - 0.75).abs() < 1e-9);
+        assert!((e.get("eager_modeled_ms").unwrap().as_f64().unwrap() - 4.0).abs() < 1e-9);
+        assert!((e.get("stream_modeled_ms").unwrap().as_f64().unwrap() - 3.0).abs() < 1e-9);
     }
 }

@@ -157,13 +157,14 @@ pub fn run_all_targets(ranks: usize, params: &Params) -> Vec<SuiteRecord> {
         .collect()
 }
 
-/// Parses `--scale` / `--seed` from argv, with a figure-specific default
-/// scale.
+/// Parses `--scale` / `--seed` / `--stream` from argv, with a
+/// figure-specific default scale.
 pub fn cli_params(default_scale: f64) -> Params {
     let args: Vec<String> = std::env::args().collect();
     let mut params = Params {
         scale: default_scale,
         seed: 42,
+        ..Params::default()
     };
     let mut i = 0;
     while i < args.len() {
@@ -180,6 +181,7 @@ pub fn cli_params(default_scale: f64) -> Params {
                     i += 1;
                 }
             }
+            "--stream" => params.stream = true,
             _ => {}
         }
         i += 1;
@@ -246,6 +248,7 @@ mod tests {
             &Params {
                 scale: 0.01,
                 seed: 1,
+                ..Params::default()
             },
         );
         assert!(r.pim_total_ms() > r.pim_kernel_ms());

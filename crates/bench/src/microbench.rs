@@ -38,7 +38,7 @@ pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
     m
 }
 
-/// Like [`bench`], but also reports element throughput from the best time.
+/// Like [`bench()`], but also reports element throughput from the best time.
 pub fn bench_throughput<R>(name: &str, elems: u64, mut f: impl FnMut() -> R) -> Measurement {
     let m = measure(&mut f);
     let rate = elems as f64 / m.min.as_secs_f64();

@@ -6,7 +6,10 @@
 //! `pimCreateDevice`. This module mirrors that surface (snake-cased per
 //! Rust convention) over a process-global device, so PIMbench C++ code
 //! ports line-for-line. The idiomatic object API ([`crate::Device`])
-//! remains the primary interface; this layer simply forwards.
+//! remains the primary interface; this layer simply forwards. Every
+//! compute function ultimately funnels through [`Device::issue`] — the
+//! wrappers here build the same [`crate::PimCommand`]s the typed API
+//! does.
 //!
 //! # Example — the paper's Listing 1, ported
 //!
@@ -180,11 +183,67 @@ forward_binary! {
 
 /// `pimScaledAdd`: `dst = a·scalar + b` (Listing 1).
 ///
+/// ```
+/// use pimeval::capi::*;
+/// use pimeval::{DataType, PimTarget};
+///
+/// # fn main() -> Result<(), pimeval::PimError> {
+/// pim_create_device(PimTarget::BitSerial, 1)?;
+/// let x = pim_alloc(4, DataType::Int32)?;
+/// let y = pim_alloc_associated(x, DataType::Int32)?;
+/// pim_copy_host_to_device(&[1i32, 2, 3, 4], x)?;
+/// pim_copy_host_to_device(&[10i32, 10, 10, 10], y)?;
+/// pim_scaled_add(x, y, y, 3)?; // y = 3·x + y
+/// let mut out = [0i32; 4];
+/// pim_copy_device_to_host(y, &mut out)?;
+/// assert_eq!(out, [13, 16, 19, 22]);
+/// # pim_delete_device()?;
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Errors
 ///
 /// See [`Device::scaled_add`].
 pub fn pim_scaled_add(a: ObjId, b: ObjId, dst: ObjId, scalar: i64) -> Result<()> {
     with_device(|d| d.scaled_add(a, b, dst, scalar))
+}
+
+/// `pimCmpSelect`: fused `dst = (a OP b) ? x : y` in one device command,
+/// charged at the fused-operation cost (no intermediate mask object).
+///
+/// ```
+/// use pimeval::capi::*;
+/// use pimeval::pim_microcode::gen::CmpOp;
+/// use pimeval::{DataType, PimTarget};
+///
+/// # fn main() -> Result<(), pimeval::PimError> {
+/// pim_create_device(PimTarget::BitSerial, 1)?;
+/// let a = pim_alloc(3, DataType::Int32)?;
+/// let b = pim_alloc_associated(a, DataType::Int32)?;
+/// pim_copy_host_to_device(&[5i32, -2, 7], a)?;
+/// pim_copy_host_to_device(&[1i32, 4, 9], b)?;
+/// pim_cmp_select(CmpOp::Lt, a, b, a, b, a)?; // a = min(a, b)
+/// let mut out = [0i32; 3];
+/// pim_copy_device_to_host(a, &mut out)?;
+/// assert_eq!(out, [1, -2, 7]);
+/// # pim_delete_device()?;
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// See [`Device::cmp_select`].
+pub fn pim_cmp_select(
+    op: pim_microcode::gen::CmpOp,
+    a: ObjId,
+    b: ObjId,
+    x: ObjId,
+    y: ObjId,
+    dst: ObjId,
+) -> Result<()> {
+    with_device(|d| d.cmp_select(op, a, b, x, y, dst))
 }
 
 /// `pimAddScalar`.
@@ -214,7 +273,22 @@ pub fn pim_red_sum(a: ObjId) -> Result<i128> {
     with_device(|d| d.red_sum(a))
 }
 
-/// `pimRedMin`.
+/// `pimRedMin`: smallest element of `a`.
+///
+/// ```
+/// use pimeval::capi::*;
+/// use pimeval::{DataType, PimTarget};
+///
+/// # fn main() -> Result<(), pimeval::PimError> {
+/// pim_create_device(PimTarget::Fulcrum, 1)?;
+/// let a = pim_alloc(5, DataType::Int32)?;
+/// pim_copy_host_to_device(&[3i32, -7, 12, 0, 5], a)?;
+/// assert_eq!(pim_red_min(a)?, -7);
+/// assert_eq!(pim_red_max(a)?, 12);
+/// # pim_delete_device()?;
+/// # Ok(())
+/// # }
+/// ```
 ///
 /// # Errors
 ///
@@ -223,7 +297,8 @@ pub fn pim_red_min(a: ObjId) -> Result<i64> {
     with_device(|d| d.red_min(a))
 }
 
-/// `pimRedMax`.
+/// `pimRedMax`: largest element of `a` (see [`pim_red_min`] for an
+/// end-to-end example).
 ///
 /// # Errors
 ///
@@ -272,6 +347,13 @@ mod tests {
         assert_eq!(pim_red_sum(a).unwrap(), 36);
         assert_eq!(pim_red_min(a).unwrap(), 1);
         assert_eq!(pim_red_max(a).unwrap(), 8);
+        // dst = a·100 + b, then clamp back down with a fused cmp+select.
+        pim_scaled_add(a, b, b, 100).unwrap();
+        pim_copy_device_to_host(b, &mut out).unwrap();
+        assert_eq!(out[0], 201);
+        pim_cmp_select(pim_microcode::gen::CmpOp::Lt, a, b, a, b, b).unwrap();
+        pim_copy_device_to_host(b, &mut out).unwrap();
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 7, 8], "a < b everywhere, so b = a");
         let report = pim_show_stats().unwrap();
         assert!(report.contains("add.int32"));
         pim_free(a).unwrap();

@@ -9,6 +9,7 @@
 use pim_dram::exec;
 use pim_microcode::gen::{BinaryOp, CmpOp};
 
+use crate::cmd::{self, CmdValue, CommandStream, FlushSummary, PimCommand};
 use crate::config::{DeviceConfig, PimTarget, SimMode};
 use crate::dtype::{DataType, PimScalar};
 use crate::error::{PimError, Result};
@@ -456,25 +457,7 @@ impl Device {
     ///
     /// Count/dtype mismatches as usual.
     pub fn copy_object(&mut self, src: ObjId, dst: ObjId) -> Result<()> {
-        self.check_pair(src, dst)?;
-        let bytes = self.rm.get(src)?.bytes();
-        if matches!(self.config.mode, SimMode::Functional) {
-            let data = self.rm.get(src)?.data.clone();
-            self.rm.get_mut(dst)?.data = data;
-        }
-        self.charge_op(OpKind::Copy, dst)?;
-        self.stats.record_copy(bytes, 2, 0.0, 0.0);
-        if self.tracer.enabled() {
-            let start_ms = self.tracer.clock_ms();
-            self.tracer.emit(TraceEvent::Copy {
-                direction: CopyDirection::DeviceToDevice,
-                bytes,
-                start_ms,
-                time_ms: 0.0,
-                energy_mj: 0.0,
-                protocol: None,
-            });
-        }
+        self.issue(PimCommand::copy(src, dst))?;
         Ok(())
     }
 
@@ -533,49 +516,344 @@ impl Device {
         Ok(())
     }
 
-    fn apply2(
-        &mut self,
-        kind: OpKind,
-        a: ObjId,
-        b: ObjId,
-        dst: ObjId,
-        f: impl Fn(DataType, i64, i64) -> i64 + Sync,
-    ) -> Result<()> {
-        self.check_pair(a, b)?;
-        self.check_pair(a, dst)?;
-        if matches!(self.config.mode, SimMode::Functional) {
-            let dtype = self.rm.get(a)?.dtype;
-            let out = {
-                let da = self.data(a)?.expect("functional object has data");
-                let db = self.data(b)?.expect("functional object has data");
-                exec::par_zip_map(da, db, |&x, &y| dtype.truncate(f(dtype, x, y)))
-            };
-            self.rm.get_mut(dst)?.data = Some(out);
-        }
-        self.charge_op(kind, dst)
+    // ------------------------------------------------------------------
+    // The command choke point
+    // ------------------------------------------------------------------
+
+    /// Validates, executes, and charges one [`PimCommand`] — the single
+    /// path every device operation funnels through. The eager `add`/
+    /// `mul`/… methods are thin wrappers over this.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pimeval::{cmd::PimCommand, Device};
+    /// use pimeval::pim_microcode::gen::BinaryOp;
+    ///
+    /// # fn main() -> Result<(), pimeval::PimError> {
+    /// let mut dev = Device::fulcrum(1)?;
+    /// let a = dev.alloc_vec(&[1i32, 2, 3])?;
+    /// let b = dev.alloc_vec(&[4i32, 5, 6])?;
+    /// let out = dev.alloc_associated(a, pimeval::DataType::Int32)?;
+    /// dev.issue(PimCommand::elementwise2(
+    ///     pimeval::OpKind::Binary(BinaryOp::Add),
+    ///     a,
+    ///     b,
+    ///     out,
+    /// ))?;
+    /// assert_eq!(dev.to_vec::<i32>(out)?, vec![5, 7, 9]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Validation errors (arity, unknown objects, count/dtype mismatches,
+    /// layout requirements) before anything executes.
+    pub fn issue(&mut self, command: PimCommand) -> Result<CmdValue> {
+        self.validate_cmd(&command)?;
+        let value = self.exec_cmd(&command)?;
+        self.charge_cmd(&command)?;
+        Ok(value)
     }
 
-    fn apply1(
-        &mut self,
-        kind: OpKind,
-        a: ObjId,
-        dst: ObjId,
-        f: impl Fn(DataType, i64) -> i64 + Sync,
-    ) -> Result<()> {
-        self.check_pair(a, dst)?;
-        if matches!(self.config.mode, SimMode::Functional) {
-            let dtype = self.rm.get(a)?.dtype;
-            let out = {
-                let da = self.data(a)?.expect("functional object has data");
-                exec::par_map(da, |&x| dtype.truncate(f(dtype, x)))
-            };
-            self.rm.get_mut(dst)?.data = Some(out);
+    /// Opens a deferred [`CommandStream`] on this device. Recorded
+    /// commands run at [`CommandStream::flush`], after the peephole
+    /// passes (fusion, dead-write elimination, batching).
+    pub fn stream(&mut self) -> CommandStream<'_> {
+        CommandStream::new(self)
+    }
+
+    /// Checks a command's shape against its [`OpKind`] contract and its
+    /// operands against each other, in the same order the eager methods
+    /// historically reported errors; finally asks the target model to
+    /// validate layout requirements on the costed object.
+    pub(crate) fn validate_cmd(&self, command: &PimCommand) -> Result<()> {
+        let kind = command.kind;
+        if command.inputs.len() != kind.input_operands() as usize {
+            return Err(PimError::InvalidArg(format!(
+                "{kind:?} takes {} input(s), got {}",
+                kind.input_operands(),
+                command.inputs.len()
+            )));
         }
-        self.charge_op(kind, dst)
+        if command.dst.is_some() != kind.writes_output() {
+            return Err(PimError::InvalidArg(format!(
+                "{kind:?} {} a destination",
+                if kind.writes_output() {
+                    "requires"
+                } else {
+                    "does not take"
+                }
+            )));
+        }
+        match kind {
+            OpKind::Select => {
+                let (cond, a) = (command.inputs[0], command.inputs[1]);
+                self.check_pair(a, command.inputs[2])?;
+                self.check_pair(a, command.dst.expect("checked above"))?;
+                let c_count = self.rm.get(cond)?.count;
+                let a_count = self.rm.get(a)?.count;
+                if c_count != a_count {
+                    return Err(PimError::CountMismatch {
+                        expected: a_count,
+                        actual: c_count,
+                    });
+                }
+            }
+            OpKind::FusedCmpSelect(_) => {
+                let (a, x) = (command.inputs[0], command.inputs[2]);
+                self.check_pair(a, command.inputs[1])?;
+                self.check_pair(x, command.inputs[3])?;
+                self.check_pair(x, command.dst.expect("checked above"))?;
+                self.check_pair(a, x)?;
+            }
+            OpKind::Broadcast(_) => {
+                self.rm.get(command.dst.expect("checked above"))?;
+            }
+            OpKind::RedSum | OpKind::RedMin | OpKind::RedMax => {
+                self.rm.get(command.inputs[0])?;
+            }
+            _ if command.inputs.len() == 2 => {
+                self.check_pair(command.inputs[0], command.inputs[1])?;
+                self.check_pair(command.inputs[0], command.dst.expect("checked above"))?;
+            }
+            _ => {
+                self.check_pair(command.inputs[0], command.dst.expect("checked above"))?;
+            }
+        }
+        let costed = command.dst.unwrap_or_else(|| command.inputs[0]);
+        let obj = self.rm.get(costed)?;
+        model::target_model(self.config.target).validate(kind, obj.dtype, &obj.layout)
+    }
+
+    /// Runs a validated command's functional semantics (a no-op for
+    /// element-wise data in model-only mode).
+    pub(crate) fn exec_cmd(&mut self, command: &PimCommand) -> Result<CmdValue> {
+        let functional = matches!(self.config.mode, SimMode::Functional);
+        match command.kind {
+            OpKind::RedSum => {
+                let a = command.inputs[0];
+                let sum = match self.data(a)? {
+                    Some(data) => {
+                        let dtype = self.rm.get(a)?.dtype;
+                        Self::par_sum(data, dtype)
+                    }
+                    None => 0,
+                };
+                Ok(CmdValue::Wide(sum))
+            }
+            OpKind::RedMin => Ok(CmdValue::Int(self.par_extreme(command.inputs[0], true)?)),
+            OpKind::RedMax => Ok(CmdValue::Int(self.par_extreme(command.inputs[0], false)?)),
+            OpKind::Copy => {
+                if functional {
+                    let data = self.rm.get(command.inputs[0])?.data.clone();
+                    self.rm.get_mut(command.dst.expect("copy writes"))?.data = data;
+                }
+                Ok(CmdValue::Unit)
+            }
+            OpKind::Broadcast(value) => {
+                let dst = command.dst.expect("broadcast writes");
+                let (count, dtype) = {
+                    let obj = self.rm.get(dst)?;
+                    (obj.count, obj.dtype)
+                };
+                if functional {
+                    self.rm.get_mut(dst)?.data = Some(vec![dtype.truncate(value); count as usize]);
+                }
+                Ok(CmdValue::Unit)
+            }
+            kind => {
+                let dst = command.dst.expect("element-wise commands write");
+                if functional {
+                    let dtype = self.rm.get(dst)?.dtype;
+                    let out = {
+                        let ins: Vec<&[i64]> = command
+                            .inputs
+                            .iter()
+                            .map(|&id| Ok(self.data(id)?.expect("functional object has data")))
+                            .collect::<Result<_>>()?;
+                        match *ins.as_slice() {
+                            [a] => exec::par_map(a, |&x| cmd::eval(kind, dtype, &[x])),
+                            [a, b] => {
+                                exec::par_zip_map(a, b, |&x, &y| cmd::eval(kind, dtype, &[x, y]))
+                            }
+                            [a, b, c] => exec::par_zip3_map(a, b, c, |&x, &y, &z| {
+                                cmd::eval(kind, dtype, &[x, y, z])
+                            }),
+                            [a, b, c, d] => {
+                                let chunks = exec::par_chunks(a.len(), |r| {
+                                    r.map(|i| cmd::eval(kind, dtype, &[a[i], b[i], c[i], d[i]]))
+                                        .collect::<Vec<i64>>()
+                                });
+                                chunks.concat()
+                            }
+                            _ => unreachable!("element-wise arity is 1..=4"),
+                        }
+                    };
+                    self.rm.get_mut(dst)?.data = Some(out);
+                }
+                Ok(CmdValue::Unit)
+            }
+        }
+    }
+
+    /// Charges a validated command to the cost model, the statistics
+    /// engine, and the trace.
+    pub(crate) fn charge_cmd(&mut self, command: &PimCommand) -> Result<()> {
+        let costed = command.dst.unwrap_or_else(|| command.inputs[0]);
+        self.charge_op(command.kind, costed)?;
+        if command.kind == OpKind::Copy {
+            let bytes = self.rm.get(command.inputs[0])?.bytes();
+            self.stats.record_copy(bytes, 2, 0.0, 0.0);
+            if self.tracer.enabled() {
+                let start_ms = self.tracer.clock_ms();
+                self.tracer.emit(TraceEvent::Copy {
+                    direction: CopyDirection::DeviceToDevice,
+                    bytes,
+                    start_ms,
+                    time_ms: 0.0,
+                    energy_mj: 0.0,
+                    protocol: None,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Functionally executes a run of same-length validated commands in
+    /// one parallel sweep: each worker walks its element range once,
+    /// applying every command's per-element semantics in program order
+    /// against chunk-local intermediate buffers, then the chunk results
+    /// are stitched back into the destination objects. Bit-identical to
+    /// executing the commands one by one (same per-element order, same
+    /// truncation), but the operands stream through the cache once.
+    pub(crate) fn exec_batch(&mut self, commands: &[PimCommand]) -> Result<()> {
+        if !matches!(self.config.mode, SimMode::Functional) {
+            return Ok(());
+        }
+        let (slots, steps) = cmd::batch_plan(commands, |id| {
+            self.rm
+                .get(id)
+                .expect("batched commands are validated")
+                .dtype
+        });
+        let n = self
+            .rm
+            .get(commands[0].dst.expect("batched commands write"))?
+            .count as usize;
+        let initial: Vec<Option<&[i64]>> = slots
+            .iter()
+            .map(|&id| self.rm.get(id).expect("validated").data.as_deref())
+            .collect();
+        let chunk_results = exec::par_chunks(n, |r| {
+            let (start, len) = (r.start, r.len());
+            let mut local: Vec<Option<Vec<i64>>> = vec![None; slots.len()];
+            for i in r {
+                for step in &steps {
+                    let mut args = [0i64; 4];
+                    for (j, &(s, from_local)) in step.ins.iter().enumerate() {
+                        args[j] = if from_local {
+                            local[s].as_ref().expect("written by an earlier step")[i - start]
+                        } else {
+                            initial[s].expect("functional object has data")[i]
+                        };
+                    }
+                    let v = cmd::eval(step.kind, step.dtype, &args[..step.ins.len()]);
+                    local[step.dst].get_or_insert_with(|| vec![0; len])[i - start] = v;
+                }
+            }
+            local
+        });
+        let written: Vec<usize> = {
+            let mut seen = std::collections::BTreeSet::new();
+            steps
+                .iter()
+                .map(|s| s.dst)
+                .filter(|&d| seen.insert(d))
+                .collect()
+        };
+        let mut finals: Vec<(ObjId, Vec<i64>)> = Vec::with_capacity(written.len());
+        for s in written {
+            let mut buf = Vec::with_capacity(n);
+            for chunk in &chunk_results {
+                buf.extend_from_slice(chunk[s].as_ref().expect("every chunk runs every step"));
+            }
+            finals.push((slots[s], buf));
+        }
+        for (id, buf) in finals {
+            self.rm.get_mut(id)?.data = Some(buf);
+        }
+        Ok(())
+    }
+
+    /// Accumulates one flush's counters into [`SimStats`] and emits the
+    /// stream-flush trace instant.
+    pub(crate) fn finish_flush(&mut self, summary: &FlushSummary) {
+        let f = &mut self.stats.fusion;
+        f.flushes += 1;
+        f.recorded_commands += summary.recorded;
+        f.executed_commands += summary.executed;
+        f.fused_scaled_add += summary.fused_scaled_add;
+        f.fused_cmp_select += summary.fused_cmp_select;
+        f.dead_writes_eliminated += summary.dead_writes_eliminated;
+        f.batched_sweeps += summary.batched_sweeps;
+        f.batched_commands += summary.batched_commands;
+        pim_debug!(
+            "stream flush: {} recorded -> {} executed ({} fused, {} dead)",
+            summary.recorded,
+            summary.executed,
+            summary.fused_scaled_add + summary.fused_cmp_select,
+            summary.dead_writes_eliminated
+        );
+        if self.tracer.enabled() {
+            let at_ms = self.tracer.clock_ms();
+            self.tracer.emit(TraceEvent::StreamFlush {
+                at_ms,
+                recorded: summary.recorded,
+                executed: summary.executed,
+                fused_scaled_add: summary.fused_scaled_add,
+                fused_cmp_select: summary.fused_cmp_select,
+                dead_writes_eliminated: summary.dead_writes_eliminated,
+                batched_sweeps: summary.batched_sweeps,
+            });
+        }
+    }
+
+    /// Parallel reduction extreme: `min` when `want_min`, else `max`.
+    /// Chunk partials fold in chunk order with the same tie-breaking
+    /// (`<=` / `>=` keeps the earlier element) as a sequential scan.
+    fn par_extreme(&self, a: ObjId, want_min: bool) -> Result<i64> {
+        let out = match self.data(a)? {
+            Some(data) => {
+                let dtype = self.rm.get(a)?.dtype;
+                let keep_first = |x: i64, y: i64| {
+                    let ord = dtype.compare(x, y);
+                    if if want_min { ord.is_le() } else { ord.is_ge() } {
+                        x
+                    } else {
+                        y
+                    }
+                };
+                exec::par_fold(
+                    data.len(),
+                    |r| {
+                        data[r]
+                            .iter()
+                            .copied()
+                            .reduce(keep_first)
+                            .expect("chunks are non-empty")
+                    },
+                    keep_first,
+                )
+            }
+            None => None,
+        };
+        Ok(out.unwrap_or(0))
     }
 
     // ------------------------------------------------------------------
-    // Element-wise arithmetic and logic
+    // Element-wise arithmetic and logic (thin wrappers over `issue`)
     // ------------------------------------------------------------------
 
     /// `dst = a + b` (wrapping).
@@ -584,9 +862,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn add(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::Add), a, b, dst, |_, x, y| {
-            x.wrapping_add(y)
-        })
+        self.issue2(OpKind::Binary(BinaryOp::Add), a, b, dst)
     }
 
     /// `dst = a - b` (wrapping).
@@ -595,9 +871,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn sub(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::Sub), a, b, dst, |_, x, y| {
-            x.wrapping_sub(y)
-        })
+        self.issue2(OpKind::Binary(BinaryOp::Sub), a, b, dst)
     }
 
     /// `dst = a * b` (wrapping, low half).
@@ -606,9 +880,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn mul(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::Mul), a, b, dst, |_, x, y| {
-            x.wrapping_mul(y)
-        })
+        self.issue2(OpKind::Binary(BinaryOp::Mul), a, b, dst)
     }
 
     /// `dst = a & b`.
@@ -617,7 +889,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn and(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::And), a, b, dst, |_, x, y| x & y)
+        self.issue2(OpKind::Binary(BinaryOp::And), a, b, dst)
     }
 
     /// `dst = a | b`.
@@ -626,7 +898,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn or(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::Or), a, b, dst, |_, x, y| x | y)
+        self.issue2(OpKind::Binary(BinaryOp::Or), a, b, dst)
     }
 
     /// `dst = a ^ b`.
@@ -635,7 +907,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn xor(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::Xor), a, b, dst, |_, x, y| x ^ y)
+        self.issue2(OpKind::Binary(BinaryOp::Xor), a, b, dst)
     }
 
     /// `dst = !(a ^ b)`.
@@ -644,9 +916,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn xnor(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Binary(BinaryOp::Xnor), a, b, dst, |_, x, y| {
-            !(x ^ y)
-        })
+        self.issue2(OpKind::Binary(BinaryOp::Xnor), a, b, dst)
     }
 
     /// `dst = !a`.
@@ -655,7 +925,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn not(&mut self, a: ObjId, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::Not, a, dst, |_, x| !x)
+        self.issue1(OpKind::Not, a, dst)
     }
 
     /// `dst = |a|` (signed; wraps on the minimum value).
@@ -664,13 +934,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn abs(&mut self, a: ObjId, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::Abs, a, dst, |d, x| {
-            if d.is_signed() {
-                x.wrapping_abs()
-            } else {
-                x
-            }
-        })
+        self.issue1(OpKind::Abs, a, dst)
     }
 
     /// `dst = min(a, b)` respecting signedness.
@@ -679,13 +943,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn min(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Min, a, b, dst, |d, x, y| {
-            if d.compare(x, y).is_lt() {
-                x
-            } else {
-                y
-            }
-        })
+        self.issue2(OpKind::Min, a, b, dst)
     }
 
     /// `dst = max(a, b)` respecting signedness.
@@ -694,13 +952,17 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn max(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Max, a, b, dst, |d, x, y| {
-            if d.compare(x, y).is_gt() {
-                x
-            } else {
-                y
-            }
-        })
+        self.issue2(OpKind::Max, a, b, dst)
+    }
+
+    fn issue1(&mut self, kind: OpKind, a: ObjId, dst: ObjId) -> Result<()> {
+        self.issue(PimCommand::elementwise1(kind, a, dst))?;
+        Ok(())
+    }
+
+    fn issue2(&mut self, kind: OpKind, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
+        self.issue(PimCommand::elementwise2(kind, a, b, dst))?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -713,12 +975,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn add_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(
-            OpKind::BinaryScalar(BinaryOp::Add, k),
-            a,
-            dst,
-            move |_, x| x.wrapping_add(k),
-        )
+        self.issue1(OpKind::BinaryScalar(BinaryOp::Add, k), a, dst)
     }
 
     /// `dst = a - k`.
@@ -727,12 +984,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn sub_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(
-            OpKind::BinaryScalar(BinaryOp::Sub, k),
-            a,
-            dst,
-            move |_, x| x.wrapping_sub(k),
-        )
+        self.issue1(OpKind::BinaryScalar(BinaryOp::Sub, k), a, dst)
     }
 
     /// `dst = a * k`.
@@ -741,12 +993,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn mul_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(
-            OpKind::BinaryScalar(BinaryOp::Mul, k),
-            a,
-            dst,
-            move |_, x| x.wrapping_mul(k),
-        )
+        self.issue1(OpKind::BinaryScalar(BinaryOp::Mul, k), a, dst)
     }
 
     /// `dst = a & k`.
@@ -755,12 +1002,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn and_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(
-            OpKind::BinaryScalar(BinaryOp::And, k),
-            a,
-            dst,
-            move |_, x| x & k,
-        )
+        self.issue1(OpKind::BinaryScalar(BinaryOp::And, k), a, dst)
     }
 
     /// `dst = a | k`.
@@ -769,12 +1011,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn or_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(
-            OpKind::BinaryScalar(BinaryOp::Or, k),
-            a,
-            dst,
-            move |_, x| x | k,
-        )
+        self.issue1(OpKind::BinaryScalar(BinaryOp::Or, k), a, dst)
     }
 
     /// `dst = a ^ k`.
@@ -783,12 +1020,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn xor_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(
-            OpKind::BinaryScalar(BinaryOp::Xor, k),
-            a,
-            dst,
-            move |_, x| x ^ k,
-        )
+        self.issue1(OpKind::BinaryScalar(BinaryOp::Xor, k), a, dst)
     }
 
     /// `dst = min(a, k)`.
@@ -797,14 +1029,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn min_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::MinScalar(k), a, dst, move |d, x| {
-            let k = d.truncate(k);
-            if d.compare(x, k).is_lt() {
-                x
-            } else {
-                k
-            }
-        })
+        self.issue1(OpKind::MinScalar(k), a, dst)
     }
 
     /// `dst = max(a, k)`.
@@ -813,14 +1038,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn max_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::MaxScalar(k), a, dst, move |d, x| {
-            let k = d.truncate(k);
-            if d.compare(x, k).is_gt() {
-                x
-            } else {
-                k
-            }
-        })
+        self.issue1(OpKind::MaxScalar(k), a, dst)
     }
 
     /// `dst = a * k + b` (`pimScaledAdd`): lowered to a scalar multiply
@@ -851,9 +1069,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn lt(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Cmp(CmpOp::Lt), a, b, dst, |d, x, y| {
-            i64::from(d.compare(x, y).is_lt())
-        })
+        self.issue2(OpKind::Cmp(CmpOp::Lt), a, b, dst)
     }
 
     /// `dst = (a > b) ? 1 : 0`.
@@ -862,9 +1078,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn gt(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Cmp(CmpOp::Gt), a, b, dst, |d, x, y| {
-            i64::from(d.compare(x, y).is_gt())
-        })
+        self.issue2(OpKind::Cmp(CmpOp::Gt), a, b, dst)
     }
 
     /// `dst = (a == b) ? 1 : 0`.
@@ -873,9 +1087,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn eq(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.apply2(OpKind::Cmp(CmpOp::Eq), a, b, dst, |_, x, y| {
-            i64::from(x == y)
-        })
+        self.issue2(OpKind::Cmp(CmpOp::Eq), a, b, dst)
     }
 
     /// `dst = (a < k) ? 1 : 0`.
@@ -884,9 +1096,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn lt_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::CmpScalar(CmpOp::Lt, k), a, dst, move |d, x| {
-            i64::from(d.compare(x, d.truncate(k)).is_lt())
-        })
+        self.issue1(OpKind::CmpScalar(CmpOp::Lt, k), a, dst)
     }
 
     /// `dst = (a > k) ? 1 : 0`.
@@ -895,9 +1105,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn gt_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::CmpScalar(CmpOp::Gt, k), a, dst, move |d, x| {
-            i64::from(d.compare(x, d.truncate(k)).is_gt())
-        })
+        self.issue1(OpKind::CmpScalar(CmpOp::Gt, k), a, dst)
     }
 
     /// `dst = (a == k) ? 1 : 0`.
@@ -906,9 +1114,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn eq_scalar(&mut self, a: ObjId, k: i64, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::CmpScalar(CmpOp::Eq, k), a, dst, move |d, x| {
-            i64::from(x == d.truncate(k))
-        })
+        self.issue1(OpKind::CmpScalar(CmpOp::Eq, k), a, dst)
     }
 
     /// `dst = cond ? a : b` element-wise (non-zero condition selects `a`).
@@ -918,29 +1124,28 @@ impl Device {
     /// Count/dtype mismatches between `a`, `b`, `dst`; count mismatch for
     /// `cond`; unknown objects.
     pub fn select(&mut self, cond: ObjId, a: ObjId, b: ObjId, dst: ObjId) -> Result<()> {
-        self.check_pair(a, b)?;
-        self.check_pair(a, dst)?;
-        let c_count = self.rm.get(cond)?.count;
-        let a_count = self.rm.get(a)?.count;
-        if c_count != a_count {
-            return Err(PimError::CountMismatch {
-                expected: a_count,
-                actual: c_count,
-            });
-        }
-        if matches!(self.config.mode, SimMode::Functional) {
-            let dtype = self.rm.get(a)?.dtype;
-            let out = {
-                let dc = self.data(cond)?.expect("functional object has data");
-                let da = self.data(a)?.expect("functional object has data");
-                let db = self.data(b)?.expect("functional object has data");
-                exec::par_zip3_map(dc, da, db, |&c, &x, &y| {
-                    dtype.truncate(if c != 0 { x } else { y })
-                })
-            };
-            self.rm.get_mut(dst)?.data = Some(out);
-        }
-        self.charge_op(OpKind::Select, dst)
+        self.issue(PimCommand::select(cond, a, b, dst))?;
+        Ok(())
+    }
+
+    /// `dst = (a OP b) ? x : y` in one fused pass — the explicit form of
+    /// what the [`CommandStream`] cmp+select peephole produces.
+    ///
+    /// # Errors
+    ///
+    /// Count/dtype mismatches (including between the compared and the
+    /// selected operands); unknown objects.
+    pub fn cmp_select(
+        &mut self,
+        op: CmpOp,
+        a: ObjId,
+        b: ObjId,
+        x: ObjId,
+        y: ObjId,
+        dst: ObjId,
+    ) -> Result<()> {
+        self.issue(PimCommand::fused_cmp_select(op, a, b, x, y, dst))?;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -953,14 +1158,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn shift_left(&mut self, a: ObjId, k: u32, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::ShiftL(k), a, dst, move |d, x| {
-            let bits = d.bits();
-            if k >= bits.min(64) {
-                0
-            } else {
-                ((x as u64) << k) as i64
-            }
-        })
+        self.issue1(OpKind::ShiftL(k), a, dst)
     }
 
     /// `dst = a >> k` — arithmetic for signed dtypes, logical otherwise.
@@ -969,20 +1167,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn shift_right(&mut self, a: ObjId, k: u32, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::ShiftR(k), a, dst, move |d, x| {
-            let bits = d.bits();
-            if d.is_signed() {
-                // Canonical signed values are sign-extended i64s.
-                x >> k.min(63)
-            } else {
-                let u = (x as u64) & pim_microcode::encode::mask(bits);
-                if k >= 64 {
-                    0
-                } else {
-                    (u >> k) as i64
-                }
-            }
-        })
+        self.issue1(OpKind::ShiftR(k), a, dst)
     }
 
     /// Per-element population count of the low `bits` of each element.
@@ -991,10 +1176,7 @@ impl Device {
     ///
     /// Count/dtype mismatches; unknown objects.
     pub fn popcount(&mut self, a: ObjId, dst: ObjId) -> Result<()> {
-        self.apply1(OpKind::Popcount, a, dst, |d, x| {
-            let u = (x as u64) & pim_microcode::encode::mask(d.bits());
-            u.count_ones() as i64
-        })
+        self.issue1(OpKind::Popcount, a, dst)
     }
 
     /// Fills every element of `dst` with `value` (`pimBroadcast`).
@@ -1003,14 +1185,8 @@ impl Device {
     ///
     /// Unknown object.
     pub fn broadcast(&mut self, dst: ObjId, value: i64) -> Result<()> {
-        let (count, dtype) = {
-            let obj = self.rm.get(dst)?;
-            (obj.count, obj.dtype)
-        };
-        if matches!(self.config.mode, SimMode::Functional) {
-            self.rm.get_mut(dst)?.data = Some(vec![dtype.truncate(value); count as usize]);
-        }
-        self.charge_op(OpKind::Broadcast(value), dst)
+        self.issue(PimCommand::broadcast(dst, value))?;
+        Ok(())
     }
 
     /// Reduction sum of all elements (`pimRedSum`). Unsigned dtypes sum
@@ -1021,15 +1197,10 @@ impl Device {
     ///
     /// Unknown object.
     pub fn red_sum(&mut self, a: ObjId) -> Result<i128> {
-        let sum = match self.data(a)? {
-            Some(data) => {
-                let dtype = self.rm.get(a)?.dtype;
-                Self::par_sum(data, dtype)
-            }
-            None => 0,
-        };
-        self.charge_op(OpKind::RedSum, a)?;
-        Ok(sum)
+        match self.issue(PimCommand::reduce(OpKind::RedSum, a))? {
+            CmdValue::Wide(sum) => Ok(sum),
+            _ => unreachable!("red_sum produces a widening sum"),
+        }
     }
 
     /// Chunked parallel widening sum; per-chunk partials fold in chunk
@@ -1064,25 +1235,10 @@ impl Device {
     ///
     /// Unknown object.
     pub fn red_min(&mut self, a: ObjId) -> Result<i64> {
-        let out = match self.data(a)? {
-            Some(data) => {
-                let dtype = self.rm.get(a)?.dtype;
-                exec::par_fold(
-                    data.len(),
-                    |r| {
-                        data[r]
-                            .iter()
-                            .copied()
-                            .reduce(|x, y| if dtype.compare(x, y).is_le() { x } else { y })
-                            .expect("chunks are non-empty")
-                    },
-                    |x, y| if dtype.compare(x, y).is_le() { x } else { y },
-                )
-            }
-            None => None,
-        };
-        self.charge_op(OpKind::RedMin, a)?;
-        Ok(out.unwrap_or(0))
+        match self.issue(PimCommand::reduce(OpKind::RedMin, a))? {
+            CmdValue::Int(v) => Ok(v),
+            _ => unreachable!("red_min produces one element"),
+        }
     }
 
     /// Reduction maximum across all elements (`pimRedMax`), respecting
@@ -1092,25 +1248,10 @@ impl Device {
     ///
     /// Unknown object.
     pub fn red_max(&mut self, a: ObjId) -> Result<i64> {
-        let out = match self.data(a)? {
-            Some(data) => {
-                let dtype = self.rm.get(a)?.dtype;
-                exec::par_fold(
-                    data.len(),
-                    |r| {
-                        data[r]
-                            .iter()
-                            .copied()
-                            .reduce(|x, y| if dtype.compare(x, y).is_ge() { x } else { y })
-                            .expect("chunks are non-empty")
-                    },
-                    |x, y| if dtype.compare(x, y).is_ge() { x } else { y },
-                )
-            }
-            None => None,
-        };
-        self.charge_op(OpKind::RedMax, a)?;
-        Ok(out.unwrap_or(0))
+        match self.issue(PimCommand::reduce(OpKind::RedMax, a))? {
+            CmdValue::Int(v) => Ok(v),
+            _ => unreachable!("red_max produces one element"),
+        }
     }
 
     /// Reduction sum over the element range `[start, end)`

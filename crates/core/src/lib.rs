@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod capi;
+pub mod cmd;
 pub mod config;
 pub mod device;
 pub mod dtype;
@@ -65,14 +66,15 @@ pub mod resource;
 pub mod stats;
 pub mod trace;
 
+pub use cmd::{CmdValue, CommandStream, FlushSummary, PimCommand};
 pub use config::{DeviceConfig, PeParams, PimTarget, SimMode};
 pub use device::Device;
 pub use dtype::{DataType, PimScalar};
 pub use error::{PimError, Result};
-pub use model::OpCost;
+pub use model::{target_model, OpCost, TargetModel};
 pub use object::{DataLayout, ObjId, ObjectLayout, PimObject};
 pub use ops::{OpCategory, OpKind};
-pub use stats::{CmdStat, CopyStats, SimStats};
+pub use stats::{CmdStat, CopyStats, FusionStats, SimStats};
 pub use trace::{CopyDirection, Recorder, TraceEvent, TraceSink, Tracer};
 
 /// Std-only parallel execution engine the functional hot paths run on

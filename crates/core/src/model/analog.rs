@@ -50,6 +50,27 @@ fn program_cost_uncached(kind: OpKind, dtype: DataType) -> Cost {
         OpKind::Max => analog::min_max(true, bits, signed).cost(),
         OpKind::MinScalar(_) => scalar_setup(analog::min_max(false, bits, signed).cost()),
         OpKind::MaxScalar(_) => scalar_setup(analog::min_max(true, bits, signed).cost()),
+        // Fused multiply-scalar + add: the eager pair AAP-copies the
+        // product into a temporary row group and back; fused, the adder
+        // consumes the product rows in place, eliding one AAP per bit.
+        OpKind::ScaledAdd(_) => {
+            let fused = scalar_setup(analog::binary(gen::BinaryOp::Mul, bits).cost())
+                + analog::binary(gen::BinaryOp::Add, bits).cost();
+            Cost {
+                aap_ops: fused.aap_ops.saturating_sub(bits as u64),
+                ..fused
+            }
+        }
+        // Fused compare + select: no zero-fill of the mask's upper rows
+        // (the eager Cmp surcharge) and the mask's final AAP write-back
+        // is consumed directly by the select.
+        OpKind::FusedCmpSelect(c) => {
+            let fused = analog::cmp(c, bits, signed).cost() + analog::select(bits).cost();
+            Cost {
+                aap_ops: fused.aap_ops.saturating_sub(1),
+                ..fused
+            }
+        }
         OpKind::Not => analog::not(bits).cost(),
         // abs = conditional negate: subtract-from-zero + masked select.
         OpKind::Abs => {

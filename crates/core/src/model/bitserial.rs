@@ -67,6 +67,16 @@ fn program_cost_uncached(kind: OpKind, dtype: DataType) -> Cost {
                 ..cmp
             } + sweep
         }
+        // Fused multiply-scalar + add: one broadcast seeds the
+        // destination from the addend and accumulates the partial
+        // products on top — the eager pair's temporary write sweep and
+        // read-back sweep never happen.
+        OpKind::ScaledAdd(k) => gen::scaled_add(bits, k as u64).cost(),
+        // Fused compare + select: the 0/1 verdict stays in R0 between
+        // the two phases, so the comparison's write-back, the eager
+        // `bits − 1` zero-fill, and the select's condition read all
+        // vanish.
+        OpKind::FusedCmpSelect(c) => gen::cmp_select(c, bits, signed).cost(),
         OpKind::Not => gen::not(bits).cost(),
         OpKind::Abs => gen::abs(bits).cost(),
         OpKind::Popcount => gen::popcount(bits).cost(),
@@ -210,6 +220,18 @@ mod tests {
         let raw = pim_microcode::gen::cmp(pim_microcode::gen::CmpOp::Lt, 32, true).cost();
         let modeled = program_cost(OpKind::Cmp(pim_microcode::gen::CmpOp::Lt), DataType::Int32);
         assert_eq!(modeled.row_writes, raw.row_writes + 31);
+    }
+
+    #[test]
+    fn fused_costs_undercut_their_eager_pairs() {
+        use pim_microcode::gen::CmpOp;
+        let config = cfg();
+        let layout = ObjectLayout::compute(&config, 8192, DataType::Int32, None).unwrap();
+        let t = |kind| cost(&config, kind, DataType::Int32, &layout).time_ms;
+        let eager_sa = t(OpKind::BinaryScalar(BinaryOp::Mul, 7)) + t(OpKind::Binary(BinaryOp::Add));
+        assert!(t(OpKind::ScaledAdd(7)) < eager_sa);
+        let eager_cs = t(OpKind::Cmp(CmpOp::Lt)) + t(OpKind::Select);
+        assert!(t(OpKind::FusedCmpSelect(CmpOp::Lt)) < eager_cs);
     }
 
     #[test]

@@ -1,9 +1,13 @@
-//! Performance and energy models for the three PIM targets (§V-C, §V-D).
+//! Performance and energy models for the PIM targets (§V-C, §V-D).
 //!
-//! Entry point: [`op_cost`], which dispatches on the configured
-//! [`PimTarget`]. The bit-serial model derives its counts from the same
-//! microprograms the functional VM executes; the bit-parallel models use
-//! closed-form row-traffic + ALU formulas with walker pipelining.
+//! Each target implements the [`TargetModel`] trait exactly once;
+//! [`target_model`] is the single place a [`PimTarget`] maps to model
+//! code (model construction), and [`op_cost`] / [`micro_cost`] are thin
+//! delegates kept for callers that price a command without holding a
+//! model reference. The bit-serial family derives its counts from the
+//! same microprograms the functional VM executes; the bit-parallel
+//! models use closed-form row-traffic + ALU formulas with walker
+//! pipelining.
 
 mod analog;
 mod bitserial;
@@ -17,8 +21,9 @@ use pim_microcode::Cost;
 
 use crate::config::{DeviceConfig, PimTarget};
 use crate::dtype::DataType;
-use crate::object::ObjectLayout;
-use crate::ops::OpKind;
+use crate::error::{PimError, Result};
+use crate::object::{DataLayout, ObjectLayout};
+use crate::ops::{OpCategory, OpKind};
 
 /// Process-wide memo for per-stripe microprogram costs.
 ///
@@ -85,44 +90,221 @@ impl OpCost {
     }
 }
 
+/// One per-target performance/energy model.
+///
+/// Every [`PimTarget`] has exactly one implementation, obtained through
+/// [`target_model`]. [`crate::Device::issue`] consults the model for
+/// every command: `validate` gates it, `cost`/`energy` price it,
+/// `category`/`micro_cost` annotate its statistics and trace events.
+/// Functional semantics (`execute`) are shared by all targets — the
+/// simulator's core invariant is that every target computes the same
+/// values at different cost.
+pub trait TargetModel: Send + Sync {
+    /// The target this model prices.
+    fn target(&self) -> PimTarget;
+
+    /// Checks target-specific requirements for one command — today the
+    /// data-layout orientation the target's row walkers expect.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::NotSupported`] when the object layout does not match
+    /// the target's orientation.
+    fn validate(&self, kind: OpKind, dtype: DataType, layout: &ObjectLayout) -> Result<()> {
+        let expected = if self.target().is_horizontal() {
+            DataLayout::Horizontal
+        } else {
+            DataLayout::Vertical
+        };
+        if layout.layout != expected {
+            return Err(PimError::NotSupported(format!(
+                "{} on {} requires a {expected:?} layout, got {:?}",
+                kind.stat_name(dtype),
+                self.target(),
+                layout.layout
+            )));
+        }
+        Ok(())
+    }
+
+    /// Latency and energy of `kind` applied to an object with `layout`
+    /// holding elements of `dtype`.
+    fn cost(
+        &self,
+        config: &DeviceConfig,
+        kind: OpKind,
+        dtype: DataType,
+        layout: &ObjectLayout,
+    ) -> OpCost;
+
+    /// Kernel energy alone, in millijoules.
+    fn energy(
+        &self,
+        config: &DeviceConfig,
+        kind: OpKind,
+        dtype: DataType,
+        layout: &ObjectLayout,
+    ) -> f64 {
+        self.cost(config, kind, dtype, layout).energy_mj
+    }
+
+    /// Functional per-element semantics of an element-wise `kind`.
+    /// Identical across targets by construction; see [`crate::cmd::eval`].
+    fn execute(&self, kind: OpKind, dtype: DataType, inputs: &[i64]) -> i64 {
+        crate::cmd::eval(kind, dtype, inputs)
+    }
+
+    /// Fig. 8 category the command is counted under.
+    fn category(&self, kind: OpKind) -> OpCategory {
+        kind.category()
+    }
+
+    /// Row-level microprogram counters for `kind` on one core: the
+    /// per-stripe program cost scaled by the stripes the core processes.
+    /// `None` for word-parallel targets, which run no microprograms.
+    fn micro_cost(&self, kind: OpKind, dtype: DataType, layout: &ObjectLayout) -> Option<Cost> {
+        let _ = (kind, dtype, layout);
+        None
+    }
+}
+
+/// Bit-serial (DRAM-AP) model: costs from the digital microprograms.
+struct BitSerialModel;
+
+impl TargetModel for BitSerialModel {
+    fn target(&self) -> PimTarget {
+        PimTarget::BitSerial
+    }
+
+    fn cost(
+        &self,
+        config: &DeviceConfig,
+        kind: OpKind,
+        dtype: DataType,
+        layout: &ObjectLayout,
+    ) -> OpCost {
+        bitserial::cost(config, kind, dtype, layout)
+    }
+
+    fn micro_cost(&self, kind: OpKind, dtype: DataType, layout: &ObjectLayout) -> Option<Cost> {
+        Some(bitserial::program_cost(kind, dtype).scaled(layout.units_per_core.max(1)))
+    }
+}
+
+/// Fulcrum model: subarray-level walkers + 32-bit scalar ALU.
+struct FulcrumModel;
+
+impl TargetModel for FulcrumModel {
+    fn target(&self) -> PimTarget {
+        PimTarget::Fulcrum
+    }
+
+    fn cost(
+        &self,
+        config: &DeviceConfig,
+        kind: OpKind,
+        dtype: DataType,
+        layout: &ObjectLayout,
+    ) -> OpCost {
+        parallel::cost_fulcrum(config, kind, dtype, layout)
+    }
+}
+
+/// Bank-level model: 64-bit ALPU behind the narrow GDL.
+struct BankLevelModel;
+
+impl TargetModel for BankLevelModel {
+    fn target(&self) -> PimTarget {
+        PimTarget::BankLevel
+    }
+
+    fn cost(
+        &self,
+        config: &DeviceConfig,
+        kind: OpKind,
+        dtype: DataType,
+        layout: &ObjectLayout,
+    ) -> OpCost {
+        parallel::cost_bank(config, kind, dtype, layout)
+    }
+}
+
+/// Analog bit-serial (Ambit/SIMDRAM-style TRA) model.
+struct AnalogBitSerialModel;
+
+impl TargetModel for AnalogBitSerialModel {
+    fn target(&self) -> PimTarget {
+        PimTarget::AnalogBitSerial
+    }
+
+    fn cost(
+        &self,
+        config: &DeviceConfig,
+        kind: OpKind,
+        dtype: DataType,
+        layout: &ObjectLayout,
+    ) -> OpCost {
+        analog::cost(config, kind, dtype, layout)
+    }
+
+    fn micro_cost(&self, kind: OpKind, dtype: DataType, layout: &ObjectLayout) -> Option<Cost> {
+        Some(analog::program_cost(kind, dtype).scaled(layout.units_per_core.max(1)))
+    }
+}
+
+/// UPMEM-like toy model: one scalar DPU per bank.
+struct UpmemLikeModel;
+
+impl TargetModel for UpmemLikeModel {
+    fn target(&self) -> PimTarget {
+        PimTarget::UpmemLike
+    }
+
+    fn cost(
+        &self,
+        config: &DeviceConfig,
+        kind: OpKind,
+        dtype: DataType,
+        layout: &ObjectLayout,
+    ) -> OpCost {
+        upmem::cost(config, kind, dtype, layout)
+    }
+}
+
+/// The singleton model for `target` — model construction, and the only
+/// place a [`PimTarget`] is mapped to model code.
+pub fn target_model(target: PimTarget) -> &'static dyn TargetModel {
+    match target {
+        PimTarget::BitSerial => &BitSerialModel,
+        PimTarget::Fulcrum => &FulcrumModel,
+        PimTarget::BankLevel => &BankLevelModel,
+        PimTarget::AnalogBitSerial => &AnalogBitSerialModel,
+        PimTarget::UpmemLike => &UpmemLikeModel,
+    }
+}
+
 /// Models the latency and energy of `kind` applied to an object with
-/// `layout` holding elements of `dtype`.
+/// `layout` holding elements of `dtype`. Thin delegate to the configured
+/// target's [`TargetModel`].
 pub fn op_cost(
     config: &DeviceConfig,
     kind: OpKind,
     dtype: DataType,
     layout: &ObjectLayout,
 ) -> OpCost {
-    match config.target {
-        PimTarget::BitSerial => bitserial::cost(config, kind, dtype, layout),
-        PimTarget::Fulcrum => parallel::cost_fulcrum(config, kind, dtype, layout),
-        PimTarget::BankLevel => parallel::cost_bank(config, kind, dtype, layout),
-        PimTarget::AnalogBitSerial => analog::cost(config, kind, dtype, layout),
-        PimTarget::UpmemLike => upmem::cost(config, kind, dtype, layout),
-    }
+    target_model(config.target).cost(config, kind, dtype, layout)
 }
 
 /// Low-level microcode counters for `kind` on one core, when the target
-/// executes ops as row-level microprograms.
-///
-/// For the bit-serial and analog bit-serial targets this returns the
-/// per-stripe program cost scaled by the number of stripes a core
-/// processes (`units_per_core`), i.e. the row reads/writes/logic ops one
-/// core issues to execute the command. The word-parallel targets
-/// (Fulcrum, bank-level, UPMEM-like) do not run microprograms, so this
-/// returns `None`.
+/// executes ops as row-level microprograms. Thin delegate to
+/// [`TargetModel::micro_cost`]; `None` for the word-parallel targets.
 pub fn micro_cost(
     config: &DeviceConfig,
     kind: OpKind,
     dtype: DataType,
     layout: &ObjectLayout,
 ) -> Option<pim_microcode::Cost> {
-    let per_stripe = match config.target {
-        PimTarget::BitSerial => bitserial::program_cost(kind, dtype),
-        PimTarget::AnalogBitSerial => analog::program_cost(kind, dtype),
-        _ => return None,
-    };
-    Some(per_stripe.scaled(layout.units_per_core.max(1)))
+    target_model(config.target).micro_cost(kind, dtype, layout)
 }
 
 /// Cross-core merge cost for reductions: every used core ships an 8-byte

@@ -29,6 +29,11 @@ fn insns_per_elem(kind: OpKind, base: f64) -> f64 {
         OpKind::Popcount => base + 12.0,
         // Reductions keep the accumulator in a register: no store.
         OpKind::RedSum | OpKind::RedMin | OpKind::RedMax => base - 1.0,
+        // Fused pairs: the intermediate stays in a register, so the
+        // second op costs one extra ALU instruction instead of a full
+        // load/compute/store round per element.
+        OpKind::ScaledAdd(_) => base + 25.0,
+        OpKind::FusedCmpSelect(_) => base + 1.0,
         // Pure data movement.
         OpKind::Copy | OpKind::Broadcast(_) => 0.0,
         _ => base,

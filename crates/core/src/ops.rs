@@ -123,6 +123,16 @@ pub enum OpKind {
     ShiftR(u32),
     /// `dst = cond ? a : b`.
     Select,
+    /// Fused multiply-by-constant + add, `dst = a * k + b`. Produced by
+    /// the [`crate::cmd::CommandStream`] peephole that rewrites an
+    /// adjacent scalar multiply into a dead temporary followed by an
+    /// addition; targets charge less than the eager pair because the
+    /// product never round-trips through an operand.
+    ScaledAdd(i64),
+    /// Fused compare + select, `dst = (a OP b) ? x : y`. Produced by the
+    /// cmp+select peephole; the 0/1 mask stays in a register instead of
+    /// being materialized as an operand.
+    FusedCmpSelect(CmpOp),
     /// Fill with a constant.
     Broadcast(i64),
     /// Reduction sum across all elements.
@@ -140,7 +150,9 @@ impl OpKind {
     pub fn input_operands(&self) -> u32 {
         match self {
             OpKind::Binary(_) | OpKind::Cmp(_) | OpKind::Min | OpKind::Max => 2,
+            OpKind::ScaledAdd(_) => 2,
             OpKind::Select => 3,
+            OpKind::FusedCmpSelect(_) => 4,
             OpKind::Broadcast(_) => 0,
             _ => 1,
         }
@@ -169,6 +181,12 @@ impl OpKind {
             },
             OpKind::Min | OpKind::MinScalar(_) => OpCategory::Min,
             OpKind::Max | OpKind::MaxScalar(_) => OpCategory::Max,
+            // Fused ops count once under their dominant arithmetic class.
+            OpKind::ScaledAdd(_) => OpCategory::Mul,
+            OpKind::FusedCmpSelect(c) => match c {
+                CmpOp::Lt | CmpOp::Gt => OpCategory::Less,
+                CmpOp::Eq => OpCategory::Eq,
+            },
             OpKind::Not | OpKind::Select | OpKind::Copy => OpCategory::Bit,
             OpKind::Abs => OpCategory::Abs,
             OpKind::Popcount => OpCategory::Popcount,
@@ -195,6 +213,8 @@ impl OpKind {
             OpKind::ShiftL(k) => format!("shl{k}"),
             OpKind::ShiftR(k) => format!("shr{k}"),
             OpKind::Select => "select".into(),
+            OpKind::ScaledAdd(_) => "scaled_add".into(),
+            OpKind::FusedCmpSelect(c) => format!("{}_select", c.mnemonic()),
             OpKind::Broadcast(_) => "broadcast".into(),
             OpKind::RedSum => "redsum".into(),
             OpKind::RedMin => "redmin".into(),
@@ -212,6 +232,9 @@ impl OpKind {
         match self {
             OpKind::Popcount => popcount_cycles,
             OpKind::Copy | OpKind::Broadcast(_) => 0,
+            // Fused pairs keep both ALU steps; the saving is in row
+            // traffic (fewer operand streams), not compute.
+            OpKind::ScaledAdd(_) | OpKind::FusedCmpSelect(_) => 2,
             _ => 1,
         }
     }
@@ -247,6 +270,24 @@ mod tests {
         assert_eq!(OpKind::Broadcast(1).input_operands(), 0);
         assert_eq!(OpKind::Binary(BinaryOp::Mul).input_operands(), 2);
         assert!(!OpKind::RedSum.writes_output());
+    }
+
+    #[test]
+    fn fused_ops_describe_their_collapsed_operands() {
+        assert_eq!(OpKind::ScaledAdd(7).input_operands(), 2);
+        assert_eq!(OpKind::FusedCmpSelect(CmpOp::Lt).input_operands(), 4);
+        assert!(OpKind::ScaledAdd(7).writes_output());
+        assert_eq!(
+            OpKind::ScaledAdd(7).stat_name(DataType::Int32),
+            "scaled_add.int32"
+        );
+        assert_eq!(
+            OpKind::FusedCmpSelect(CmpOp::Lt).stat_name(DataType::Int32),
+            "lt_select.int32"
+        );
+        assert_eq!(OpKind::ScaledAdd(7).category(), OpCategory::Mul);
+        assert_eq!(OpKind::FusedCmpSelect(CmpOp::Eq).category(), OpCategory::Eq);
+        assert_eq!(OpKind::ScaledAdd(7).alu_cycles(12), 2);
     }
 
     #[test]

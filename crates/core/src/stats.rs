@@ -40,6 +40,43 @@ impl CopyStats {
     }
 }
 
+/// Counters for the [`crate::cmd::CommandStream`] peephole passes,
+/// accumulated across every flush on the device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Flushes executed.
+    pub flushes: u64,
+    /// Commands recorded into streams.
+    pub recorded_commands: u64,
+    /// Commands actually executed after the passes ran.
+    pub executed_commands: u64,
+    /// mul_scalar + add pairs rewritten to `scaled_add`.
+    pub fused_scaled_add: u64,
+    /// cmp + select pairs rewritten to a fused compare-select.
+    pub fused_cmp_select: u64,
+    /// Commands dropped because their destination was overwritten before
+    /// being read.
+    pub dead_writes_eliminated: u64,
+    /// Batched functional sweeps (runs of ≥ 2 same-shape element-wise
+    /// commands executed in one pass over memory).
+    pub batched_sweeps: u64,
+    /// Commands executed inside those batched sweeps.
+    pub batched_commands: u64,
+}
+
+impl FusionStats {
+    /// Commands removed by the peephole passes (each fusion replaces two
+    /// commands with one; each dead write removes one).
+    pub fn commands_eliminated(&self) -> u64 {
+        self.fused_scaled_add + self.fused_cmp_select + self.dead_writes_eliminated
+    }
+
+    /// True when no stream was ever flushed on this device.
+    pub fn is_empty(&self) -> bool {
+        *self == FusionStats::default()
+    }
+}
+
 /// Full statistics for a simulation run.
 ///
 /// Three time components mirror the paper's Fig. 7 breakdown: data
@@ -57,6 +94,8 @@ pub struct SimStats {
     pub host_time_ms: f64,
     /// Most cores kept busy by any single command (for background energy).
     pub max_cores_used: usize,
+    /// Command-stream peephole counters (all zero for eager-only runs).
+    pub fusion: FusionStats,
 }
 
 impl SimStats {
@@ -263,6 +302,26 @@ impl SimStats {
         if self.host_time_ms > 0.0 {
             let _ = writeln!(out, "Host elapsed (modeled): {:.6} ms", self.host_time_ms);
         }
+        if !self.fusion.is_empty() {
+            let f = &self.fusion;
+            let _ = writeln!(out, "Command Stream Stats:");
+            let _ = writeln!(
+                out,
+                "  Flushes          : {} ({} recorded -> {} executed)",
+                f.flushes, f.recorded_commands, f.executed_commands
+            );
+            let _ = writeln!(
+                out,
+                "  Fused            : {} scaled_add, {} cmp_select",
+                f.fused_scaled_add, f.fused_cmp_select
+            );
+            let _ = writeln!(out, "  Dead writes      : {}", f.dead_writes_eliminated);
+            let _ = writeln!(
+                out,
+                "  Batched sweeps   : {} covering {} command(s)",
+                f.batched_sweeps, f.batched_commands
+            );
+        }
         let _ = writeln!(out, "----------------------------------------");
         out
     }
@@ -337,6 +396,21 @@ mod tests {
         assert!(r.contains("Data Copy Stats:"));
         assert!(r.contains("add.int32"));
         assert!(r.contains("TOTAL"));
+    }
+
+    #[test]
+    fn fusion_section_renders_only_when_streams_ran() {
+        let cfg = DeviceConfig::new(PimTarget::Fulcrum, 4);
+        let mut s = SimStats::new();
+        assert!(!s.report(&cfg).contains("Command Stream Stats:"));
+        s.fusion.flushes = 1;
+        s.fusion.recorded_commands = 4;
+        s.fusion.executed_commands = 3;
+        s.fusion.fused_scaled_add = 1;
+        let r = s.report(&cfg);
+        assert!(r.contains("Command Stream Stats:"));
+        assert!(r.contains("1 scaled_add"));
+        assert_eq!(s.fusion.commands_eliminated(), 1);
     }
 
     #[test]

@@ -209,6 +209,23 @@ fn render(pid: u32, event: &TraceEvent) -> String {
             us(*start_ms),
             us(*time_ms)
         ),
+        TraceEvent::StreamFlush {
+            at_ms,
+            recorded,
+            executed,
+            fused_scaled_add,
+            fused_cmp_select,
+            dead_writes_eliminated,
+            batched_sweeps,
+        } => format!(
+            "{{\"name\":\"stream flush\",\"cat\":\"stream\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{},\"pid\":{pid},\"tid\":{TID_CMDS},\
+             \"args\":{{\"recorded\":{recorded},\"executed\":{executed},\
+             \"fused_scaled_add\":{fused_scaled_add},\"fused_cmp_select\":{fused_cmp_select},\
+             \"dead_writes_eliminated\":{dead_writes_eliminated},\
+             \"batched_sweeps\":{batched_sweeps}}}}}",
+            us(*at_ms)
+        ),
     }
 }
 

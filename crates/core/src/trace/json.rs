@@ -113,6 +113,21 @@ pub fn stats_to_json(stats: &SimStats, config: &DeviceConfig) -> String {
     out.push_str("},\n");
     let _ = writeln!(out, "  \"host_time_ms\": {},", num(stats.host_time_ms));
     let _ = writeln!(out, "  \"max_cores_used\": {},", stats.max_cores_used);
+    let f = &stats.fusion;
+    let _ = writeln!(
+        out,
+        "  \"fusion\": {{\"flushes\": {}, \"recorded_commands\": {}, \
+         \"executed_commands\": {}, \"fused_scaled_add\": {}, \"fused_cmp_select\": {}, \
+         \"dead_writes_eliminated\": {}, \"batched_sweeps\": {}, \"batched_commands\": {}}},",
+        f.flushes,
+        f.recorded_commands,
+        f.executed_commands,
+        f.fused_scaled_add,
+        f.fused_cmp_select,
+        f.dead_writes_eliminated,
+        f.batched_sweeps,
+        f.batched_commands
+    );
     let _ = writeln!(
         out,
         "  \"totals\": {{\"total_ops\": {}, \"kernel_time_ms\": {}, \"kernel_energy_mj\": {}, \

@@ -197,6 +197,25 @@ pub enum TraceEvent {
         /// Modeled host time (ms).
         time_ms: f64,
     },
+    /// A [`crate::cmd::CommandStream`] flush: instantaneous marker with
+    /// the peephole-pass counters for this flush (the executed commands
+    /// emit their own [`TraceEvent::Cmd`] spans).
+    StreamFlush {
+        /// Simulated timestamp.
+        at_ms: f64,
+        /// Commands recorded since the previous flush.
+        recorded: u64,
+        /// Commands executed after the passes ran.
+        executed: u64,
+        /// mul_scalar + add pairs fused to `scaled_add`.
+        fused_scaled_add: u64,
+        /// cmp + select pairs fused.
+        fused_cmp_select: u64,
+        /// Dead writes eliminated.
+        dead_writes_eliminated: u64,
+        /// Batched functional sweeps executed.
+        batched_sweeps: u64,
+    },
 }
 
 impl TraceEvent {
@@ -215,7 +234,8 @@ impl TraceEvent {
         match self {
             TraceEvent::DeviceCreated { at_ms, .. }
             | TraceEvent::Alloc { at_ms, .. }
-            | TraceEvent::Free { at_ms, .. } => *at_ms,
+            | TraceEvent::Free { at_ms, .. }
+            | TraceEvent::StreamFlush { at_ms, .. } => *at_ms,
             TraceEvent::Cmd { start_ms, .. }
             | TraceEvent::Copy { start_ms, .. }
             | TraceEvent::HostPhase { start_ms, .. } => *start_ms,

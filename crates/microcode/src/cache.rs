@@ -46,6 +46,8 @@ pub enum ProgKey {
     Cmp(CmpOp, u32, bool),
     CmpScalar(CmpOp, u32, bool, u64),
     MinMax(bool, u32, bool),
+    ScaledAdd(u32, u64),
+    CmpSelect(CmpOp, u32, bool),
     Select(u32),
     Not(u32),
     Abs(u32),
@@ -75,6 +77,8 @@ impl ProgKey {
             ProgKey::Cmp(op, bits, signed) => gen::cmp(op, bits, signed),
             ProgKey::CmpScalar(op, bits, signed, k) => gen::cmp_scalar(op, bits, signed, k),
             ProgKey::MinMax(is_max, bits, signed) => gen::min_max(is_max, bits, signed),
+            ProgKey::ScaledAdd(bits, k) => gen::scaled_add(bits, k),
+            ProgKey::CmpSelect(op, bits, signed) => gen::cmp_select(op, bits, signed),
             ProgKey::Select(bits) => gen::select(bits),
             ProgKey::Not(bits) => gen::not(bits),
             ProgKey::Abs(bits) => gen::abs(bits),

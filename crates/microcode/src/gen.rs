@@ -8,7 +8,9 @@
 //! | [`binary`] / [`binary_scalar`] | A | B (unused for scalar) | Dst | — |
 //! | [`cmp`] / [`cmp_scalar`] | A | B (unused for scalar) | Dst (1 row) | — |
 //! | [`min_max`] | A | B | Dst | — |
+//! | [`scaled_add`] | A | B | Dst | — |
 //! | [`select`] | Cond (1 row) | A | B | Dst |
+//! | [`cmp_select`] | A | B | X | Y (slot 4 = Dst) |
 //! | unary ([`not`], [`abs`], [`popcount`], shifts, [`copy`]) | A | Dst | — | — |
 //! | [`broadcast`] | Dst | — | — | — |
 //! | [`red_sum`] | A | — | — | — |
@@ -370,6 +372,65 @@ pub fn min_max(is_max: bool, bits: u32, signed: bool) -> MicroProgram {
     asm.finish(format!("{name}.{s}{bits}"), 3)
 }
 
+/// Fused multiply-by-constant + add: `dst = a·k + b` in one broadcast.
+///
+/// Slots: 0 = A, 1 = B, 2 = Dst. Seeds the accumulator rows from `B`
+/// instead of zeroing them, then runs the scalar-multiply partial-product
+/// accumulation directly on top — the eager pair's temporary write sweep
+/// and read-back sweep never happen. `dst` may alias `B` (the AXPY
+/// `y = a·x + y` pattern) but must not alias `A`.
+pub fn scaled_add(bits: u32, k: u64) -> MicroProgram {
+    assert!(
+        (1..=64).contains(&bits),
+        "element width must be 1..=64 bits"
+    );
+    let mut asm = Asm::new();
+    // Seed the accumulator (the destination) with the addend.
+    for i in 0..bits {
+        asm.read(RowRef::op(B, i));
+        asm.write(RowRef::op(DST, i));
+    }
+    // Accumulate a·k on top, skipping zero constant bits entirely.
+    for j in 0..bits {
+        if (k >> j.min(63)) & 1 == 0 {
+            continue;
+        }
+        asm.set(Loc::R0, false); // carry for this partial product
+        for i in 0..(bits - j) {
+            asm.read(RowRef::op(A, i));
+            asm.mv(Loc::Sa, Loc::R1);
+            asm.read(RowRef::op(DST, i + j));
+            asm.full_adder();
+            asm.write(RowRef::op(DST, i + j));
+        }
+    }
+    asm.finish(format!("scaled_add.i{bits}"), 3)
+}
+
+/// Fused compare + select: `dst = (a OP b) ? x : y` in one broadcast.
+///
+/// Slots: 0 = A, 1 = B, 2 = X, 3 = Y, 4 = Dst. The comparison body runs
+/// first and leaves its verdict in `R0` — its write-back row, the eager
+/// mask object, and the select's condition read all disappear. Every
+/// destination write happens after the comparison reads, so the program
+/// is safe to run with `dst` aliasing any input.
+pub fn cmp_select(op: CmpOp, bits: u32, signed: bool) -> MicroProgram {
+    let cmp = cmp_impl(op, bits, signed, Rhs::Operand, String::new());
+    let mut asm = Asm::new();
+    // Reuse the comparison body but stop before it writes its result row.
+    let body_len = cmp.ops().len() - 2; // trailing Move + Write
+    asm.ops.extend_from_slice(&cmp.ops()[..body_len]);
+    for i in 0..bits {
+        asm.read(RowRef::op(2, i));
+        asm.mv(Loc::Sa, Loc::R1);
+        asm.read(RowRef::op(3, i));
+        asm.sel(Loc::R0, Loc::R1, Loc::Sa, Loc::Sa);
+        asm.write(RowRef::op(4, i));
+    }
+    let s = if signed { "s" } else { "u" };
+    asm.finish(format!("{}_select.{s}{bits}", op.mnemonic()), 5)
+}
+
 /// Conditional select `dst = cond ? a : b`.
 ///
 /// Slots: 0 = condition (1-bit rows), 1 = A, 2 = B, 3 = Dst.
@@ -673,6 +734,34 @@ mod tests {
         assert_eq!(binary(BinaryOp::Add, 32).name(), "add.i32");
         assert_eq!(cmp(CmpOp::Lt, 16, false).name(), "lt.u16");
         assert_eq!(min_max(true, 8, true).name(), "max.s8");
+        assert_eq!(scaled_add(32, 7).name(), "scaled_add.i32");
+        assert_eq!(cmp_select(CmpOp::Gt, 16, true).name(), "gt_select.s16");
+    }
+
+    #[test]
+    fn scaled_add_undercuts_the_eager_pair() {
+        for k in [0u64, 1, 7, 0xFFFF_FFFF] {
+            let fused = scaled_add(32, k).cost();
+            let pair =
+                binary_scalar(BinaryOp::Mul, 32, k).cost() + binary(BinaryOp::Add, 32).cost();
+            assert!(
+                fused.row_accesses() < pair.row_accesses(),
+                "k={k}: fused {} vs pair {}",
+                fused.row_accesses(),
+                pair.row_accesses()
+            );
+            assert!(fused.logic_ops < pair.logic_ops, "k={k}");
+        }
+    }
+
+    #[test]
+    fn cmp_select_undercuts_the_eager_pair() {
+        for op in [CmpOp::Lt, CmpOp::Gt, CmpOp::Eq] {
+            let fused = cmp_select(op, 32, true).cost();
+            let pair = cmp(op, 32, true).cost() + select(32).cost();
+            assert!(fused.row_reads < pair.row_reads, "{op:?}");
+            assert!(fused.row_writes < pair.row_writes, "{op:?}");
+        }
     }
 
     #[test]

@@ -385,6 +385,64 @@ fn select_matches() {
 }
 
 #[test]
+fn scaled_add_matches_eager_pair() {
+    for_cases(0x5EED_0010, |rng, bits, a, b| {
+        let k = rng.next_i64();
+        // dst aliases B: the AXPY in-place pattern y = a·k + y.
+        let n = a.len();
+        let prog = gen::scaled_add(bits, k as u64);
+        let mut mat = BitMatrix::new(2 * bits as usize, n);
+        encode_vertical(&mut mat, 0, bits, a);
+        encode_vertical(&mut mat, bits as usize, bits, b);
+        let mut vm = Vm::new(&mut mat, 3);
+        vm.bind(0, Region::new(0, bits));
+        vm.bind(1, Region::new(bits as usize, bits));
+        vm.bind(2, Region::new(bits as usize, bits)); // dst == B
+        vm.run(&prog).unwrap();
+        let got = decode_vertical(vm.matrix(), bits as usize, bits, n, true);
+        for i in 0..n {
+            // The eager pair: t = a·k (truncated), then t + b.
+            let t = truncate(a[i].wrapping_mul(k), bits, true);
+            let expected = truncate(t.wrapping_add(b[i]), bits, true);
+            assert_eq!(got[i], expected, "k={k} bits={bits} a={} b={}", a[i], b[i]);
+        }
+    });
+}
+
+#[test]
+fn cmp_select_matches_eager_pair() {
+    for_cases(0x5EED_0011, |rng, bits, a, b| {
+        let signed = rng.next_bool();
+        let n = a.len();
+        let (x, y) = (rng.vec(n), rng.vec(n));
+        for op in [CmpOp::Lt, CmpOp::Gt, CmpOp::Eq] {
+            let prog = gen::cmp_select(op, bits, signed);
+            let mut mat = BitMatrix::new(5 * bits as usize, n);
+            encode_vertical(&mut mat, 0, bits, a);
+            encode_vertical(&mut mat, bits as usize, bits, b);
+            encode_vertical(&mut mat, 2 * bits as usize, bits, &x);
+            encode_vertical(&mut mat, 3 * bits as usize, bits, &y);
+            let mut vm = Vm::new(&mut mat, 5);
+            for slot in 0..5 {
+                vm.bind(slot, Region::new(slot * bits as usize, bits));
+            }
+            vm.run(&prog).unwrap();
+            let got = decode_vertical(vm.matrix(), 4 * bits as usize, bits, n, true);
+            for i in 0..n {
+                let ord = ref_cmp(a[i], b[i], bits, signed);
+                let taken = match op {
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Eq => ord.is_eq(),
+                };
+                let expected = truncate(if taken { x[i] } else { y[i] }, bits, true);
+                assert_eq!(got[i], expected, "op={op:?} signed={signed} bits={bits}");
+            }
+        }
+    });
+}
+
+#[test]
 fn in_place_ops_are_safe() {
     for_cases(0x5EED_000F, |rng, bits, a, b| {
         // dst aliases input A for add and shifts (documented as safe).

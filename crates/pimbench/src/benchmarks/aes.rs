@@ -466,6 +466,7 @@ mod tests {
                 &Params {
                     scale: 1.0 / 16.0,
                     seed: 12,
+                    ..Params::default()
                 },
             )
             .unwrap();
@@ -484,6 +485,7 @@ mod tests {
                 &Params {
                     scale: 1.0 / 16.0,
                     seed: 13,
+                    ..Params::default()
                 },
             )
             .unwrap();

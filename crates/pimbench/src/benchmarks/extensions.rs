@@ -300,6 +300,7 @@ mod tests {
                     &Params {
                         scale: 1.0 / 64.0,
                         seed: 3,
+                        ..Params::default()
                     },
                 )
                 .unwrap();
@@ -318,6 +319,7 @@ mod tests {
                     &Params {
                         scale: 1.0 / 8.0,
                         seed: 5,
+                        ..Params::default()
                     },
                 )
                 .unwrap();
@@ -337,6 +339,7 @@ mod tests {
                     &Params {
                         scale: 0.5,
                         seed: 7,
+                        ..Params::default()
                     },
                 )
                 .unwrap();

@@ -105,6 +105,7 @@ mod tests {
                     &Params {
                         scale: 0.05,
                         seed: 9,
+                        ..Params::default()
                     },
                 )
                 .unwrap();

@@ -270,6 +270,7 @@ mod tests {
         Params {
             scale: 1.0 / 32.0,
             seed: 11,
+            ..Params::default()
         }
     }
 

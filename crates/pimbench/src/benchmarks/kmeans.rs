@@ -84,15 +84,30 @@ impl Benchmark for KMeans {
             dev.broadcast(best_d, i32::MAX as i64)?;
             dev.broadcast(best_i, 0)?;
             for j in 0..Self::K {
-                dev.sub_scalar(ox, cx[j] as i64, dist)?;
-                dev.abs(dist, dist)?;
-                dev.sub_scalar(oy, cy[j] as i64, tmp)?;
-                dev.abs(tmp, tmp)?;
-                dev.add(dist, tmp, dist)?;
-                dev.lt(dist, best_d, mask)?;
-                dev.select(mask, dist, best_d, best_d)?;
-                dev.broadcast(jvec, j as i64)?;
-                dev.select(mask, jvec, best_i, best_i)?;
+                if params.stream {
+                    // Same command sequence, recorded and flushed as one
+                    // batch. `mask` is read by both selects, so the
+                    // lt+select pair must NOT fuse — the stream's
+                    // lifetime analysis keeps the mask materialized.
+                    let mut stream = dev.stream();
+                    stream.sub_scalar(ox, cx[j] as i64, dist).abs(dist, dist);
+                    stream.sub_scalar(oy, cy[j] as i64, tmp).abs(tmp, tmp);
+                    stream.add(dist, tmp, dist).lt(dist, best_d, mask);
+                    stream.select(mask, dist, best_d, best_d);
+                    stream.broadcast(jvec, j as i64);
+                    stream.select(mask, jvec, best_i, best_i);
+                    stream.flush()?;
+                } else {
+                    dev.sub_scalar(ox, cx[j] as i64, dist)?;
+                    dev.abs(dist, dist)?;
+                    dev.sub_scalar(oy, cy[j] as i64, tmp)?;
+                    dev.abs(tmp, tmp)?;
+                    dev.add(dist, tmp, dist)?;
+                    dev.lt(dist, best_d, mask)?;
+                    dev.select(mask, dist, best_d, best_d)?;
+                    dev.broadcast(jvec, j as i64)?;
+                    dev.select(mask, jvec, best_i, best_i)?;
+                }
             }
             // Update phase: masked sums per centroid.
             let mut new_cx = vec![0i32; Self::K];
@@ -170,6 +185,7 @@ mod tests {
                     &Params {
                         scale: 1.0 / 64.0,
                         seed: 6,
+                        ..Params::default()
                     },
                 )
                 .unwrap();
@@ -178,6 +194,30 @@ mod tests {
             assert!(!out.stats.categories.contains_key(&pimeval::OpCategory::Mul));
             assert!(out.stats.categories[&pimeval::OpCategory::Reduction] > 0);
         }
+    }
+
+    #[test]
+    fn kmeans_stream_mode_batches_without_bad_fusion() {
+        let mut dev = Device::bit_serial(1).unwrap();
+        let out = KMeans
+            .run(
+                &mut dev,
+                &Params {
+                    scale: 1.0 / 64.0,
+                    seed: 6,
+                    stream: true,
+                },
+            )
+            .unwrap();
+        assert!(out.verified);
+        let f = &out.stats.fusion;
+        assert_eq!(f.flushes, (KMeans::ITERS * KMeans::K) as u64);
+        // The mask feeds two selects, so lt+select must never fuse.
+        assert_eq!(f.fused_cmp_select, 0);
+        assert_eq!(f.fused_scaled_add, 0);
+        // All nine same-shape commands per flush batch into one sweep.
+        assert_eq!(f.batched_sweeps, f.flushes);
+        assert_eq!(f.batched_commands, 9 * f.flushes);
     }
 
     #[test]

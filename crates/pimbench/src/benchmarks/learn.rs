@@ -215,6 +215,7 @@ mod tests {
                     &Params {
                         scale: 1.0 / 16.0,
                         seed: 2,
+                        ..Params::default()
                     },
                 )
                 .unwrap();
@@ -234,6 +235,7 @@ mod tests {
                     &Params {
                         scale: 1.0 / 32.0,
                         seed: 4,
+                        ..Params::default()
                     },
                 )
                 .unwrap();

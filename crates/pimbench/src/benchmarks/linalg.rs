@@ -100,7 +100,18 @@ impl Benchmark for Axpy {
 
         let ox = dev.alloc_vec(&x)?;
         let oy = dev.alloc_vec(&y)?;
-        dev.scaled_add(ox, oy, oy, Self::A)?;
+        if params.stream {
+            // Record the eager pair; the flush's peephole pass fuses it
+            // into one `scaled_add` command (the temporary dies unread).
+            let t = dev.alloc_associated(ox, DataType::Int32)?;
+            let mut stream = dev.stream();
+            stream.mul_scalar(ox, Self::A, t).add(t, oy, oy);
+            stream.flush()?;
+            drop(stream);
+            dev.free(t)?;
+        } else {
+            dev.scaled_add(ox, oy, oy, Self::A)?;
+        }
         let got = dev.to_vec::<i32>(oy)?;
         dev.free(ox)?;
         dev.free(oy)?;
@@ -322,6 +333,7 @@ mod tests {
         Params {
             scale: 1.0 / 64.0,
             seed: 3,
+            ..Params::default()
         }
     }
 
@@ -346,6 +358,44 @@ mod tests {
     }
 
     #[test]
+    fn axpy_stream_mode_fuses_and_verifies() {
+        for t in PimTarget::ALL {
+            let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
+            let out = Axpy
+                .run(
+                    &mut dev,
+                    &Params {
+                        stream: true,
+                        ..small()
+                    },
+                )
+                .unwrap();
+            assert!(out.verified, "{t}");
+            // The recorded mul_scalar + add pair fused into one command.
+            assert_eq!(out.stats.fusion.fused_scaled_add, 1, "{t}");
+            assert!(out.stats.cmds.contains_key("scaled_add.int32"), "{t}");
+            assert!(!out.stats.cmds.contains_key("add.int32"), "{t}");
+        }
+    }
+
+    #[test]
+    fn axpy_stream_cost_does_not_exceed_eager() {
+        let mut eager_dev = Device::fulcrum(1).unwrap();
+        let eager = Axpy.run(&mut eager_dev, &small()).unwrap();
+        let mut stream_dev = Device::fulcrum(1).unwrap();
+        let streamed = Axpy
+            .run(
+                &mut stream_dev,
+                &Params {
+                    stream: true,
+                    ..small()
+                },
+            )
+            .unwrap();
+        assert!(streamed.stats.kernel_time_ms() <= eager.stats.kernel_time_ms() * (1.0 + 1e-12));
+    }
+
+    #[test]
     fn gemv_verifies_on_all_targets() {
         for t in PimTarget::ALL {
             let mut dev = Device::new(pimeval::DeviceConfig::new(t, 1)).unwrap();
@@ -363,6 +413,7 @@ mod tests {
                 &Params {
                     scale: 1.0 / 16.0,
                     seed: 5,
+                    ..Params::default()
                 },
             )
             .unwrap();

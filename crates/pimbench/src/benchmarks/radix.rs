@@ -120,6 +120,7 @@ mod tests {
                     &Params {
                         scale: 1.0 / 64.0,
                         seed: 8,
+                        ..Params::default()
                     },
                 )
                 .unwrap();

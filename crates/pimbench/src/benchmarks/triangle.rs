@@ -145,6 +145,7 @@ mod tests {
                     &Params {
                         scale: 0.5,
                         seed: 10,
+                        ..Params::default()
                     },
                 )
                 .unwrap();

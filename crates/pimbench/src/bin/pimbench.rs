@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! pimbench [--bench <name>|all|extensions] [--target <t>|all]
-//!          [--ranks N] [--scale F] [--seed S] [--threads N] [--report]
-//!          [--trace <file>] [--stats-json <file>]
+//!          [--ranks N] [--scale F] [--seed S] [--threads N] [--stream]
+//!          [--report] [--trace <file>] [--stats-json <file>]
 //! ```
 //!
 //! Targets: `bitserial`, `fulcrum`, `bank`, `analog`, `upmem`, `all`
@@ -99,6 +99,7 @@ fn parse() -> Result<Cli, String> {
                 pimeval::exec::set_thread_count(Some(n));
                 i += 1;
             }
+            "--stream" => cli.params.stream = true,
             "--report" => cli.report = true,
             "--trace" => {
                 cli.trace = Some(PathBuf::from(need(i)?));
@@ -113,7 +114,8 @@ fn parse() -> Result<Cli, String> {
                     "pimbench --bench <name>|all|extensions --target \
                      bitserial|fulcrum|bank|analog|upmem|all|extended \
                      [--ranks N] [--scale F] [--seed S] [--threads N] \
-                     [--report] [--trace <file>] [--stats-json <file>]"
+                     [--stream] [--report] [--trace <file>] \
+                     [--stats-json <file>]"
                 );
                 std::process::exit(0);
             }

@@ -82,13 +82,18 @@ pub struct BenchSpec {
 
 /// Run parameters. `scale` multiplies the scaled-down default problem
 /// size (1.0 ≈ completes in well under a second per target); `seed`
-/// drives all synthetic data generation.
+/// drives all synthetic data generation; `stream` routes
+/// stream-capable kernels through the deferred
+/// [`pimeval::CommandStream`] (peephole fusion + batching) instead of
+/// eager per-op issue.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Params {
     /// Problem size multiplier.
     pub scale: f64,
     /// RNG seed for workload generation.
     pub seed: u64,
+    /// Record kernels through a command stream where supported.
+    pub stream: bool,
 }
 
 impl Default for Params {
@@ -96,6 +101,7 @@ impl Default for Params {
         Params {
             scale: 1.0,
             seed: 42,
+            stream: false,
         }
     }
 }
@@ -286,6 +292,7 @@ mod tests {
         let p = Params {
             scale: 1e-9,
             seed: 0,
+            ..Params::default()
         };
         assert_eq!(p.scaled(1_000_000), 16);
         let d = Params::default();

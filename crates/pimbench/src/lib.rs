@@ -29,7 +29,7 @@
 //! let suite = all_benchmarks();
 //! assert_eq!(suite.len(), 18);
 //! let axpy = &suite[1];
-//! let out = axpy.run(&mut dev, &Params { scale: 0.01, seed: 1 }).unwrap();
+//! let out = axpy.run(&mut dev, &Params { scale: 0.01, seed: 1, ..Params::default() }).unwrap();
 //! assert!(out.verified);
 //! ```
 

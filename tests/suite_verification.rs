@@ -8,6 +8,7 @@ fn tiny() -> Params {
     Params {
         scale: 1.0 / 64.0,
         seed: 20240,
+        ..Params::default()
     }
 }
 
@@ -91,6 +92,7 @@ fn different_seeds_change_data_not_structure() {
             &Params {
                 scale: 0.01,
                 seed: 1,
+                ..Params::default()
             },
         )
         .unwrap();
@@ -100,6 +102,7 @@ fn different_seeds_change_data_not_structure() {
             &Params {
                 scale: 0.01,
                 seed: 2,
+                ..Params::default()
             },
         )
         .unwrap();
