@@ -6,13 +6,17 @@
 //! through a [`pimeval::CommandStream`], reporting host wall-clock and
 //! modeled device cost side by side.
 //!
-//! Writes the measurements, per-op speedups, and stream-vs-eager
-//! comparisons to `BENCH_parallel.json` (override with `--out <path>`).
+//! Writes the measurements, per-op speedups, stream-vs-eager
+//! comparisons, and a `--ranks` sharding sweep (default `1,2,4`; each
+//! point runs the op mix on a device sharded per DRAM rank) to
+//! `BENCH_parallel.json` (override with `--out <path>`).
 //! On a single-core host the speedup column honestly reports ~1×; the
 //! ≥3× engine headroom shows on multi-core runners (see the CI bench
 //! job).
 
-use pim_bench_harness::export::{parallel_runs_to_json, ParallelRun, StreamVsEager};
+use pim_bench_harness::export::{
+    parallel_runs_to_json, ParallelRun, RankScalingRun, StreamVsEager,
+};
 use pim_bench_harness::microbench::{bench, bench_throughput, group};
 use pim_bench_harness::run_one;
 use pimbench::Params;
@@ -162,6 +166,50 @@ fn stream_vs_eager_runs(threads: usize, out: &mut Vec<StreamVsEager>) {
     });
 }
 
+/// Sweeps the same op mix over rank-sharded devices: `ranks` DRAM
+/// ranks, one execution shard per rank. Each op is timed on the host
+/// and then run once instrumented so the export records the modeled
+/// kernel time alongside the (separately ledgered) cross-rank
+/// interconnect traffic.
+fn rank_scaling_runs(ranks_list: &[usize], out: &mut Vec<RankScalingRun>) {
+    let host: Vec<i32> = (0..N as i32)
+        .map(|i| i.wrapping_mul(2654435761u32 as i32))
+        .collect();
+    for &ranks in ranks_list {
+        let cfg = DeviceConfig::new(PimTarget::Fulcrum, ranks.max(1)).sharded_per_rank();
+        let mut dev = Device::new(cfg).unwrap();
+        let a = dev.alloc(N, DataType::Int32).unwrap();
+        let b = dev.alloc_associated(a, DataType::Int32).unwrap();
+        let dst = dev.alloc_associated(a, DataType::Int32).unwrap();
+        dev.copy_to_device(&host, a).unwrap();
+        dev.copy_to_device(&host, b).unwrap();
+
+        group(&format!("rank scaling, {N} × int32, {ranks} rank-shard(s)"));
+        let mut record = |name: &str, dev: &mut Device, op: &mut dyn FnMut(&mut Device)| {
+            let m = bench_throughput(name, N, || op(&mut *dev));
+            dev.reset_stats();
+            op(dev);
+            out.push(RankScalingRun {
+                name: name.into(),
+                ranks,
+                elems: N,
+                mean_ns: m.mean.as_nanos(),
+                min_ns: m.min.as_nanos(),
+                kernel_ms: dev.stats().kernel_time_ms(),
+                interconnect_ms: dev.stats().interconnect.time_ms,
+                interconnect_bytes: dev.stats().interconnect.total_bytes(),
+            });
+        };
+        record("add", &mut dev, &mut |d| d.add(a, b, dst).unwrap());
+        record("red_sum", &mut dev, &mut |d| {
+            d.red_sum(a).unwrap();
+        });
+        record("copy_to_device", &mut dev, &mut |d| {
+            d.copy_to_device(&host, dst).unwrap()
+        });
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
@@ -170,6 +218,17 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_parallel.json".into());
+    let ranks_list: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--ranks")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&r| r >= 1)
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
 
     let default_threads = exec::thread_count();
     println!(
@@ -187,7 +246,10 @@ fn main() {
     let mut stream_runs = Vec::new();
     stream_vs_eager_runs(default_threads, &mut stream_runs);
 
-    let json = parallel_runs_to_json(default_threads, &runs, &stream_runs);
+    let mut rank_runs = Vec::new();
+    rank_scaling_runs(&ranks_list, &mut rank_runs);
+
+    let json = parallel_runs_to_json(default_threads, &runs, &stream_runs, &rank_runs);
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {} measurement(s) to {out_path}", runs.len()),
         Err(e) => {
@@ -225,6 +287,23 @@ fn main() {
             s.eager_modeled_ms,
             s.stream_modeled_ms,
             s.modeled_cost_ratio()
+        );
+    }
+
+    group("rank scaling (sharded per rank)");
+    println!(
+        "{:<18} {:>6} {:>12} {:>14} {:>18} {:>18}",
+        "op", "ranks", "Melem/s", "kernel ms", "interconnect ms", "interconnect B"
+    );
+    for r in &rank_runs {
+        println!(
+            "{:<18} {:>6} {:>12.1} {:>14.6} {:>18.6} {:>18}",
+            r.name,
+            r.ranks,
+            r.melem_per_s(),
+            r.kernel_ms,
+            r.interconnect_ms,
+            r.interconnect_bytes
         );
     }
 }

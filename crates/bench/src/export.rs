@@ -178,14 +178,67 @@ impl StreamVsEager {
     }
 }
 
+/// One point of the `--ranks` sweep from `bench_parallel`: an op class
+/// run on a device sharded per rank, capturing both host wall time and
+/// the modeled device-side split between compute and cross-rank
+/// interconnect traffic.
+#[derive(Debug, Clone)]
+pub struct RankScalingRun {
+    /// Operation label (`add`, `red_sum`, `copy_to_device`, …).
+    pub name: String,
+    /// DRAM ranks = execution shards the device was built with.
+    pub ranks: usize,
+    /// Elements processed per iteration.
+    pub elems: u64,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: u128,
+    /// Best observed wall time per iteration, nanoseconds.
+    pub min_ns: u128,
+    /// Modeled aggregate kernel time for one pass, milliseconds.
+    pub kernel_ms: f64,
+    /// Modeled cross-rank interconnect time for one pass, milliseconds
+    /// (reported separately from kernel time, never folded into it).
+    pub interconnect_ms: f64,
+    /// Bytes moved across the rank interconnect in one pass.
+    pub interconnect_bytes: u64,
+}
+
+impl RankScalingRun {
+    /// Element throughput in Melem/s from the best iteration.
+    pub fn melem_per_s(&self) -> f64 {
+        if self.elems == 0 || self.min_ns == 0 {
+            return 0.0;
+        }
+        self.elems as f64 / (self.min_ns as f64 / 1e9) / 1e6
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"ranks\":{},\"elems\":{},\
+             \"mean_ns\":{},\"min_ns\":{},\"melem_per_s\":{},\
+             \"kernel_ms\":{},\"interconnect_ms\":{},\"interconnect_bytes\":{}}}",
+            string(&self.name),
+            self.ranks,
+            self.elems,
+            self.mean_ns,
+            self.min_ns,
+            num(self.melem_per_s()),
+            num(self.kernel_ms),
+            num(self.interconnect_ms),
+            self.interconnect_bytes,
+        )
+    }
+}
+
 /// Renders the `bench_parallel` report: host parallelism, every
 /// measurement, per-op speedups of the multi-threaded run over the
-/// single-threaded one (best-time ratio, paired by op name), and the
-/// stream-vs-eager comparisons.
+/// single-threaded one (best-time ratio, paired by op name), the
+/// stream-vs-eager comparisons, and the `--ranks` sharding sweep.
 pub fn parallel_runs_to_json(
     default_threads: usize,
     runs: &[ParallelRun],
     stream: &[StreamVsEager],
+    rank_scaling: &[RankScalingRun],
 ) -> String {
     let measured: Vec<String> = runs.iter().map(ParallelRun::to_json).collect();
     let mut speedups = Vec::new();
@@ -206,13 +259,15 @@ pub fn parallel_runs_to_json(
         }
     }
     let compared: Vec<String> = stream.iter().map(StreamVsEager::to_json).collect();
+    let scaled: Vec<String> = rank_scaling.iter().map(RankScalingRun::to_json).collect();
     format!(
         "{{\"threads_default\":{},\"runs\":[\n{}\n],\"speedups\":[{}],\
-         \"stream_vs_eager\":[\n{}\n]}}\n",
+         \"stream_vs_eager\":[\n{}\n],\"rank_scaling\":[\n{}\n]}}\n",
         default_threads,
         measured.join(",\n"),
         speedups.join(","),
         compared.join(",\n"),
+        scaled.join(",\n"),
     )
 }
 
@@ -270,7 +325,7 @@ mod tests {
                 min_ns: 1000,
             },
         ];
-        let json = parallel_runs_to_json(8, &runs, &[]);
+        let json = parallel_runs_to_json(8, &runs, &[], &[]);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         assert_eq!(
             doc.get("threads_default").unwrap().as_f64().unwrap() as usize,
@@ -290,6 +345,31 @@ mod tests {
     }
 
     #[test]
+    fn rank_scaling_export_keeps_interconnect_separate_from_kernel() {
+        let point = RankScalingRun {
+            name: "add".into(),
+            ranks: 4,
+            elems: 1000,
+            mean_ns: 2000,
+            min_ns: 1000,
+            kernel_ms: 2.5,
+            interconnect_ms: 0.25,
+            interconnect_bytes: 4096,
+        };
+        assert!((point.melem_per_s() - 1000.0).abs() < 1e-9);
+        let json = parallel_runs_to_json(1, &[], &[], std::slice::from_ref(&point));
+        let doc = pimeval::trace::json::Json::parse(&json).unwrap();
+        let entries = doc.get("rank_scaling").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("name").unwrap().as_str(), Some("add"));
+        assert_eq!(e.get("ranks").unwrap().as_f64(), Some(4.0));
+        assert!((e.get("kernel_ms").unwrap().as_f64().unwrap() - 2.5).abs() < 1e-9);
+        assert!((e.get("interconnect_ms").unwrap().as_f64().unwrap() - 0.25).abs() < 1e-9);
+        assert_eq!(e.get("interconnect_bytes").unwrap().as_f64(), Some(4096.0));
+    }
+
+    #[test]
     fn stream_vs_eager_export_carries_both_cost_axes() {
         let cmp = StreamVsEager {
             name: "axpy-pair".into(),
@@ -304,7 +384,7 @@ mod tests {
         };
         assert!((cmp.wall_speedup() - 2.0).abs() < 1e-9);
         assert!((cmp.modeled_cost_ratio() - 0.75).abs() < 1e-9);
-        let json = parallel_runs_to_json(1, &[], std::slice::from_ref(&cmp));
+        let json = parallel_runs_to_json(1, &[], std::slice::from_ref(&cmp), &[]);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         let entries = doc.get("stream_vs_eager").unwrap().as_array().unwrap();
         assert_eq!(entries.len(), 1);

@@ -69,6 +69,39 @@ pub fn pim_create_device(target: PimTarget, ranks: usize) -> Result<()> {
     Ok(())
 }
 
+/// Creates the ambient device with one execution shard per DRAM rank
+/// (`pimCreateDeviceRanked`): every object is split across `ranks`
+/// shards, each with its own resource manager and statistics ledger,
+/// and cross-rank traffic is charged to the interconnect ledger.
+///
+/// ```
+/// use pimeval::capi::*;
+/// use pimeval::{DataType, PimTarget};
+///
+/// # fn main() -> Result<(), pimeval::PimError> {
+/// pim_create_device_ranked(PimTarget::Fulcrum, 4)?;
+/// let x = pim_alloc(8, DataType::Int32)?;
+/// let y = pim_alloc_associated(x, DataType::Int32)?;
+/// pim_copy_host_to_device(&[1i32, 2, 3, 4, 5, 6, 7, 8], x)?;
+/// pim_broadcast(y, 10)?;
+/// pim_add(x, y, y)?;
+/// let mut out = [0i32; 8];
+/// pim_copy_device_to_host(y, &mut out)?;
+/// assert_eq!(out, [11, 12, 13, 14, 15, 16, 17, 18]);
+/// # pim_delete_device()?;
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`Device::new`] errors.
+pub fn pim_create_device_ranked(target: PimTarget, ranks: usize) -> Result<()> {
+    let dev = Device::new(DeviceConfig::new(target, ranks).sharded_per_rank())?;
+    *DEVICE.lock().unwrap_or_else(|p| p.into_inner()) = Some(dev);
+    Ok(())
+}
+
 /// Creates the ambient device from a full configuration
 /// (`pimCreateDeviceFromConfig`).
 ///
@@ -364,5 +397,22 @@ mod tests {
         assert!(pim_free(a).is_err(), "objects do not survive re-creation");
         pim_delete_device().unwrap();
         assert!(pim_delete_device().is_err());
+
+        // Ranked creation shards the device per rank; results are
+        // unchanged and the report gains the interconnect section.
+        pim_create_device_ranked(PimTarget::Fulcrum, 4).unwrap();
+        let a = pim_alloc(1000, DataType::Int64).unwrap();
+        let b = pim_alloc_associated(a, DataType::Int64).unwrap();
+        let data: Vec<i64> = (0..1000).collect();
+        pim_copy_host_to_device(&data, a).unwrap();
+        pim_broadcast(b, 1).unwrap();
+        pim_add(a, b, b).unwrap();
+        let mut out = vec![0i64; 1000];
+        pim_copy_device_to_host(b, &mut out).unwrap();
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as i64 + 1));
+        assert_eq!(pim_red_sum(a).unwrap(), 999 * 1000 / 2);
+        let report = pim_show_stats().unwrap();
+        assert!(report.contains("Interconnect Stats"));
+        pim_delete_device().unwrap();
     }
 }

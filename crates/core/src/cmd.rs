@@ -21,6 +21,15 @@
 //! is never written, so its buffer contents after a flush are
 //! unspecified. The fusion passes only fire when no later recorded
 //! command reads that temporary.
+//!
+//! Sharding composes transparently with the stream: the peephole passes
+//! run *before* the shard split, on whole commands over whole objects.
+//! Only when a (possibly fused or batched) command reaches
+//! [`crate::Device::issue`] does [`crate::PimSystem`] cut it along each
+//! object's [`crate::ShardMap`] and fan the pieces out — so fusion
+//! decisions never depend on the shard count, and a fused program on a
+//! sharded device is bit-identical to the eager single-shard run
+//! (enforced by the `shard_equivalence` suite).
 
 use std::collections::HashMap;
 

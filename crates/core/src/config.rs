@@ -71,6 +71,21 @@ impl std::fmt::Display for PimTarget {
     }
 }
 
+/// How a [`crate::PimSystem`] partitions an object's elements across
+/// shards (§ "Sharded execution" in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShardPolicy {
+    /// Each shard owns one contiguous element range, sized by its share
+    /// of the modeled cores. Preserves global element order, so every
+    /// reduction re-aggregates in the unsharded order (the default).
+    #[default]
+    Contiguous,
+    /// Allocation units (rows or stripes) deal out round-robin across
+    /// shards. Spreads narrow objects more evenly but fragments the
+    /// element ranges.
+    RoundRobin,
+}
+
 /// Whether operations execute functionally or only through the models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SimMode {
@@ -190,6 +205,13 @@ pub struct DeviceConfig {
     /// they too report paper-scale values. `1` (the default) disables
     /// the mechanism entirely.
     pub decimation: u64,
+    /// Number of execution shards the [`crate::PimSystem`] splits the
+    /// device into (typically one per rank). `1` (the default) keeps the
+    /// monolithic single-shard behavior; results are bit-identical at
+    /// any shard count, only the interconnect accounting changes.
+    pub shards: usize,
+    /// Element-partitioning policy across shards.
+    pub shard_policy: ShardPolicy,
 }
 
 impl DeviceConfig {
@@ -203,6 +225,8 @@ impl DeviceConfig {
             pe: PeParams::default(),
             mode: SimMode::Functional,
             decimation: 1,
+            shards: 1,
+            shard_policy: ShardPolicy::Contiguous,
         }
     }
 
@@ -224,6 +248,30 @@ impl DeviceConfig {
     #[must_use]
     pub fn with_geometry(mut self, geometry: DramGeometry) -> Self {
         self.geometry = geometry;
+        self
+    }
+
+    /// Sets the shard count (clamped to ≥ 1). The [`crate::PimSystem`]
+    /// additionally clamps it to the modeled core count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Shards the device one-per-rank — the paper's Table II multi-rank
+    /// configurations map each DDR rank to one shard with its own DDR
+    /// channel bandwidth.
+    #[must_use]
+    pub fn sharded_per_rank(self) -> Self {
+        let ranks = self.geometry.ranks;
+        self.with_shards(ranks)
+    }
+
+    /// Sets the element-partitioning policy across shards.
+    #[must_use]
+    pub fn with_shard_policy(mut self, policy: ShardPolicy) -> Self {
+        self.shard_policy = policy;
         self
     }
 

@@ -1,12 +1,16 @@
 //! The PIM device: the simulator's public API surface (§V-B).
 //!
-//! A [`Device`] owns the resource manager, the statistics engine, and the
+//! A [`Device`] owns the statistics engine and a [`PimSystem`] — the
+//! sharded execution substrate holding the resource catalog and the
 //! functional state of every allocated object. Every API call validates
 //! its operands, executes functionally (unless the device is in
 //! model-only mode), charges the target's performance/energy model, and
-//! updates the per-command statistics.
+//! updates the per-command statistics. With more than one shard
+//! configured (see [`DeviceConfig::sharded_per_rank`]) each command is
+//! split by the destination's shard map, run per shard, and
+//! re-aggregated; cross-shard traffic is charged to the interconnect
+//! ledger separately from kernel time.
 
-use pim_dram::exec;
 use pim_microcode::gen::{BinaryOp, CmpOp};
 
 use crate::cmd::{self, CmdValue, CommandStream, FlushSummary, PimCommand};
@@ -18,6 +22,7 @@ use crate::object::{ObjId, PimObject};
 use crate::ops::OpKind;
 use crate::resource::ResourceManager;
 use crate::stats::SimStats;
+use crate::system::PimSystem;
 use crate::trace::{
     CopyDirection, ProtocolCounters, TraceEvent, TraceSink, Tracer, DEFAULT_RECORDER_CAPACITY,
     PROTOCOL_REPLAY_MAX_ROWS,
@@ -44,7 +49,7 @@ use crate::{pim_debug, pim_info, pim_trace};
 #[derive(Debug)]
 pub struct Device {
     config: DeviceConfig,
-    rm: ResourceManager,
+    system: PimSystem,
     stats: SimStats,
     tracer: Tracer,
 }
@@ -54,25 +59,29 @@ impl Device {
     ///
     /// # Errors
     ///
-    /// [`PimError::InvalidArg`] if the DRAM geometry is degenerate.
+    /// [`PimError::InvalidArg`] if the DRAM geometry is degenerate or
+    /// its row capacity overflows `u64`.
     pub fn new(config: DeviceConfig) -> Result<Device> {
         config
             .geometry
             .validate()
             .map_err(|e| PimError::InvalidArg(e.to_string()))?;
-        let rm = ResourceManager::new(config.rows_per_core(), config.physical_core_count() as u64);
+        let system = PimSystem::new(&config)?;
         pim_info!(
-            "device created: target={} cores={} ranks={}",
+            "device created: target={} cores={} ranks={} shards={}",
             config.target,
             config.core_count(),
-            config.geometry.ranks
+            config.geometry.ranks,
+            system.shard_count()
         );
-        Ok(Device {
+        let mut dev = Device {
             config,
-            rm,
+            system,
             stats: SimStats::new(),
             tracer: Tracer::default(),
-        })
+        };
+        dev.sync_resources();
+        Ok(dev)
     }
 
     /// Bit-serial (DRAM-AP) device with the paper's geometry.
@@ -117,14 +126,34 @@ impl Device {
         &self.config
     }
 
+    /// The sharded execution substrate: shard set, per-object shard
+    /// maps, per-shard statistics sub-ledgers, and the interconnect
+    /// model.
+    pub fn system(&self) -> &PimSystem {
+        &self.system
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &SimStats {
         &self.stats
     }
 
-    /// Clears all statistics (objects stay allocated).
+    /// Clears all statistics, including every shard sub-ledger (objects
+    /// stay allocated; the resource snapshot is refreshed).
     pub fn reset_stats(&mut self) {
         self.stats = SimStats::new();
+        self.system.reset_shard_stats();
+        self.sync_resources();
+    }
+
+    /// The metadata catalog (authoritative global layouts).
+    fn rm(&self) -> &ResourceManager {
+        self.system.meta()
+    }
+
+    /// Refreshes the resource snapshot in [`SimStats`] from the system.
+    fn sync_resources(&mut self) {
+        self.stats.resources = self.system.resource_stats();
     }
 
     /// Renders the artifact-style statistics report.
@@ -260,25 +289,32 @@ impl Device {
     ///
     /// [`PimError::OutOfMemory`] or [`PimError::InvalidArg`].
     pub fn alloc(&mut self, count: u64, dtype: DataType) -> Result<ObjId> {
-        let id = self.rm.alloc(&self.config, count, dtype, None)?;
+        let id = self.system.alloc(&self.config, count, dtype, None)?;
         self.emit_alloc(id);
+        self.sync_resources();
         Ok(id)
     }
 
     /// Allocates an object associated with `reference`
-    /// (`pimAllocAssociated`): same element count, same core placement.
+    /// (`pimAllocAssociated`): same element count, same core placement —
+    /// and, under sharding, the same shard map.
     ///
     /// # Errors
     ///
     /// [`PimError::UnknownObject`], [`PimError::OutOfMemory`].
     pub fn alloc_associated(&mut self, reference: ObjId, dtype: DataType) -> Result<ObjId> {
-        let id = self.rm.alloc_associated(&self.config, reference, dtype)?;
+        let (count, cores) = {
+            let obj = self.rm().get(reference)?;
+            (obj.count, obj.layout.cores_used)
+        };
+        let id = self.system.alloc(&self.config, count, dtype, Some(cores))?;
         self.emit_alloc(id);
+        self.sync_resources();
         Ok(id)
     }
 
     fn emit_alloc(&mut self, id: ObjId) {
-        if let Ok(obj) = self.rm.get(id) {
+        if let Ok(obj) = self.rm().get(id) {
             pim_debug!(
                 "alloc {id}: {} x {} on {} cores",
                 obj.count,
@@ -316,7 +352,8 @@ impl Device {
     ///
     /// [`PimError::UnknownObject`].
     pub fn free(&mut self, id: ObjId) -> Result<()> {
-        self.rm.free(id)?;
+        self.system.free(id)?;
+        self.sync_resources();
         pim_debug!("free {id}");
         if self.tracer.enabled() {
             let at_ms = self.tracer.clock_ms();
@@ -331,14 +368,14 @@ impl Device {
     ///
     /// [`PimError::UnknownObject`].
     pub fn object(&self, id: ObjId) -> Result<&PimObject> {
-        self.rm.get(id)
+        self.rm().get(id)
     }
 
     // ------------------------------------------------------------------
     // Data movement
     // ------------------------------------------------------------------
 
-    fn charge_copy(&mut self, bytes: u64, direction: CopyDirection) {
+    fn charge_copy(&mut self, obj: ObjId, bytes: u64, direction: CopyDirection) {
         // Under decimation the functional buffer stands for `decimation`
         // times as much paper-scale data; charge transfer time/energy for
         // the represented bytes (recorded byte counts stay functional).
@@ -351,6 +388,8 @@ impl Device {
         let energy_mj = self.config.power.transfer_energy_mj(time_ms, is_read);
         self.stats
             .record_copy(bytes, direction.code(), time_ms, energy_mj);
+        self.system
+            .distribute_copy(obj, direction.code(), bytes, time_ms, energy_mj);
         pim_debug!(
             "copy {}: {bytes} bytes in {time_ms:.6} ms",
             direction.label()
@@ -369,6 +408,44 @@ impl Device {
         }
     }
 
+    /// Charges cross-shard interconnect traffic: time for the critical
+    /// path (busiest channel), energy for the total bytes. A no-op with
+    /// one shard or zero bytes, so single-shard runs are bit-identical
+    /// to the pre-sharding device. Interconnect cost is tracked
+    /// separately from kernel/copy time and never advances the
+    /// simulated clock.
+    fn charge_interconnect(&mut self, kind: &'static str, max_bytes: u64, total_bytes: u64) {
+        if self.system.shard_count() <= 1 || total_bytes == 0 {
+            return;
+        }
+        // As with copies, decimated runs charge the represented bytes.
+        let decim = self.config.decimation.max(1);
+        let (max_b, tot_b) = (max_bytes * decim, total_bytes * decim);
+        let time_ms = self.system.interconnect().transfer_ms(max_b);
+        let energy_mj = self.system.interconnect().energy_mj(tot_b);
+        let ic = &mut self.stats.interconnect;
+        match kind {
+            "scatter" => ic.scatter_bytes += tot_b,
+            "gather" => ic.gather_bytes += tot_b,
+            "realign" => ic.realign_bytes += tot_b,
+            _ => ic.combine_bytes += tot_b,
+        }
+        ic.transfers += 1;
+        ic.time_ms += time_ms;
+        ic.energy_mj += energy_mj;
+        if self.tracer.enabled() {
+            let at_ms = self.tracer.clock_ms();
+            self.tracer.emit(TraceEvent::Interconnect {
+                kind,
+                bytes: tot_b,
+                shards: self.system.shard_count(),
+                at_ms,
+                time_ms,
+                energy_mj,
+            });
+        }
+    }
+
     /// Copies host data into an object (`pimCopyHostToDevice`).
     ///
     /// # Errors
@@ -377,7 +454,7 @@ impl Device {
     /// object's element count; [`PimError::DTypeMismatch`] if `T` does not
     /// match the object's dtype.
     pub fn copy_to_device<T: PimScalar>(&mut self, data: &[T], id: ObjId) -> Result<()> {
-        let obj = self.rm.get(id)?;
+        let obj = self.rm().get(id)?;
         if data.len() as u64 != obj.count {
             return Err(PimError::CountMismatch {
                 expected: obj.count,
@@ -392,17 +469,10 @@ impl Device {
         }
         let bytes = obj.bytes();
         let dtype = obj.dtype;
-        if matches!(self.config.mode, SimMode::Functional) {
-            // Single-pass packing: reuse the object's existing device
-            // buffer when one is present (repeated uploads into the same
-            // object — the aes/vgg setup pattern — allocate nothing) and
-            // convert host elements in parallel.
-            let mut buf = self.rm.get_mut(id)?.data.take().unwrap_or_default();
-            buf.resize(data.len(), 0);
-            exec::par_map_into(data, &mut buf, |v| dtype.truncate(v.to_device()));
-            self.rm.get_mut(id)?.data = Some(buf);
-        }
-        self.charge_copy(bytes, CopyDirection::HostToDevice);
+        self.system.scatter_to_device(data, id, dtype)?;
+        self.charge_copy(id, bytes, CopyDirection::HostToDevice);
+        let (max_b, tot_b) = self.system.shard_byte_split(id);
+        self.charge_interconnect("scatter", max_b, tot_b);
         Ok(())
     }
 
@@ -413,7 +483,7 @@ impl Device {
     /// As [`Device::copy_to_device`]; additionally
     /// [`PimError::NotSupported`] in model-only mode.
     pub fn copy_to_host<T: PimScalar>(&mut self, id: ObjId, out: &mut [T]) -> Result<()> {
-        let obj = self.rm.get(id)?;
+        let obj = self.rm().get(id)?;
         if out.len() as u64 != obj.count {
             return Err(PimError::CountMismatch {
                 expected: obj.count,
@@ -427,15 +497,10 @@ impl Device {
             });
         }
         let bytes = obj.bytes();
-        match &obj.data {
-            Some(data) => exec::par_map_into(data, out, |&v| T::from_device(v)),
-            None => {
-                return Err(PimError::NotSupported(
-                    "copy_to_host in model-only mode".into(),
-                ))
-            }
-        }
-        self.charge_copy(bytes, CopyDirection::DeviceToHost);
+        self.system.gather_to_host(id, out)?;
+        self.charge_copy(id, bytes, CopyDirection::DeviceToHost);
+        let (max_b, tot_b) = self.system.shard_byte_split(id);
+        self.charge_interconnect("gather", max_b, tot_b);
         Ok(())
     }
 
@@ -445,7 +510,7 @@ impl Device {
     ///
     /// See [`Device::copy_to_host`].
     pub fn to_vec<T: PimScalar>(&mut self, id: ObjId) -> Result<Vec<T>> {
-        let count = self.rm.get(id)?.count as usize;
+        let count = self.rm().get(id)?.count as usize;
         let mut out = vec![T::from_device(0); count];
         self.copy_to_host(id, &mut out)?;
         Ok(out)
@@ -466,7 +531,7 @@ impl Device {
     // ------------------------------------------------------------------
 
     fn check_pair(&self, a: ObjId, b: ObjId) -> Result<()> {
-        let (oa, ob) = (self.rm.get(a)?, self.rm.get(b)?);
+        let (oa, ob) = (self.rm().get(a)?, self.rm().get(b)?);
         if oa.count != ob.count {
             return Err(PimError::CountMismatch {
                 expected: oa.count,
@@ -482,13 +547,9 @@ impl Device {
         Ok(())
     }
 
-    fn data(&self, id: ObjId) -> Result<Option<&[i64]>> {
-        Ok(self.rm.get(id)?.data.as_deref())
-    }
-
     fn charge_op(&mut self, kind: OpKind, costed_on: ObjId) -> Result<()> {
         let (dtype, layout) = {
-            let obj = self.rm.get(costed_on)?;
+            let obj = self.rm().get(costed_on)?;
             (obj.dtype, obj.layout)
         };
         let cost = model::op_cost(&self.config, kind, dtype, &layout);
@@ -511,6 +572,8 @@ impl Device {
                 micro,
             });
         }
+        self.system
+            .distribute_cmd(costed_on, &name, kind.category(), cost);
         self.stats
             .record_cmd(name, kind.category(), cost, layout.cores_used);
         Ok(())
@@ -592,8 +655,8 @@ impl Device {
                 let (cond, a) = (command.inputs[0], command.inputs[1]);
                 self.check_pair(a, command.inputs[2])?;
                 self.check_pair(a, command.dst.expect("checked above"))?;
-                let c_count = self.rm.get(cond)?.count;
-                let a_count = self.rm.get(a)?.count;
+                let c_count = self.rm().get(cond)?.count;
+                let a_count = self.rm().get(a)?.count;
                 if c_count != a_count {
                     return Err(PimError::CountMismatch {
                         expected: a_count,
@@ -609,10 +672,10 @@ impl Device {
                 self.check_pair(a, x)?;
             }
             OpKind::Broadcast(_) => {
-                self.rm.get(command.dst.expect("checked above"))?;
+                self.rm().get(command.dst.expect("checked above"))?;
             }
             OpKind::RedSum | OpKind::RedMin | OpKind::RedMax => {
-                self.rm.get(command.inputs[0])?;
+                self.rm().get(command.inputs[0])?;
             }
             _ if command.inputs.len() == 2 => {
                 self.check_pair(command.inputs[0], command.inputs[1])?;
@@ -623,76 +686,49 @@ impl Device {
             }
         }
         let costed = command.dst.unwrap_or_else(|| command.inputs[0]);
-        let obj = self.rm.get(costed)?;
+        let obj = self.rm().get(costed)?;
         model::target_model(self.config.target).validate(kind, obj.dtype, &obj.layout)
     }
 
     /// Runs a validated command's functional semantics (a no-op for
-    /// element-wise data in model-only mode).
+    /// element-wise data in model-only mode), split across shards by
+    /// the destination's shard map. Reductions combine per-shard
+    /// partials in ascending global element order; operands whose map
+    /// differs from the destination's are realigned through the
+    /// interconnect first.
     pub(crate) fn exec_cmd(&mut self, command: &PimCommand) -> Result<CmdValue> {
-        let functional = matches!(self.config.mode, SimMode::Functional);
         match command.kind {
             OpKind::RedSum => {
                 let a = command.inputs[0];
-                let sum = match self.data(a)? {
-                    Some(data) => {
-                        let dtype = self.rm.get(a)?.dtype;
-                        Self::par_sum(data, dtype)
-                    }
-                    None => 0,
-                };
-                Ok(CmdValue::Wide(sum))
+                let dtype = self.rm().get(a)?.dtype;
+                Ok(CmdValue::Wide(self.system.red_sum(a, dtype)?))
             }
-            OpKind::RedMin => Ok(CmdValue::Int(self.par_extreme(command.inputs[0], true)?)),
-            OpKind::RedMax => Ok(CmdValue::Int(self.par_extreme(command.inputs[0], false)?)),
+            OpKind::RedMin | OpKind::RedMax => {
+                let a = command.inputs[0];
+                let dtype = self.rm().get(a)?.dtype;
+                let want_min = command.kind == OpKind::RedMin;
+                Ok(CmdValue::Int(self.system.red_extreme(a, dtype, want_min)?))
+            }
             OpKind::Copy => {
-                if functional {
-                    let data = self.rm.get(command.inputs[0])?.data.clone();
-                    self.rm.get_mut(command.dst.expect("copy writes"))?.data = data;
-                }
+                let src = command.inputs[0];
+                let dst = command.dst.expect("copy writes");
+                let realigned = self.system.copy_data(src, dst)?;
+                self.charge_interconnect("realign", realigned, realigned);
                 Ok(CmdValue::Unit)
             }
             OpKind::Broadcast(value) => {
                 let dst = command.dst.expect("broadcast writes");
-                let (count, dtype) = {
-                    let obj = self.rm.get(dst)?;
-                    (obj.count, obj.dtype)
-                };
-                if functional {
-                    self.rm.get_mut(dst)?.data = Some(vec![dtype.truncate(value); count as usize]);
-                }
+                let dtype = self.rm().get(dst)?.dtype;
+                self.system.broadcast_value(dst, value, dtype)?;
                 Ok(CmdValue::Unit)
             }
             kind => {
                 let dst = command.dst.expect("element-wise commands write");
-                if functional {
-                    let dtype = self.rm.get(dst)?.dtype;
-                    let out = {
-                        let ins: Vec<&[i64]> = command
-                            .inputs
-                            .iter()
-                            .map(|&id| Ok(self.data(id)?.expect("functional object has data")))
-                            .collect::<Result<_>>()?;
-                        match *ins.as_slice() {
-                            [a] => exec::par_map(a, |&x| cmd::eval(kind, dtype, &[x])),
-                            [a, b] => {
-                                exec::par_zip_map(a, b, |&x, &y| cmd::eval(kind, dtype, &[x, y]))
-                            }
-                            [a, b, c] => exec::par_zip3_map(a, b, c, |&x, &y, &z| {
-                                cmd::eval(kind, dtype, &[x, y, z])
-                            }),
-                            [a, b, c, d] => {
-                                let chunks = exec::par_chunks(a.len(), |r| {
-                                    r.map(|i| cmd::eval(kind, dtype, &[a[i], b[i], c[i], d[i]]))
-                                        .collect::<Vec<i64>>()
-                                });
-                                chunks.concat()
-                            }
-                            _ => unreachable!("element-wise arity is 1..=4"),
-                        }
-                    };
-                    self.rm.get_mut(dst)?.data = Some(out);
-                }
+                let dtype = self.rm().get(dst)?.dtype;
+                let realigned = self
+                    .system
+                    .exec_elementwise(kind, dtype, &command.inputs, dst)?;
+                self.charge_interconnect("realign", realigned, realigned);
                 Ok(CmdValue::Unit)
             }
         }
@@ -704,8 +740,10 @@ impl Device {
         let costed = command.dst.unwrap_or_else(|| command.inputs[0]);
         self.charge_op(command.kind, costed)?;
         if command.kind == OpKind::Copy {
-            let bytes = self.rm.get(command.inputs[0])?.bytes();
+            let bytes = self.rm().get(command.inputs[0])?.bytes();
             self.stats.record_copy(bytes, 2, 0.0, 0.0);
+            self.system
+                .distribute_copy(command.inputs[0], 2, bytes, 0.0, 0.0);
             if self.tracer.enabled() {
                 let start_ms = self.tracer.clock_ms();
                 self.tracer.emit(TraceEvent::Copy {
@@ -718,73 +756,50 @@ impl Device {
                 });
             }
         }
+        if matches!(
+            command.kind,
+            OpKind::RedSum | OpKind::RedMin | OpKind::RedMax
+        ) && self.system.shard_count() > 1
+        {
+            // Each shard ships one reduction partial to the host for
+            // the final combine.
+            let dtype = self.rm().get(command.inputs[0])?.dtype;
+            let per = (dtype.bits() as u64 / 8).max(1);
+            let total = self.system.shard_count() as u64 * per;
+            self.charge_interconnect("combine", per, total);
+        }
         Ok(())
     }
 
     /// Functionally executes a run of same-length validated commands in
-    /// one parallel sweep: each worker walks its element range once,
+    /// one parallel sweep: each shard walks its element ranges once,
     /// applying every command's per-element semantics in program order
     /// against chunk-local intermediate buffers, then the chunk results
     /// are stitched back into the destination objects. Bit-identical to
     /// executing the commands one by one (same per-element order, same
     /// truncation), but the operands stream through the cache once.
+    ///
+    /// Requires every touched object to share the destination's shard
+    /// map; mixed-map runs (the batcher groups by element count only)
+    /// fall back to per-command execution.
     pub(crate) fn exec_batch(&mut self, commands: &[PimCommand]) -> Result<()> {
         if !matches!(self.config.mode, SimMode::Functional) {
             return Ok(());
         }
         let (slots, steps) = cmd::batch_plan(commands, |id| {
-            self.rm
+            self.rm()
                 .get(id)
                 .expect("batched commands are validated")
                 .dtype
         });
-        let n = self
-            .rm
-            .get(commands[0].dst.expect("batched commands write"))?
-            .count as usize;
-        let initial: Vec<Option<&[i64]>> = slots
-            .iter()
-            .map(|&id| self.rm.get(id).expect("validated").data.as_deref())
-            .collect();
-        let chunk_results = exec::par_chunks(n, |r| {
-            let (start, len) = (r.start, r.len());
-            let mut local: Vec<Option<Vec<i64>>> = vec![None; slots.len()];
-            for i in r {
-                for step in &steps {
-                    let mut args = [0i64; 4];
-                    for (j, &(s, from_local)) in step.ins.iter().enumerate() {
-                        args[j] = if from_local {
-                            local[s].as_ref().expect("written by an earlier step")[i - start]
-                        } else {
-                            initial[s].expect("functional object has data")[i]
-                        };
-                    }
-                    let v = cmd::eval(step.kind, step.dtype, &args[..step.ins.len()]);
-                    local[step.dst].get_or_insert_with(|| vec![0; len])[i - start] = v;
-                }
+        let dst0 = commands[0].dst.expect("batched commands write");
+        if !self.system.maps_equal(&slots, dst0) {
+            for command in commands {
+                self.exec_cmd(command)?;
             }
-            local
-        });
-        let written: Vec<usize> = {
-            let mut seen = std::collections::BTreeSet::new();
-            steps
-                .iter()
-                .map(|s| s.dst)
-                .filter(|&d| seen.insert(d))
-                .collect()
-        };
-        let mut finals: Vec<(ObjId, Vec<i64>)> = Vec::with_capacity(written.len());
-        for s in written {
-            let mut buf = Vec::with_capacity(n);
-            for chunk in &chunk_results {
-                buf.extend_from_slice(chunk[s].as_ref().expect("every chunk runs every step"));
-            }
-            finals.push((slots[s], buf));
+            return Ok(());
         }
-        for (id, buf) in finals {
-            self.rm.get_mut(id)?.data = Some(buf);
-        }
-        Ok(())
+        self.system.exec_batch(&slots, &steps, dst0)
     }
 
     /// Accumulates one flush's counters into [`SimStats`] and emits the
@@ -818,38 +833,6 @@ impl Device {
                 batched_sweeps: summary.batched_sweeps,
             });
         }
-    }
-
-    /// Parallel reduction extreme: `min` when `want_min`, else `max`.
-    /// Chunk partials fold in chunk order with the same tie-breaking
-    /// (`<=` / `>=` keeps the earlier element) as a sequential scan.
-    fn par_extreme(&self, a: ObjId, want_min: bool) -> Result<i64> {
-        let out = match self.data(a)? {
-            Some(data) => {
-                let dtype = self.rm.get(a)?.dtype;
-                let keep_first = |x: i64, y: i64| {
-                    let ord = dtype.compare(x, y);
-                    if if want_min { ord.is_le() } else { ord.is_ge() } {
-                        x
-                    } else {
-                        y
-                    }
-                };
-                exec::par_fold(
-                    data.len(),
-                    |r| {
-                        data[r]
-                            .iter()
-                            .copied()
-                            .reduce(keep_first)
-                            .expect("chunks are non-empty")
-                    },
-                    keep_first,
-                )
-            }
-            None => None,
-        };
-        Ok(out.unwrap_or(0))
     }
 
     // ------------------------------------------------------------------
@@ -1050,7 +1033,7 @@ impl Device {
     /// Count/dtype mismatches; unknown objects; out-of-memory for the
     /// temporary.
     pub fn scaled_add(&mut self, a: ObjId, b: ObjId, dst: ObjId, k: i64) -> Result<()> {
-        let dtype = self.rm.get(a)?.dtype;
+        let dtype = self.rm().get(a)?.dtype;
         let tmp = self.alloc_associated(a, dtype)?;
         let result = self
             .mul_scalar(a, k, tmp)
@@ -1203,31 +1186,6 @@ impl Device {
         }
     }
 
-    /// Chunked parallel widening sum; per-chunk partials fold in chunk
-    /// order (i128 addition is associative, so this is bit-identical to
-    /// the sequential sum at every thread count).
-    fn par_sum(data: &[i64], dtype: DataType) -> i128 {
-        let signed = dtype.is_signed();
-        let mask = pim_microcode::encode::mask(dtype.bits());
-        exec::par_fold(
-            data.len(),
-            |r| {
-                data[r]
-                    .iter()
-                    .map(|&v| {
-                        if signed {
-                            v as i128
-                        } else {
-                            ((v as u64) & mask) as i128
-                        }
-                    })
-                    .sum::<i128>()
-            },
-            |x, y| x + y,
-        )
-        .unwrap_or(0)
-    }
-
     /// Reduction minimum across all elements (`pimRedMin`), respecting
     /// signedness. Returns 0 in model-only mode.
     ///
@@ -1264,7 +1222,7 @@ impl Device {
     /// [`PimError::InvalidArg`] for an out-of-bounds or empty range.
     pub fn red_sum_range(&mut self, a: ObjId, start: u64, end: u64) -> Result<i128> {
         let (count, dtype, layout) = {
-            let obj = self.rm.get(a)?;
+            let obj = self.rm().get(a)?;
             (obj.count, obj.dtype, obj.layout)
         };
         if start >= end || end > count {
@@ -1272,10 +1230,7 @@ impl Device {
                 "red_sum_range [{start}, {end}) out of bounds for {count} elements"
             )));
         }
-        let sum = match self.data(a)? {
-            Some(data) => Self::par_sum(&data[start as usize..end as usize], dtype),
-            None => 0,
-        };
+        let sum = self.system.red_sum_range(a, dtype, start, end)?;
         let full = model::op_cost(&self.config, OpKind::RedSum, dtype, &layout);
         let frac = (end - start) as f64 / count as f64;
         let cost = OpCost {
@@ -1295,6 +1250,8 @@ impl Device {
                 micro: None,
             });
         }
+        self.system
+            .distribute_cmd(a, &name, OpKind::RedSum.category(), cost);
         self.stats
             .record_cmd(name, OpKind::RedSum.category(), cost, layout.cores_used);
         Ok(sum)

@@ -64,17 +64,21 @@ pub mod object;
 pub mod ops;
 pub mod resource;
 pub mod stats;
+pub mod system;
 pub mod trace;
 
 pub use cmd::{CmdValue, CommandStream, FlushSummary, PimCommand};
-pub use config::{DeviceConfig, PeParams, PimTarget, SimMode};
+pub use config::{DeviceConfig, PeParams, PimTarget, ShardPolicy, SimMode};
 pub use device::Device;
 pub use dtype::{DataType, PimScalar};
 pub use error::{PimError, Result};
 pub use model::{target_model, OpCost, TargetModel};
 pub use object::{DataLayout, ObjId, ObjectLayout, PimObject};
 pub use ops::{OpCategory, OpKind};
-pub use stats::{CmdStat, CopyStats, FusionStats, SimStats};
+pub use stats::{
+    CmdStat, CopyStats, FusionStats, InterconnectStats, ResourceStats, ShardResourceStats, SimStats,
+};
+pub use system::{InterconnectModel, PimSystem, Shard, ShardMap, ShardRange};
 pub use trace::{CopyDirection, Recorder, TraceEvent, TraceSink, Tracer};
 
 /// Std-only parallel execution engine the functional hot paths run on

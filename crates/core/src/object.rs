@@ -60,10 +60,10 @@ impl ObjectLayout {
     ///
     /// # Errors
     ///
-    /// [`PimError::InvalidArg`] for zero-sized allocations,
-    /// [`PimError::OutOfMemory`] if the busiest core would need more rows
-    /// than one core has (capacity across objects is enforced by the
-    /// resource manager).
+    /// [`PimError::InvalidArg`] for zero-sized allocations or when the
+    /// row arithmetic overflows `u64`, [`PimError::OutOfMemory`] if the
+    /// busiest core would need more rows than one core has (capacity
+    /// across objects is enforced by the resource manager).
     pub fn compute(
         config: &DeviceConfig,
         count: u64,
@@ -84,14 +84,20 @@ impl ObjectLayout {
         let units_total = count.div_ceil(elems_per_unit);
         let cores_used = units_total.min(total_cores as u64) as usize;
         let units_per_core = units_total.div_ceil(cores_used as u64);
-        let rows_per_core = units_per_core * rows_per_unit;
+        let rows_per_core = units_per_core.checked_mul(rows_per_unit).ok_or_else(|| {
+            PimError::InvalidArg("object layout overflows u64 row arithmetic".into())
+        })?;
         if rows_per_core > config.rows_per_core() {
             return Err(PimError::OutOfMemory {
                 rows_needed: rows_per_core,
                 rows_available: config.rows_per_core(),
             });
         }
-        let elems_per_core = (units_per_core * elems_per_unit).min(count);
+        // The busiest core holds at most `count` elements, so a u64
+        // overflow in the padded product can only mean "everything".
+        let elems_per_core = units_per_core
+            .checked_mul(elems_per_unit)
+            .map_or(count, |padded| padded.min(count));
         Ok(ObjectLayout {
             layout,
             cores_used,
@@ -120,7 +126,11 @@ pub struct PimObject {
     pub count: u64,
     /// Physical placement.
     pub layout: ObjectLayout,
-    /// Backing data (absent in model-only mode).
+    /// Backing data in canonical `i64` form. Absent in model-only mode.
+    /// Under sharded execution the catalog entry held by the
+    /// [`crate::PimSystem`] metadata manager never materializes data:
+    /// functional buffers live in the per-shard objects, whose `data`
+    /// covers only that shard's element range.
     pub data: Option<Vec<i64>>,
 }
 

@@ -32,15 +32,26 @@ pub struct ResourceManager {
 impl ResourceManager {
     /// Creates a manager for a device with `rows_per_core` rows per core
     /// and `core_count` cores.
-    pub fn new(rows_per_core: u64, core_count: u64) -> Self {
-        ResourceManager {
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::InvalidArg`] when `rows_per_core × core_count`
+    /// overflows `u64` (a nonsensical geometry, but one a config sweep
+    /// can construct).
+    pub fn new(rows_per_core: u64, core_count: u64) -> Result<Self> {
+        let rows_capacity = rows_per_core.checked_mul(core_count).ok_or_else(|| {
+            PimError::InvalidArg(format!(
+                "device row capacity overflows u64: {rows_per_core} rows/core × {core_count} cores"
+            ))
+        })?;
+        Ok(ResourceManager {
             objects: BTreeMap::new(),
             next_id: 0,
             rows_in_use: 0,
             rows_per_core,
-            rows_capacity: rows_per_core * core_count,
+            rows_capacity,
             peak_rows: 0,
-        }
+        })
     }
 
     /// Allocates `count` elements of `dtype`.
@@ -160,6 +171,55 @@ impl ResourceManager {
     pub fn peak_rows(&self) -> u64 {
         self.peak_rows
     }
+
+    /// Total row-core units the device can hold.
+    pub fn rows_capacity(&self) -> u64 {
+        self.rows_capacity
+    }
+
+    /// Rows one core can hold.
+    pub fn rows_per_core(&self) -> u64 {
+        self.rows_per_core
+    }
+
+    /// The ID the next allocation will receive (without claiming it).
+    /// The sharded allocator uses this to assign one global ID across
+    /// the metadata catalog and every shard-local manager.
+    pub(crate) fn peek_next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Installs a pre-validated object under an externally chosen ID.
+    ///
+    /// This is the commit half of the sharded allocator's two-phase
+    /// alloc: the caller has already run every capacity check (for the
+    /// catalog and for each shard), so `install` only updates the
+    /// accounting and inserts the object. `materialize` controls whether
+    /// a zeroed functional buffer is attached.
+    pub(crate) fn install(
+        &mut self,
+        id: ObjId,
+        dtype: DataType,
+        count: u64,
+        layout: ObjectLayout,
+        materialize: bool,
+    ) {
+        debug_assert!(!self.objects.contains_key(&id.0), "install over live id");
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.rows_in_use += layout.rows_per_core * layout.cores_used as u64;
+        self.peak_rows = self.peak_rows.max(self.rows_in_use);
+        let data = materialize.then(|| vec![0i64; count as usize]);
+        self.objects.insert(
+            id.0,
+            PimObject {
+                id,
+                dtype,
+                count,
+                layout,
+                data,
+            },
+        );
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +234,8 @@ mod tests {
     #[test]
     fn alloc_free_reclaims_rows() {
         let config = cfg();
-        let mut rm = ResourceManager::new(config.rows_per_core(), config.core_count() as u64);
+        let mut rm =
+            ResourceManager::new(config.rows_per_core(), config.core_count() as u64).unwrap();
         let a = rm.alloc(&config, 1 << 20, DataType::Int32, None).unwrap();
         let used = rm.rows_in_use();
         assert!(used > 0);
@@ -186,7 +247,8 @@ mod tests {
     #[test]
     fn double_free_is_an_error() {
         let config = cfg();
-        let mut rm = ResourceManager::new(config.rows_per_core(), config.core_count() as u64);
+        let mut rm =
+            ResourceManager::new(config.rows_per_core(), config.core_count() as u64).unwrap();
         let a = rm.alloc(&config, 100, DataType::Int32, None).unwrap();
         rm.free(a).unwrap();
         assert!(matches!(rm.free(a), Err(PimError::UnknownObject(_))));
@@ -195,7 +257,8 @@ mod tests {
     #[test]
     fn capacity_is_enforced() {
         let config = cfg();
-        let mut rm = ResourceManager::new(config.rows_per_core(), config.core_count() as u64);
+        let mut rm =
+            ResourceManager::new(config.rows_per_core(), config.core_count() as u64).unwrap();
         // One core stores rows_per_core × (cols/32) int32 elements; the
         // device stores that × core_count. Ask for more than fits.
         let per_core = config.rows_per_core() * (config.cols_per_core() as u64 / 32);
@@ -209,7 +272,8 @@ mod tests {
     #[test]
     fn associated_objects_share_core_mapping() {
         let config = cfg();
-        let mut rm = ResourceManager::new(config.rows_per_core(), config.core_count() as u64);
+        let mut rm =
+            ResourceManager::new(config.rows_per_core(), config.core_count() as u64).unwrap();
         let a = rm.alloc(&config, 12345, DataType::Int32, None).unwrap();
         let b = rm.alloc_associated(&config, a, DataType::Int32).unwrap();
         let (la, lb) = (rm.get(a).unwrap().layout, rm.get(b).unwrap().layout);
@@ -220,12 +284,135 @@ mod tests {
     #[test]
     fn associated_with_dead_reference_fails() {
         let config = cfg();
-        let mut rm = ResourceManager::new(config.rows_per_core(), config.core_count() as u64);
+        let mut rm =
+            ResourceManager::new(config.rows_per_core(), config.core_count() as u64).unwrap();
         let a = rm.alloc(&config, 10, DataType::Int32, None).unwrap();
         rm.free(a).unwrap();
         assert!(matches!(
             rm.alloc_associated(&config, a, DataType::Int32),
             Err(PimError::UnknownObject(_))
         ));
+    }
+
+    #[test]
+    fn capacity_overflow_is_rejected_at_construction() {
+        assert!(matches!(
+            ResourceManager::new(u64::MAX, 2),
+            Err(PimError::InvalidArg(_))
+        ));
+        // The exact edge still constructs.
+        assert!(ResourceManager::new(u64::MAX, 1).is_ok());
+    }
+
+    /// Deterministic SplitMix64 stream for the churn schedule.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn units_of(rm: &ResourceManager, id: ObjId) -> u64 {
+        let l = rm.get(id).unwrap().layout;
+        l.rows_per_core * l.cores_used as u64
+    }
+
+    #[test]
+    fn interleaved_churn_keeps_accounting_exact_and_peak_monotone() {
+        let config = cfg();
+        let mut rm =
+            ResourceManager::new(config.rows_per_core(), config.core_count() as u64).unwrap();
+        let mut rng = Rng(0xC0FFEE);
+        let mut live: Vec<(ObjId, u64)> = Vec::new();
+        let mut expected_in_use = 0u64;
+        let mut last_peak = 0u64;
+        for step in 0..200 {
+            match rng.next() % 3 {
+                // Fresh allocation of a pseudo-random size.
+                0 => {
+                    let count = 1 + rng.next() % 100_000;
+                    let id = rm.alloc(&config, count, DataType::Int32, None).unwrap();
+                    let units = units_of(&rm, id);
+                    live.push((id, units));
+                    expected_in_use += units;
+                }
+                // Associated allocation against a random live reference.
+                1 if !live.is_empty() => {
+                    let (reference, _) = live[(rng.next() % live.len() as u64) as usize];
+                    let id = rm
+                        .alloc_associated(&config, reference, DataType::Int8)
+                        .unwrap();
+                    let units = units_of(&rm, id);
+                    live.push((id, units));
+                    expected_in_use += units;
+                }
+                // Free a random live object.
+                2 if !live.is_empty() => {
+                    let (id, units) = live.swap_remove((rng.next() % live.len() as u64) as usize);
+                    rm.free(id).unwrap();
+                    expected_in_use -= units;
+                }
+                _ => {}
+            }
+            assert_eq!(rm.rows_in_use(), expected_in_use, "step {step}");
+            assert_eq!(rm.live_objects(), live.len(), "step {step}");
+            assert!(rm.peak_rows() >= last_peak, "peak regressed at step {step}");
+            assert!(rm.peak_rows() >= rm.rows_in_use(), "step {step}");
+            last_peak = rm.peak_rows();
+        }
+        for (id, _) in live {
+            rm.free(id).unwrap();
+        }
+        assert_eq!(rm.rows_in_use(), 0);
+        assert_eq!(rm.live_objects(), 0);
+        assert_eq!(rm.peak_rows(), last_peak);
+    }
+
+    #[test]
+    fn zero_element_alloc_fails_without_perturbing_accounting() {
+        let config = cfg();
+        let mut rm =
+            ResourceManager::new(config.rows_per_core(), config.core_count() as u64).unwrap();
+        let a = rm.alloc(&config, 77, DataType::Int32, None).unwrap();
+        let in_use = rm.rows_in_use();
+        assert!(matches!(
+            rm.alloc(&config, 0, DataType::Int32, None),
+            Err(PimError::InvalidArg(_))
+        ));
+        assert_eq!(rm.rows_in_use(), in_use);
+        assert_eq!(rm.peak_rows(), in_use);
+        assert_eq!(rm.live_objects(), 1);
+        rm.free(a).unwrap();
+    }
+
+    #[test]
+    fn capacity_edge_failure_leaves_state_usable() {
+        let config = cfg();
+        let mut rm =
+            ResourceManager::new(config.rows_per_core(), config.core_count() as u64).unwrap();
+        let per_core = config.rows_per_core() * (config.cols_per_core() as u64 / 32);
+        let total = per_core * config.core_count() as u64;
+        // Fill most of the device, then push it over the edge.
+        let big = rm
+            .alloc(&config, total - total / 8, DataType::Int32, None)
+            .unwrap();
+        let in_use = rm.rows_in_use();
+        assert!(matches!(
+            rm.alloc(&config, total / 4, DataType::Int32, None),
+            Err(PimError::OutOfMemory { .. })
+        ));
+        assert_eq!(rm.rows_in_use(), in_use, "failed alloc must not leak");
+        // After freeing, the same request succeeds and accounting rewinds.
+        rm.free(big).unwrap();
+        assert_eq!(rm.rows_in_use(), 0);
+        let again = rm.alloc(&config, total / 4, DataType::Int32, None).unwrap();
+        rm.free(again).unwrap();
+        assert_eq!(rm.rows_in_use(), 0);
+        assert!(rm.peak_rows() >= in_use);
     }
 }

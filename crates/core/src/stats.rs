@@ -77,6 +77,73 @@ impl FusionStats {
     }
 }
 
+/// Cross-shard data-movement accounting, charged by the
+/// [`crate::InterconnectModel`] only when the device runs with more
+/// than one shard. Interconnect time is reported separately from
+/// kernel and copy time (it never enters [`SimStats::total_time_ms`]),
+/// so sharded and unsharded runs stay cost-comparable.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InterconnectStats {
+    /// Host→shard scatter traffic (bytes, all shards).
+    pub scatter_bytes: u64,
+    /// Shard→host gather traffic (bytes, all shards).
+    pub gather_bytes: u64,
+    /// Inter-shard realignment traffic for misaligned operands (bytes).
+    pub realign_bytes: u64,
+    /// Reduction partial-combine traffic (bytes).
+    pub combine_bytes: u64,
+    /// Number of modeled interconnect transfers.
+    pub transfers: u64,
+    /// Modeled interconnect time (ms), critical-path per transfer.
+    pub time_ms: f64,
+    /// Modeled interconnect energy (mJ).
+    pub energy_mj: f64,
+}
+
+impl InterconnectStats {
+    /// Total bytes moved across the interconnect.
+    pub fn total_bytes(&self) -> u64 {
+        self.scatter_bytes + self.gather_bytes + self.realign_bytes + self.combine_bytes
+    }
+
+    /// True when no interconnect traffic was ever charged (always the
+    /// case for single-shard devices).
+    pub fn is_empty(&self) -> bool {
+        *self == InterconnectStats::default()
+    }
+}
+
+/// Row-capacity usage of one shard's resource manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardResourceStats {
+    /// Row-core units currently in use on this shard.
+    pub rows_in_use: u64,
+    /// High-water mark of row-core usage on this shard.
+    pub peak_rows: u64,
+    /// Row-core units this shard can hold.
+    pub rows_capacity: u64,
+    /// Live objects resident on this shard.
+    pub live_objects: u64,
+}
+
+/// Aggregate + per-shard resource-manager usage, re-snapshotted after
+/// every allocation and free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceStats {
+    /// Row-core units currently in use (aggregate).
+    pub rows_in_use: u64,
+    /// High-water mark of row-core usage (aggregate).
+    pub peak_rows: u64,
+    /// Total row-core units the device can hold.
+    pub rows_capacity: u64,
+    /// Live objects.
+    pub live_objects: u64,
+    /// Number of shards the device runs with.
+    pub shards: u64,
+    /// Per-shard breakdown; empty for single-shard devices.
+    pub per_shard: Vec<ShardResourceStats>,
+}
+
 /// Full statistics for a simulation run.
 ///
 /// Three time components mirror the paper's Fig. 7 breakdown: data
@@ -96,6 +163,10 @@ pub struct SimStats {
     pub max_cores_used: usize,
     /// Command-stream peephole counters (all zero for eager-only runs).
     pub fusion: FusionStats,
+    /// Cross-shard interconnect accounting (empty for single-shard runs).
+    pub interconnect: InterconnectStats,
+    /// Resource-manager usage snapshot (aggregate + per-shard).
+    pub resources: ResourceStats,
 }
 
 impl SimStats {
@@ -320,6 +391,43 @@ impl SimStats {
                 out,
                 "  Batched sweeps   : {} covering {} command(s)",
                 f.batched_sweeps, f.batched_commands
+            );
+        }
+        let r = &self.resources;
+        let _ = writeln!(out, "Resource Stats:");
+        let _ = writeln!(
+            out,
+            "  Rows in use      : {} / {} row-core units (peak {})",
+            r.rows_in_use, r.rows_capacity, r.peak_rows
+        );
+        let _ = writeln!(out, "  Live objects     : {}", r.live_objects);
+        if r.shards > 1 {
+            let _ = writeln!(out, "  Shards           : {}", r.shards);
+            for (i, s) in r.per_shard.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  Shard {:<10} : {} / {} rows (peak {}), {} object(s)",
+                    i, s.rows_in_use, s.rows_capacity, s.peak_rows, s.live_objects
+                );
+            }
+        }
+        if !self.interconnect.is_empty() {
+            let ic = &self.interconnect;
+            let _ = writeln!(out, "Interconnect Stats:");
+            let _ = writeln!(
+                out,
+                "  Scatter / Gather : {} / {} bytes",
+                ic.scatter_bytes, ic.gather_bytes
+            );
+            let _ = writeln!(
+                out,
+                "  Realign / Combine: {} / {} bytes",
+                ic.realign_bytes, ic.combine_bytes
+            );
+            let _ = writeln!(
+                out,
+                "  Modeled          : {} transfer(s), {:.6} ms, {:.6} mJ (reported separately)",
+                ic.transfers, ic.time_ms, ic.energy_mj
             );
         }
         let _ = writeln!(out, "----------------------------------------");

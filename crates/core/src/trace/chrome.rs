@@ -226,6 +226,21 @@ fn render(pid: u32, event: &TraceEvent) -> String {
              \"batched_sweeps\":{batched_sweeps}}}}}",
             us(*at_ms)
         ),
+        TraceEvent::Interconnect {
+            kind,
+            bytes,
+            shards,
+            at_ms,
+            time_ms,
+            energy_mj,
+        } => format!(
+            "{{\"name\":\"interconnect {kind}\",\"cat\":\"interconnect\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{},\"pid\":{pid},\"tid\":{TID_COPY},\
+             \"args\":{{\"bytes\":{bytes},\"shards\":{shards},\"time_ms\":{},\"energy_mj\":{}}}}}",
+            us(*at_ms),
+            num(*time_ms),
+            num(*energy_mj)
+        ),
     }
 }
 

@@ -128,6 +128,40 @@ pub fn stats_to_json(stats: &SimStats, config: &DeviceConfig) -> String {
         f.batched_sweeps,
         f.batched_commands
     );
+    let r = &stats.resources;
+    out.push_str("  \"resources\": {");
+    let _ = write!(
+        out,
+        "\"rows_in_use\": {}, \"peak_rows\": {}, \"rows_capacity\": {}, \
+         \"live_objects\": {}, \"shards\": {}, \"per_shard\": [",
+        r.rows_in_use, r.peak_rows, r.rows_capacity, r.live_objects, r.shards
+    );
+    for (i, s) in r.per_shard.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"rows_in_use\": {}, \"peak_rows\": {}, \"rows_capacity\": {}, \
+             \"live_objects\": {}}}",
+            s.rows_in_use, s.peak_rows, s.rows_capacity, s.live_objects
+        );
+    }
+    out.push_str("]},\n");
+    let ic = &stats.interconnect;
+    let _ = writeln!(
+        out,
+        "  \"interconnect\": {{\"scatter_bytes\": {}, \"gather_bytes\": {}, \
+         \"realign_bytes\": {}, \"combine_bytes\": {}, \"transfers\": {}, \
+         \"time_ms\": {}, \"energy_mj\": {}}},",
+        ic.scatter_bytes,
+        ic.gather_bytes,
+        ic.realign_bytes,
+        ic.combine_bytes,
+        ic.transfers,
+        num(ic.time_ms),
+        num(ic.energy_mj)
+    );
     let _ = writeln!(
         out,
         "  \"totals\": {{\"total_ops\": {}, \"kernel_time_ms\": {}, \"kernel_energy_mj\": {}, \

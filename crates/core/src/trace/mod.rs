@@ -216,6 +216,25 @@ pub enum TraceEvent {
         /// Batched functional sweeps executed.
         batched_sweeps: u64,
     },
+    /// A modeled cross-shard interconnect transfer (scatter, gather,
+    /// realign, or reduction combine). Instantaneous marker: the
+    /// interconnect ledger is reported separately from kernel and copy
+    /// time, so it never advances the simulated clock. Only emitted by
+    /// devices with more than one shard.
+    Interconnect {
+        /// Transfer kind: `scatter`, `gather`, `realign`, or `combine`.
+        kind: &'static str,
+        /// Total bytes moved across all shards.
+        bytes: u64,
+        /// Shard count of the device.
+        shards: usize,
+        /// Simulated timestamp.
+        at_ms: f64,
+        /// Modeled transfer time (ms), critical-path (busiest channel).
+        time_ms: f64,
+        /// Modeled transfer energy (mJ).
+        energy_mj: f64,
+    },
 }
 
 impl TraceEvent {
@@ -235,7 +254,8 @@ impl TraceEvent {
             TraceEvent::DeviceCreated { at_ms, .. }
             | TraceEvent::Alloc { at_ms, .. }
             | TraceEvent::Free { at_ms, .. }
-            | TraceEvent::StreamFlush { at_ms, .. } => *at_ms,
+            | TraceEvent::StreamFlush { at_ms, .. }
+            | TraceEvent::Interconnect { at_ms, .. } => *at_ms,
             TraceEvent::Cmd { start_ms, .. }
             | TraceEvent::Copy { start_ms, .. }
             | TraceEvent::HostPhase { start_ms, .. } => *start_ms,

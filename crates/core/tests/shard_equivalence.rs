@@ -1,0 +1,346 @@
+//! Sharded-vs-unsharded equivalence suite.
+//!
+//! [`pimeval::PimSystem`] splits every object across N per-rank shards
+//! and re-aggregates results, but sharding is a *capacity/bandwidth*
+//! model, never a semantics change: for every target and dtype the
+//! sharded run must produce bit-identical buffers and reduction values
+//! to the single-shard run, the aggregate modeled kernel time must be
+//! identical, per-shard ledgers must sum back to the aggregate, and
+//! all cross-shard traffic must be charged to the separate
+//! [`pimeval::InterconnectStats`] ledger without ever entering
+//! `total_time_ms`. The shard counts exercised default to `{2, 4}` and
+//! can be overridden with the `PIM_TEST_RANKS` env var (comma list).
+
+use pimeval::{DataType, Device, DeviceConfig, PimScalar, PimTarget, ShardPolicy};
+
+const TARGETS: [PimTarget; 5] = [
+    PimTarget::BitSerial,
+    PimTarget::Fulcrum,
+    PimTarget::BankLevel,
+    PimTarget::AnalogBitSerial,
+    PimTarget::UpmemLike,
+];
+
+/// Shard counts under test: `PIM_TEST_RANKS=1,4` style override, else `{2,4}`.
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("PIM_TEST_RANKS") {
+        Ok(s) => s
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&n| n >= 1)
+            .collect(),
+        Err(_) => vec![2, 4],
+    }
+}
+
+/// Deterministic SplitMix64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Two deterministic pseudo-random vectors cast to `T`.
+fn data<T: PimScalar>(n: usize, seed: u64) -> (Vec<T>, Vec<T>) {
+    let mut rng = Rng(seed);
+    let mut gen = |_| T::from_device(rng.next_u64() as i64);
+    let a: Vec<T> = (0..n).map(&mut gen).collect();
+    let b: Vec<T> = (0..n).map(&mut gen).collect();
+    (a, b)
+}
+
+/// Everything one run of the reference program observes: final buffers,
+/// reduction values, and the aggregate modeled clocks.
+#[derive(Debug, PartialEq)]
+struct RunResult<T> {
+    out: Vec<T>,
+    acc: Vec<T>,
+    sum: i128,
+    min: i64,
+    max: i64,
+    part: i128,
+}
+
+/// Runs the mixed-op reference program (elementwise, comparison/select,
+/// broadcast, copy, and all three reductions plus a ranged sum) on a
+/// fresh device built from `config`.
+fn run_program<T: PimScalar>(config: DeviceConfig, xs: &[T], ys: &[T]) -> (RunResult<T>, Device) {
+    let n = xs.len() as u64;
+    let mut dev = Device::new(config).unwrap();
+    let x = dev.alloc_vec(xs).unwrap();
+    let y = dev.alloc_vec(ys).unwrap();
+    let t = dev.alloc_associated(x, T::DTYPE).unwrap();
+    let mask = dev.alloc_associated(x, T::DTYPE).unwrap();
+    let out = dev.alloc_associated(x, T::DTYPE).unwrap();
+    let acc = dev.alloc_associated(x, T::DTYPE).unwrap();
+
+    dev.mul_scalar(x, 7, t).unwrap();
+    dev.add(t, y, t).unwrap();
+    dev.lt(x, t, mask).unwrap();
+    dev.select(mask, x, t, out).unwrap();
+    dev.broadcast(acc, 5).unwrap();
+    dev.xor(out, acc, acc).unwrap();
+    dev.copy_object(acc, t).unwrap();
+    dev.sub(t, y, acc).unwrap();
+
+    let sum = dev.red_sum(acc).unwrap();
+    let min = dev.red_min(out).unwrap();
+    let max = dev.red_max(out).unwrap();
+    let part = dev.red_sum_range(acc, n / 3, 2 * n / 3).unwrap();
+
+    let result = RunResult {
+        out: dev.to_vec(out).unwrap(),
+        acc: dev.to_vec(acc).unwrap(),
+        sum,
+        min,
+        max,
+        part,
+    };
+    (result, dev)
+}
+
+/// Relative floating-point agreement for summed ledgers.
+fn close(a: f64, b: f64, rel: f64) -> bool {
+    (a - b).abs() <= rel * a.abs().max(b.abs()).max(1e-12)
+}
+
+/// One target × dtype × shard-count check: bit-identical observations,
+/// identical aggregate clocks, additive per-shard ledgers, separate
+/// interconnect accounting.
+fn check_shard_equivalence<T: PimScalar + PartialEq + std::fmt::Debug>(
+    target: PimTarget,
+    shards: usize,
+    seed: u64,
+) {
+    let n = 257; // odd, multi-word, leaves a partial trailing unit
+    let (xs, ys) = data::<T>(n, seed);
+    let ctx = format!("{target:?} {:?} shards={shards}", T::DTYPE);
+
+    let (base, base_dev) = run_program(DeviceConfig::new(target, 1), &xs, &ys);
+    let (sharded, dev) = run_program(DeviceConfig::new(target, 1).with_shards(shards), &xs, &ys);
+
+    // Bit-identical functional contract.
+    assert_eq!(sharded, base, "{ctx}");
+
+    // The aggregate modeled cost is shard-count invariant: compute is
+    // charged once from the global layout, and interconnect lives in its
+    // own ledger.
+    let base_ms = base_dev.stats().kernel_time_ms();
+    let ms = dev.stats().kernel_time_ms();
+    assert!(
+        close(ms, base_ms, 1e-12),
+        "{ctx}: kernel {ms} ms != unsharded {base_ms} ms"
+    );
+    assert!(
+        close(
+            base_dev.stats().total_time_ms(),
+            dev.stats().total_time_ms(),
+            1e-12
+        ),
+        "{ctx}: total time drifted with shard count"
+    );
+
+    // Per-shard ledgers are a partition of the aggregate compute cost.
+    // (Single-shard devices skip the per-shard ledger entirely — the
+    // aggregate IS the ledger.)
+    let parts = dev.system().shards();
+    assert_eq!(parts.len(), shards, "{ctx}");
+    if parts.len() > 1 {
+        let shard_ms: f64 = parts.iter().map(|s| s.stats().kernel_time_ms()).sum();
+        let shard_mj: f64 = parts.iter().map(|s| s.stats().kernel_energy_mj()).sum();
+        assert!(
+            close(shard_ms, ms, 1e-9),
+            "{ctx}: per-shard time sum {shard_ms} != aggregate {ms}"
+        );
+        assert!(
+            close(shard_mj, dev.stats().kernel_energy_mj(), 1e-9),
+            "{ctx}: per-shard energy sum {shard_mj} != aggregate"
+        );
+    }
+
+    // Cross-shard traffic: single-shard devices never touch the
+    // interconnect; multi-shard devices charge the host scatter/gather
+    // plus the reduction combine there — and only there.
+    assert!(base_dev.stats().interconnect.is_empty(), "{ctx}");
+    let ic = &dev.stats().interconnect;
+    if parts.len() > 1 {
+        assert!(
+            ic.transfers > 0,
+            "{ctx}: no interconnect transfers recorded"
+        );
+        assert!(ic.scatter_bytes > 0 && ic.gather_bytes > 0, "{ctx}");
+        assert!(ic.combine_bytes > 0, "{ctx}: reduction combine not charged");
+        assert!(ic.time_ms > 0.0 && ic.energy_mj > 0.0, "{ctx}");
+    }
+}
+
+#[test]
+fn sharded_runs_match_unsharded_on_every_target_and_dtype() {
+    for shards in shard_counts() {
+        for (i, target) in TARGETS.into_iter().enumerate() {
+            let seed = 0x5AAD + i as u64;
+            check_shard_equivalence::<i8>(target, shards, seed);
+            check_shard_equivalence::<i32>(target, shards, seed);
+            check_shard_equivalence::<i64>(target, shards, seed);
+            check_shard_equivalence::<u16>(target, shards, seed);
+        }
+    }
+}
+
+#[test]
+fn round_robin_policy_is_bit_identical_to_contiguous() {
+    for target in [PimTarget::Fulcrum, PimTarget::BitSerial] {
+        let (xs, ys) = data::<i32>(513, 0x0B0B1);
+        let (base, _) = run_program(DeviceConfig::new(target, 1), &xs, &ys);
+        for policy in [ShardPolicy::Contiguous, ShardPolicy::RoundRobin] {
+            let cfg = DeviceConfig::new(target, 1)
+                .with_shards(4)
+                .with_shard_policy(policy);
+            let (sharded, _) = run_program(cfg, &xs, &ys);
+            assert_eq!(sharded, base, "{target:?} {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn stream_fusion_composes_with_sharding() {
+    // Peephole passes run before the shard split, so a fused stream on a
+    // sharded device must match the eager unsharded run bit-for-bit and
+    // report the same fusion counters as the single-shard stream.
+    let (xs, ys) = data::<i32>(300, 0xF05E);
+    let mut eager = Device::new(DeviceConfig::new(PimTarget::Fulcrum, 1)).unwrap();
+    let x = eager.alloc_vec(&xs).unwrap();
+    let y = eager.alloc_vec(&ys).unwrap();
+    let t = eager.alloc_associated(x, DataType::Int32).unwrap();
+    eager.mul_scalar(x, 3, t).unwrap();
+    eager.add(t, y, y).unwrap();
+    let want: Vec<i32> = eager.to_vec(y).unwrap();
+
+    let cfg = DeviceConfig::new(PimTarget::Fulcrum, 1).with_shards(4);
+    let mut dev = Device::new(cfg).unwrap();
+    let x = dev.alloc_vec(&xs).unwrap();
+    let y = dev.alloc_vec(&ys).unwrap();
+    let t = dev.alloc_associated(x, DataType::Int32).unwrap();
+    let mut stream = dev.stream();
+    stream.mul_scalar(x, 3, t).add(t, y, y);
+    let summary = stream.flush().unwrap();
+    drop(stream);
+    assert_eq!(summary.fused_scaled_add, 1);
+    assert_eq!(dev.to_vec::<i32>(y).unwrap(), want);
+}
+
+#[test]
+fn batched_sweeps_survive_the_shard_split() {
+    // Same-shape command runs batch into one sweep; the sharded batch
+    // path must agree with the eager unsharded chain.
+    let (xs, ys) = data::<i32>(1000, 0xBA7C4);
+    let mut eager = Device::new(DeviceConfig::new(PimTarget::BankLevel, 1)).unwrap();
+    let x = eager.alloc_vec(&xs).unwrap();
+    let y = eager.alloc_vec(&ys).unwrap();
+    let t = eager.alloc_associated(x, DataType::Int32).unwrap();
+    let u = eager.alloc_associated(x, DataType::Int32).unwrap();
+    eager.add(x, y, t).unwrap();
+    eager.xor(t, x, u).unwrap();
+    eager.sub(u, y, t).unwrap();
+    eager.max(t, x, u).unwrap();
+    let want_t: Vec<i32> = eager.to_vec(t).unwrap();
+    let want_u: Vec<i32> = eager.to_vec(u).unwrap();
+
+    let cfg = DeviceConfig::new(PimTarget::BankLevel, 1).with_shards(3);
+    let mut dev = Device::new(cfg).unwrap();
+    let x = dev.alloc_vec(&xs).unwrap();
+    let y = dev.alloc_vec(&ys).unwrap();
+    let t = dev.alloc_associated(x, DataType::Int32).unwrap();
+    let u = dev.alloc_associated(x, DataType::Int32).unwrap();
+    let mut stream = dev.stream();
+    stream.add(x, y, t).xor(t, x, u).sub(u, y, t).max(t, x, u);
+    let summary = stream.flush().unwrap();
+    drop(stream);
+    assert_eq!(summary.batched_commands, 4);
+    assert_eq!(dev.to_vec::<i32>(t).unwrap(), want_t);
+    assert_eq!(dev.to_vec::<i32>(u).unwrap(), want_u);
+}
+
+#[test]
+fn misaligned_select_condition_is_realigned_across_shards() {
+    // A select whose condition has a different dtype gets a different
+    // elems-per-unit on horizontal targets, so its shard map need not
+    // match the operands': the realign path must gather/re-deal it and
+    // charge the traffic to the interconnect ledger.
+    let n = 300usize;
+    let (xs, ys) = data::<i32>(n, 0x5E1EC7);
+    let cond: Vec<i8> = (0..n).map(|i| (i % 3 == 0) as i8).collect();
+    let want: Vec<i32> = cond
+        .iter()
+        .zip(xs.iter().zip(ys.iter()))
+        .map(|(&c, (&a, &b))| if c != 0 { a } else { b })
+        .collect();
+
+    for shards in [1usize, 4] {
+        let cfg = DeviceConfig::new(PimTarget::Fulcrum, 1).with_shards(shards);
+        let mut dev = Device::new(cfg).unwrap();
+        let x = dev.alloc_vec(&xs).unwrap();
+        let y = dev.alloc_vec(&ys).unwrap();
+        let c = dev.alloc_vec(&cond).unwrap();
+        let out = dev.alloc_associated(x, DataType::Int32).unwrap();
+        dev.select(c, x, y, out).unwrap();
+        assert_eq!(dev.to_vec::<i32>(out).unwrap(), want, "shards={shards}");
+        if shards > 1 && dev.system().shard_count() > 1 {
+            let maps_differ = dev.system().shard_map(c) != dev.system().shard_map(x);
+            if maps_differ {
+                assert!(
+                    dev.stats().interconnect.realign_bytes > 0,
+                    "misaligned cond produced no realign traffic"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn model_only_mode_runs_sharded_with_identical_cost() {
+    // ModelOnly devices carry no functional state; the sharded cost
+    // model must still agree with the unsharded one.
+    let run = |shards: usize| {
+        let cfg = DeviceConfig::new(PimTarget::BitSerial, 1)
+            .model_only()
+            .with_shards(shards);
+        let mut dev = Device::new(cfg).unwrap();
+        let x = dev.alloc(4096, DataType::Int32).unwrap();
+        let y = dev.alloc_associated(x, DataType::Int32).unwrap();
+        dev.add(x, y, y).unwrap();
+        dev.mul(x, y, y).unwrap();
+        let _ = dev.red_sum(y).unwrap();
+        (dev.stats().kernel_time_ms(), dev.stats().total_ops())
+    };
+    let (base_ms, base_ops) = run(1);
+    let (ms, ops) = run(4);
+    assert_eq!(ops, base_ops);
+    assert!(close(ms, base_ms, 1e-12), "model-only {ms} != {base_ms}");
+}
+
+#[test]
+fn per_rank_sharding_tracks_rank_count_in_resource_stats() {
+    let cfg = DeviceConfig::new(PimTarget::Fulcrum, 4).sharded_per_rank();
+    let mut dev = Device::new(cfg).unwrap();
+    let shards = dev.system().shard_count() as u64;
+    assert!((1..=4).contains(&shards));
+    let x = dev.alloc_vec(&[1i64, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+    let r = &dev.stats().resources;
+    assert_eq!(r.shards, shards);
+    if shards > 1 {
+        assert_eq!(r.per_shard.len(), shards as usize);
+        let in_use: u64 = r.per_shard.iter().map(|s| s.rows_in_use).sum();
+        assert_eq!(in_use, r.rows_in_use);
+        assert!(r.per_shard.iter().any(|s| s.rows_in_use > 0));
+    }
+    assert_eq!(dev.to_vec::<i64>(x).unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    // The Listing-3 report carries the interconnect + shard section.
+    assert!(dev.report().contains("Resource"));
+}

@@ -79,17 +79,30 @@ impl DramTiming {
         beats as f64 * self.t_ccd_ns
     }
 
+    /// Sustained bandwidth of the DDR channel serving one rank (GB/s).
+    ///
+    /// PIMeval treats every rank as an independent channel (documented
+    /// limitation in §V-C of the paper), so per-rank and per-channel
+    /// bandwidth coincide. The interconnect model charges per-shard
+    /// scatter/gather traffic at this rate.
+    pub fn channel_bandwidth_gbs(&self) -> f64 {
+        self.rank_bandwidth_gbs
+    }
+
+    /// Time to move `bytes` over one rank's DDR channel, in ms.
+    pub fn channel_transfer_ms(&self, bytes: u64) -> f64 {
+        // bytes / (GB/s) = ns when GB is 1e9 bytes; convert to ms.
+        bytes as f64 / self.channel_bandwidth_gbs() / 1e6
+    }
+
     /// Time to copy `bytes` between host and the PIM module using
     /// `ranks` independently-operating ranks, in ms.
     ///
-    /// PIMeval treats every rank as an independent channel (documented
-    /// limitation in §V-C of the paper), so aggregate bandwidth is
-    /// `ranks × rank_bandwidth_gbs`.
+    /// Aggregate bandwidth is `ranks × rank_bandwidth_gbs` (each rank
+    /// rides its own channel; see [`DramTiming::channel_bandwidth_gbs`]).
     pub fn host_copy_ms(&self, bytes: u64, ranks: usize) -> f64 {
         debug_assert!(ranks > 0, "copy requires at least one rank");
-        let gbs = self.rank_bandwidth_gbs * ranks.max(1) as f64;
-        // bytes / (GB/s) = ns when GB is 1e9 bytes; convert to ms.
-        bytes as f64 / gbs / 1e6
+        self.channel_transfer_ms(bytes) / ranks.max(1) as f64
     }
 }
 
