@@ -9,6 +9,12 @@ use pimeval::trace::json::{num, stats_to_json, string};
 
 use crate::SuiteRecord;
 
+/// Version of the `BENCH_parallel.json` document layout written by
+/// [`parallel_runs_to_json`]. Bumped only on breaking changes; additive
+/// fields keep the same version, and consumers (`bench_regress`, the
+/// golden-results CI diff) must tolerate fields they do not know.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
 /// Renders one run record as a JSON object, embedding the full
 /// Listing-3 statistics plus the baseline comparisons the figures plot.
 pub fn record_to_json(r: &SuiteRecord) -> String {
@@ -261,7 +267,8 @@ pub fn parallel_runs_to_json(
     let compared: Vec<String> = stream.iter().map(StreamVsEager::to_json).collect();
     let scaled: Vec<String> = rank_scaling.iter().map(RankScalingRun::to_json).collect();
     format!(
-        "{{\"threads_default\":{},\"runs\":[\n{}\n],\"speedups\":[{}],\
+        "{{\"schema_version\":{BENCH_SCHEMA_VERSION},\
+         \"threads_default\":{},\"runs\":[\n{}\n],\"speedups\":[{}],\
          \"stream_vs_eager\":[\n{}\n],\"rank_scaling\":[\n{}\n]}}\n",
         default_threads,
         measured.join(",\n"),
@@ -327,6 +334,10 @@ mod tests {
         ];
         let json = parallel_runs_to_json(8, &runs, &[], &[]);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("schema_version").unwrap().as_f64().unwrap() as u32,
+            BENCH_SCHEMA_VERSION
+        );
         assert_eq!(
             doc.get("threads_default").unwrap().as_f64().unwrap() as usize,
             8

@@ -212,6 +212,14 @@ pub struct DeviceConfig {
     pub shards: usize,
     /// Element-partitioning policy across shards.
     pub shard_policy: ShardPolicy,
+    /// Record aggregate metrics (counters, gauges, latency/size
+    /// histograms) into a [`crate::MetricsRegistry`] on every charge.
+    /// `false` (the default) keeps the hot path instrument-free.
+    pub metrics: bool,
+    /// Additionally retain raw occupancy spans so metrics snapshots
+    /// carry time-binned per-shard utilization series. Implies
+    /// [`DeviceConfig::metrics`].
+    pub profile: bool,
 }
 
 impl DeviceConfig {
@@ -227,7 +235,25 @@ impl DeviceConfig {
             decimation: 1,
             shards: 1,
             shard_policy: ShardPolicy::Contiguous,
+            metrics: false,
+            profile: false,
         }
+    }
+
+    /// Enables the metrics registry (aggregate instruments only).
+    #[must_use]
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
+    /// Enables the metrics registry *and* the utilization profiler
+    /// (time-binned per-shard occupancy series in every snapshot).
+    #[must_use]
+    pub fn with_profile(mut self) -> Self {
+        self.metrics = true;
+        self.profile = true;
+        self
     }
 
     /// Switches to model-only simulation (no backing data).

@@ -17,6 +17,7 @@ use crate::cmd::{self, CmdValue, CommandStream, FlushSummary, PimCommand};
 use crate::config::{DeviceConfig, PimTarget, SimMode};
 use crate::dtype::{DataType, PimScalar};
 use crate::error::{PimError, Result};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::model::{self, OpCost};
 use crate::object::{ObjId, PimObject};
 use crate::ops::OpKind;
@@ -52,6 +53,7 @@ pub struct Device {
     system: PimSystem,
     stats: SimStats,
     tracer: Tracer,
+    metrics: Option<Box<MetricsRegistry>>,
 }
 
 impl Device {
@@ -74,11 +76,15 @@ impl Device {
             config.geometry.ranks,
             system.shard_count()
         );
+        let metrics = config
+            .metrics
+            .then(|| Box::new(MetricsRegistry::new(system.shard_count(), config.profile)));
         let mut dev = Device {
             config,
             system,
             stats: SimStats::new(),
             tracer: Tracer::default(),
+            metrics,
         };
         dev.sync_resources();
         Ok(dev)
@@ -184,6 +190,9 @@ impl Device {
     /// Adds modeled host-side execution time (PIM + Host benchmarks).
     pub fn record_host_ms(&mut self, ms: f64) {
         self.stats.record_host_ms(ms);
+        if let Some(m) = &mut self.metrics {
+            m.record_host(ms);
+        }
         if self.tracer.enabled() {
             let start_ms = self.tracer.advance(ms);
             self.tracer.emit(TraceEvent::HostPhase {
@@ -239,6 +248,58 @@ impl Device {
     /// A copy of the recorded trace without draining it.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
         self.tracer.events()
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// Enables the metrics registry on an already-created device (see
+    /// [`DeviceConfig::with_metrics`] for enabling at construction).
+    /// With `profile` the registry additionally retains occupancy spans
+    /// for the time-binned utilization series. Replaces any existing
+    /// registry, so instruments restart from zero.
+    pub fn enable_metrics(&mut self, profile: bool) {
+        self.metrics = Some(Box::new(MetricsRegistry::new(
+            self.system.shard_count(),
+            profile,
+        )));
+    }
+
+    /// True when a metrics registry is recording.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// Freezes the metrics registry into a [`MetricsSnapshot`] (see
+    /// [`MetricsRegistry::snapshot`] for the deterministic-merge
+    /// contract). `None` when metrics are disabled. The snapshot also
+    /// carries the tracer's dropped-event count.
+    pub fn metrics_snapshot(&mut self) -> Option<MetricsSnapshot> {
+        let dropped = self.tracer.dropped();
+        let shards = self.system.shards();
+        let m = self.metrics.as_mut()?;
+        if dropped > 0 {
+            m.record_trace_dropped(dropped);
+        }
+        // Summarize each shard sub-ledger's kernel-busy share of the
+        // run (modeled quantities, so this stays deterministic).
+        if shards.len() > 1 {
+            let window = m.clock_ms();
+            for (i, shard) in shards.iter().enumerate() {
+                let frac = shard.stats().busy_fraction(window);
+                if let Some(set) = m.shard_instruments(i) {
+                    set.gauge_set("kernel_busy_fraction", frac);
+                }
+            }
+        }
+        Some(m.snapshot())
+    }
+
+    /// Events the ring-buffer trace recorder has overwritten so far (0
+    /// when tracing is off or routed to a custom sink).
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
     }
 
     fn emit_device_created(&mut self) {
@@ -390,6 +451,9 @@ impl Device {
             .record_copy(bytes, direction.code(), time_ms, energy_mj);
         self.system
             .distribute_copy(obj, direction.code(), bytes, time_ms, energy_mj);
+        if let Some(m) = &mut self.metrics {
+            m.record_copy(direction.label(), bytes, time_ms, energy_mj);
+        }
         pim_debug!(
             "copy {}: {bytes} bytes in {time_ms:.6} ms",
             direction.label()
@@ -433,6 +497,9 @@ impl Device {
         ic.transfers += 1;
         ic.time_ms += time_ms;
         ic.energy_mj += energy_mj;
+        if let Some(m) = &mut self.metrics {
+            m.record_interconnect(kind, tot_b, time_ms, energy_mj);
+        }
         if self.tracer.enabled() {
             let at_ms = self.tracer.clock_ms();
             self.tracer.emit(TraceEvent::Interconnect {
@@ -571,6 +638,16 @@ impl Device {
                 cores_used: layout.cores_used,
                 micro,
             });
+        }
+        if let Some(m) = &mut self.metrics {
+            let shares = self.system.shard_time_shares(costed_on, cost.time_ms);
+            m.record_cmd(
+                &name,
+                kind.category().label(),
+                cost.time_ms,
+                cost.energy_mj,
+                &shares,
+            );
         }
         self.system
             .distribute_cmd(costed_on, &name, kind.category(), cost);
@@ -744,6 +821,9 @@ impl Device {
             self.stats.record_copy(bytes, 2, 0.0, 0.0);
             self.system
                 .distribute_copy(command.inputs[0], 2, bytes, 0.0, 0.0);
+            if let Some(m) = &mut self.metrics {
+                m.record_copy(CopyDirection::DeviceToDevice.label(), bytes, 0.0, 0.0);
+            }
             if self.tracer.enabled() {
                 let start_ms = self.tracer.clock_ms();
                 self.tracer.emit(TraceEvent::Copy {
@@ -814,6 +894,9 @@ impl Device {
         f.dead_writes_eliminated += summary.dead_writes_eliminated;
         f.batched_sweeps += summary.batched_sweeps;
         f.batched_commands += summary.batched_commands;
+        if let Some(m) = &mut self.metrics {
+            m.record_flush();
+        }
         pim_debug!(
             "stream flush: {} recorded -> {} executed ({} fused, {} dead)",
             summary.recorded,
@@ -1249,6 +1332,16 @@ impl Device {
                 cores_used: layout.cores_used,
                 micro: None,
             });
+        }
+        if let Some(m) = &mut self.metrics {
+            let shares = self.system.shard_time_shares(a, cost.time_ms);
+            m.record_cmd(
+                &name,
+                OpKind::RedSum.category().label(),
+                cost.time_ms,
+                cost.energy_mj,
+                &shares,
+            );
         }
         self.system
             .distribute_cmd(a, &name, OpKind::RedSum.category(), cost);

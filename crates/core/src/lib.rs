@@ -59,6 +59,7 @@ pub mod config;
 pub mod device;
 pub mod dtype;
 pub mod error;
+pub mod metrics;
 pub mod model;
 pub mod object;
 pub mod ops;
@@ -72,6 +73,10 @@ pub use config::{DeviceConfig, PeParams, PimTarget, ShardPolicy, SimMode};
 pub use device::Device;
 pub use dtype::{DataType, PimScalar};
 pub use error::{PimError, Result};
+pub use metrics::{
+    Histogram, HistogramSnapshot, InstrumentSet, InstrumentsSnapshot, MetricsRegistry,
+    MetricsSnapshot, ProfileSnapshot,
+};
 pub use model::{target_model, OpCost, TargetModel};
 pub use object::{DataLayout, ObjId, ObjectLayout, PimObject};
 pub use ops::{OpCategory, OpKind};

@@ -234,6 +234,18 @@ impl SimStats {
         self.cmds.values().map(|c| c.energy_mj).sum()
     }
 
+    /// This ledger's kernel-busy share of a `window_ms`-long window,
+    /// clamped to `[0, 1]` (0 for an empty window). Used by the metrics
+    /// subsystem to summarize each shard sub-ledger's utilization
+    /// against the whole run.
+    pub fn busy_fraction(&self, window_ms: f64) -> f64 {
+        if window_ms <= 0.0 {
+            0.0
+        } else {
+            (self.kernel_time_ms() / window_ms).clamp(0.0, 1.0)
+        }
+    }
+
     /// Total op invocations.
     pub fn total_ops(&self) -> u64 {
         self.cmds.values().map(|c| c.count).sum()

@@ -1064,6 +1064,43 @@ impl PimSystem {
         }
     }
 
+    /// Each shard's proportional share of a `time_ms`-long command on
+    /// `costed`, as `(shard, share_ms)` pairs in ascending shard order —
+    /// the same split [`PimSystem::distribute_cmd`] ledgers (last
+    /// non-empty shard absorbs the rounding remainder). Empty on
+    /// single-shard devices or unmapped objects, so callers fall back
+    /// to whole-device attribution.
+    pub(crate) fn shard_time_shares(&self, costed: ObjId, time_ms: f64) -> Vec<(usize, f64)> {
+        if self.shards.len() <= 1 {
+            return Vec::new();
+        }
+        let Some(map) = self.maps.get(&costed.0) else {
+            return Vec::new();
+        };
+        let total: u64 = map.counts.iter().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let Some(last) = map.counts.iter().rposition(|&c| c > 0) else {
+            return Vec::new();
+        };
+        let mut shares = Vec::new();
+        let mut acc = 0.0f64;
+        for (s, &c) in map.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let t = if s == last {
+                (time_ms - acc).max(0.0)
+            } else {
+                time_ms * (c as f64 / total as f64)
+            };
+            acc += t;
+            shares.push((s, t));
+        }
+        shares
+    }
+
     /// Critical-path and total byte loads of scattering/gathering `id`:
     /// `(busiest shard's bytes, all bytes)`.
     pub(crate) fn shard_byte_split(&self, id: ObjId) -> (u64, u64) {

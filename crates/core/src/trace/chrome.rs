@@ -13,6 +13,7 @@ use std::path::Path;
 
 use super::json::{num, string};
 use super::{TraceEvent, Tracer};
+use crate::metrics::MetricsSnapshot;
 
 /// Thread id used for PIM command spans.
 const TID_CMDS: u32 = 1;
@@ -56,6 +57,47 @@ impl ChromeTraceBuilder {
         }
         for event in events {
             self.entries.push(render(pid, event));
+        }
+    }
+
+    /// Adds a metrics snapshot's profiler series as Perfetto *counter
+    /// tracks* (`ph: "C"`) in a new process named `label`: one
+    /// "shard busy" counter with one series per shard (busy fraction
+    /// per time bin) and one "interconnect bytes" counter. A no-op when
+    /// the snapshot carries no profile (profiling disabled or an empty
+    /// run).
+    pub fn add_counter_tracks(&mut self, label: &str, snapshot: &MetricsSnapshot) {
+        let Some(profile) = &snapshot.profile else {
+            return;
+        };
+        if profile.bins == 0 {
+            return;
+        }
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.entries.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            string(label)
+        ));
+        for bin in 0..profile.bins {
+            let ts = us(bin as f64 * profile.bin_ms);
+            let series: Vec<String> = profile
+                .shard_busy
+                .iter()
+                .enumerate()
+                .map(|(shard, bins)| format!("\"shard{shard}\":{}", num(bins[bin])))
+                .collect();
+            self.entries.push(format!(
+                "{{\"name\":\"shard busy\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{{}}}}}",
+                series.join(",")
+            ));
+            self.entries.push(format!(
+                "{{\"name\":\"interconnect bytes\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\
+                 \"tid\":0,\"args\":{{\"bytes\":{}}}}}",
+                profile.interconnect_bytes[bin]
+            ));
         }
     }
 
@@ -241,6 +283,16 @@ fn render(pid: u32, event: &TraceEvent) -> String {
             num(*time_ms),
             num(*energy_mj)
         ),
+        TraceEvent::Dropped {
+            at_ms,
+            dropped,
+            capacity,
+        } => format!(
+            "{{\"name\":\"trace events dropped\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"p\",\
+             \"ts\":{},\"pid\":{pid},\"tid\":{TID_CMDS},\
+             \"args\":{{\"dropped\":{dropped},\"capacity\":{capacity}}}}}",
+            us(*at_ms)
+        ),
     }
 }
 
@@ -288,5 +340,27 @@ mod tests {
         assert_eq!(cmd.get("ph").unwrap().as_str(), Some("X"));
         assert_eq!(cmd.get("ts").unwrap().as_f64(), Some(500.0));
         assert_eq!(cmd.get("dur").unwrap().as_f64(), Some(1250.0));
+    }
+
+    #[test]
+    fn counter_tracks_render_per_bin_series() {
+        use crate::metrics::{MetricsRegistry, DEFAULT_PROFILE_BINS};
+        let mut r = MetricsRegistry::new(2, true);
+        r.record_cmd("add.int32", "add", 4.0, 0.1, &[(0, 3.0), (1, 1.0)]);
+        r.record_interconnect("scatter", 256, 0.05, 0.001);
+        let snap = r.snapshot();
+        let mut b = ChromeTraceBuilder::new();
+        b.add_counter_tracks("metrics", &snap);
+        let doc = Json::parse(&b.finish()).unwrap();
+        let entries = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 process_name + 2 counters per bin.
+        assert_eq!(entries.len(), 1 + 2 * DEFAULT_PROFILE_BINS);
+        let busy = entries
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("shard busy"))
+            .unwrap();
+        assert_eq!(busy.get("ph").unwrap().as_str(), Some("C"));
+        assert!(busy.get("args").unwrap().get("shard0").is_some());
+        assert!(busy.get("args").unwrap().get("shard1").is_some());
     }
 }

@@ -9,7 +9,13 @@
 use std::collections::BTreeMap;
 
 use crate::config::DeviceConfig;
+use crate::metrics::MetricsSnapshot;
 use crate::stats::SimStats;
+
+/// Version stamp of the stats-JSON layout. Bumped on any
+/// field-removing or field-renaming change; purely additive fields do
+/// not bump it (consumers must tolerate unknown keys).
+pub const STATS_SCHEMA_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Writer helpers
@@ -56,10 +62,25 @@ pub fn num(v: f64) -> String {
 /// report: device parameters, copy statistics, the per-command table,
 /// category counts, and the derived totals.
 pub fn stats_to_json(stats: &SimStats, config: &DeviceConfig) -> String {
+    stats_to_json_full(stats, config, None, 0)
+}
+
+/// [`stats_to_json`] plus the observability extensions: a `"metrics"`
+/// section (when a [`MetricsSnapshot`] is supplied) and a `"trace"`
+/// section carrying the ring-buffer recorder's dropped-event count
+/// (when non-zero). Both sections are additive — consumers of the base
+/// schema keep parsing unchanged.
+pub fn stats_to_json_full(
+    stats: &SimStats,
+    config: &DeviceConfig,
+    metrics: Option<&MetricsSnapshot>,
+    trace_dropped: u64,
+) -> String {
     use std::fmt::Write as _;
     let g = &config.geometry;
     let mut out = String::with_capacity(1024);
     out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {STATS_SCHEMA_VERSION},");
     let _ = writeln!(out, "  \"target\": {},", string(&config.target.to_string()));
     let _ = writeln!(
         out,
@@ -162,6 +183,12 @@ pub fn stats_to_json(stats: &SimStats, config: &DeviceConfig) -> String {
         num(ic.time_ms),
         num(ic.energy_mj)
     );
+    if trace_dropped > 0 {
+        let _ = writeln!(out, "  \"trace\": {{\"dropped_events\": {trace_dropped}}},");
+    }
+    if let Some(m) = metrics {
+        let _ = writeln!(out, "  \"metrics\": {},", m.to_json());
+    }
     let _ = writeln!(
         out,
         "  \"totals\": {{\"total_ops\": {}, \"kernel_time_ms\": {}, \"kernel_energy_mj\": {}, \

@@ -2,9 +2,10 @@
 //! variable.
 //!
 //! `PIM_LOG` is read once per process and accepts `off`, `error`,
-//! `warn`, `info`, `debug`, or `trace` (case-insensitive; unset or
-//! unrecognized values mean `off`). Messages go to stderr so they never
-//! interleave with report/JSON output on stdout.
+//! `warn`, `info`, `debug`, or `trace` (case-insensitive and
+//! whitespace-tolerant; unset or unrecognized values mean `off`, with a
+//! one-time warning for unrecognized non-empty values). Messages go to
+//! stderr so they never interleave with report/JSON output on stdout.
 //!
 //! Use the [`pim_log!`](crate::pim_log) macro (or the level shorthands
 //! [`pim_info!`](crate::pim_info) etc.) so the format arguments are only
@@ -35,13 +36,17 @@ pub enum Level {
 
 impl Level {
     fn parse(s: &str) -> Level {
-        match s.to_ascii_lowercase().as_str() {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "" => Level::Off,
             "error" | "1" => Level::Error,
             "warn" | "warning" | "2" => Level::Warn,
             "info" | "3" => Level::Info,
             "debug" | "4" => Level::Debug,
             "trace" | "5" => Level::Trace,
-            _ => Level::Off,
+            other => {
+                warn_unrecognized(other);
+                Level::Off
+            }
         }
     }
 
@@ -56,6 +61,18 @@ impl Level {
             Level::Trace => "trace",
         }
     }
+}
+
+/// Warns once (per process) that `PIM_LOG` held an unrecognized level,
+/// instead of silently disabling logging.
+fn warn_unrecognized(value: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "[pim warn] unrecognized PIM_LOG level '{value}' \
+             (expected off|error|warn|info|debug|trace or 0-5); logging disabled"
+        );
+    });
 }
 
 static MAX_LEVEL: OnceLock<Level> = OnceLock::new();
@@ -137,6 +154,14 @@ mod tests {
         assert_eq!(Level::parse("3"), Level::Info);
         assert_eq!(Level::parse("nonsense"), Level::Off);
         assert_eq!(Level::parse(""), Level::Off);
+    }
+
+    #[test]
+    fn parse_tolerates_case_and_whitespace() {
+        assert_eq!(Level::parse("  Trace\n"), Level::Trace);
+        assert_eq!(Level::parse("WARNING"), Level::Warn);
+        assert_eq!(Level::parse(" OFF "), Level::Off);
+        assert_eq!(Level::parse("\t2 "), Level::Warn);
     }
 
     #[test]

@@ -235,6 +235,19 @@ pub enum TraceEvent {
         /// Modeled transfer energy (mJ).
         energy_mj: f64,
     },
+    /// Synthesized marker: the ring-buffer [`Recorder`] overwrote old
+    /// events after filling up. Prepended once per drain when the drop
+    /// count grew, at the timestamp of the oldest *retained* event, so
+    /// exports make the truncation visible instead of silently starting
+    /// mid-run.
+    Dropped {
+        /// Timestamp of the oldest event still held (ms).
+        at_ms: f64,
+        /// Events overwritten since recording started.
+        dropped: u64,
+        /// The recorder's ring capacity.
+        capacity: usize,
+    },
 }
 
 impl TraceEvent {
@@ -255,7 +268,8 @@ impl TraceEvent {
             | TraceEvent::Alloc { at_ms, .. }
             | TraceEvent::Free { at_ms, .. }
             | TraceEvent::StreamFlush { at_ms, .. }
-            | TraceEvent::Interconnect { at_ms, .. } => *at_ms,
+            | TraceEvent::Interconnect { at_ms, .. }
+            | TraceEvent::Dropped { at_ms, .. } => *at_ms,
             TraceEvent::Cmd { start_ms, .. }
             | TraceEvent::Copy { start_ms, .. }
             | TraceEvent::HostPhase { start_ms, .. } => *start_ms,
@@ -278,6 +292,7 @@ pub struct Recorder {
     capacity: usize,
     head: usize,
     dropped: u64,
+    dropped_reported: u64,
 }
 
 /// Default event capacity for [`Recorder::new`].
@@ -302,7 +317,18 @@ impl Recorder {
             capacity: capacity.max(1),
             head: 0,
             dropped: 0,
+            dropped_reported: 0,
         }
+    }
+
+    /// The synthesized [`TraceEvent::Dropped`] marker for the current
+    /// drop count, if any drops happened since the last drain.
+    fn drop_marker(&self, oldest: Option<&TraceEvent>) -> Option<TraceEvent> {
+        (self.dropped > self.dropped_reported).then(|| TraceEvent::Dropped {
+            at_ms: oldest.map(TraceEvent::timestamp_ms).unwrap_or(0.0),
+            dropped: self.dropped,
+            capacity: self.capacity,
+        })
     }
 
     /// Events dropped after the ring filled.
@@ -320,18 +346,28 @@ impl Recorder {
         self.events.is_empty()
     }
 
-    /// Drains the recorder, returning events oldest-first.
+    /// Drains the recorder, returning events oldest-first. If the ring
+    /// overwrote events since the last drain, a synthesized
+    /// [`TraceEvent::Dropped`] marker leads the result.
     pub fn take(&mut self) -> Vec<TraceEvent> {
         let mut out = self.events.split_off(self.head);
         out.append(&mut self.events);
         self.head = 0;
+        if let Some(marker) = self.drop_marker(out.first()) {
+            self.dropped_reported = self.dropped;
+            out.insert(0, marker);
+        }
         out
     }
 
-    /// The events oldest-first without draining.
+    /// The events oldest-first without draining, led by the same
+    /// [`TraceEvent::Dropped`] marker [`Recorder::take`] would emit.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
         let mut out: Vec<TraceEvent> = self.events[self.head..].to_vec();
         out.extend_from_slice(&self.events[..self.head]);
+        if let Some(marker) = self.drop_marker(out.first()) {
+            out.insert(0, marker);
+        }
         out
     }
 }
@@ -411,6 +447,15 @@ impl Tracer {
         }
     }
 
+    /// Events the built-in recorder has overwritten (0 for no-op or
+    /// custom sinks).
+    pub fn dropped(&self) -> u64 {
+        match &self.slot {
+            SinkSlot::Recorder(r) => r.dropped(),
+            _ => 0,
+        }
+    }
+
     /// Emits an instantaneous event at the current clock.
     pub fn emit(&mut self, event: TraceEvent) {
         match &mut self.slot {
@@ -446,8 +491,20 @@ mod tests {
             r.record(&cmd(i));
         }
         assert_eq!(r.dropped(), 6);
-        let ids: Vec<u64> = r
-            .take()
+        let events = r.take();
+        match &events[0] {
+            TraceEvent::Dropped {
+                at_ms,
+                dropped,
+                capacity,
+            } => {
+                assert_eq!(*dropped, 6);
+                assert_eq!(*capacity, 4);
+                assert_eq!(*at_ms, 6.0);
+            }
+            other => panic!("expected drop marker first, got {other:?}"),
+        }
+        let ids: Vec<u64> = events[1..]
             .iter()
             .map(|e| match e {
                 TraceEvent::Free { id, .. } => *id,
@@ -455,6 +512,29 @@ mod tests {
             })
             .collect();
         assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn drop_marker_emitted_once_per_drain() {
+        let mut r = Recorder::with_capacity(2);
+        for i in 0..5 {
+            r.record(&cmd(i));
+        }
+        assert!(matches!(r.snapshot()[0], TraceEvent::Dropped { .. }));
+        assert!(matches!(
+            r.take()[0],
+            TraceEvent::Dropped { dropped: 3, .. }
+        ));
+        // No new drops: the next drain has no marker.
+        r.record(&cmd(9));
+        assert!(matches!(r.take()[0], TraceEvent::Free { .. }));
+    }
+
+    #[test]
+    fn recorder_without_drops_has_no_marker() {
+        let mut r = Recorder::with_capacity(8);
+        r.record(&cmd(1));
+        assert_eq!(r.take().len(), 1);
     }
 
     #[test]

@@ -37,6 +37,147 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+pub mod pool {
+    //! Wall-clock occupancy hooks for the execution pool, behind a
+    //! zero-cost-when-disabled handle.
+    //!
+    //! With profiling disabled (the default) every fan-out pays exactly
+    //! one relaxed atomic load; no clocks are read and no locks taken.
+    //! With [`enable`]d profiling, each worker slot accumulates the
+    //! wall time it spent in chunk bodies, and the caller accumulates
+    //! the time it waited joining workers after finishing its own chunk
+    //! (idle/imbalance time).
+    //!
+    //! These are **wall-clock** quantities: unlike everything in
+    //! `pimeval::metrics` they vary run to run and across machines, so
+    //! exporters keep them in a separate, explicitly non-deterministic
+    //! section (`pimbench --profile` writes them under `"pool"`),
+    //! excluded from bit-identical snapshot comparisons.
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::time::Instant;
+
+    /// One worker slot's accumulated activity (slot 0 is the calling
+    /// thread; slots 1+ are spawned workers).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct WorkerSample {
+        /// Wall time spent executing chunk bodies (ns).
+        pub busy_ns: u128,
+        /// Chunks executed.
+        pub chunks: u64,
+    }
+
+    /// A copy of the pool's accumulated occupancy counters.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct PoolSnapshot {
+        /// Fan-outs that actually spawned workers.
+        pub fanouts: u64,
+        /// Loops that stayed on the calling thread (short input or one
+        /// worker configured).
+        pub sequential_runs: u64,
+        /// Wall time the caller spent joining workers after its own
+        /// chunk finished (ns) — the pool's imbalance/idle signal.
+        pub caller_wait_ns: u128,
+        /// Per-slot activity, indexed by worker slot.
+        pub workers: Vec<WorkerSample>,
+    }
+
+    impl PoolSnapshot {
+        /// Renders the snapshot as a JSON object (std-only writer).
+        pub fn to_json(&self) -> String {
+            let workers: Vec<String> = self
+                .workers
+                .iter()
+                .map(|w| format!("{{\"busy_ns\":{},\"chunks\":{}}}", w.busy_ns, w.chunks))
+                .collect();
+            format!(
+                "{{\"fanouts\":{},\"sequential_runs\":{},\"caller_wait_ns\":{},\
+                 \"workers\":[{}]}}",
+                self.fanouts,
+                self.sequential_runs,
+                self.caller_wait_ns,
+                workers.join(",")
+            )
+        }
+    }
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+
+    fn state() -> MutexGuard<'static, PoolSnapshot> {
+        static STATE: OnceLock<Mutex<PoolSnapshot>> = OnceLock::new();
+        STATE
+            .get_or_init(|| Mutex::new(PoolSnapshot::default()))
+            .lock()
+            .expect("pool profiling state poisoned")
+    }
+
+    /// Starts accumulating occupancy (process-wide).
+    pub fn enable() {
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops accumulating; counters keep their values until [`reset`].
+    pub fn disable() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    /// True while profiling is accumulating.
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Clears every counter.
+    pub fn reset() {
+        *state() = PoolSnapshot::default();
+    }
+
+    /// A copy of the current counters.
+    pub fn snapshot() -> PoolSnapshot {
+        state().clone()
+    }
+
+    pub(super) fn note_sequential() {
+        if enabled() {
+            state().sequential_runs += 1;
+        }
+    }
+
+    pub(super) fn note_fanout(workers: usize) {
+        let mut s = state();
+        s.fanouts += 1;
+        if s.workers.len() < workers {
+            s.workers.resize(workers, WorkerSample::default());
+        }
+    }
+
+    fn record_worker(slot: usize, busy_ns: u128) {
+        let mut s = state();
+        if s.workers.len() <= slot {
+            s.workers.resize(slot + 1, WorkerSample::default());
+        }
+        s.workers[slot].busy_ns += busy_ns;
+        s.workers[slot].chunks += 1;
+    }
+
+    pub(super) fn record_caller_wait(ns: u128) {
+        state().caller_wait_ns += ns;
+    }
+
+    /// Runs `f`, charging its wall time to worker `slot` when
+    /// `profiling` — callers hoist the enabled check out of the loop so
+    /// disabled runs never read a clock.
+    pub(super) fn timed<R>(profiling: bool, slot: usize, f: impl FnOnce() -> R) -> R {
+        if !profiling {
+            return f();
+        }
+        let t0 = Instant::now();
+        let out = f();
+        record_worker(slot, t0.elapsed().as_nanos());
+        out
+    }
+}
+
 /// Minimum elements per worker before a loop fans out. Below
 /// `2 × MIN_CHUNK` total elements everything runs on the calling thread.
 pub const MIN_CHUNK: usize = 8 * 1024;
@@ -133,22 +274,32 @@ pub fn par_chunks<R: Send>(len: usize, work: impl Fn(Range<usize>) -> R + Sync) 
     }
     let workers = workers_for(len);
     if workers <= 1 {
+        pool::note_sequential();
         return vec![work(0..len)];
+    }
+    let profiling = pool::enabled();
+    if profiling {
+        pool::note_fanout(workers);
     }
     let ranges = split(len, workers);
     let work = &work;
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges[1..]
             .iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(i, r)| {
                 let r = r.clone();
-                scope.spawn(move || work(r))
+                scope.spawn(move || pool::timed(profiling, i + 1, || work(r)))
             })
             .collect();
         let mut out = Vec::with_capacity(workers);
-        out.push(work(ranges[0].clone()));
+        out.push(pool::timed(profiling, 0, || work(ranges[0].clone())));
+        let wait0 = profiling.then(std::time::Instant::now);
         for h in handles {
             out.push(h.join().expect("PIM worker thread panicked"));
+        }
+        if let Some(t0) = wait0 {
+            pool::record_caller_wait(t0.elapsed().as_nanos());
         }
         out
     })
@@ -174,27 +325,36 @@ pub fn par_map_into<S: Sync, T: Send>(src: &[S], out: &mut [T], f: impl Fn(&S) -
     assert_eq!(src.len(), out.len(), "par_map_into length mismatch");
     let workers = workers_for(out.len());
     if workers <= 1 {
+        pool::note_sequential();
         for (o, s) in out.iter_mut().zip(src) {
             *o = f(s);
         }
         return;
+    }
+    let profiling = pool::enabled();
+    if profiling {
+        pool::note_fanout(workers);
     }
     let chunk = out.len().div_ceil(workers);
     let f = &f;
     std::thread::scope(|scope| {
         let mut pairs = out.chunks_mut(chunk).zip(src.chunks(chunk));
         let first = pairs.next();
-        for (oc, sc) in pairs {
+        for (slot, (oc, sc)) in pairs.enumerate() {
             scope.spawn(move || {
+                pool::timed(profiling, slot + 1, || {
+                    for (o, s) in oc.iter_mut().zip(sc) {
+                        *o = f(s);
+                    }
+                });
+            });
+        }
+        if let Some((oc, sc)) = first {
+            pool::timed(profiling, 0, || {
                 for (o, s) in oc.iter_mut().zip(sc) {
                     *o = f(s);
                 }
             });
-        }
-        if let Some((oc, sc)) = first {
-            for (o, s) in oc.iter_mut().zip(sc) {
-                *o = f(s);
-            }
         }
     });
 }
@@ -214,10 +374,15 @@ pub fn par_zip_map_into<A: Sync, B: Sync, T: Send>(
     assert_eq!(a.len(), out.len(), "par_zip_map_into length mismatch");
     let workers = workers_for(out.len());
     if workers <= 1 {
+        pool::note_sequential();
         for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
             *o = f(x, y);
         }
         return;
+    }
+    let profiling = pool::enabled();
+    if profiling {
+        pool::note_fanout(workers);
     }
     let chunk = out.len().div_ceil(workers);
     let f = &f;
@@ -227,17 +392,21 @@ pub fn par_zip_map_into<A: Sync, B: Sync, T: Send>(
             .zip(a.chunks(chunk))
             .zip(b.chunks(chunk));
         let first = triples.next();
-        for ((oc, ac), bc) in triples {
+        for (slot, ((oc, ac), bc)) in triples.enumerate() {
             scope.spawn(move || {
+                pool::timed(profiling, slot + 1, || {
+                    for ((o, x), y) in oc.iter_mut().zip(ac).zip(bc) {
+                        *o = f(x, y);
+                    }
+                });
+            });
+        }
+        if let Some(((oc, ac), bc)) = first {
+            pool::timed(profiling, 0, || {
                 for ((o, x), y) in oc.iter_mut().zip(ac).zip(bc) {
                     *o = f(x, y);
                 }
             });
-        }
-        if let Some(((oc, ac), bc)) = first {
-            for ((o, x), y) in oc.iter_mut().zip(ac).zip(bc) {
-                *o = f(x, y);
-            }
         }
     });
 }
@@ -260,10 +429,15 @@ pub fn par_zip3_map_into<A: Sync, B: Sync, C: Sync, T: Send>(
     assert_eq!(a.len(), out.len(), "par_zip3_map_into length mismatch");
     let workers = workers_for(out.len());
     if workers <= 1 {
+        pool::note_sequential();
         for (((o, x), y), z) in out.iter_mut().zip(a).zip(b).zip(c) {
             *o = f(x, y, z);
         }
         return;
+    }
+    let profiling = pool::enabled();
+    if profiling {
+        pool::note_fanout(workers);
     }
     let chunk = out.len().div_ceil(workers);
     let f = &f;
@@ -274,17 +448,21 @@ pub fn par_zip3_map_into<A: Sync, B: Sync, C: Sync, T: Send>(
             .zip(b.chunks(chunk))
             .zip(c.chunks(chunk));
         let first = quads.next();
-        for (((oc, ac), bc), cc) in quads {
+        for (slot, (((oc, ac), bc), cc)) in quads.enumerate() {
             scope.spawn(move || {
+                pool::timed(profiling, slot + 1, || {
+                    for (((o, x), y), z) in oc.iter_mut().zip(ac).zip(bc).zip(cc) {
+                        *o = f(x, y, z);
+                    }
+                });
+            });
+        }
+        if let Some((((oc, ac), bc), cc)) = first {
+            pool::timed(profiling, 0, || {
                 for (((o, x), y), z) in oc.iter_mut().zip(ac).zip(bc).zip(cc) {
                     *o = f(x, y, z);
                 }
             });
-        }
-        if let Some((((oc, ac), bc), cc)) = first {
-            for (((o, x), y), z) in oc.iter_mut().zip(ac).zip(bc).zip(cc) {
-                *o = f(x, y, z);
-            }
         }
     });
 }
@@ -409,5 +587,36 @@ mod tests {
         let caller = std::thread::current().id();
         let ids = with_thread_count(8, || par_chunks(100, |_| std::thread::current().id()));
         assert_eq!(ids, vec![caller]);
+    }
+
+    #[test]
+    fn pool_profiling_records_fanouts_and_workers() {
+        // Single test for all pool assertions: the enabled flag is
+        // process-global, so splitting these across tests would race
+        // under the parallel test harness. Other exec tests may run
+        // concurrently while profiling is on, so counts are asserted
+        // as lower bounds.
+        pool::reset();
+        pool::enable();
+        let len = 4 * MIN_CHUNK;
+        let parts = with_thread_count(4, || par_chunks(len, |r| r.len()));
+        assert_eq!(parts.iter().sum::<usize>(), len);
+        with_thread_count(1, || par_chunks(len, |r| r.len()));
+        let snap = pool::snapshot();
+        pool::disable();
+        assert!(snap.fanouts >= 1);
+        assert!(snap.sequential_runs >= 1);
+        assert!(snap.workers.len() >= 4);
+        assert!(snap.workers.iter().take(4).all(|w| w.chunks >= 1));
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"fanouts\":"));
+        assert!(json.contains("\"sequential_runs\":"));
+        assert!(json.contains("\"workers\":[{\"busy_ns\":"));
+
+        // Disabled runs record nothing, including the sequential path.
+        pool::reset();
+        with_thread_count(4, || par_chunks(len, |r| r.len()));
+        with_thread_count(1, || par_chunks(len, |r| r.len()));
+        assert_eq!(pool::snapshot(), pool::PoolSnapshot::default());
     }
 }

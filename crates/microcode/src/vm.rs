@@ -97,6 +97,8 @@ pub struct Vm<'a> {
     acc: i128,
     stats: Cost,
     last_run_cost: Cost,
+    row_sweeps: u64,
+    words_swept: u64,
 }
 
 impl<'a> Vm<'a> {
@@ -125,6 +127,8 @@ impl<'a> Vm<'a> {
             acc: 0,
             stats: Cost::default(),
             last_run_cost: Cost::default(),
+            row_sweeps: 0,
+            words_swept: 0,
         }
     }
 
@@ -171,6 +175,26 @@ impl<'a> Vm<'a> {
     /// (the delta the run added to [`Vm::stats`]). Zero before any run.
     pub fn last_run_cost(&self) -> Cost {
         self.last_run_cost
+    }
+
+    /// Total full-row activations swept across all `run` calls: one per
+    /// row a micro-op drives through the sense amplifiers (`Read`,
+    /// `Write`, and `Popcount` touch one row; `Aap`/`AapNot` two; `Tra`
+    /// three). Feeds the `metrics` row-sweep counters without being
+    /// part of [`Cost`], which stays the modeled-cost ledger.
+    pub fn row_sweeps(&self) -> u64 {
+        self.row_sweeps
+    }
+
+    /// Total 64-bit words moved by those row sweeps
+    /// (`row_sweeps × words_per_row`).
+    pub fn words_swept(&self) -> u64 {
+        self.words_swept
+    }
+
+    fn note_sweeps(&mut self, rows: u64) {
+        self.row_sweeps += rows;
+        self.words_swept += rows * self.sa.len() as u64;
     }
 
     fn resolve(&self, r: RowRef) -> Result<usize, VmError> {
@@ -263,12 +287,14 @@ impl<'a> Vm<'a> {
                 }
                 self.sa = v;
                 self.stats.row_reads += 1;
+                self.note_sweeps(1);
             }
             MicroOp::Write(r) => {
                 let row = self.resolve(r)?;
                 let sa = self.sa.clone();
                 self.mat.row_mut(row).copy_from_slice(&sa);
                 self.stats.row_writes += 1;
+                self.note_sweeps(1);
             }
             MicroOp::Set { dst, value } => {
                 let words = self.sa.len();
@@ -313,6 +339,7 @@ impl<'a> Vm<'a> {
                     self.mat.row_mut(d).copy_from_slice(&row);
                 }
                 self.stats.aap_ops += 1;
+                self.note_sweeps(2);
             }
             MicroOp::AapNot { src, dst } => {
                 let (s, d) = (self.resolve(src)?, self.resolve(dst)?);
@@ -322,6 +349,7 @@ impl<'a> Vm<'a> {
                 }
                 self.mat.row_mut(d).copy_from_slice(&row);
                 self.stats.aap_ops += 1;
+                self.note_sweeps(2);
             }
             MicroOp::Tra { a, b, c } => {
                 let (ra, rb, rc) = (self.resolve(a)?, self.resolve(b)?, self.resolve(c)?);
@@ -342,6 +370,7 @@ impl<'a> Vm<'a> {
                 self.mat.row_mut(rb).copy_from_slice(&maj);
                 self.mat.row_mut(rc).copy_from_slice(&maj);
                 self.stats.tra_ops += 1;
+                self.note_sweeps(3);
             }
             MicroOp::Popcount { row, shift, negate } => {
                 let abs_row = self.resolve(row)?;
@@ -373,6 +402,7 @@ impl<'a> Vm<'a> {
                     self.acc += term;
                 }
                 self.stats.popcount_reads += 1;
+                self.note_sweeps(1);
             }
         }
         Ok(())
@@ -431,6 +461,40 @@ mod tests {
         vm.bind(2, Region::new(64, 32));
         vm.run(&prog).unwrap();
         assert_eq!(*vm.stats(), prog.cost());
+    }
+
+    #[test]
+    fn row_sweeps_count_rows_touched() {
+        let mut mat = BitMatrix::new(16, 128); // 2 words per row
+        let prog = MicroProgram::new(
+            "s",
+            vec![
+                MicroOp::Read(RowRef::op(0, 0)),  // 1 sweep
+                MicroOp::Write(RowRef::op(0, 1)), // 1
+                MicroOp::Aap {
+                    src: RowRef::op(0, 0),
+                    dst: RowRef::op(0, 2),
+                }, // 2
+                MicroOp::Tra {
+                    a: RowRef::op(0, 0),
+                    b: RowRef::op(0, 1),
+                    c: RowRef::op(0, 2),
+                }, // 3
+                MicroOp::Popcount {
+                    row: RowRef::op(0, 0),
+                    shift: 0,
+                    negate: false,
+                }, // 1
+            ],
+            1,
+            0,
+        );
+        let mut vm = Vm::new(&mut mat, 1);
+        vm.bind(0, Region::new(0, 8));
+        assert_eq!(vm.row_sweeps(), 0);
+        vm.run(&prog).unwrap();
+        assert_eq!(vm.row_sweeps(), 8);
+        assert_eq!(vm.words_swept(), 8 * 2);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! pimbench [--bench <name>|all|extensions] [--target <t>|all]
-//!          [--ranks N] [--scale F] [--seed S] [--threads N] [--stream]
-//!          [--report] [--trace <file>] [--stats-json <file>]
+//!          [--ranks N] [--shards N] [--scale F] [--seed S] [--threads N]
+//!          [--stream] [--report] [--trace <file>] [--stats-json <file>]
+//!          [--metrics-json <file>] [--profile]
 //! ```
 //!
 //! Targets: `bitserial`, `fulcrum`, `bank`, `analog`, `upmem`, `all`
@@ -17,14 +18,24 @@
 //! statistics of every run. Set `PIM_LOG=info|debug|trace` for leveled
 //! diagnostics on stderr.
 //!
+//! `--metrics-json <file>` turns on the metrics registry and writes
+//! one deterministic snapshot per run (counters, gauges, latency
+//! histograms with p50/p90/p99, per-shard breakdowns). `--profile`
+//! additionally records the time-binned utilization profile — emitted
+//! as Perfetto counter tracks when combined with `--trace`, and as a
+//! `"profile"` section in the metrics JSON — plus a wall-clock
+//! execution-pool `"pool"` section (the one part of the output that is
+//! *not* run-to-run deterministic).
+//!
 //! `--threads N` pins the functional execution engine to N worker
 //! threads (results are bit-identical at any count); it overrides the
 //! `PIM_THREADS` environment variable, which in turn overrides the
 //! host's available parallelism.
 
 use pimbench::{all_benchmarks, extension_benchmarks, Benchmark, Params};
+use pimeval::metrics::METRICS_SCHEMA_VERSION;
 use pimeval::trace::chrome::ChromeTraceBuilder;
-use pimeval::trace::json::stats_to_json;
+use pimeval::trace::json::stats_to_json_full;
 use pimeval::{pim_info, Device, DeviceConfig, PimTarget};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,10 +44,13 @@ struct Cli {
     bench: String,
     targets: Vec<PimTarget>,
     ranks: usize,
+    shards: Option<usize>,
     params: Params,
     report: bool,
     trace: Option<PathBuf>,
     stats_json: Option<PathBuf>,
+    metrics_json: Option<PathBuf>,
+    profile: bool,
 }
 
 fn parse_target(s: &str) -> Option<Vec<PimTarget>> {
@@ -57,10 +71,13 @@ fn parse() -> Result<Cli, String> {
         bench: "all".into(),
         targets: PimTarget::ALL.to_vec(),
         ranks: 4,
+        shards: None,
         params: Params::default(),
         report: false,
         trace: None,
         stats_json: None,
+        metrics_json: None,
+        profile: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -81,6 +98,14 @@ fn parse() -> Result<Cli, String> {
             }
             "--ranks" => {
                 cli.ranks = need(i)?.parse().map_err(|e| format!("--ranks: {e}"))?;
+                i += 1;
+            }
+            "--shards" => {
+                let n: usize = need(i)?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                cli.shards = Some(n);
                 i += 1;
             }
             "--scale" => {
@@ -109,13 +134,19 @@ fn parse() -> Result<Cli, String> {
                 cli.stats_json = Some(PathBuf::from(need(i)?));
                 i += 1;
             }
+            "--metrics-json" => {
+                cli.metrics_json = Some(PathBuf::from(need(i)?));
+                i += 1;
+            }
+            "--profile" => cli.profile = true,
             "--help" | "-h" => {
                 println!(
                     "pimbench --bench <name>|all|extensions --target \
                      bitserial|fulcrum|bank|analog|upmem|all|extended \
-                     [--ranks N] [--scale F] [--seed S] [--threads N] \
+                     [--ranks N] [--shards N] [--scale F] [--seed S] [--threads N] \
                      [--stream] [--report] [--trace <file>] \
-                     [--stats-json <file>]"
+                     [--stats-json <file>] [--metrics-json <file>] \
+                     [--profile]"
                 );
                 std::process::exit(0);
             }
@@ -151,12 +182,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let want_metrics = cli.metrics_json.is_some() || cli.profile;
+    if cli.profile {
+        pimeval::exec::pool::enable();
+    }
     let mut failures = 0usize;
     let mut chrome = ChromeTraceBuilder::new();
     let mut stats_runs: Vec<String> = Vec::new();
+    let mut metrics_runs: Vec<String> = Vec::new();
     for target in &cli.targets {
         for bench in &benches {
-            let mut dev = match Device::new(DeviceConfig::new(*target, cli.ranks)) {
+            let mut config = DeviceConfig::new(*target, cli.ranks);
+            if let Some(shards) = cli.shards {
+                config = config.with_shards(shards);
+            }
+            let mut dev = match Device::new(config) {
                 Ok(d) => d,
                 Err(e) => {
                     eprintln!("error: cannot create device: {e}");
@@ -165,6 +205,9 @@ fn main() -> ExitCode {
             };
             if cli.trace.is_some() {
                 dev.enable_tracing();
+            }
+            if want_metrics {
+                dev.enable_metrics(cli.profile);
             }
             match bench.run(&mut dev, &cli.params) {
                 Ok(out) => {
@@ -181,16 +224,30 @@ fn main() -> ExitCode {
                     if cli.report {
                         println!("{}", dev.report());
                     }
+                    let label = format!("{} / {}", target, bench.spec().name);
+                    let snap = dev.metrics_snapshot();
                     if cli.trace.is_some() {
-                        let label = format!("{} / {}", target, bench.spec().name);
                         chrome.add_run(&label, &dev.take_trace());
+                        if let Some(snap) = &snap {
+                            chrome.add_counter_tracks(&label, snap);
+                        }
                     }
                     if cli.stats_json.is_some() {
                         stats_runs.push(format!(
                             "{{\"benchmark\":{},\"stats\":{}}}",
                             pimeval::trace::json::string(bench.spec().name),
-                            stats_to_json(s, dev.config())
+                            stats_to_json_full(s, dev.config(), snap.as_ref(), dev.trace_dropped())
                         ));
+                    }
+                    if cli.metrics_json.is_some() {
+                        if let Some(snap) = &snap {
+                            metrics_runs.push(format!(
+                                "{{\"benchmark\":{},\"target\":{},\"metrics\":{}}}",
+                                pimeval::trace::json::string(bench.spec().name),
+                                pimeval::trace::json::string(&target.to_string()),
+                                snap.to_json()
+                            ));
+                        }
                     }
                 }
                 Err(e) => {
@@ -214,6 +271,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         pim_info!("wrote stats JSON to {}", path.display());
+    }
+    if let Some(path) = &cli.metrics_json {
+        // The wall-clock pool section is appended only under --profile
+        // and is the single non-deterministic part of the document.
+        let pool = if cli.profile {
+            format!(",\"pool\":{}", pimeval::exec::pool::snapshot().to_json())
+        } else {
+            String::new()
+        };
+        let doc = format!(
+            "{{\"schema_version\":{},\"runs\":[\n{}\n]{}}}\n",
+            METRICS_SCHEMA_VERSION,
+            metrics_runs.join(",\n"),
+            pool
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: cannot write metrics {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        pim_info!("wrote metrics JSON to {}", path.display());
     }
     if failures > 0 {
         eprintln!("{failures} run(s) failed");
