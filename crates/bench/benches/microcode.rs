@@ -39,12 +39,22 @@ fn bench_vm() {
         let mut mat = BitMatrix::new(3 * bits as usize, cols);
         encode_vertical(&mut mat, 0, bits, &values);
         encode_vertical(&mut mat, bits as usize, bits, &values);
+        // `run` dispatches to the word-packed compiled kernel; the
+        // `(interp)` row forces the reference interpreter for contrast.
         bench_throughput(name, cols as u64, || {
             let mut vm = Vm::new(&mut mat, 3);
             vm.bind(0, Region::new(0, bits));
             vm.bind(1, Region::new(bits as usize, bits));
             vm.bind(2, Region::new(2 * bits as usize, bits));
             vm.run(&prog).unwrap();
+            vm.accumulator()
+        });
+        bench_throughput(&format!("{name} (interp)"), cols as u64, || {
+            let mut vm = Vm::new(&mut mat, 3);
+            vm.bind(0, Region::new(0, bits));
+            vm.bind(1, Region::new(bits as usize, bits));
+            vm.bind(2, Region::new(2 * bits as usize, bits));
+            vm.run_interpreted(&prog).unwrap();
             vm.accumulator()
         });
     }

@@ -90,6 +90,59 @@ fn engine_runs(threads: usize, out: &mut Vec<ParallelRun>) {
     });
 }
 
+/// Raw bit-serial VM throughput on compiled kernels: binds one matrix
+/// per program (regions sized from the kernel signature) and times
+/// `Vm::run`, which dispatches to the word-packed compiled path. One
+/// element per column, so throughput is columns per run.
+fn vm_kernel_runs(threads: usize, out: &mut Vec<ParallelRun>) {
+    use pim_dram::BitMatrix;
+    use pim_microcode::cache::{self, ProgKey};
+    use pim_microcode::gen::BinaryOp;
+    use pim_microcode::vm::{Region, Vm};
+
+    const COLS: usize = 1 << 20;
+    exec::with_thread_count(threads, || {
+        group(&format!(
+            "compiled VM kernels, {COLS} × int32 columns, {threads} thread(s)"
+        ));
+        for (name, key) in [
+            ("vm_add32", ProgKey::Binary(BinaryOp::Add, 32)),
+            ("vm_mul32", ProgKey::Binary(BinaryOp::Mul, 32)),
+            ("vm_red_sum32", ProgKey::RedSum(32, true)),
+        ] {
+            let prog = cache::program(key);
+            let sig = prog.kernel().signature().clone();
+            let slots = prog.operand_slots() as usize;
+            let slot_rows = |s: usize| -> u32 { sig.slot_rows.get(s).copied().unwrap_or(0).max(1) };
+            let temp_rows = prog.temp_rows().max(sig.temp_rows).max(1);
+            let total: u32 = (0..slots).map(slot_rows).sum::<u32>() + temp_rows;
+            let mut mat = BitMatrix::new(total as usize, COLS);
+            for (i, w) in mat.words_mut().iter_mut().enumerate() {
+                *w = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+            let mut vm = Vm::new(&mut mat, slots);
+            let mut base = 0usize;
+            for s in 0..slots {
+                vm.bind(s, Region::new(base, slot_rows(s)));
+                base += slot_rows(s) as usize;
+            }
+            vm.bind_temp(Region::new(base, temp_rows));
+            let m = bench_throughput(name, COLS as u64, || vm.run(&prog).unwrap());
+            assert!(
+                vm.last_run_compiled(),
+                "{name} fell back to the interpreter"
+            );
+            out.push(ParallelRun {
+                name: name.into(),
+                threads,
+                elems: COLS as u64,
+                mean_ns: m.mean.as_nanos(),
+                min_ns: m.min.as_nanos(),
+            });
+        }
+    });
+}
+
 /// Times the fusible pipelines eagerly and streamed. Wall-clock comes
 /// from the microbench loop; modeled cost from one instrumented pass of
 /// each variant (`reset_stats` between them so the kernel-time delta is
@@ -237,8 +290,10 @@ fn main() {
 
     let mut runs = Vec::new();
     engine_runs(1, &mut runs);
+    vm_kernel_runs(1, &mut runs);
     if default_threads > 1 {
         engine_runs(default_threads, &mut runs);
+        vm_kernel_runs(default_threads, &mut runs);
     } else {
         println!("\n(single-core host: skipping the multi-thread pass — speedups need a multi-core runner)");
     }

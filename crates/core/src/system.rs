@@ -655,10 +655,23 @@ impl PimSystem {
         }
         let rebuilt = &rebuilt;
         let dst_map = &dst_map;
+        // Steady-state ops write into the destination's existing buffer
+        // through the `par_*_into` primitives instead of allocating a
+        // fresh output per op — the dominant wall-clock cost at large
+        // element counts. When an input aliases the destination the
+        // buffer cannot be taken out from under the reads, so that
+        // (rare) shape keeps the allocate-then-swap path.
+        let aliased = inputs.contains(&dst);
         Self::on_shards(&mut self.shards, |s, shard| {
-            if dst_map.count_on(s) == 0 {
+            let n = dst_map.count_on(s) as usize;
+            if n == 0 {
                 return Ok(());
             }
+            let reuse = if aliased {
+                None
+            } else {
+                Some(shard.rm.get_mut(dst)?.data.take().unwrap_or_default())
+            };
             let out = {
                 let mut ins: Vec<&[i64]> = Vec::with_capacity(inputs.len());
                 for (j, &id) in inputs.iter().enumerate() {
@@ -672,22 +685,47 @@ impl PimSystem {
                             .expect("functional object has data"),
                     });
                 }
-                match *ins.as_slice() {
-                    [a] => exec::par_map(a, |&x| crate::cmd::eval(kind, dtype, &[x])),
-                    [a, b] => {
-                        exec::par_zip_map(a, b, |&x, &y| crate::cmd::eval(kind, dtype, &[x, y]))
+                match reuse {
+                    Some(mut buf) => {
+                        buf.resize(n, 0);
+                        match *ins.as_slice() {
+                            [a] => exec::par_map_into(a, &mut buf, |&x| {
+                                crate::cmd::eval(kind, dtype, &[x])
+                            }),
+                            [a, b] => exec::par_zip_map_into(a, b, &mut buf, |&x, &y| {
+                                crate::cmd::eval(kind, dtype, &[x, y])
+                            }),
+                            [a, b, c] => {
+                                exec::par_zip3_map_into(a, b, c, &mut buf, |&x, &y, &z| {
+                                    crate::cmd::eval(kind, dtype, &[x, y, z])
+                                })
+                            }
+                            [a, b, c, d] => {
+                                exec::par_zip4_map_into(a, b, c, d, &mut buf, |&x, &y, &z, &u| {
+                                    crate::cmd::eval(kind, dtype, &[x, y, z, u])
+                                })
+                            }
+                            _ => unreachable!("element-wise arity is 1..=4"),
+                        }
+                        buf
                     }
-                    [a, b, c] => exec::par_zip3_map(a, b, c, |&x, &y, &z| {
-                        crate::cmd::eval(kind, dtype, &[x, y, z])
-                    }),
-                    [a, b, c, d] => {
-                        let chunks = exec::par_chunks(a.len(), |r| {
-                            r.map(|i| crate::cmd::eval(kind, dtype, &[a[i], b[i], c[i], d[i]]))
-                                .collect::<Vec<i64>>()
-                        });
-                        chunks.concat()
-                    }
-                    _ => unreachable!("element-wise arity is 1..=4"),
+                    None => match *ins.as_slice() {
+                        [a] => exec::par_map(a, |&x| crate::cmd::eval(kind, dtype, &[x])),
+                        [a, b] => {
+                            exec::par_zip_map(a, b, |&x, &y| crate::cmd::eval(kind, dtype, &[x, y]))
+                        }
+                        [a, b, c] => exec::par_zip3_map(a, b, c, |&x, &y, &z| {
+                            crate::cmd::eval(kind, dtype, &[x, y, z])
+                        }),
+                        [a, b, c, d] => {
+                            let chunks = exec::par_chunks(a.len(), |r| {
+                                r.map(|i| crate::cmd::eval(kind, dtype, &[a[i], b[i], c[i], d[i]]))
+                                    .collect::<Vec<i64>>()
+                            });
+                            chunks.concat()
+                        }
+                        _ => unreachable!("element-wise arity is 1..=4"),
+                    },
                 }
             };
             shard.rm.get_mut(dst)?.data = Some(out);
@@ -708,15 +746,31 @@ impl PimSystem {
         let src_map = self.maps.get(&src.0).ok_or(PimError::UnknownObject(src))?;
         let dst_map = self.maps.get(&dst.0).ok_or(PimError::UnknownObject(dst))?;
         if src_map == dst_map {
-            if self.functional {
+            if self.functional && src != dst {
                 Self::on_shards(&mut self.shards, |_s, shard| {
-                    let data = match shard.rm.get(src) {
-                        Ok(obj) => obj.data.clone(),
-                        Err(_) => return Ok(()),
+                    // Reuse the destination's existing buffer: repeated
+                    // copies into the same object allocate nothing.
+                    let Ok(dst_obj) = shard.rm.get_mut(dst) else {
+                        return Ok(());
                     };
-                    if let Ok(obj) = shard.rm.get_mut(dst) {
-                        obj.data = data;
-                    }
+                    let mut buf = dst_obj.data.take().unwrap_or_default();
+                    let copied = match shard.rm.get(src) {
+                        Ok(obj) => match obj.data.as_deref() {
+                            Some(d) => {
+                                buf.resize(d.len(), 0);
+                                buf.copy_from_slice(d);
+                                true
+                            }
+                            None => false,
+                        },
+                        Err(_) => {
+                            // Source absent on this shard: restore the
+                            // destination untouched (pre-reuse semantics).
+                            shard.rm.get_mut(dst)?.data = Some(buf);
+                            return Ok(());
+                        }
+                    };
+                    shard.rm.get_mut(dst)?.data = copied.then_some(buf);
                     Ok(())
                 })?;
             }
@@ -764,7 +818,11 @@ impl PimSystem {
         Self::on_shards(&mut self.shards, |_s, shard| {
             if let Ok(obj) = shard.rm.get_mut(dst) {
                 let count = obj.count as usize;
-                obj.data = Some(vec![dtype.truncate(value); count]);
+                // Fill in place when a buffer already exists.
+                let mut buf = obj.data.take().unwrap_or_default();
+                buf.resize(count, 0);
+                buf.fill(dtype.truncate(value));
+                obj.data = Some(buf);
             }
             Ok(())
         })

@@ -152,6 +152,13 @@ pub mod pool {
     }
 
     fn record_worker(slot: usize, busy_ns: u128) {
+        // A fan-out can still be in flight when profiling is turned off
+        // and the counters reset; its workers captured `profiling` at
+        // spawn time, so without this gate their late records would
+        // resurrect stale samples into the freshly reset snapshot.
+        if !enabled() {
+            return;
+        }
         let mut s = state();
         if s.workers.len() <= slot {
             s.workers.resize(slot + 1, WorkerSample::default());
@@ -161,6 +168,10 @@ pub mod pool {
     }
 
     pub(super) fn record_caller_wait(ns: u128) {
+        // Same disable()+reset() race as record_worker.
+        if !enabled() {
+            return;
+        }
         state().caller_wait_ns += ns;
     }
 
@@ -467,6 +478,65 @@ pub fn par_zip3_map_into<A: Sync, B: Sync, C: Sync, T: Send>(
     });
 }
 
+/// `out[i] = f(&a[i], &b[i], &c[i], &d[i])` in parallel over disjoint
+/// chunks (the four-operand fused `cmp_select` shape).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn par_zip4_map_into<A: Sync, B: Sync, C: Sync, D: Sync, T: Send>(
+    a: &[A],
+    b: &[B],
+    c: &[C],
+    d: &[D],
+    out: &mut [T],
+    f: impl Fn(&A, &B, &C, &D) -> T + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "par_zip4_map_into length mismatch");
+    assert_eq!(a.len(), c.len(), "par_zip4_map_into length mismatch");
+    assert_eq!(a.len(), d.len(), "par_zip4_map_into length mismatch");
+    assert_eq!(a.len(), out.len(), "par_zip4_map_into length mismatch");
+    let workers = workers_for(out.len());
+    if workers <= 1 {
+        pool::note_sequential();
+        for ((((o, x), y), z), u) in out.iter_mut().zip(a).zip(b).zip(c).zip(d) {
+            *o = f(x, y, z, u);
+        }
+        return;
+    }
+    let profiling = pool::enabled();
+    if profiling {
+        pool::note_fanout(workers);
+    }
+    let chunk = out.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut quints = out
+            .chunks_mut(chunk)
+            .zip(a.chunks(chunk))
+            .zip(b.chunks(chunk))
+            .zip(c.chunks(chunk))
+            .zip(d.chunks(chunk));
+        let first = quints.next();
+        for (slot, ((((oc, ac), bc), cc), dc)) in quints.enumerate() {
+            scope.spawn(move || {
+                pool::timed(profiling, slot + 1, || {
+                    for ((((o, x), y), z), u) in oc.iter_mut().zip(ac).zip(bc).zip(cc).zip(dc) {
+                        *o = f(x, y, z, u);
+                    }
+                });
+            });
+        }
+        if let Some(((((oc, ac), bc), cc), dc)) = first {
+            pool::timed(profiling, 0, || {
+                for ((((o, x), y), z), u) in oc.iter_mut().zip(ac).zip(bc).zip(cc).zip(dc) {
+                    *o = f(x, y, z, u);
+                }
+            });
+        }
+    });
+}
+
 /// Parallel map into a fresh buffer.
 pub fn par_map<S: Sync, T: Send + Default + Clone>(
     src: &[S],
@@ -618,5 +688,18 @@ mod tests {
         with_thread_count(4, || par_chunks(len, |r| r.len()));
         with_thread_count(1, || par_chunks(len, |r| r.len()));
         assert_eq!(pool::snapshot(), pool::PoolSnapshot::default());
+
+        // Reset race: a fan-out captures `profiling` when it starts, so
+        // its workers and the caller-wait record can land *after* a
+        // disable()+reset(). Simulate such straggler records and assert
+        // they cannot resurrect counters into the fresh snapshot.
+        pool::reset();
+        pool::timed(true, 2, || std::hint::black_box(1 + 1));
+        pool::record_caller_wait(1_000_000);
+        assert_eq!(
+            pool::snapshot(),
+            pool::PoolSnapshot::default(),
+            "records from a pre-disable fan-out must be dropped once profiling is off"
+        );
     }
 }

@@ -115,8 +115,11 @@ pub fn program(key: ProgKey) -> Arc<MicroProgram> {
         return Arc::clone(p);
     }
     // Generate outside the lock: program construction can be expensive
-    // and must not serialize unrelated lookups.
+    // and must not serialize unrelated lookups. Compiling the
+    // word-packed kernel here (also outside the lock) means every VM
+    // that pulls a program from the cache runs it pre-compiled.
     let generated = Arc::new(key.generate());
+    generated.kernel();
     let mut map = store().lock().unwrap();
     if map.len() >= CACHE_CAP {
         map.clear();

@@ -1,0 +1,491 @@
+//! Word-packed compilation of bit-serial microprograms.
+//!
+//! The reference interpreter in [`crate::vm`] walks a [`MicroProgram`]
+//! op by op, re-resolving every [`RowRef`] through slot lookups and
+//! sweeping whole row vectors per micro-op. That is faithful but slow:
+//! per op it touches every word of the row once, and historically it
+//! also allocated fresh `Vec<u64>`s along the way.
+//!
+//! [`CompiledKernel`] is the SIMDRAM-style word-parallel formulation of
+//! the same program (see PAPERS.md): the program is lowered **once** at
+//! cache-insert time into a flat step list whose row references are
+//! interned into a dense row table, with all validation hoisted into a
+//! cheap per-run signature check, and adjacent micro-ops peephole-fused
+//! into compound bodies (the ubiquitous `Xnor`+`Xnor`+`Sel` full-adder
+//! triple, `Read`+`Move` operand loads, and `Read`+adder+`Write`
+//! accumulate sweeps). Execution then proceeds *columnar*: for each
+//! 64-bitline word column the whole straight-line program runs over
+//! scalar `u64` registers, so one pass over the matrix executes every
+//! op of the program with zero heap allocation and zero per-op
+//! bookkeeping.
+//!
+//! Columnar execution is exact because no micro-op communicates across
+//! word columns: every register/logic/row op is per-bitline, and the
+//! only cross-column state — the popcount accumulator — is a sum of
+//! per-column terms, accumulated here in the same `i128` domain where
+//! addition is exact and order-independent.
+
+use std::collections::HashMap;
+
+use pim_dram::BitMatrix;
+
+use crate::isa::{Loc, MicroOp, RowRef};
+use crate::program::{Cost, MicroProgram};
+
+/// Register-file indices for the columnar register window:
+/// `0 = SA, 1 = R0, 2 = R1, 3 = R2, 4 = R3`.
+const SA: usize = 0;
+
+fn loc_idx(loc: Loc) -> u8 {
+    match loc {
+        Loc::Sa => 0,
+        Loc::R0 => 1,
+        Loc::R1 => 2,
+        Loc::R2 => 3,
+        Loc::R3 => 4,
+    }
+}
+
+/// One step of a compiled kernel. Row operands are indices into the
+/// kernel's interned row table (resolved to absolute word offsets once
+/// per run), register operands are indices into the 5-word register
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KStep {
+    /// `SA = row & mask`.
+    Read { rid: u32 },
+    /// Fused `Read` + `Move {src: Sa, dst}`.
+    ReadMove { rid: u32, dst: u8 },
+    /// `row = SA`.
+    Write { rid: u32 },
+    /// `reg[dst] = fill & mask` (fill is all-zeros or all-ones).
+    Set { dst: u8, fill: u64 },
+    /// `reg[dst] = reg[src]`.
+    Move { src: u8, dst: u8 },
+    /// `reg[dst] = (reg[a] & reg[b]) & mask`.
+    And { a: u8, b: u8, dst: u8 },
+    /// `reg[dst] = !(reg[a] ^ reg[b]) & mask`.
+    Xnor { a: u8, b: u8, dst: u8 },
+    /// `reg[dst] = ((c & t) | (!c & f)) & mask`.
+    Sel { cond: u8, t: u8, f: u8, dst: u8 },
+    /// The fused `gen::Asm::full_adder` triple
+    /// (`Xnor(R1,SA→R3); Xnor(R3,R0→SA); Sel(R3,R1,R0→R0)`).
+    FullAdder,
+    /// Fused `Read` + [`KStep::FullAdder`].
+    ReadAdder { rid: u32 },
+    /// Fused `Read` + adder + `Write` of the *same* row — the inner
+    /// accumulate sweep of `mul`/`scaled_add` as one pass.
+    ReadAdderWrite { rid: u32 },
+    /// RowClone copy `dst_row = src_row` (unmasked, like the interpreter).
+    Aap { src: u32, dst: u32 },
+    /// Dual-contact-cell copy `dst_row = !src_row & mask`.
+    AapNot { src: u32, dst: u32 },
+    /// Triple-row activation: majority of three *distinct* rows written
+    /// back to all three. Distinctness is re-checked per run (it depends
+    /// on the bindings); violations fall back to the interpreter.
+    Tra { a: u32, b: u32, c: u32 },
+    /// `acc ±= popcount(row & mask) << shift`.
+    Popcount { rid: u32, shift: u32, negate: bool },
+}
+
+/// The binding requirements a [`CompiledKernel`] places on a VM: how
+/// many rows each operand slot and the scratch region must provide.
+/// Binding-independent, so a program compiles once and the per-run
+/// check is O(slots).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelSignature {
+    /// Per operand slot: minimum region rows (max referenced bit + 1).
+    /// Zero means the slot is never referenced.
+    pub slot_rows: Vec<u32>,
+    /// Minimum scratch rows actually referenced (max temp index + 1).
+    pub temp_rows: u32,
+}
+
+/// A [`MicroProgram`] lowered to straight-line word-packed form. Built
+/// once per program (see [`MicroProgram::kernel`]), executed by
+/// [`crate::vm::Vm::run`] whenever the bindings satisfy the signature.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    steps: Vec<KStep>,
+    /// Interned row references, indexed by the `rid`/`src`/`dst` fields
+    /// of [`KStep`].
+    rows: Vec<RowRef>,
+    sig: KernelSignature,
+    /// Row-table index triples of every `Tra`, for the per-run
+    /// distinctness check.
+    tra_triples: Vec<[u32; 3]>,
+    /// The program's modeled cost (identical to [`MicroProgram::cost`]).
+    cost: Cost,
+    /// Total row sweeps the program performs (see [`crate::vm::Vm::row_sweeps`]).
+    sweeps: u64,
+}
+
+impl CompiledKernel {
+    /// Lowers `program` into word-packed form. Infallible: compilation
+    /// is purely syntactic, all binding checks happen per run against
+    /// the [`KernelSignature`].
+    pub fn compile(program: &MicroProgram) -> Self {
+        let mut rows: Vec<RowRef> = Vec::new();
+        let mut interned: HashMap<RowRef, u32> = HashMap::new();
+        let mut slot_rows = vec![0u32; program.operand_slots() as usize];
+        let mut temp_rows = 0u32;
+        let mut intern = |r: RowRef| -> u32 {
+            *interned.entry(r).or_insert_with(|| {
+                rows.push(r);
+                match r {
+                    RowRef::Operand { operand, bit } => {
+                        if let Some(need) = slot_rows.get_mut(operand as usize) {
+                            *need = (*need).max(bit + 1);
+                        } else {
+                            // Reference beyond the declared slot count:
+                            // record an impossible requirement so the
+                            // signature never matches and the interpreter
+                            // reports the error.
+                            slot_rows.resize(operand as usize + 1, 0);
+                            slot_rows[operand as usize] = bit + 1;
+                        }
+                    }
+                    RowRef::Temp { index } => temp_rows = temp_rows.max(index + 1),
+                }
+                (rows.len() - 1) as u32
+            })
+        };
+
+        // 1. Lower each micro-op to one raw step.
+        let mut raw: Vec<KStep> = Vec::with_capacity(program.ops().len());
+        for &op in program.ops() {
+            raw.push(match op {
+                MicroOp::Read(r) => KStep::Read { rid: intern(r) },
+                MicroOp::Write(r) => KStep::Write { rid: intern(r) },
+                MicroOp::Set { dst, value } => KStep::Set {
+                    dst: loc_idx(dst),
+                    fill: if value { u64::MAX } else { 0 },
+                },
+                MicroOp::Move { src, dst } => KStep::Move {
+                    src: loc_idx(src),
+                    dst: loc_idx(dst),
+                },
+                MicroOp::And { a, b, dst } => KStep::And {
+                    a: loc_idx(a),
+                    b: loc_idx(b),
+                    dst: loc_idx(dst),
+                },
+                MicroOp::Xnor { a, b, dst } => KStep::Xnor {
+                    a: loc_idx(a),
+                    b: loc_idx(b),
+                    dst: loc_idx(dst),
+                },
+                MicroOp::Sel {
+                    cond,
+                    if_true,
+                    if_false,
+                    dst,
+                } => KStep::Sel {
+                    cond: loc_idx(cond),
+                    t: loc_idx(if_true),
+                    f: loc_idx(if_false),
+                    dst: loc_idx(dst),
+                },
+                MicroOp::Aap { src, dst } => KStep::Aap {
+                    src: intern(src),
+                    dst: intern(dst),
+                },
+                MicroOp::AapNot { src, dst } => KStep::AapNot {
+                    src: intern(src),
+                    dst: intern(dst),
+                },
+                MicroOp::Tra { a, b, c } => KStep::Tra {
+                    a: intern(a),
+                    b: intern(b),
+                    c: intern(c),
+                },
+                MicroOp::Popcount { row, shift, negate } => KStep::Popcount {
+                    rid: intern(row),
+                    shift,
+                    negate,
+                },
+            });
+        }
+
+        // 2. Peephole pass A: collapse the full-adder triple. The
+        //    register dataflow (R3 = t, SA = sum, R0 = carry) is
+        //    preserved exactly, so register state stays bit-identical
+        //    to the interpreter even mid-program.
+        let fa = [
+            KStep::Xnor { a: 2, b: 0, dst: 4 }, // xnor(R1, Sa)  -> R3
+            KStep::Xnor { a: 4, b: 1, dst: 0 }, // xnor(R3, R0)  -> Sa
+            KStep::Sel {
+                cond: 4,
+                t: 2,
+                f: 1,
+                dst: 1,
+            }, // sel(R3, R1, R0) -> R0
+        ];
+        let mut fused: Vec<KStep> = Vec::with_capacity(raw.len());
+        let mut i = 0;
+        while i < raw.len() {
+            if raw[i..].starts_with(&fa) {
+                fused.push(KStep::FullAdder);
+                i += 3;
+            } else {
+                fused.push(raw[i]);
+                i += 1;
+            }
+        }
+
+        // 3. Peephole pass B: fuse row traffic around the adder and
+        //    operand loads into single compound steps.
+        let mut steps: Vec<KStep> = Vec::with_capacity(fused.len());
+        let mut i = 0;
+        while i < fused.len() {
+            match (fused[i], fused.get(i + 1), fused.get(i + 2)) {
+                (KStep::Read { rid }, Some(KStep::FullAdder), Some(&KStep::Write { rid: w }))
+                    if w == rid =>
+                {
+                    steps.push(KStep::ReadAdderWrite { rid });
+                    i += 3;
+                }
+                (KStep::Read { rid }, Some(KStep::FullAdder), _) => {
+                    steps.push(KStep::ReadAdder { rid });
+                    i += 2;
+                }
+                (KStep::Read { rid }, Some(&KStep::Move { src: s, dst }), _)
+                    if s as usize == SA =>
+                {
+                    steps.push(KStep::ReadMove { rid, dst });
+                    i += 2;
+                }
+                (step, _, _) => {
+                    steps.push(step);
+                    i += 1;
+                }
+            }
+        }
+
+        let tra_triples = steps
+            .iter()
+            .filter_map(|s| match *s {
+                KStep::Tra { a, b, c } => Some([a, b, c]),
+                _ => None,
+            })
+            .collect();
+
+        let sweeps = program
+            .ops()
+            .iter()
+            .map(|op| match op {
+                MicroOp::Read(_) | MicroOp::Write(_) | MicroOp::Popcount { .. } => 1u64,
+                MicroOp::Aap { .. } | MicroOp::AapNot { .. } => 2,
+                MicroOp::Tra { .. } => 3,
+                _ => 0,
+            })
+            .sum();
+
+        CompiledKernel {
+            steps,
+            rows,
+            sig: KernelSignature {
+                slot_rows,
+                temp_rows,
+            },
+            tra_triples,
+            cost: program.cost(),
+            sweeps,
+        }
+    }
+
+    /// The binding requirements of this kernel.
+    pub fn signature(&self) -> &KernelSignature {
+        &self.sig
+    }
+
+    /// The interned row references, in `rid` order. The VM resolves
+    /// these against its bindings into `row_bases` for [`execute`].
+    ///
+    /// [`execute`]: CompiledKernel::execute
+    pub fn rows(&self) -> &[RowRef] {
+        &self.rows
+    }
+
+    /// Row-table index triples of every TRA step; the resolved rows of
+    /// each triple must be pairwise distinct for the kernel to run.
+    pub fn tra_triples(&self) -> &[[u32; 3]] {
+        &self.tra_triples
+    }
+
+    /// The modeled cost of one execution (equals [`MicroProgram::cost`]).
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Full-row sweeps one execution performs.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Compiled steps after fusion (always ≤ the micro-op count).
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Executes the kernel columnar over every word of the row span.
+    ///
+    /// `row_bases[rid]` must be the absolute *word* offset of the row
+    /// interned at `rid` (`row_index * words_per_row`), pre-validated
+    /// against the signature; `sa`/`regs` are the VM's register file
+    /// (read for initial state, updated with the final state), and
+    /// `acc` receives popcount terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `row_bases` entries were not
+    /// validated against the matrix — [`crate::vm::Vm::run`] checks the
+    /// signature first and falls back to the interpreter otherwise.
+    pub fn execute(
+        &self,
+        mat: &mut BitMatrix,
+        sa: &mut [u64],
+        regs: &mut [Vec<u64>; 4],
+        tail_mask: u64,
+        acc: &mut i128,
+        row_bases: &[usize],
+    ) {
+        let words = mat.words_per_row();
+        let bits = mat.words_mut();
+        let mut acc_delta = 0i128;
+        for w in 0..words {
+            let mask = if w + 1 == words { tail_mask } else { u64::MAX };
+            let mut r = [sa[w], regs[0][w], regs[1][w], regs[2][w], regs[3][w]];
+            for step in &self.steps {
+                match *step {
+                    KStep::Read { rid } => {
+                        r[SA] = bits[row_bases[rid as usize] + w] & mask;
+                    }
+                    KStep::ReadMove { rid, dst } => {
+                        r[SA] = bits[row_bases[rid as usize] + w] & mask;
+                        r[dst as usize] = r[SA];
+                    }
+                    KStep::Write { rid } => {
+                        bits[row_bases[rid as usize] + w] = r[SA];
+                    }
+                    KStep::Set { dst, fill } => {
+                        r[dst as usize] = fill & mask;
+                    }
+                    KStep::Move { src, dst } => {
+                        r[dst as usize] = r[src as usize] & mask;
+                    }
+                    KStep::And { a, b, dst } => {
+                        r[dst as usize] = (r[a as usize] & r[b as usize]) & mask;
+                    }
+                    KStep::Xnor { a, b, dst } => {
+                        r[dst as usize] = !(r[a as usize] ^ r[b as usize]) & mask;
+                    }
+                    KStep::Sel { cond, t, f, dst } => {
+                        let c = r[cond as usize];
+                        r[dst as usize] = ((c & r[t as usize]) | (!c & r[f as usize])) & mask;
+                    }
+                    KStep::FullAdder => {
+                        let (x, d, c) = (r[2], r[SA], r[1]);
+                        let t = !(x ^ d) & mask;
+                        r[4] = t;
+                        r[SA] = !(t ^ c) & mask;
+                        r[1] = ((t & x) | (!t & c)) & mask;
+                    }
+                    KStep::ReadAdder { rid } => {
+                        let d = bits[row_bases[rid as usize] + w] & mask;
+                        let (x, c) = (r[2], r[1]);
+                        let t = !(x ^ d) & mask;
+                        r[4] = t;
+                        r[SA] = !(t ^ c) & mask;
+                        r[1] = ((t & x) | (!t & c)) & mask;
+                    }
+                    KStep::ReadAdderWrite { rid } => {
+                        let base = row_bases[rid as usize] + w;
+                        let d = bits[base] & mask;
+                        let (x, c) = (r[2], r[1]);
+                        let t = !(x ^ d) & mask;
+                        r[4] = t;
+                        r[SA] = !(t ^ c) & mask;
+                        r[1] = ((t & x) | (!t & c)) & mask;
+                        bits[base] = r[SA];
+                    }
+                    KStep::Aap { src, dst } => {
+                        bits[row_bases[dst as usize] + w] = bits[row_bases[src as usize] + w];
+                    }
+                    KStep::AapNot { src, dst } => {
+                        bits[row_bases[dst as usize] + w] =
+                            !bits[row_bases[src as usize] + w] & mask;
+                    }
+                    KStep::Tra { a, b, c } => {
+                        let (ba, bb, bc) = (
+                            row_bases[a as usize] + w,
+                            row_bases[b as usize] + w,
+                            row_bases[c as usize] + w,
+                        );
+                        let (x, y, z) = (bits[ba], bits[bb], bits[bc]);
+                        let maj = (x & y) | (y & z) | (x & z);
+                        bits[ba] = maj;
+                        bits[bb] = maj;
+                        bits[bc] = maj;
+                    }
+                    KStep::Popcount { rid, shift, negate } => {
+                        let count = (bits[row_bases[rid as usize] + w] & mask).count_ones() as i128;
+                        let term = count << shift;
+                        if negate {
+                            acc_delta -= term;
+                        } else {
+                            acc_delta += term;
+                        }
+                    }
+                }
+            }
+            sa[w] = r[SA];
+            regs[0][w] = r[1];
+            regs[1][w] = r[2];
+            regs[2][w] = r[3];
+            regs[3][w] = r[4];
+        }
+        *acc += acc_delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, BinaryOp};
+
+    #[test]
+    fn fusion_shrinks_add() {
+        let prog = gen::binary(BinaryOp::Add, 32);
+        let k = CompiledKernel::compile(&prog);
+        // Per bit: read A + mv -> ReadMove, read B + full adder ->
+        // ReadAdder, write DST; plus carry init and final Move/Write.
+        assert!(
+            k.step_count() * 2 <= prog.ops().len(),
+            "expected ≥2x fusion on add: {} steps from {} ops",
+            k.step_count(),
+            prog.ops().len()
+        );
+        assert_eq!(k.cost(), prog.cost());
+    }
+
+    #[test]
+    fn mul_inner_loop_fuses_read_adder_write() {
+        let prog = gen::binary(BinaryOp::Mul, 8);
+        let k = CompiledKernel::compile(&prog);
+        assert!(
+            k.steps
+                .iter()
+                .any(|s| matches!(s, KStep::ReadAdderWrite { .. })),
+            "mul accumulate sweep should fuse read+adder+write"
+        );
+    }
+
+    #[test]
+    fn signature_records_slot_and_temp_needs() {
+        let prog = gen::abs(8); // A=0, DST=1, needs 8 temp rows
+        let k = CompiledKernel::compile(&prog);
+        assert_eq!(k.signature().slot_rows, vec![8, 8]);
+        assert_eq!(k.signature().temp_rows, 8);
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`vm`] — a row-wide executor over a [`pim_dram::BitMatrix`]: one logic
 //!   step applies to *all* bitlines at once (the bit-slice parallelism that
 //!   makes bit-serial PIM fast for low-complexity ops).
+//! * [`compile`] — SIMDRAM-style word-packed compilation: programs lower
+//!   once into [`CompiledKernel`]s (interned rows, peephole-fused adder
+//!   sweeps, columnar zero-allocation execution) that [`Vm::run`]
+//!   dispatches to whenever the bindings match the kernel signature.
 //! * [`encode`] — vertical data layout helpers (bit *b* of element *e*
 //!   lives at row `base + b`, column `e`).
 //!
@@ -56,12 +60,14 @@
 
 pub mod analog;
 pub mod cache;
+pub mod compile;
 pub mod encode;
 pub mod gen;
 pub mod isa;
 pub mod program;
 pub mod vm;
 
+pub use compile::{CompiledKernel, KernelSignature};
 pub use isa::{Loc, MicroOp, RowRef};
 pub use program::{Cost, MicroProgram};
 pub use vm::{Region, Vm, VmError};

@@ -34,12 +34,26 @@ impl Region {
 pub enum VmError {
     /// The program referenced an operand slot that was never bound.
     UnboundSlot(u8),
+    /// The program used a `RowRef::Temp` reference but no scratch
+    /// region was bound (see [`Vm::bind_temp`]).
+    UnboundTemp,
     /// A row reference fell outside its bound region.
     RowOutOfRegion {
         /// The offending reference.
         reference: String,
         /// Rows available in the region.
         rows: u32,
+    },
+    /// A `Tra` micro-op resolved two (or three) of its row references
+    /// to the same physical row; charge-sharing majority is undefined
+    /// unless all three rows are distinct.
+    TraRowsNotDistinct {
+        /// Resolved absolute row of the first reference.
+        a: usize,
+        /// Resolved absolute row of the second reference.
+        b: usize,
+        /// Resolved absolute row of the third reference.
+        c: usize,
     },
     /// The program needs more scratch rows than were bound.
     TempTooSmall {
@@ -61,11 +75,20 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::UnboundSlot(s) => write!(f, "operand slot {s} is not bound"),
+            VmError::UnboundTemp => {
+                write!(
+                    f,
+                    "program references scratch rows but no temp region is bound"
+                )
+            }
             VmError::RowOutOfRegion { reference, rows } => {
                 write!(
                     f,
                     "row reference {reference} outside its region of {rows} rows"
                 )
+            }
+            VmError::TraRowsNotDistinct { a, b, c } => {
+                write!(f, "TRA rows must be distinct, resolved to {a}/{b}/{c}")
             }
             VmError::TempTooSmall { needed, bound } => {
                 write!(
@@ -97,8 +120,14 @@ pub struct Vm<'a> {
     acc: i128,
     stats: Cost,
     last_run_cost: Cost,
+    last_run_compiled: bool,
     row_sweeps: u64,
     words_swept: u64,
+    /// Reusable row-width buffer for interpreter logic ops — the
+    /// steady-state interpreter allocates nothing per micro-op.
+    scratch: Vec<u64>,
+    /// Reusable per-run row-base table for compiled-kernel execution.
+    kernel_row_bases: Vec<usize>,
 }
 
 impl<'a> Vm<'a> {
@@ -127,8 +156,11 @@ impl<'a> Vm<'a> {
             acc: 0,
             stats: Cost::default(),
             last_run_cost: Cost::default(),
+            last_run_compiled: false,
             row_sweeps: 0,
             words_swept: 0,
+            scratch: vec![0; words],
+            kernel_row_bases: Vec::new(),
         }
     }
 
@@ -177,6 +209,14 @@ impl<'a> Vm<'a> {
         self.last_run_cost
     }
 
+    /// True when the most recent [`Vm::run`] executed the word-packed
+    /// [`CompiledKernel`](crate::compile::CompiledKernel) rather than the reference interpreter (i.e.
+    /// the bindings satisfied the kernel signature). False before any
+    /// run and after interpreter fallbacks.
+    pub fn last_run_compiled(&self) -> bool {
+        self.last_run_compiled
+    }
+
     /// Total full-row activations swept across all `run` calls: one per
     /// row a micro-op drives through the sense amplifiers (`Read`,
     /// `Write`, and `Popcount` touch one row; `Aap`/`AapNot` two; `Tra`
@@ -209,7 +249,7 @@ impl<'a> Vm<'a> {
                 (region, bit)
             }
             RowRef::Temp { index } => {
-                let region = self.temp.ok_or(VmError::UnboundSlot(u8::MAX))?;
+                let region = self.temp.ok_or(VmError::UnboundTemp)?;
                 (region, index)
             }
         };
@@ -239,31 +279,143 @@ impl<'a> Vm<'a> {
         }
     }
 
-    fn fetch(&self, loc: Loc) -> Vec<u64> {
-        self.loc(loc).to_vec()
+    fn loc_mut(&mut self, loc: Loc) -> &mut Vec<u64> {
+        match loc {
+            Loc::Sa => &mut self.sa,
+            Loc::R0 => &mut self.regs[0],
+            Loc::R1 => &mut self.regs[1],
+            Loc::R2 => &mut self.regs[2],
+            Loc::R3 => &mut self.regs[3],
+        }
     }
 
-    fn store(&mut self, loc: Loc, mut value: Vec<u64>) {
-        if let Some(last) = value.last_mut() {
+    /// Swaps `buf` (a fully computed row-width value, last word already
+    /// masked) into register `dst`, leaving the old register buffer in
+    /// `self.scratch` for reuse — the zero-allocation register store.
+    fn store_swap(&mut self, dst: Loc, mut buf: Vec<u64>) {
+        if let Some(last) = buf.last_mut() {
             *last &= self.tail_mask;
         }
-        match loc {
-            Loc::Sa => self.sa = value,
-            Loc::R0 => self.regs[0] = value,
-            Loc::R1 => self.regs[1] = value,
-            Loc::R2 => self.regs[2] = value,
-            Loc::R3 => self.regs[3] = value,
-        }
+        std::mem::swap(self.loc_mut(dst), &mut buf);
+        self.scratch = buf;
     }
 
     /// Executes `program` against the bound regions.
     ///
+    /// When the bindings satisfy the program's compiled-kernel
+    /// signature (see [`MicroProgram::kernel`]) this dispatches to the
+    /// word-packed [`CompiledKernel`](crate::compile::CompiledKernel) — bit-identical results and
+    /// identical [`Cost`]/sweep accounting, one columnar pass over the
+    /// matrix. Any mismatch (unbound or undersized slot, row outside
+    /// the matrix, aliased TRA rows) falls back to
+    /// [`Vm::run_interpreted`], which reports the precise error.
+    ///
     /// # Errors
     ///
     /// Returns a [`VmError`] if a referenced slot is unbound, a row falls
-    /// outside its region or the matrix, or the scratch region is too
-    /// small. The matrix may be partially modified on error.
+    /// outside its region or the matrix, the scratch region is too
+    /// small, or TRA rows alias. The matrix may be partially modified on
+    /// error (errors only ever surface on the interpreter path; the
+    /// compiled path runs only when validation proves it cannot fail).
     pub fn run(&mut self, program: &MicroProgram) -> Result<(), VmError> {
+        if self.try_run_compiled(program) {
+            return Ok(());
+        }
+        self.run_interpreted(program)
+    }
+
+    /// Validates the compiled kernel's signature against the current
+    /// bindings and, on success, executes it and charges the identical
+    /// cost/sweep accounting. Returns false (leaving all state
+    /// untouched) when the bindings don't satisfy the signature.
+    fn try_run_compiled(&mut self, program: &MicroProgram) -> bool {
+        self.last_run_compiled = false;
+        // Same up-front check as the interpreter: the *declared* temp
+        // requirement must be satisfiable, else the interpreter path
+        // must raise TempTooSmall.
+        let temp_bound = self.temp.map_or(0, |r| r.rows);
+        if program.temp_rows() > temp_bound {
+            return false;
+        }
+        let kernel = program.kernel();
+        let sig = kernel.signature();
+        let mat_rows = self.mat.rows();
+        for (slot, &need) in sig.slot_rows.iter().enumerate() {
+            if need == 0 {
+                continue;
+            }
+            let Some(Some(region)) = self.slots.get(slot).copied() else {
+                return false;
+            };
+            if region.rows < need || region.base_row + need as usize > mat_rows {
+                return false;
+            }
+        }
+        if sig.temp_rows > 0 {
+            let Some(region) = self.temp else {
+                return false;
+            };
+            if region.rows < sig.temp_rows || region.base_row + sig.temp_rows as usize > mat_rows {
+                return false;
+            }
+        }
+        // All row references are in bounds: resolve them once into
+        // absolute word offsets.
+        let words = self.mat.words_per_row();
+        let slots = &self.slots;
+        let temp = self.temp;
+        self.kernel_row_bases.clear();
+        self.kernel_row_bases
+            .extend(kernel.rows().iter().map(|r| match *r {
+                RowRef::Operand { operand, bit } => {
+                    // Validated above; unwrap is unreachable.
+                    let region = slots[operand as usize].unwrap();
+                    (region.base_row + bit as usize) * words
+                }
+                RowRef::Temp { index } => {
+                    let region = temp.unwrap();
+                    (region.base_row + index as usize) * words
+                }
+            }));
+        for [a, b, c] in kernel.tra_triples() {
+            let (ra, rb, rc) = (
+                self.kernel_row_bases[*a as usize],
+                self.kernel_row_bases[*b as usize],
+                self.kernel_row_bases[*c as usize],
+            );
+            if ra == rb || rb == rc || ra == rc {
+                // Aliased TRA rows: let the interpreter report
+                // TraRowsNotDistinct with the resolved rows.
+                return false;
+            }
+        }
+        kernel.execute(
+            &mut *self.mat,
+            &mut self.sa,
+            &mut self.regs,
+            self.tail_mask,
+            &mut self.acc,
+            &self.kernel_row_bases,
+        );
+        let cost = kernel.cost();
+        self.stats += cost;
+        self.last_run_cost = cost;
+        self.row_sweeps += kernel.sweeps();
+        self.words_swept += kernel.sweeps() * words as u64;
+        self.last_run_compiled = true;
+        true
+    }
+
+    /// Executes `program` through the reference op-by-op interpreter,
+    /// bypassing the compiled kernel. [`Vm::run`] and this method are
+    /// bit-identical in results and accounting; the differential suite
+    /// in `tests/compiled_equivalence.rs` holds them to that.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Vm::run`].
+    pub fn run_interpreted(&mut self, program: &MicroProgram) -> Result<(), VmError> {
+        self.last_run_compiled = false;
         let temp_bound = self.temp.map_or(0, |r| r.rows);
         if program.temp_rows() > temp_bound {
             return Err(VmError::TempTooSmall {
@@ -281,40 +433,45 @@ impl<'a> Vm<'a> {
         match op {
             MicroOp::Read(r) => {
                 let row = self.resolve(r)?;
-                let mut v = self.mat.row(row).to_vec();
-                if let Some(last) = v.last_mut() {
+                self.sa.copy_from_slice(self.mat.row(row));
+                if let Some(last) = self.sa.last_mut() {
                     *last &= self.tail_mask;
                 }
-                self.sa = v;
                 self.stats.row_reads += 1;
                 self.note_sweeps(1);
             }
             MicroOp::Write(r) => {
                 let row = self.resolve(r)?;
-                let sa = self.sa.clone();
-                self.mat.row_mut(row).copy_from_slice(&sa);
+                self.mat.row_mut(row).copy_from_slice(&self.sa);
                 self.stats.row_writes += 1;
                 self.note_sweeps(1);
             }
             MicroOp::Set { dst, value } => {
-                let words = self.sa.len();
                 let fill = if value { u64::MAX } else { 0 };
-                self.store(dst, vec![fill; words]);
+                let tail_mask = self.tail_mask;
+                let dst = self.loc_mut(dst);
+                dst.fill(fill);
+                if let Some(last) = dst.last_mut() {
+                    *last &= tail_mask;
+                }
                 self.stats.logic_ops += 1;
             }
             MicroOp::Move { src, dst } => {
-                let v = self.fetch(src);
-                self.store(dst, v);
+                let mut buf = std::mem::take(&mut self.scratch);
+                buf.copy_from_slice(self.loc(src));
+                self.store_swap(dst, buf);
                 self.stats.logic_ops += 1;
             }
             MicroOp::And { a, b, dst } => {
-                let out = exec::par_zip_map(self.loc(a), self.loc(b), |x, y| x & y);
-                self.store(dst, out);
+                let mut buf = std::mem::take(&mut self.scratch);
+                exec::par_zip_map_into(self.loc(a), self.loc(b), &mut buf, |x, y| x & y);
+                self.store_swap(dst, buf);
                 self.stats.logic_ops += 1;
             }
             MicroOp::Xnor { a, b, dst } => {
-                let out = exec::par_zip_map(self.loc(a), self.loc(b), |x, y| !(x ^ y));
-                self.store(dst, out);
+                let mut buf = std::mem::take(&mut self.scratch);
+                exec::par_zip_map_into(self.loc(a), self.loc(b), &mut buf, |x, y| !(x ^ y));
+                self.store_swap(dst, buf);
                 self.stats.logic_ops += 1;
             }
             MicroOp::Sel {
@@ -323,52 +480,62 @@ impl<'a> Vm<'a> {
                 if_false,
                 dst,
             } => {
-                let out = exec::par_zip3_map(
+                let mut buf = std::mem::take(&mut self.scratch);
+                exec::par_zip3_map_into(
                     self.loc(cond),
                     self.loc(if_true),
                     self.loc(if_false),
+                    &mut buf,
                     |c, t, f| (c & t) | (!c & f),
                 );
-                self.store(dst, out);
+                self.store_swap(dst, buf);
                 self.stats.logic_ops += 1;
             }
             MicroOp::Aap { src, dst } => {
                 let (s, d) = (self.resolve(src)?, self.resolve(dst)?);
                 if s != d {
-                    let row = self.mat.row(s).to_vec();
-                    self.mat.row_mut(d).copy_from_slice(&row);
+                    let mut buf = std::mem::take(&mut self.scratch);
+                    buf.copy_from_slice(self.mat.row(s));
+                    self.mat.row_mut(d).copy_from_slice(&buf);
+                    self.scratch = buf;
                 }
                 self.stats.aap_ops += 1;
                 self.note_sweeps(2);
             }
             MicroOp::AapNot { src, dst } => {
                 let (s, d) = (self.resolve(src)?, self.resolve(dst)?);
-                let mut row = exec::par_map(self.mat.row(s), |w| !w);
-                if let Some(last) = row.last_mut() {
+                let mut buf = std::mem::take(&mut self.scratch);
+                exec::par_map_into(self.mat.row(s), &mut buf, |w| !w);
+                if let Some(last) = buf.last_mut() {
                     *last &= self.tail_mask;
                 }
-                self.mat.row_mut(d).copy_from_slice(&row);
+                self.mat.row_mut(d).copy_from_slice(&buf);
+                self.scratch = buf;
                 self.stats.aap_ops += 1;
                 self.note_sweeps(2);
             }
             MicroOp::Tra { a, b, c } => {
                 let (ra, rb, rc) = (self.resolve(a)?, self.resolve(b)?, self.resolve(c)?);
                 if ra == rb || rb == rc || ra == rc {
-                    return Err(VmError::RowOutOfRegion {
-                        reference: "TRA rows must be distinct".into(),
-                        rows: 0,
+                    return Err(VmError::TraRowsNotDistinct {
+                        a: ra,
+                        b: rb,
+                        c: rc,
                     });
                 }
-                let maj = exec::par_zip3_map(
+                let mut maj = std::mem::take(&mut self.scratch);
+                exec::par_zip3_map_into(
                     self.mat.row(ra),
                     self.mat.row(rb),
                     self.mat.row(rc),
+                    &mut maj,
                     |x, y, z| (x & y) | (y & z) | (x & z),
                 );
                 // Charge sharing leaves the majority in all three rows.
                 self.mat.row_mut(ra).copy_from_slice(&maj);
                 self.mat.row_mut(rb).copy_from_slice(&maj);
                 self.mat.row_mut(rc).copy_from_slice(&maj);
+                self.scratch = maj;
                 self.stats.tra_ops += 1;
                 self.note_sweeps(3);
             }
@@ -440,6 +607,98 @@ mod tests {
                 bound: 4
             })
         );
+    }
+
+    #[test]
+    fn unbound_temp_is_reported() {
+        let mut mat = BitMatrix::new(8, 64);
+        // Declares zero temp rows (so the up-front TempTooSmall check
+        // passes) yet references the scratch region: the old code
+        // surfaced this as the bogus `UnboundSlot(255)`.
+        let prog = MicroProgram::new("t", vec![MicroOp::Read(RowRef::temp(0))], 1, 0);
+        let mut vm = Vm::new(&mut mat, 1);
+        vm.bind(0, Region::new(0, 4));
+        assert_eq!(vm.run(&prog), Err(VmError::UnboundTemp));
+        let msg = VmError::UnboundTemp.to_string();
+        assert!(msg.contains("temp region"), "got: {msg}");
+    }
+
+    #[test]
+    fn tra_rows_not_distinct_is_reported() {
+        let mut mat = BitMatrix::new(8, 64);
+        let prog = MicroProgram::new(
+            "t",
+            vec![MicroOp::Tra {
+                a: RowRef::op(0, 0),
+                b: RowRef::op(0, 1),
+                c: RowRef::op(0, 0),
+            }],
+            1,
+            0,
+        );
+        let mut vm = Vm::new(&mut mat, 1);
+        vm.bind(0, Region::new(2, 4));
+        // Formerly mis-reported as `RowOutOfRegion { rows: 0 }` with
+        // prose in the reference string; now a dedicated variant naming
+        // the resolved rows.
+        assert_eq!(
+            vm.run(&prog),
+            Err(VmError::TraRowsNotDistinct { a: 2, b: 3, c: 2 })
+        );
+        assert!(!vm.last_run_compiled(), "aliased TRA must fall back");
+    }
+
+    #[test]
+    fn tra_alias_across_regions_is_detected_per_binding() {
+        // The same symbolic refs are fine or erroneous depending on the
+        // bindings — distinctness is a run-time property, so the
+        // compiled path re-checks it per run.
+        let mut mat = BitMatrix::new(8, 64);
+        let prog = MicroProgram::new(
+            "t",
+            vec![MicroOp::Tra {
+                a: RowRef::op(0, 0),
+                b: RowRef::op(1, 0),
+                c: RowRef::op(0, 1),
+            }],
+            2,
+            0,
+        );
+        {
+            let mut vm = Vm::new(&mut mat, 2);
+            vm.bind(0, Region::new(0, 2));
+            vm.bind(1, Region::new(0, 2)); // slot 1 aliases slot 0
+            assert_eq!(
+                vm.run(&prog),
+                Err(VmError::TraRowsNotDistinct { a: 0, b: 0, c: 1 })
+            );
+        }
+        let mut vm = Vm::new(&mut mat, 2);
+        vm.bind(0, Region::new(0, 2));
+        vm.bind(1, Region::new(4, 2));
+        vm.run(&prog).unwrap();
+        assert!(vm.last_run_compiled());
+    }
+
+    #[test]
+    fn run_dispatches_compiled_and_falls_back() {
+        let mut mat = BitMatrix::new(96, 128);
+        let prog = gen::binary(BinaryOp::Add, 32);
+        let mut vm = Vm::new(&mut mat, 3);
+        vm.bind(0, Region::new(0, 32));
+        vm.bind(1, Region::new(32, 32));
+        vm.bind(2, Region::new(64, 32));
+        assert!(!vm.last_run_compiled());
+        vm.run(&prog).unwrap();
+        assert!(vm.last_run_compiled(), "matching bindings must compile");
+        assert_eq!(vm.last_run_cost(), prog.cost());
+        // Undersized region: interpreter fallback reports the error.
+        let mut vm = Vm::new(&mut mat, 3);
+        vm.bind(0, Region::new(0, 32));
+        vm.bind(1, Region::new(32, 16));
+        vm.bind(2, Region::new(64, 32));
+        assert!(matches!(vm.run(&prog), Err(VmError::RowOutOfRegion { .. })));
+        assert!(!vm.last_run_compiled());
     }
 
     #[test]
