@@ -236,28 +236,137 @@ impl RankScalingRun {
     }
 }
 
+/// One imbalance measurement from `bench_parallel`: a skewed-shard op
+/// mix timed twice — even split (one chunk per lane, nothing to steal)
+/// and the oversubscribed stealing default — at a pinned thread count.
+#[derive(Debug, Clone)]
+pub struct ImbalanceRun {
+    /// Workload label (`rr-skew-mixed-width`, …).
+    pub name: String,
+    /// Worker threads the execution engine was pinned to.
+    pub threads: usize,
+    /// Execution shards of the skewed device.
+    pub shards: usize,
+    /// Total elements touched per iteration across all objects.
+    pub elems: u64,
+    /// Mean wall time per even-split iteration, nanoseconds.
+    pub even_mean_ns: u128,
+    /// Best wall time per even-split iteration, nanoseconds.
+    pub even_min_ns: u128,
+    /// Mean wall time per stealing iteration, nanoseconds.
+    pub steal_mean_ns: u128,
+    /// Best wall time per stealing iteration, nanoseconds.
+    pub steal_min_ns: u128,
+}
+
+impl ImbalanceRun {
+    /// Stealing win over the even split (best-time ratio; ~1.0 on a
+    /// single-core host where nothing runs concurrently, > 1.0 on
+    /// multi-core runners with a skewed map).
+    pub fn steal_speedup(&self) -> f64 {
+        if self.steal_min_ns == 0 {
+            return 0.0;
+        }
+        self.even_min_ns as f64 / self.steal_min_ns as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"threads\":{},\"shards\":{},\"elems\":{},\
+             \"even_mean_ns\":{},\"even_min_ns\":{},\
+             \"steal_mean_ns\":{},\"steal_min_ns\":{},\
+             \"steal_speedup\":{}}}",
+            string(&self.name),
+            self.threads,
+            self.shards,
+            self.elems,
+            self.even_mean_ns,
+            self.even_min_ns,
+            self.steal_mean_ns,
+            self.steal_min_ns,
+            num(self.steal_speedup()),
+        )
+    }
+}
+
+/// The dispatch-latency microbenchmark from `bench_parallel`: one tiny
+/// `par_map_into` fanned out through the persistent pool vs. an inline
+/// replica of the old scoped-spawn engine (fresh OS threads per call).
+#[derive(Debug, Clone)]
+pub struct FanoutOverhead {
+    /// Worker threads both variants were pinned to.
+    pub threads: usize,
+    /// Elements per fan-out (tiny on purpose: dispatch-dominated).
+    pub elems: u64,
+    /// Mean wall time per pooled fan-out, nanoseconds.
+    pub pool_mean_ns: u128,
+    /// Best wall time per pooled fan-out, nanoseconds.
+    pub pool_min_ns: u128,
+    /// Mean wall time per scoped-spawn fan-out, nanoseconds.
+    pub spawn_mean_ns: u128,
+    /// Best wall time per scoped-spawn fan-out, nanoseconds.
+    pub spawn_min_ns: u128,
+}
+
+impl FanoutOverhead {
+    /// How much cheaper pooled dispatch is than spawning (best-time
+    /// ratio spawn/pool).
+    pub fn dispatch_speedup(&self) -> f64 {
+        if self.pool_min_ns == 0 {
+            return 0.0;
+        }
+        self.spawn_min_ns as f64 / self.pool_min_ns as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"threads\":{},\"elems\":{},\
+             \"pool_mean_ns\":{},\"pool_min_ns\":{},\
+             \"spawn_mean_ns\":{},\"spawn_min_ns\":{},\
+             \"dispatch_speedup\":{}}}",
+            self.threads,
+            self.elems,
+            self.pool_mean_ns,
+            self.pool_min_ns,
+            self.spawn_mean_ns,
+            self.spawn_min_ns,
+            num(self.dispatch_speedup()),
+        )
+    }
+}
+
 /// Renders the `bench_parallel` report: host parallelism, every
-/// measurement, per-op speedups of the multi-threaded run over the
-/// single-threaded one (best-time ratio, paired by op name), the
-/// stream-vs-eager comparisons, and the `--ranks` sharding sweep.
+/// measurement, per-op speedups of the widest measured thread count
+/// over the single-threaded run (best-time ratio, paired by op name),
+/// the stream-vs-eager comparisons, the `--ranks` sharding sweep, the
+/// skewed-shard imbalance section, and the fan-out dispatch-overhead
+/// microbenchmark. All post-v1 sections are additive: consumers that
+/// predate them must ignore unknown keys.
 pub fn parallel_runs_to_json(
     default_threads: usize,
     runs: &[ParallelRun],
     stream: &[StreamVsEager],
     rank_scaling: &[RankScalingRun],
+    imbalance: &[ImbalanceRun],
+    fanout_overhead: Option<&FanoutOverhead>,
 ) -> String {
     let measured: Vec<String> = runs.iter().map(ParallelRun::to_json).collect();
     let mut speedups = Vec::new();
-    if default_threads > 1 {
+    // Pair each single-thread baseline with the widest measured count
+    // for the same op; `--threads 1,2,4` sweeps therefore report the
+    // 4-thread speedup even when the host default is 1.
+    let top = runs.iter().map(|r| r.threads).filter(|&t| t > 1).max();
+    if let Some(top) = top {
         for base in runs.iter().filter(|r| r.threads == 1) {
             if let Some(par) = runs
                 .iter()
-                .find(|r| r.threads == default_threads && r.name == base.name)
+                .find(|r| r.threads == top && r.name == base.name)
             {
                 if par.min_ns > 0 {
                     speedups.push(format!(
-                        "{{\"name\":{},\"speedup\":{}}}",
+                        "{{\"name\":{},\"threads\":{},\"speedup\":{}}}",
                         string(&base.name),
+                        top,
                         num(base.min_ns as f64 / par.min_ns as f64),
                     ));
                 }
@@ -266,15 +375,20 @@ pub fn parallel_runs_to_json(
     }
     let compared: Vec<String> = stream.iter().map(StreamVsEager::to_json).collect();
     let scaled: Vec<String> = rank_scaling.iter().map(RankScalingRun::to_json).collect();
+    let skewed: Vec<String> = imbalance.iter().map(ImbalanceRun::to_json).collect();
+    let overhead = fanout_overhead.map_or_else(|| "null".into(), FanoutOverhead::to_json);
     format!(
         "{{\"schema_version\":{BENCH_SCHEMA_VERSION},\
          \"threads_default\":{},\"runs\":[\n{}\n],\"speedups\":[{}],\
-         \"stream_vs_eager\":[\n{}\n],\"rank_scaling\":[\n{}\n]}}\n",
+         \"stream_vs_eager\":[\n{}\n],\"rank_scaling\":[\n{}\n],\
+         \"imbalance\":[{}],\"fanout_overhead\":{}}}\n",
         default_threads,
         measured.join(",\n"),
         speedups.join(","),
         compared.join(",\n"),
         scaled.join(",\n"),
+        skewed.join(",\n"),
+        overhead,
     )
 }
 
@@ -332,7 +446,7 @@ mod tests {
                 min_ns: 1000,
             },
         ];
-        let json = parallel_runs_to_json(8, &runs, &[], &[]);
+        let json = parallel_runs_to_json(8, &runs, &[], &[], &[], None);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         assert_eq!(
             doc.get("schema_version").unwrap().as_f64().unwrap() as u32,
@@ -345,6 +459,7 @@ mod tests {
         assert_eq!(doc.get("runs").unwrap().as_array().unwrap().len(), 2);
         let speedups = doc.get("speedups").unwrap().as_array().unwrap();
         assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].get("threads").unwrap().as_f64(), Some(8.0));
         let s = speedups[0].get("speedup").unwrap().as_f64().unwrap();
         assert!((s - 4.0).abs() < 1e-9);
         assert!(doc
@@ -353,6 +468,63 @@ mod tests {
             .as_array()
             .unwrap()
             .is_empty());
+        assert!(doc.get("imbalance").unwrap().as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn speedups_pair_against_the_widest_measured_thread_count() {
+        // A `--threads 1,2,4` sweep on a 1-core host: default_threads is
+        // 1, yet speedups must still populate from the 4-thread rows.
+        let mk = |threads: usize, min_ns: u128| ParallelRun {
+            name: "mul".into(),
+            threads,
+            elems: 1000,
+            mean_ns: min_ns,
+            min_ns,
+        };
+        let runs = vec![mk(1, 6000), mk(2, 3500), mk(4, 2000)];
+        let json = parallel_runs_to_json(1, &runs, &[], &[], &[], None);
+        let doc = pimeval::trace::json::Json::parse(&json).unwrap();
+        let speedups = doc.get("speedups").unwrap().as_array().unwrap();
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].get("threads").unwrap().as_f64(), Some(4.0));
+        let s = speedups[0].get("speedup").unwrap().as_f64().unwrap();
+        assert!((s - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_and_fanout_overhead_sections_export() {
+        let imb = ImbalanceRun {
+            name: "rr-skew-mixed-width".into(),
+            threads: 4,
+            shards: 7,
+            elems: 3_000_000,
+            even_mean_ns: 9000,
+            even_min_ns: 8000,
+            steal_mean_ns: 4400,
+            steal_min_ns: 4000,
+        };
+        assert!((imb.steal_speedup() - 2.0).abs() < 1e-9);
+        let fo = FanoutOverhead {
+            threads: 4,
+            elems: 16384,
+            pool_mean_ns: 1200,
+            pool_min_ns: 1000,
+            spawn_mean_ns: 9000,
+            spawn_min_ns: 8000,
+        };
+        assert!((fo.dispatch_speedup() - 8.0).abs() < 1e-9);
+        let json = parallel_runs_to_json(4, &[], &[], &[], std::slice::from_ref(&imb), Some(&fo));
+        let doc = pimeval::trace::json::Json::parse(&json).unwrap();
+        let entries = doc.get("imbalance").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("name").unwrap().as_str(), Some("rr-skew-mixed-width"));
+        assert_eq!(e.get("shards").unwrap().as_f64(), Some(7.0));
+        assert!((e.get("steal_speedup").unwrap().as_f64().unwrap() - 2.0).abs() < 1e-9);
+        let o = doc.get("fanout_overhead").unwrap();
+        assert_eq!(o.get("threads").unwrap().as_f64(), Some(4.0));
+        assert!((o.get("dispatch_speedup").unwrap().as_f64().unwrap() - 8.0).abs() < 1e-9);
     }
 
     #[test]
@@ -368,7 +540,7 @@ mod tests {
             interconnect_bytes: 4096,
         };
         assert!((point.melem_per_s() - 1000.0).abs() < 1e-9);
-        let json = parallel_runs_to_json(1, &[], &[], std::slice::from_ref(&point));
+        let json = parallel_runs_to_json(1, &[], &[], std::slice::from_ref(&point), &[], None);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         let entries = doc.get("rank_scaling").unwrap().as_array().unwrap();
         assert_eq!(entries.len(), 1);
@@ -395,7 +567,7 @@ mod tests {
         };
         assert!((cmp.wall_speedup() - 2.0).abs() < 1e-9);
         assert!((cmp.modeled_cost_ratio() - 0.75).abs() < 1e-9);
-        let json = parallel_runs_to_json(1, &[], std::slice::from_ref(&cmp), &[]);
+        let json = parallel_runs_to_json(1, &[], std::slice::from_ref(&cmp), &[], &[], None);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         let entries = doc.get("stream_vs_eager").unwrap().as_array().unwrap();
         assert_eq!(entries.len(), 1);

@@ -485,10 +485,12 @@ impl PimSystem {
     // ------------------------------------------------------------------
 
     /// Runs `f` once per shard. With one shard this is a plain inline
-    /// call; with more, each shard gets its own OS thread and an even
-    /// slice of the `exec` worker budget (shards are the outer
-    /// parallelism unit, the element chunking inside each shard the
-    /// inner one). The first shard error (in shard order) is returned.
+    /// call; with more, the shards go through the persistent
+    /// work-stealing pool at item granularity ([`exec::par_each_mut`]):
+    /// every shard is its own stealable unit, so a skewed `ShardMap`
+    /// keeps no worker idle, and element-level fan-outs *inside* a
+    /// shard are ordinary nested pool jobs that idle workers can help
+    /// with. The first shard error (in shard order) is returned.
     fn on_shards<F>(shards: &mut [Shard], f: F) -> Result<()>
     where
         F: Fn(usize, &mut Shard) -> Result<()> + Sync,
@@ -499,24 +501,10 @@ impl PimSystem {
             }
             return Ok(());
         }
-        // Read the worker budget on the caller thread: the override is
-        // thread-local and invisible from inside the spawned workers.
-        let inner = (exec::thread_count() / shards.len()).max(1);
-        let f = &f;
-        let results: Vec<Result<()>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter_mut()
-                .enumerate()
-                .map(|(i, shard)| {
-                    scope.spawn(move || exec::with_thread_count(inner, || f(i, shard)))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        results.into_iter().collect::<Result<Vec<()>>>().map(|_| ())
+        exec::par_each_mut(shards, |i, shard| f(i, shard))
+            .into_iter()
+            .collect::<Result<Vec<()>>>()
+            .map(|_| ())
     }
 
     /// Reassembles an object's full canonical buffer in global element

@@ -46,8 +46,12 @@ pub fn string(s: &str) -> String {
 }
 
 /// Renders an `f64` as a JSON number (`null` for NaN/infinity).
+/// Negative zero collapses to `0`: `-0` is valid JSON but diff-based
+/// consumers treat it as a spurious change from `0`.
 pub fn num(v: f64) -> String {
-    if v.is_finite() {
+    if v == 0.0 {
+        "0".into()
+    } else if v.is_finite() {
         format!("{v}")
     } else {
         "null".into()
@@ -456,6 +460,16 @@ impl Parser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn num_collapses_negative_zero_and_nonfinite() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(-0.0), "0");
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(-2.0), "-2");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
 
     #[test]
     fn roundtrip_scalars() {

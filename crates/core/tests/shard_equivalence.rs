@@ -194,6 +194,18 @@ fn sharded_runs_match_unsharded_on_every_target_and_dtype() {
 }
 
 #[test]
+fn shard_equivalence_holds_at_every_pool_thread_count() {
+    // The per-shard outer loop rides the work-stealing pool; which
+    // worker executes a shard must never leak into results. One
+    // representative target/dtype per thread count keeps this fast.
+    for threads in [1usize, 2, 4, 7] {
+        pimeval::exec::with_thread_count(threads, || {
+            check_shard_equivalence::<i32>(PimTarget::Fulcrum, 4, 0x7EAD + threads as u64);
+        });
+    }
+}
+
+#[test]
 fn round_robin_policy_is_bit_identical_to_contiguous() {
     for target in [PimTarget::Fulcrum, PimTarget::BitSerial] {
         let (xs, ys) = data::<i32>(513, 0x0B0B1);

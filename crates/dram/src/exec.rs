@@ -2,20 +2,47 @@
 //!
 //! The functional simulator spends nearly all of its time in three loop
 //! shapes: element-wise maps over `i64` buffers (`Device::apply1/2`),
-//! host↔device conversion packing, and word-wide row sweeps in the
+//! host↔device conversion packing, and word-wide column sweeps in the
 //! bit-serial VM. This module gives all of them one chunked fan-out
-//! primitive built on [`std::thread::scope`] — no third-party crates, no
-//! `unsafe` — sized by the `PIM_THREADS` environment variable (default:
+//! primitive running on a lazily-initialized **persistent work-stealing
+//! pool** ([`pool`]) — no third-party crates — sized by the
+//! `PIM_THREADS` environment variable (default:
 //! [`std::thread::available_parallelism`]).
+//!
+//! # Scheduling
+//!
+//! Workers are spawned once (on the first fan-out that needs them) and
+//! then parked on a condvar between jobs; steady-state fan-outs spawn
+//! zero OS threads and allocate nothing on the task path. Each fan-out
+//! splits its index space into more chunks than workers
+//! ([`chunks_per_worker`]×, the oversubscription factor) and deals the
+//! chunk ids into per-lane deques: a lane's owner pops from the front,
+//! idle participants steal from the back, so heterogeneous chunk costs
+//! and skewed shard maps are absorbed by stealing instead of an even
+//! split praying for uniform cost. The caller always participates in
+//! its own job (and can drain it entirely by itself), which is what
+//! makes nested fan-outs from inside a chunk body deadlock-free.
 //!
 //! # Determinism
 //!
 //! Results are bit-identical to sequential execution for every thread
-//! count: inputs are split into contiguous chunks, each worker writes a
-//! disjoint output sub-slice, and reductions fold per-chunk partials in
-//! ascending chunk order on the calling thread. The determinism suite in
+//! count: stealing moves a chunk to a different *worker*, never to a
+//! different place in the output. Chunk `i` of a fan-out always covers
+//! the same index range, writes the same disjoint output sub-slice, and
+//! reductions fold per-chunk partials in ascending chunk order on the
+//! calling thread. The determinism suite in
 //! `crates/core/tests/determinism.rs` asserts this across every target
 //! and op class.
+//!
+//! # Unsafe boundaries
+//!
+//! Two narrow `unsafe` regions, both contained here: the pool erases
+//! the borrow lifetime of a fan-out's closure (sound because the
+//! caller's stack frame outlives every participant, enforced by the
+//! participant-count protocol in [`pool`]), and [`SharedSlice`] hands
+//! disjoint output indices to concurrent chunks (sound because chunk
+//! ranges partition `0..len`). Everything above those two primitives is
+//! safe code.
 //!
 //! # Sizing
 //!
@@ -38,15 +65,43 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 pub mod pool {
-    //! Wall-clock occupancy hooks for the execution pool, behind a
-    //! zero-cost-when-disabled handle.
+    //! The persistent work-stealing executor plus its wall-clock
+    //! occupancy hooks.
+    //!
+    //! # Lifecycle
+    //!
+    //! The executor is a process global, created on first use. Workers
+    //! (`pim-pool-N` threads) spawn lazily the first time a fan-out
+    //! wants them and then live forever, parked on a condvar; the spawn
+    //! counter ([`spawned_workers_total`]) lets tests assert that
+    //! steady-state fan-outs spawn nothing. [`shutdown`] drains and
+    //! joins every worker (the pool restarts lazily afterwards), for
+    //! leak-checking and clean process exit.
+    //!
+    //! # A fan-out (one `Job`)
+    //!
+    //! The caller splits `0..len` into `chunks` contiguous ranges and
+    //! deals the chunk ids into `lanes` deques, packed as
+    //! `head << 32 | tail` in one `AtomicU64` per lane so owner pops
+    //! (front) and steals (back) race through plain CAS. The job —
+    //! including the borrowed, lifetime-erased task closure — lives on
+    //! the caller's stack; a participant count pins it: workers join a
+    //! job only under the registry lock (where the caller also
+    //! deregisters), and the caller returns only once every participant
+    //! has left and every chunk has completed, so no reference can
+    //! dangle. Panics in chunk bodies are caught per chunk, the first
+    //! one is rethrown on the caller after the job drains.
+    //!
+    //! # Profiling
     //!
     //! With profiling disabled (the default) every fan-out pays exactly
     //! one relaxed atomic load; no clocks are read and no locks taken.
     //! With [`enable`]d profiling, each worker slot accumulates the
     //! wall time it spent in chunk bodies, and the caller accumulates
-    //! the time it waited joining workers after finishing its own chunk
-    //! (idle/imbalance time).
+    //! the time it waited joining workers after finishing its own share
+    //! (idle/imbalance time). Worker slots are stable across jobs: slot
+    //! 0 is whichever thread called the fan-out, slot `n ≥ 1` is the
+    //! persistent worker `pim-pool-n`.
     //!
     //! These are **wall-clock** quantities: unlike everything in
     //! `pimeval::metrics` they vary run to run and across machines, so
@@ -54,12 +109,19 @@ pub mod pool {
     //! section (`pimbench --profile` writes them under `"pool"`),
     //! excluded from bit-identical snapshot comparisons.
 
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::cell::Cell;
+    use std::ops::Range;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
     use std::time::Instant;
 
+    /// Hard cap on lanes (and therefore workers) per job; deque storage
+    /// is a fixed stack array of this size.
+    pub const MAX_LANES: usize = 64;
+
     /// One worker slot's accumulated activity (slot 0 is the calling
-    /// thread; slots 1+ are spawned workers).
+    /// thread; slots 1+ are persistent pool workers).
     #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
     pub struct WorkerSample {
         /// Wall time spent executing chunk bodies (ns).
@@ -71,13 +133,13 @@ pub mod pool {
     /// A copy of the pool's accumulated occupancy counters.
     #[derive(Debug, Clone, Default, PartialEq, Eq)]
     pub struct PoolSnapshot {
-        /// Fan-outs that actually spawned workers.
+        /// Fan-outs that went through the worker pool.
         pub fanouts: u64,
         /// Loops that stayed on the calling thread (short input or one
         /// worker configured).
         pub sequential_runs: u64,
-        /// Wall time the caller spent joining workers after its own
-        /// chunk finished (ns) — the pool's imbalance/idle signal.
+        /// Wall time the caller spent waiting on stolen chunks after
+        /// draining its own share (ns) — the pool's imbalance signal.
         pub caller_wait_ns: u128,
         /// Per-slot activity, indexed by worker slot.
         pub workers: Vec<WorkerSample>,
@@ -143,7 +205,7 @@ pub mod pool {
         }
     }
 
-    pub(super) fn note_fanout(workers: usize) {
+    fn note_fanout(workers: usize) {
         let mut s = state();
         s.fanouts += 1;
         if s.workers.len() < workers {
@@ -153,8 +215,8 @@ pub mod pool {
 
     fn record_worker(slot: usize, busy_ns: u128) {
         // A fan-out can still be in flight when profiling is turned off
-        // and the counters reset; its workers captured `profiling` at
-        // spawn time, so without this gate their late records would
+        // and the counters reset; its chunks captured `profiling` at
+        // dispatch time, so without this gate their late records would
         // resurrect stale samples into the freshly reset snapshot.
         if !enabled() {
             return;
@@ -187,11 +249,372 @@ pub mod pool {
         record_worker(slot, t0.elapsed().as_nanos());
         out
     }
+
+    // ------------------------------------------------------------------
+    // The executor
+    // ------------------------------------------------------------------
+
+    type Task<'a> = &'a (dyn Fn(u32, Range<usize>) + Sync);
+
+    /// One fan-out, allocated on the caller's stack. See the module
+    /// docs for the ownership protocol that keeps the erased `task`
+    /// reference alive for every participant.
+    struct Job {
+        /// The chunk body, lifetime-erased (see [`run`]).
+        task: Task<'static>,
+        len: usize,
+        chunks: u32,
+        lanes: u32,
+        /// The caller's effective thread count, re-installed on every
+        /// participating worker so nested fan-outs see the caller's
+        /// budget, not the worker's default.
+        tc: usize,
+        /// The caller's oversubscription factor, propagated likewise.
+        oversub: usize,
+        profiling: bool,
+        /// Per-lane chunk-id deques, packed `head << 32 | tail`. The
+        /// lane owner pops the front, thieves pop the back; both via
+        /// CAS on the same word.
+        deques: [AtomicU64; MAX_LANES],
+        /// Lane-claim ticket counter for participants.
+        next_lane: AtomicUsize,
+        /// Chunks fully executed.
+        completed: AtomicUsize,
+        /// Threads currently holding a reference to this job (the
+        /// caller counts from construction to final wait).
+        participants: AtomicUsize,
+        /// First panic payload from any chunk body.
+        panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+        /// Caller parks here until `completed == chunks` and
+        /// `participants == 0`.
+        gate: Mutex<()>,
+        cv: Condvar,
+    }
+
+    impl Job {
+        fn chunk_range(&self, i: u32) -> Range<usize> {
+            super::chunk_bounds(self.len, self.chunks as usize, i as usize)
+        }
+
+        /// Owner pop: front of `lane`'s deque.
+        fn pop_front(&self, lane: usize) -> Option<u32> {
+            let d = &self.deques[lane];
+            let mut v = d.load(Ordering::Acquire);
+            loop {
+                let (head, tail) = ((v >> 32) as u32, v as u32);
+                if head >= tail {
+                    return None;
+                }
+                let next = (u64::from(head + 1) << 32) | u64::from(tail);
+                match d.compare_exchange_weak(v, next, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => return Some(head),
+                    Err(cur) => v = cur,
+                }
+            }
+        }
+
+        /// Thief pop: back of `lane`'s deque.
+        fn pop_back(&self, lane: usize) -> Option<u32> {
+            let d = &self.deques[lane];
+            let mut v = d.load(Ordering::Acquire);
+            loop {
+                let (head, tail) = ((v >> 32) as u32, v as u32);
+                if head >= tail {
+                    return None;
+                }
+                let next = (u64::from(head) << 32) | u64::from(tail - 1);
+                match d.compare_exchange_weak(v, next, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => return Some(tail - 1),
+                    Err(cur) => v = cur,
+                }
+            }
+        }
+
+        /// True while any deque still holds an unclaimed chunk.
+        fn has_work(&self) -> bool {
+            self.deques[..self.lanes as usize].iter().any(|d| {
+                let v = d.load(Ordering::Acquire);
+                ((v >> 32) as u32) < (v as u32)
+            })
+        }
+
+        /// Executes chunk `i`, capturing a panic instead of unwinding
+        /// through the pool.
+        fn run_chunk(&self, i: u32, slot: usize) {
+            let range = self.chunk_range(i);
+            let task = self.task;
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                timed(self.profiling, slot, || task(i, range))
+            }));
+            if let Err(payload) = result {
+                let mut first = self.panic.lock().expect("pool job panic slot poisoned");
+                first.get_or_insert(payload);
+            }
+            if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.chunks as usize {
+                // Notify while holding the gate so the wakeup cannot
+                // fall between the caller's predicate check and wait.
+                let _gate = self.gate.lock().expect("pool job gate poisoned");
+                self.cv.notify_all();
+            }
+        }
+
+        /// Drains the job from one participant: claim a lane, pop its
+        /// front until empty, then steal from every other lane's back.
+        fn work_on(&self, slot: usize) {
+            let lanes = self.lanes as usize;
+            let lane = self.next_lane.fetch_add(1, Ordering::AcqRel);
+            if lane < lanes {
+                while let Some(i) = self.pop_front(lane) {
+                    self.run_chunk(i, slot);
+                }
+            }
+            let start = lane % lanes.max(1);
+            for off in 0..lanes {
+                let l = (start + off) % lanes;
+                while let Some(i) = self.pop_back(l) {
+                    self.run_chunk(i, slot);
+                }
+            }
+        }
+
+        /// Drops one participant reference, waking the caller if it was
+        /// the last.
+        fn leave(&self) {
+            self.participants.fetch_sub(1, Ordering::AcqRel);
+            let _gate = self.gate.lock().expect("pool job gate poisoned");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Registered jobs are addressed by raw pointer; the registry lock
+    /// plus the participant protocol guarantee the pointee is alive for
+    /// as long as the pointer is reachable.
+    #[derive(Clone, Copy)]
+    struct JobPtr(*const Job);
+    // SAFETY: a `Job` is only ever accessed by shared reference, every
+    // field is Sync, and the registry/participant protocol (see module
+    // docs) keeps the pointee alive while the pointer is reachable.
+    unsafe impl Send for JobPtr {}
+    unsafe impl Sync for JobPtr {}
+
+    struct PoolState {
+        jobs: Vec<JobPtr>,
+        live_workers: usize,
+        draining: bool,
+        handles: Vec<std::thread::JoinHandle<()>>,
+    }
+
+    struct Executor {
+        state: Mutex<PoolState>,
+        work_cv: Condvar,
+    }
+
+    fn executor() -> &'static Executor {
+        static EXEC: OnceLock<Executor> = OnceLock::new();
+        EXEC.get_or_init(|| Executor {
+            state: Mutex::new(PoolState {
+                jobs: Vec::new(),
+                live_workers: 0,
+                draining: false,
+                handles: Vec::new(),
+            }),
+            work_cv: Condvar::new(),
+        })
+    }
+
+    /// Total OS threads this pool has ever spawned (monotonic). The
+    /// steady-state test asserts this stays flat across fan-outs once
+    /// the pool is warm.
+    static SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+    /// OS threads the pool has spawned over the process lifetime.
+    pub fn spawned_workers_total() -> u64 {
+        SPAWNED.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently alive (parked or busy).
+    pub fn live_workers() -> usize {
+        executor()
+            .state
+            .lock()
+            .expect("pool state poisoned")
+            .live_workers
+    }
+
+    thread_local! {
+        /// This thread's stable profiling slot: 0 for non-pool threads
+        /// (fan-out callers), `n` for worker `pim-pool-n`.
+        static WORKER_SLOT: Cell<usize> = const { Cell::new(0) };
+    }
+
+    fn ensure_workers(ex: &'static Executor, st: &mut PoolState, wanted: usize) {
+        while st.live_workers < wanted.min(MAX_LANES) {
+            st.live_workers += 1;
+            let slot = st.live_workers;
+            SPAWNED.fetch_add(1, Ordering::Relaxed);
+            let handle = std::thread::Builder::new()
+                .name(format!("pim-pool-{slot}"))
+                .spawn(move || worker_loop(ex, slot))
+                .expect("failed to spawn PIM pool worker");
+            st.handles.push(handle);
+        }
+    }
+
+    fn worker_loop(ex: &'static Executor, slot: usize) {
+        WORKER_SLOT.with(|c| c.set(slot));
+        let mut st = ex.state.lock().expect("pool state poisoned");
+        loop {
+            if st.draining {
+                st.live_workers -= 1;
+                return;
+            }
+            let found = st.jobs.iter().copied().find(|p| {
+                // SAFETY: pointers in the registry are valid (see JobPtr).
+                unsafe { (*p.0).has_work() }
+            });
+            match found {
+                Some(ptr) => {
+                    // SAFETY: as above; the participant increment below
+                    // happens under the registry lock, before the caller
+                    // can deregister and observe participants == 0.
+                    let job = unsafe { &*ptr.0 };
+                    job.participants.fetch_add(1, Ordering::AcqRel);
+                    drop(st);
+                    super::with_thread_count(job.tc, || {
+                        super::with_chunks_per_worker(job.oversub, || job.work_on(slot));
+                    });
+                    job.leave();
+                    st = ex.state.lock().expect("pool state poisoned");
+                }
+                None => {
+                    st = ex.work_cv.wait(st).expect("pool state poisoned");
+                }
+            }
+        }
+    }
+
+    /// Drains and joins every pool worker, then lets the pool restart
+    /// lazily on the next fan-out. Fan-outs racing a shutdown run their
+    /// chunks inline on the caller. Intended for leak checks and
+    /// orderly process teardown; never required for correctness.
+    pub fn shutdown() {
+        static SHUTDOWN: Mutex<()> = Mutex::new(());
+        let _one_at_a_time = SHUTDOWN.lock().expect("pool shutdown lock poisoned");
+        let ex = executor();
+        let handles = {
+            let mut st = ex.state.lock().expect("pool state poisoned");
+            st.draining = true;
+            ex.work_cv.notify_all();
+            std::mem::take(&mut st.handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = ex.state.lock().expect("pool state poisoned");
+        debug_assert_eq!(st.live_workers, 0, "worker exited without deregistering");
+        st.live_workers = 0;
+        st.draining = false;
+    }
+
+    /// Runs one fan-out through the pool: `body(i, range)` once per
+    /// chunk, `lanes ≥ 2` of them eligible to run concurrently. Blocks
+    /// until every chunk has completed; rethrows the first chunk panic.
+    pub(super) fn run(len: usize, lanes: usize, chunks: usize, body: Task<'_>) {
+        debug_assert!((2..=MAX_LANES).contains(&lanes));
+        debug_assert!(chunks >= lanes && chunks <= u32::MAX as usize);
+        let profiling = enabled();
+        if profiling {
+            note_fanout(lanes);
+        }
+        // SAFETY: this erases the borrow lifetime of `body`. The job
+        // below never escapes this stack frame: it is deregistered
+        // before the final wait, and the wait only returns once every
+        // chunk has completed and every participant has left, so no
+        // dereference of `task` can outlive `body`.
+        let task: Task<'static> = unsafe { std::mem::transmute(body) };
+        let job = Job {
+            task,
+            len,
+            chunks: chunks as u32,
+            lanes: lanes as u32,
+            tc: super::thread_count(),
+            oversub: super::chunks_per_worker(),
+            profiling,
+            deques: std::array::from_fn(|_| AtomicU64::new(0)),
+            next_lane: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            participants: AtomicUsize::new(1),
+            panic: Mutex::new(None),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        };
+        // Deal contiguous runs of chunk ids into the lane deques.
+        for lane in 0..lanes {
+            let r = super::chunk_bounds(chunks, lanes, lane);
+            job.deques[lane].store(
+                (u64::from(r.start as u32) << 32) | u64::from(r.end as u32),
+                Ordering::Release,
+            );
+        }
+        let ex = executor();
+        let registered = {
+            let mut st = ex.state.lock().expect("pool state poisoned");
+            if st.draining {
+                false
+            } else {
+                ensure_workers(ex, &mut st, lanes - 1);
+                st.jobs.push(JobPtr(&job));
+                ex.work_cv.notify_all();
+                true
+            }
+        };
+        let slot = WORKER_SLOT.with(Cell::get);
+        if registered {
+            job.work_on(slot);
+            {
+                let mut st = ex.state.lock().expect("pool state poisoned");
+                if let Some(pos) = st.jobs.iter().position(|p| std::ptr::eq(p.0, &job)) {
+                    st.jobs.swap_remove(pos);
+                }
+            }
+            let wait0 = profiling.then(Instant::now);
+            job.participants.fetch_sub(1, Ordering::AcqRel);
+            {
+                let mut gate = job.gate.lock().expect("pool job gate poisoned");
+                while job.completed.load(Ordering::Acquire) < chunks
+                    || job.participants.load(Ordering::Acquire) > 0
+                {
+                    gate = job.cv.wait(gate).expect("pool job gate poisoned");
+                }
+            }
+            if let Some(t0) = wait0 {
+                record_caller_wait(t0.elapsed().as_nanos());
+            }
+        } else {
+            // Shutdown in progress: run every chunk inline.
+            for i in 0..chunks as u32 {
+                job.run_chunk(i, slot);
+            }
+        }
+        let payload = job
+            .panic
+            .lock()
+            .expect("pool job panic slot poisoned")
+            .take();
+        if let Some(p) = payload {
+            panic::resume_unwind(p);
+        }
+    }
 }
 
 /// Minimum elements per worker before a loop fans out. Below
 /// `2 × MIN_CHUNK` total elements everything runs on the calling thread.
 pub const MIN_CHUNK: usize = 8 * 1024;
+
+/// Default chunks dealt per lane (oversubscription factor): more chunks
+/// than workers is what gives the thieves something to steal when chunk
+/// costs are skewed. Override per scope with [`with_chunks_per_worker`].
+pub const CHUNKS_PER_WORKER: usize = 4;
 
 fn env_threads() -> usize {
     static ENV: OnceLock<usize> = OnceLock::new();
@@ -210,6 +633,8 @@ static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 thread_local! {
     /// Per-thread override; 0 means "not set".
     static LOCAL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Per-thread oversubscription override; 0 means "not set".
+    static OVERSUB_OVERRIDE: Cell<usize> = const { Cell::new(0) };
 }
 
 /// Overrides the worker count for the whole process (`None` restores the
@@ -250,70 +675,193 @@ pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Workers a loop over `len` elements should fan out to.
-fn workers_for(len: usize) -> usize {
-    if len < 2 * MIN_CHUNK {
-        return 1;
+/// The oversubscription factor the next fan-out on this thread will
+/// use ([`CHUNKS_PER_WORKER`] unless overridden).
+pub fn chunks_per_worker() -> usize {
+    let local = OVERSUB_OVERRIDE.with(Cell::get);
+    if local > 0 {
+        local
+    } else {
+        CHUNKS_PER_WORKER
     }
-    thread_count().min(len / MIN_CHUNK).max(1)
 }
 
-/// Splits `0..len` into `parts` contiguous ranges covering every index
-/// exactly once, the first ranges one element longer when `len` does not
-/// divide evenly.
-fn split(len: usize, parts: usize) -> Vec<Range<usize>> {
+/// Runs `f` with the oversubscription factor pinned to `n` on the
+/// current thread (restored on exit, including on panic). `1` disables
+/// stealing in practice — each lane gets exactly one chunk — which is
+/// the even-split baseline the imbalance benchmark compares against.
+pub fn with_chunks_per_worker<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Reset(usize);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            OVERSUB_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = OVERSUB_OVERRIDE.with(|c| {
+        let p = c.get();
+        c.set(n.max(1));
+        p
+    });
+    let _reset = Reset(prev);
+    f()
+}
+
+/// Start of chunk `i` of `len` split `parts` ways: the first
+/// `len % parts` chunks are one element longer.
+fn chunk_start(len: usize, parts: usize, i: usize) -> usize {
     let base = len / parts;
     let extra = len % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut start = 0;
-    for i in 0..parts {
-        let end = start + base + usize::from(i < extra);
-        out.push(start..end);
-        start = end;
+    i * base + i.min(extra)
+}
+
+/// Chunk `i` of `0..len` split into `parts` contiguous ranges covering
+/// every index exactly once.
+fn chunk_bounds(len: usize, parts: usize, i: usize) -> Range<usize> {
+    chunk_start(len, parts, i)..chunk_start(len, parts, i + 1)
+}
+
+/// Lanes (`workers`) and chunk count for a fan-out over `len` items
+/// whose per-item cost is `weight`× the baseline element. Returns
+/// `(1, 1)` when the loop should stay on the calling thread.
+fn plan_weighted(len: usize, weight: usize) -> (usize, usize) {
+    let floor = (MIN_CHUNK / weight.max(1)).max(64);
+    if len < 2 * floor {
+        return (1, 1);
     }
-    out
+    let lanes = thread_count().min(len / floor).clamp(1, pool::MAX_LANES);
+    if lanes <= 1 {
+        return (1, 1);
+    }
+    let chunks = (lanes * chunks_per_worker()).min(len / floor).max(lanes);
+    (lanes, chunks)
+}
+
+/// A raw view of a mutable slice that concurrent chunks index
+/// disjointly. This is the pool's only aliasing primitive: the fan-out
+/// planner partitions `0..len`, each chunk touches only its own
+/// indices, and the borrow the view was created from outlives the
+/// fan-out (the caller blocks until every chunk completes).
+pub struct SharedSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: SharedSlice hands out access to `T`s across threads; that is
+// exactly as safe as sending `&mut T` to those threads, hence `T: Send`.
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T> SharedSlice<T> {
+    /// Captures `slice` for disjoint concurrent access.
+    pub fn new(slice: &mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Number of elements in the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads element `i`. Bounds-checked.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may be writing element `i` concurrently, and the
+    /// slice this view was created from must still be borrowed.
+    pub unsafe fn get(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        assert!(i < self.len, "SharedSlice::get out of bounds");
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Writes element `i`. Bounds-checked.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may be accessing element `i` concurrently, and
+    /// the slice this view was created from must still be borrowed.
+    pub unsafe fn set(&self, i: usize, value: T) {
+        assert!(i < self.len, "SharedSlice::set out of bounds");
+        unsafe { *self.ptr.add(i) = value }
+    }
+
+    /// A mutable reference to element `i`. Bounds-checked.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may hold a reference to element `i` while the
+    /// returned borrow is live.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn index_mut(&self, i: usize) -> &mut T {
+        assert!(i < self.len, "SharedSlice::index_mut out of bounds");
+        unsafe { &mut *self.ptr.add(i) }
+    }
+
+    /// The sub-slice `r`. Bounds-checked.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access any element of `r` while the returned
+    /// borrow is live — chunks must use disjoint ranges.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, r: Range<usize>) -> &mut [T] {
+        assert!(
+            r.start <= r.end && r.end <= self.len,
+            "SharedSlice::slice_mut out of bounds"
+        );
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(r.start), r.len()) }
+    }
 }
 
 /// The fan-out primitive: applies `work` to contiguous chunks of
 /// `0..len` and returns the per-chunk results **in ascending chunk
-/// order**. Chunk 0 runs on the calling thread; the rest on scoped
-/// workers. With one worker (or a short input) this is exactly
-/// `vec![work(0..len)]`.
+/// order** regardless of which worker ran each chunk. With one worker
+/// (or a short input) this is exactly `vec![work(0..len)]`.
 pub fn par_chunks<R: Send>(len: usize, work: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
+    par_chunks_weighted(len, 1, work)
+}
+
+/// [`par_chunks`] with a per-element cost hint: the fan-out floor
+/// shrinks by `weight` so loops whose elements each do `weight`× the
+/// work of a plain element-wise op (e.g. a compiled VM kernel running
+/// `weight` steps per word column) still parallelize at realistic
+/// lengths.
+pub fn par_chunks_weighted<R: Send>(
+    len: usize,
+    weight: usize,
+    work: impl Fn(Range<usize>) -> R + Sync,
+) -> Vec<R> {
     if len == 0 {
         return Vec::new();
     }
-    let workers = workers_for(len);
-    if workers <= 1 {
+    let (lanes, chunks) = plan_weighted(len, weight);
+    if lanes <= 1 {
         pool::note_sequential();
         return vec![work(0..len)];
     }
-    let profiling = pool::enabled();
-    if profiling {
-        pool::note_fanout(workers);
-    }
-    let ranges = split(len, workers);
-    let work = &work;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges[1..]
-            .iter()
-            .enumerate()
-            .map(|(i, r)| {
-                let r = r.clone();
-                scope.spawn(move || pool::timed(profiling, i + 1, || work(r)))
-            })
-            .collect();
-        let mut out = Vec::with_capacity(workers);
-        out.push(pool::timed(profiling, 0, || work(ranges[0].clone())));
-        let wait0 = profiling.then(std::time::Instant::now);
-        for h in handles {
-            out.push(h.join().expect("PIM worker thread panicked"));
-        }
-        if let Some(t0) = wait0 {
-            pool::record_caller_wait(t0.elapsed().as_nanos());
-        }
-        out
-    })
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(chunks);
+    slots.resize_with(chunks, || None);
+    let out = SharedSlice::new(&mut slots);
+    pool::run(len, lanes, chunks, &|i, r| {
+        let v = work(r);
+        // SAFETY: each chunk id is claimed by exactly one participant,
+        // so slot `i` is written once, with no concurrent access.
+        unsafe { *out.index_mut(i as usize) = Some(v) };
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk ran"))
+        .collect()
 }
 
 /// Chunk-ordered parallel reduction: maps each chunk of `0..len` with
@@ -327,6 +875,44 @@ pub fn par_fold<R: Send>(
     par_chunks(len, map).into_iter().reduce(fold)
 }
 
+/// Runs `f(i, &mut items[i])` for every item, in parallel at item
+/// granularity (no [`MIN_CHUNK`] floor — items are assumed coarse, e.g.
+/// execution shards), returning the results in item order. The stealing
+/// deques absorb skewed per-item costs, which is the whole point of
+/// using this for uneven `ShardMap`s.
+pub fn par_each_mut<T: Send, R: Send>(
+    items: &mut [T],
+    f: impl Fn(usize, &mut T) -> R + Sync,
+) -> Vec<R> {
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let lanes = thread_count().min(len).min(pool::MAX_LANES);
+    if lanes <= 1 {
+        pool::note_sequential();
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunks = (lanes * chunks_per_worker()).min(len).max(lanes);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    let out = SharedSlice::new(&mut slots);
+    let data = SharedSlice::new(items);
+    pool::run(len, lanes, chunks, &|_, r| {
+        for i in r {
+            // SAFETY: chunk ranges partition 0..len, so item `i` and
+            // slot `i` are each touched by exactly one participant.
+            let item = unsafe { data.index_mut(i) };
+            let v = f(i, item);
+            unsafe { *out.index_mut(i) = Some(v) };
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item visited"))
+        .collect()
+}
+
 /// `out[i] = f(&src[i])` in parallel over disjoint chunks.
 ///
 /// # Panics
@@ -334,38 +920,21 @@ pub fn par_fold<R: Send>(
 /// Panics if the slices differ in length.
 pub fn par_map_into<S: Sync, T: Send>(src: &[S], out: &mut [T], f: impl Fn(&S) -> T + Sync) {
     assert_eq!(src.len(), out.len(), "par_map_into length mismatch");
-    let workers = workers_for(out.len());
-    if workers <= 1 {
+    let (lanes, chunks) = plan_weighted(out.len(), 1);
+    if lanes <= 1 {
         pool::note_sequential();
         for (o, s) in out.iter_mut().zip(src) {
             *o = f(s);
         }
         return;
     }
-    let profiling = pool::enabled();
-    if profiling {
-        pool::note_fanout(workers);
-    }
-    let chunk = out.len().div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut pairs = out.chunks_mut(chunk).zip(src.chunks(chunk));
-        let first = pairs.next();
-        for (slot, (oc, sc)) in pairs.enumerate() {
-            scope.spawn(move || {
-                pool::timed(profiling, slot + 1, || {
-                    for (o, s) in oc.iter_mut().zip(sc) {
-                        *o = f(s);
-                    }
-                });
-            });
-        }
-        if let Some((oc, sc)) = first {
-            pool::timed(profiling, 0, || {
-                for (o, s) in oc.iter_mut().zip(sc) {
-                    *o = f(s);
-                }
-            });
+    let dst = SharedSlice::new(out);
+    pool::run(dst.len(), lanes, chunks, &|_, r| {
+        // SAFETY: chunk ranges partition 0..len; each output index is
+        // written by exactly one participant.
+        let oc = unsafe { dst.slice_mut(r.clone()) };
+        for (o, s) in oc.iter_mut().zip(&src[r]) {
+            *o = f(s);
         }
     });
 }
@@ -383,41 +952,20 @@ pub fn par_zip_map_into<A: Sync, B: Sync, T: Send>(
 ) {
     assert_eq!(a.len(), b.len(), "par_zip_map_into length mismatch");
     assert_eq!(a.len(), out.len(), "par_zip_map_into length mismatch");
-    let workers = workers_for(out.len());
-    if workers <= 1 {
+    let (lanes, chunks) = plan_weighted(out.len(), 1);
+    if lanes <= 1 {
         pool::note_sequential();
         for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
             *o = f(x, y);
         }
         return;
     }
-    let profiling = pool::enabled();
-    if profiling {
-        pool::note_fanout(workers);
-    }
-    let chunk = out.len().div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut triples = out
-            .chunks_mut(chunk)
-            .zip(a.chunks(chunk))
-            .zip(b.chunks(chunk));
-        let first = triples.next();
-        for (slot, ((oc, ac), bc)) in triples.enumerate() {
-            scope.spawn(move || {
-                pool::timed(profiling, slot + 1, || {
-                    for ((o, x), y) in oc.iter_mut().zip(ac).zip(bc) {
-                        *o = f(x, y);
-                    }
-                });
-            });
-        }
-        if let Some(((oc, ac), bc)) = first {
-            pool::timed(profiling, 0, || {
-                for ((o, x), y) in oc.iter_mut().zip(ac).zip(bc) {
-                    *o = f(x, y);
-                }
-            });
+    let dst = SharedSlice::new(out);
+    pool::run(dst.len(), lanes, chunks, &|_, r| {
+        // SAFETY: chunk ranges partition 0..len (see par_map_into).
+        let oc = unsafe { dst.slice_mut(r.clone()) };
+        for ((o, x), y) in oc.iter_mut().zip(&a[r.clone()]).zip(&b[r]) {
+            *o = f(x, y);
         }
     });
 }
@@ -438,42 +986,25 @@ pub fn par_zip3_map_into<A: Sync, B: Sync, C: Sync, T: Send>(
     assert_eq!(a.len(), b.len(), "par_zip3_map_into length mismatch");
     assert_eq!(a.len(), c.len(), "par_zip3_map_into length mismatch");
     assert_eq!(a.len(), out.len(), "par_zip3_map_into length mismatch");
-    let workers = workers_for(out.len());
-    if workers <= 1 {
+    let (lanes, chunks) = plan_weighted(out.len(), 1);
+    if lanes <= 1 {
         pool::note_sequential();
         for (((o, x), y), z) in out.iter_mut().zip(a).zip(b).zip(c) {
             *o = f(x, y, z);
         }
         return;
     }
-    let profiling = pool::enabled();
-    if profiling {
-        pool::note_fanout(workers);
-    }
-    let chunk = out.len().div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut quads = out
-            .chunks_mut(chunk)
-            .zip(a.chunks(chunk))
-            .zip(b.chunks(chunk))
-            .zip(c.chunks(chunk));
-        let first = quads.next();
-        for (slot, (((oc, ac), bc), cc)) in quads.enumerate() {
-            scope.spawn(move || {
-                pool::timed(profiling, slot + 1, || {
-                    for (((o, x), y), z) in oc.iter_mut().zip(ac).zip(bc).zip(cc) {
-                        *o = f(x, y, z);
-                    }
-                });
-            });
-        }
-        if let Some((((oc, ac), bc), cc)) = first {
-            pool::timed(profiling, 0, || {
-                for (((o, x), y), z) in oc.iter_mut().zip(ac).zip(bc).zip(cc) {
-                    *o = f(x, y, z);
-                }
-            });
+    let dst = SharedSlice::new(out);
+    pool::run(dst.len(), lanes, chunks, &|_, r| {
+        // SAFETY: chunk ranges partition 0..len (see par_map_into).
+        let oc = unsafe { dst.slice_mut(r.clone()) };
+        for (((o, x), y), z) in oc
+            .iter_mut()
+            .zip(&a[r.clone()])
+            .zip(&b[r.clone()])
+            .zip(&c[r])
+        {
+            *o = f(x, y, z);
         }
     });
 }
@@ -496,43 +1027,26 @@ pub fn par_zip4_map_into<A: Sync, B: Sync, C: Sync, D: Sync, T: Send>(
     assert_eq!(a.len(), c.len(), "par_zip4_map_into length mismatch");
     assert_eq!(a.len(), d.len(), "par_zip4_map_into length mismatch");
     assert_eq!(a.len(), out.len(), "par_zip4_map_into length mismatch");
-    let workers = workers_for(out.len());
-    if workers <= 1 {
+    let (lanes, chunks) = plan_weighted(out.len(), 1);
+    if lanes <= 1 {
         pool::note_sequential();
         for ((((o, x), y), z), u) in out.iter_mut().zip(a).zip(b).zip(c).zip(d) {
             *o = f(x, y, z, u);
         }
         return;
     }
-    let profiling = pool::enabled();
-    if profiling {
-        pool::note_fanout(workers);
-    }
-    let chunk = out.len().div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut quints = out
-            .chunks_mut(chunk)
-            .zip(a.chunks(chunk))
-            .zip(b.chunks(chunk))
-            .zip(c.chunks(chunk))
-            .zip(d.chunks(chunk));
-        let first = quints.next();
-        for (slot, ((((oc, ac), bc), cc), dc)) in quints.enumerate() {
-            scope.spawn(move || {
-                pool::timed(profiling, slot + 1, || {
-                    for ((((o, x), y), z), u) in oc.iter_mut().zip(ac).zip(bc).zip(cc).zip(dc) {
-                        *o = f(x, y, z, u);
-                    }
-                });
-            });
-        }
-        if let Some(((((oc, ac), bc), cc), dc)) = first {
-            pool::timed(profiling, 0, || {
-                for ((((o, x), y), z), u) in oc.iter_mut().zip(ac).zip(bc).zip(cc).zip(dc) {
-                    *o = f(x, y, z, u);
-                }
-            });
+    let dst = SharedSlice::new(out);
+    pool::run(dst.len(), lanes, chunks, &|_, r| {
+        // SAFETY: chunk ranges partition 0..len (see par_map_into).
+        let oc = unsafe { dst.slice_mut(r.clone()) };
+        for ((((o, x), y), z), u) in oc
+            .iter_mut()
+            .zip(&a[r.clone()])
+            .zip(&b[r.clone()])
+            .zip(&c[r.clone()])
+            .zip(&d[r])
+        {
+            *o = f(x, y, z, u);
         }
     });
 }
@@ -583,19 +1097,43 @@ mod tests {
     use super::*;
 
     #[test]
-    fn split_covers_every_index_once() {
+    fn chunk_bounds_cover_every_index_once() {
         for len in [0usize, 1, 7, 100, 8191, 8192, 100_001] {
             for parts in 1..=9 {
-                let ranges = split(len, parts);
-                assert_eq!(ranges.len(), parts);
                 let mut next = 0;
-                for r in &ranges {
+                for i in 0..parts {
+                    let r = chunk_bounds(len, parts, i);
                     assert_eq!(r.start, next);
                     next = r.end;
                 }
                 assert_eq!(next, len);
             }
         }
+    }
+
+    #[test]
+    fn plan_oversubscribes_long_inputs() {
+        with_thread_count(4, || {
+            // Long input: 4 lanes, 4x chunks for the thieves.
+            let (lanes, chunks) = plan_weighted(64 * MIN_CHUNK, 1);
+            assert_eq!(lanes, 4);
+            assert_eq!(chunks, 16);
+            // Short input: stays sequential.
+            assert_eq!(plan_weighted(MIN_CHUNK, 1), (1, 1));
+            // Medium input: chunk count capped by the per-chunk floor.
+            let (lanes, chunks) = plan_weighted(4 * MIN_CHUNK, 1);
+            assert_eq!(lanes, 4);
+            assert_eq!(chunks, 4);
+            // Weight shrinks the floor: the same element count yields
+            // more (finer) chunks when each element is 64x the work.
+            let (_, weighted) = plan_weighted(4 * MIN_CHUNK, 64);
+            assert!(weighted > chunks);
+            // The oversubscription override is scoped and restored.
+            with_chunks_per_worker(1, || {
+                assert_eq!(plan_weighted(64 * MIN_CHUNK, 1), (4, 4));
+            });
+            assert_eq!(chunks_per_worker(), CHUNKS_PER_WORKER);
+        });
     }
 
     #[test]
@@ -653,6 +1191,22 @@ mod tests {
     }
 
     #[test]
+    fn par_each_mut_visits_every_item_in_order() {
+        for threads in [1, 3, 8] {
+            let mut items: Vec<i64> = (0..23).collect();
+            let out = with_thread_count(threads, || {
+                par_each_mut(&mut items, |i, v| {
+                    *v += 100;
+                    (i, *v)
+                })
+            });
+            let expect: Vec<(usize, i64)> = (0..23).map(|i| (i, i as i64 + 100)).collect();
+            assert_eq!(out, expect, "threads={threads}");
+            assert_eq!(items, (100..123).collect::<Vec<i64>>());
+        }
+    }
+
+    #[test]
     fn short_inputs_stay_on_the_calling_thread() {
         let caller = std::thread::current().id();
         let ids = with_thread_count(8, || par_chunks(100, |_| std::thread::current().id()));
@@ -677,7 +1231,10 @@ mod tests {
         assert!(snap.fanouts >= 1);
         assert!(snap.sequential_runs >= 1);
         assert!(snap.workers.len() >= 4);
-        assert!(snap.workers.iter().take(4).all(|w| w.chunks >= 1));
+        // With stealing, any one participant (often the caller alone on
+        // a single-core host) may run every chunk — assert the total,
+        // not per-slot distribution.
+        assert!(snap.workers.iter().map(|w| w.chunks).sum::<u64>() >= 4);
         let json = snap.to_json();
         assert!(json.starts_with("{\"fanouts\":"));
         assert!(json.contains("\"sequential_runs\":"));

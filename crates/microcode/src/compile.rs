@@ -27,6 +27,7 @@
 
 use std::collections::HashMap;
 
+use pim_dram::exec::{self, SharedSlice};
 use pim_dram::BitMatrix;
 
 use crate::isa::{Loc, MicroOp, RowRef};
@@ -336,11 +337,20 @@ impl CompiledKernel {
     /// (read for initial state, updated with the final state), and
     /// `acc` receives popcount terms.
     ///
+    /// No micro-op communicates across word columns, so the column loop
+    /// fans out over the execution pool at long row widths — weighted by
+    /// the step count, since one column of an N-step kernel does N× the
+    /// work of a plain element op. Per-chunk popcount partials are
+    /// folded in ascending chunk order; the `i128` sum is exact and
+    /// order-independent, so results stay bit-identical to the serial
+    /// sweep at every thread count.
+    ///
     /// # Panics
     ///
-    /// Panics (via slice indexing) if `row_bases` entries were not
-    /// validated against the matrix — [`crate::vm::Vm::run`] checks the
-    /// signature first and falls back to the interpreter otherwise.
+    /// Panics (via bounds-checked column access) if `row_bases` entries
+    /// were not validated against the matrix — [`crate::vm::Vm::run`]
+    /// checks the signature first and falls back to the interpreter
+    /// otherwise.
     pub fn execute(
         &self,
         mat: &mut BitMatrix,
@@ -351,101 +361,152 @@ impl CompiledKernel {
         row_bases: &[usize],
     ) {
         let words = mat.words_per_row();
-        let bits = mat.words_mut();
+        if words == 0 {
+            return;
+        }
+        let bits = SharedSlice::new(mat.words_mut());
+        let sa_s = SharedSlice::new(sa);
+        let [r0, r1, r2, r3] = regs;
+        let regs_s = [
+            SharedSlice::new(r0.as_mut_slice()),
+            SharedSlice::new(r1.as_mut_slice()),
+            SharedSlice::new(r2.as_mut_slice()),
+            SharedSlice::new(r3.as_mut_slice()),
+        ];
+        let partials = exec::par_chunks_weighted(words, self.steps.len().max(1), |range| {
+            self.execute_columns(&bits, &sa_s, &regs_s, tail_mask, row_bases, words, range)
+        });
+        *acc += partials.into_iter().sum::<i128>();
+    }
+
+    /// Runs the straight-line program over the word columns in `range`,
+    /// returning the popcount contribution of those columns. Every
+    /// matrix/register access is per-column at index `w`, so concurrent
+    /// chunks over disjoint ranges never touch the same word.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_columns(
+        &self,
+        bits: &SharedSlice<u64>,
+        sa: &SharedSlice<u64>,
+        regs: &[SharedSlice<u64>; 4],
+        tail_mask: u64,
+        row_bases: &[usize],
+        words: usize,
+        range: std::ops::Range<usize>,
+    ) -> i128 {
         let mut acc_delta = 0i128;
-        for w in 0..words {
+        for w in range {
             let mask = if w + 1 == words { tail_mask } else { u64::MAX };
-            let mut r = [sa[w], regs[0][w], regs[1][w], regs[2][w], regs[3][w]];
-            for step in &self.steps {
-                match *step {
-                    KStep::Read { rid } => {
-                        r[SA] = bits[row_bases[rid as usize] + w] & mask;
-                    }
-                    KStep::ReadMove { rid, dst } => {
-                        r[SA] = bits[row_bases[rid as usize] + w] & mask;
-                        r[dst as usize] = r[SA];
-                    }
-                    KStep::Write { rid } => {
-                        bits[row_bases[rid as usize] + w] = r[SA];
-                    }
-                    KStep::Set { dst, fill } => {
-                        r[dst as usize] = fill & mask;
-                    }
-                    KStep::Move { src, dst } => {
-                        r[dst as usize] = r[src as usize] & mask;
-                    }
-                    KStep::And { a, b, dst } => {
-                        r[dst as usize] = (r[a as usize] & r[b as usize]) & mask;
-                    }
-                    KStep::Xnor { a, b, dst } => {
-                        r[dst as usize] = !(r[a as usize] ^ r[b as usize]) & mask;
-                    }
-                    KStep::Sel { cond, t, f, dst } => {
-                        let c = r[cond as usize];
-                        r[dst as usize] = ((c & r[t as usize]) | (!c & r[f as usize])) & mask;
-                    }
-                    KStep::FullAdder => {
-                        let (x, d, c) = (r[2], r[SA], r[1]);
-                        let t = !(x ^ d) & mask;
-                        r[4] = t;
-                        r[SA] = !(t ^ c) & mask;
-                        r[1] = ((t & x) | (!t & c)) & mask;
-                    }
-                    KStep::ReadAdder { rid } => {
-                        let d = bits[row_bases[rid as usize] + w] & mask;
-                        let (x, c) = (r[2], r[1]);
-                        let t = !(x ^ d) & mask;
-                        r[4] = t;
-                        r[SA] = !(t ^ c) & mask;
-                        r[1] = ((t & x) | (!t & c)) & mask;
-                    }
-                    KStep::ReadAdderWrite { rid } => {
-                        let base = row_bases[rid as usize] + w;
-                        let d = bits[base] & mask;
-                        let (x, c) = (r[2], r[1]);
-                        let t = !(x ^ d) & mask;
-                        r[4] = t;
-                        r[SA] = !(t ^ c) & mask;
-                        r[1] = ((t & x) | (!t & c)) & mask;
-                        bits[base] = r[SA];
-                    }
-                    KStep::Aap { src, dst } => {
-                        bits[row_bases[dst as usize] + w] = bits[row_bases[src as usize] + w];
-                    }
-                    KStep::AapNot { src, dst } => {
-                        bits[row_bases[dst as usize] + w] =
-                            !bits[row_bases[src as usize] + w] & mask;
-                    }
-                    KStep::Tra { a, b, c } => {
-                        let (ba, bb, bc) = (
-                            row_bases[a as usize] + w,
-                            row_bases[b as usize] + w,
-                            row_bases[c as usize] + w,
-                        );
-                        let (x, y, z) = (bits[ba], bits[bb], bits[bc]);
-                        let maj = (x & y) | (y & z) | (x & z);
-                        bits[ba] = maj;
-                        bits[bb] = maj;
-                        bits[bc] = maj;
-                    }
-                    KStep::Popcount { rid, shift, negate } => {
-                        let count = (bits[row_bases[rid as usize] + w] & mask).count_ones() as i128;
-                        let term = count << shift;
-                        if negate {
-                            acc_delta -= term;
-                        } else {
-                            acc_delta += term;
+            // SAFETY: all accesses below are to column `w` (of the
+            // register files) or to `row_base + w` (of the matrix);
+            // chunk ranges partition the column space, so no other
+            // thread touches these words, and every index is
+            // bounds-checked by SharedSlice.
+            unsafe {
+                let mut r = [
+                    sa.get(w),
+                    regs[0].get(w),
+                    regs[1].get(w),
+                    regs[2].get(w),
+                    regs[3].get(w),
+                ];
+                for step in &self.steps {
+                    match *step {
+                        KStep::Read { rid } => {
+                            r[SA] = bits.get(row_bases[rid as usize] + w) & mask;
+                        }
+                        KStep::ReadMove { rid, dst } => {
+                            r[SA] = bits.get(row_bases[rid as usize] + w) & mask;
+                            r[dst as usize] = r[SA];
+                        }
+                        KStep::Write { rid } => {
+                            bits.set(row_bases[rid as usize] + w, r[SA]);
+                        }
+                        KStep::Set { dst, fill } => {
+                            r[dst as usize] = fill & mask;
+                        }
+                        KStep::Move { src, dst } => {
+                            r[dst as usize] = r[src as usize] & mask;
+                        }
+                        KStep::And { a, b, dst } => {
+                            r[dst as usize] = (r[a as usize] & r[b as usize]) & mask;
+                        }
+                        KStep::Xnor { a, b, dst } => {
+                            r[dst as usize] = !(r[a as usize] ^ r[b as usize]) & mask;
+                        }
+                        KStep::Sel { cond, t, f, dst } => {
+                            let c = r[cond as usize];
+                            r[dst as usize] = ((c & r[t as usize]) | (!c & r[f as usize])) & mask;
+                        }
+                        KStep::FullAdder => {
+                            let (x, d, c) = (r[2], r[SA], r[1]);
+                            let t = !(x ^ d) & mask;
+                            r[4] = t;
+                            r[SA] = !(t ^ c) & mask;
+                            r[1] = ((t & x) | (!t & c)) & mask;
+                        }
+                        KStep::ReadAdder { rid } => {
+                            let d = bits.get(row_bases[rid as usize] + w) & mask;
+                            let (x, c) = (r[2], r[1]);
+                            let t = !(x ^ d) & mask;
+                            r[4] = t;
+                            r[SA] = !(t ^ c) & mask;
+                            r[1] = ((t & x) | (!t & c)) & mask;
+                        }
+                        KStep::ReadAdderWrite { rid } => {
+                            let base = row_bases[rid as usize] + w;
+                            let d = bits.get(base) & mask;
+                            let (x, c) = (r[2], r[1]);
+                            let t = !(x ^ d) & mask;
+                            r[4] = t;
+                            r[SA] = !(t ^ c) & mask;
+                            r[1] = ((t & x) | (!t & c)) & mask;
+                            bits.set(base, r[SA]);
+                        }
+                        KStep::Aap { src, dst } => {
+                            bits.set(
+                                row_bases[dst as usize] + w,
+                                bits.get(row_bases[src as usize] + w),
+                            );
+                        }
+                        KStep::AapNot { src, dst } => {
+                            bits.set(
+                                row_bases[dst as usize] + w,
+                                !bits.get(row_bases[src as usize] + w) & mask,
+                            );
+                        }
+                        KStep::Tra { a, b, c } => {
+                            let (ba, bb, bc) = (
+                                row_bases[a as usize] + w,
+                                row_bases[b as usize] + w,
+                                row_bases[c as usize] + w,
+                            );
+                            let (x, y, z) = (bits.get(ba), bits.get(bb), bits.get(bc));
+                            let maj = (x & y) | (y & z) | (x & z);
+                            bits.set(ba, maj);
+                            bits.set(bb, maj);
+                            bits.set(bc, maj);
+                        }
+                        KStep::Popcount { rid, shift, negate } => {
+                            let count =
+                                (bits.get(row_bases[rid as usize] + w) & mask).count_ones() as i128;
+                            let term = count << shift;
+                            if negate {
+                                acc_delta -= term;
+                            } else {
+                                acc_delta += term;
+                            }
                         }
                     }
                 }
+                sa.set(w, r[SA]);
+                regs[0].set(w, r[1]);
+                regs[1].set(w, r[2]);
+                regs[2].set(w, r[3]);
+                regs[3].set(w, r[4]);
             }
-            sa[w] = r[SA];
-            regs[0][w] = r[1];
-            regs[1][w] = r[2];
-            regs[2][w] = r[3];
-            regs[3][w] = r[4];
         }
-        *acc += acc_delta;
+        acc_delta
     }
 }
 
