@@ -440,6 +440,7 @@ fn main() {
     };
     let ranks_list = list_arg("--ranks", &[1, 2, 4]);
     let mut threads_list = list_arg("--threads", &[1, 2, 4]);
+    threads_list.sort_unstable();
     threads_list.dedup();
     if !threads_list.contains(&1) {
         threads_list.insert(0, 1);

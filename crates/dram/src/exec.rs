@@ -101,7 +101,12 @@ pub mod pool {
     //! the time it waited joining workers after finishing its own share
     //! (idle/imbalance time). Worker slots are stable across jobs: slot
     //! 0 is whichever thread called the fan-out, slot `n ≥ 1` is the
-    //! persistent worker `pim-pool-n`.
+    //! persistent worker `pim-pool-n`. Two attribution caveats follow
+    //! from that mapping: every non-pool caller thread shares slot 0,
+    //! and a chunk run from inside another timed chunk body (a nested
+    //! fan-out) is *not* recorded separately — the outer chunk's wall
+    //! time already covers it, so `busy_ns`/`chunks` count only
+    //! outermost chunk executions per thread.
     //!
     //! These are **wall-clock** quantities: unlike everything in
     //! `pimeval::metrics` they vary run to run and across machines, so
@@ -237,13 +242,32 @@ pub mod pool {
         state().caller_wait_ns += ns;
     }
 
+    thread_local! {
+        /// True while this thread is inside a timed chunk body; nested
+        /// fan-outs from within it skip recording (see [`timed`]).
+        static IN_TIMED: Cell<bool> = const { Cell::new(false) };
+    }
+
     /// Runs `f`, charging its wall time to worker `slot` when
     /// `profiling` — callers hoist the enabled check out of the loop so
     /// disabled runs never read a clock.
+    ///
+    /// A chunk executed from inside another timed chunk body (a nested
+    /// fan-out the current thread participates in) records nothing: the
+    /// outer chunk's wall time already covers it, so recording both
+    /// would double-count `busy_ns` for the slot.
     pub(super) fn timed<R>(profiling: bool, slot: usize, f: impl FnOnce() -> R) -> R {
-        if !profiling {
+        if !profiling || IN_TIMED.with(Cell::get) {
             return f();
         }
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                IN_TIMED.with(|c| c.set(false));
+            }
+        }
+        IN_TIMED.with(|c| c.set(true));
+        let _reset = Reset;
         let t0 = Instant::now();
         let out = f();
         record_worker(slot, t0.elapsed().as_nanos());
@@ -380,8 +404,15 @@ pub mod pool {
         /// Drops one participant reference, waking the caller if it was
         /// the last.
         fn leave(&self) {
-            self.participants.fetch_sub(1, Ordering::AcqRel);
+            // The decrement must happen under the gate: the caller only
+            // re-reads the exit predicate while holding it, so taking
+            // the lock first makes this thread's final touches of the
+            // job atomic with respect to the caller's exit. Decrementing
+            // first would let the caller observe `participants == 0`,
+            // return from `run`, and pop the stack-allocated job while
+            // this thread still needs its mutex and condvar.
             let _gate = self.gate.lock().expect("pool job gate poisoned");
+            self.participants.fetch_sub(1, Ordering::AcqRel);
             self.cv.notify_all();
         }
     }
