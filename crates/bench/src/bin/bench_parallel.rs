@@ -23,13 +23,16 @@
 //! engine headroom shows on multi-core runners (see the CI bench job).
 
 use pim_bench_harness::export::{
-    parallel_runs_to_json, FanoutOverhead, ImbalanceRun, ParallelRun, RankScalingRun, StreamVsEager,
+    parallel_runs_to_json, FanoutOverhead, FidelityRun, ImbalanceRun, ParallelRun, RankScalingRun,
+    StreamVsEager,
 };
 use pim_bench_harness::microbench::{bench, bench_throughput, group};
 use pim_bench_harness::run_one;
 use pimbench::Params;
 use pimeval::pim_dram::DramGeometry;
-use pimeval::{exec, DataType, Device, DeviceConfig, PimTarget, ShardPolicy};
+use pimeval::{
+    exec, DataType, Device, DeviceConfig, PimTarget, RowPattern, ShardPolicy, TimingBackend,
+};
 
 /// Elements per device object: large enough that every op fans out
 /// across many `exec::MIN_CHUNK` chunks.
@@ -418,6 +421,80 @@ fn imbalance_run(threads: usize) -> ImbalanceRun {
     }
 }
 
+/// Timing-model fidelity sweep: each modeled op priced three ways —
+/// analytical, bank-FSM streaming (must agree bit-for-bit at zero
+/// contention), and bank-FSM thrashing (the protocol-serialization
+/// upper bound the closed form cannot see) — on model-only devices so
+/// the numbers are pure cost-model output. Row-buffer hit/miss counts
+/// come from the streaming FSM pass.
+fn fidelity_runs(out: &mut Vec<FidelityRun>) {
+    const FN: u64 = 1 << 20;
+    let host: Vec<i32> = vec![0; FN as usize];
+    for target in [PimTarget::Fulcrum, PimTarget::BitSerial] {
+        group(&format!("timing fidelity, {FN} × int32, {target:?}"));
+        let mk = |backend, pattern| {
+            let cfg = DeviceConfig::new(target, 2)
+                .model_only()
+                .with_timing_backend(backend)
+                .with_row_pattern(pattern);
+            let mut dev = Device::new(cfg).unwrap();
+            let a = dev.alloc(FN, DataType::Int32).unwrap();
+            let b = dev.alloc_associated(a, DataType::Int32).unwrap();
+            let dst = dev.alloc_associated(a, DataType::Int32).unwrap();
+            (dev, a, b, dst)
+        };
+        let mut analytical = mk(TimingBackend::Analytical, RowPattern::Streaming);
+        let mut fsm = mk(TimingBackend::BankFsm, RowPattern::Streaming);
+        let mut thrash = mk(TimingBackend::BankFsm, RowPattern::Thrashing);
+
+        let mut record = |name: &str,
+                          op: &mut dyn FnMut(
+            &mut Device,
+            pimeval::ObjId,
+            pimeval::ObjId,
+            pimeval::ObjId,
+        )| {
+            // Each variant measures one pass from a quiescent rank
+            // (reset_stats also resets the FSM bank state).
+            let mut pass = |v: &mut (Device, pimeval::ObjId, pimeval::ObjId, pimeval::ObjId)| {
+                v.0.reset_stats();
+                op(&mut v.0, v.1, v.2, v.3);
+                v.0.stats().total_time_ms()
+            };
+            let analytical_ms = pass(&mut analytical);
+            let fsm_ms = pass(&mut fsm);
+            let fsm_thrash_ms = pass(&mut thrash);
+            let dp = &fsm.0.stats().dram_protocol;
+            let run = FidelityRun {
+                name: name.into(),
+                target: format!("{target:?}"),
+                elems: FN,
+                analytical_ms,
+                fsm_ms,
+                fsm_thrash_ms,
+                row_hits: dp.row_hits,
+                row_misses: dp.row_misses,
+            };
+            println!(
+                "{name:<16} analytical {analytical_ms:>12.6} ms  fsm {fsm_ms:>12.6} ms \
+                 (Δ {:+.4}%)  thrash {fsm_thrash_ms:>12.6} ms ({:.2}x)  hit rate {:.2}%",
+                run.delta_pct(),
+                run.thrash_slowdown(),
+                run.hit_rate() * 100.0
+            );
+            out.push(run);
+        };
+        record("add", &mut |d, a, b, dst| d.add(a, b, dst).unwrap());
+        record("mul", &mut |d, a, b, dst| d.mul(a, b, dst).unwrap());
+        record("red_sum", &mut |d, a, _, _| {
+            d.red_sum(a).unwrap();
+        });
+        record("copy_to_device", &mut |d, _, _, dst| {
+            d.copy_to_device(&host, dst).unwrap()
+        });
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_path = args
@@ -467,6 +544,9 @@ fn main() {
     let overhead = fanout_overhead_run(pool_threads);
     let imbalance = imbalance_run(pool_threads);
 
+    let mut fidelity = Vec::new();
+    fidelity_runs(&mut fidelity);
+
     let json = parallel_runs_to_json(
         default_threads,
         &runs,
@@ -474,6 +554,7 @@ fn main() {
         &rank_runs,
         std::slice::from_ref(&imbalance),
         Some(&overhead),
+        &fidelity,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {} measurement(s) to {out_path}", runs.len()),

@@ -152,6 +152,22 @@ fn check_stats(c: &mut Checker, doc: &Json) {
         if let Some(m) = stats.get("metrics") {
             check_metrics_snapshot(c, m, &format!("{spath}.metrics"));
         }
+        // dram_protocol is optional (present only under the bank-FSM
+        // timing backend), but when present it must carry the counters.
+        if let Some(dp) = stats.get("dram_protocol") {
+            let dpath = format!("{spath}.dram_protocol");
+            for key in [
+                "activations",
+                "precharges",
+                "reads",
+                "writes",
+                "row_hits",
+                "row_misses",
+                "row_hit_rate",
+            ] {
+                c.require_num(dp, &dpath, key);
+            }
+        }
     }
 }
 
@@ -199,6 +215,25 @@ fn check_bench(c: &mut Checker, doc: &Json) {
                 "kernel_ms",
                 "interconnect_ms",
                 "interconnect_bytes",
+            ] {
+                c.require_num(e, &path, key);
+            }
+        }
+    }
+    if let Some(entries) = c.require_array(doc, "$", "fidelity") {
+        for (i, e) in entries.iter().enumerate() {
+            let path = format!("fidelity[{i}]");
+            c.require_str(e, &path, "name");
+            c.require_str(e, &path, "target");
+            for key in [
+                "analytical_ms",
+                "fsm_ms",
+                "fsm_thrash_ms",
+                "delta_pct",
+                "thrash_slowdown",
+                "row_hits",
+                "row_misses",
+                "row_hit_rate",
             ] {
                 c.require_num(e, &path, key);
             }

@@ -335,6 +335,85 @@ impl FanoutOverhead {
     }
 }
 
+/// One timing-fidelity measurement from `bench_parallel`: the same
+/// modeled op priced by the closed-form `Analytical` backend and by the
+/// stateful `BankFsm` backend under both row patterns, plus the FSM's
+/// row-buffer accounting. At zero contention (streaming round-robin)
+/// the two backends agree bit-for-bit, so `delta_pct` is the fidelity
+/// *check* (≈ 0) and `thrash_slowdown` is the fidelity *signal*: how
+/// much protocol-level serialization the closed form cannot see.
+#[derive(Debug, Clone)]
+pub struct FidelityRun {
+    /// Operation label (`add`, `mul`, `red_sum`, `copy_to_device`, …).
+    pub name: String,
+    /// Simulation target the op was priced on.
+    pub target: String,
+    /// Elements processed per pass.
+    pub elems: u64,
+    /// Modeled kernel time under the analytical backend, milliseconds.
+    pub analytical_ms: f64,
+    /// Modeled kernel time under the bank-FSM backend with the
+    /// streaming (round-robin) row pattern, milliseconds.
+    pub fsm_ms: f64,
+    /// Modeled kernel time under the bank-FSM backend with the
+    /// single-bank thrashing row pattern, milliseconds.
+    pub fsm_thrash_ms: f64,
+    /// Row-buffer hits counted by the streaming FSM pass.
+    pub row_hits: u64,
+    /// Row-buffer misses counted by the streaming FSM pass.
+    pub row_misses: u64,
+}
+
+impl FidelityRun {
+    /// Streaming FSM deviation from the closed form, percent (≈ 0 by
+    /// construction at zero contention).
+    pub fn delta_pct(&self) -> f64 {
+        if self.analytical_ms == 0.0 {
+            return 0.0;
+        }
+        (self.fsm_ms - self.analytical_ms) / self.analytical_ms * 100.0
+    }
+
+    /// Thrashing-FSM slowdown over the closed form (> 1 whenever the op
+    /// charges row cycles).
+    pub fn thrash_slowdown(&self) -> f64 {
+        if self.analytical_ms == 0.0 {
+            return 0.0;
+        }
+        self.fsm_thrash_ms / self.analytical_ms
+    }
+
+    /// Row-buffer hit rate of the streaming FSM pass (0 when the op
+    /// issued no column commands).
+    pub fn hit_rate(&self) -> f64 {
+        let cols = self.row_hits + self.row_misses;
+        if cols == 0 {
+            return 0.0;
+        }
+        self.row_hits as f64 / cols as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"target\":{},\"elems\":{},\
+             \"analytical_ms\":{},\"fsm_ms\":{},\"fsm_thrash_ms\":{},\
+             \"delta_pct\":{},\"thrash_slowdown\":{},\
+             \"row_hits\":{},\"row_misses\":{},\"row_hit_rate\":{}}}",
+            string(&self.name),
+            string(&self.target),
+            self.elems,
+            num(self.analytical_ms),
+            num(self.fsm_ms),
+            num(self.fsm_thrash_ms),
+            num(self.delta_pct()),
+            num(self.thrash_slowdown()),
+            self.row_hits,
+            self.row_misses,
+            num(self.hit_rate()),
+        )
+    }
+}
+
 /// Renders the `bench_parallel` report: host parallelism, every
 /// measurement, per-op speedups of the widest measured thread count
 /// over the single-threaded run (best-time ratio, paired by op name),
@@ -349,6 +428,7 @@ pub fn parallel_runs_to_json(
     rank_scaling: &[RankScalingRun],
     imbalance: &[ImbalanceRun],
     fanout_overhead: Option<&FanoutOverhead>,
+    fidelity: &[FidelityRun],
 ) -> String {
     let measured: Vec<String> = runs.iter().map(ParallelRun::to_json).collect();
     let mut speedups = Vec::new();
@@ -377,11 +457,13 @@ pub fn parallel_runs_to_json(
     let scaled: Vec<String> = rank_scaling.iter().map(RankScalingRun::to_json).collect();
     let skewed: Vec<String> = imbalance.iter().map(ImbalanceRun::to_json).collect();
     let overhead = fanout_overhead.map_or_else(|| "null".into(), FanoutOverhead::to_json);
+    let fidelity: Vec<String> = fidelity.iter().map(FidelityRun::to_json).collect();
     format!(
         "{{\"schema_version\":{BENCH_SCHEMA_VERSION},\
          \"threads_default\":{},\"runs\":[\n{}\n],\"speedups\":[{}],\
          \"stream_vs_eager\":[\n{}\n],\"rank_scaling\":[\n{}\n],\
-         \"imbalance\":[{}],\"fanout_overhead\":{}}}\n",
+         \"imbalance\":[{}],\"fanout_overhead\":{},\
+         \"fidelity\":[\n{}\n]}}\n",
         default_threads,
         measured.join(",\n"),
         speedups.join(","),
@@ -389,6 +471,7 @@ pub fn parallel_runs_to_json(
         scaled.join(",\n"),
         skewed.join(",\n"),
         overhead,
+        fidelity.join(",\n"),
     )
 }
 
@@ -446,7 +529,7 @@ mod tests {
                 min_ns: 1000,
             },
         ];
-        let json = parallel_runs_to_json(8, &runs, &[], &[], &[], None);
+        let json = parallel_runs_to_json(8, &runs, &[], &[], &[], None, &[]);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         assert_eq!(
             doc.get("schema_version").unwrap().as_f64().unwrap() as u32,
@@ -483,7 +566,7 @@ mod tests {
             min_ns,
         };
         let runs = vec![mk(1, 6000), mk(2, 3500), mk(4, 2000)];
-        let json = parallel_runs_to_json(1, &runs, &[], &[], &[], None);
+        let json = parallel_runs_to_json(1, &runs, &[], &[], &[], None, &[]);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         let speedups = doc.get("speedups").unwrap().as_array().unwrap();
         assert_eq!(speedups.len(), 1);
@@ -514,7 +597,8 @@ mod tests {
             spawn_min_ns: 8000,
         };
         assert!((fo.dispatch_speedup() - 8.0).abs() < 1e-9);
-        let json = parallel_runs_to_json(4, &[], &[], &[], std::slice::from_ref(&imb), Some(&fo));
+        let json =
+            parallel_runs_to_json(4, &[], &[], &[], std::slice::from_ref(&imb), Some(&fo), &[]);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         let entries = doc.get("imbalance").unwrap().as_array().unwrap();
         assert_eq!(entries.len(), 1);
@@ -540,7 +624,7 @@ mod tests {
             interconnect_bytes: 4096,
         };
         assert!((point.melem_per_s() - 1000.0).abs() < 1e-9);
-        let json = parallel_runs_to_json(1, &[], &[], std::slice::from_ref(&point), &[], None);
+        let json = parallel_runs_to_json(1, &[], &[], std::slice::from_ref(&point), &[], None, &[]);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         let entries = doc.get("rank_scaling").unwrap().as_array().unwrap();
         assert_eq!(entries.len(), 1);
@@ -550,6 +634,37 @@ mod tests {
         assert!((e.get("kernel_ms").unwrap().as_f64().unwrap() - 2.5).abs() < 1e-9);
         assert!((e.get("interconnect_ms").unwrap().as_f64().unwrap() - 0.25).abs() < 1e-9);
         assert_eq!(e.get("interconnect_bytes").unwrap().as_f64(), Some(4096.0));
+    }
+
+    #[test]
+    fn fidelity_export_carries_deltas_and_hit_rates() {
+        let f = FidelityRun {
+            name: "add".into(),
+            target: "Fulcrum".into(),
+            elems: 1 << 20,
+            analytical_ms: 2.0,
+            fsm_ms: 2.0,
+            fsm_thrash_ms: 5.0,
+            row_hits: 300,
+            row_misses: 100,
+        };
+        assert_eq!(f.delta_pct(), 0.0);
+        assert!((f.thrash_slowdown() - 2.5).abs() < 1e-12);
+        assert!((f.hit_rate() - 0.75).abs() < 1e-12);
+        let json = parallel_runs_to_json(1, &[], &[], &[], &[], None, std::slice::from_ref(&f));
+        let doc = pimeval::trace::json::Json::parse(&json).unwrap();
+        let entries = doc.get("fidelity").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("name").unwrap().as_str(), Some("add"));
+        assert_eq!(e.get("target").unwrap().as_str(), Some("Fulcrum"));
+        assert_eq!(e.get("delta_pct").unwrap().as_f64(), Some(0.0));
+        assert!((e.get("thrash_slowdown").unwrap().as_f64().unwrap() - 2.5).abs() < 1e-9);
+        assert!((e.get("row_hit_rate").unwrap().as_f64().unwrap() - 0.75).abs() < 1e-9);
+        // An empty fidelity section still parses (schema presence check).
+        let empty = parallel_runs_to_json(1, &[], &[], &[], &[], None, &[]);
+        let doc = pimeval::trace::json::Json::parse(&empty).unwrap();
+        assert!(doc.get("fidelity").unwrap().as_array().unwrap().is_empty());
     }
 
     #[test]
@@ -567,7 +682,7 @@ mod tests {
         };
         assert!((cmp.wall_speedup() - 2.0).abs() < 1e-9);
         assert!((cmp.modeled_cost_ratio() - 0.75).abs() < 1e-9);
-        let json = parallel_runs_to_json(1, &[], std::slice::from_ref(&cmp), &[], &[], None);
+        let json = parallel_runs_to_json(1, &[], std::slice::from_ref(&cmp), &[], &[], None, &[]);
         let doc = pimeval::trace::json::Json::parse(&json).unwrap();
         let entries = doc.get("stream_vs_eager").unwrap().as_array().unwrap();
         assert_eq!(entries.len(), 1);

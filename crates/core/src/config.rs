@@ -1,7 +1,7 @@
 //! Device configuration: simulation target, DRAM parameters, and the
 //! per-target processing-element parameters from Table II.
 
-use pim_dram::{DramGeometry, DramPower, DramTiming};
+use pim_dram::{DramGeometry, DramPower, DramTiming, RowPattern, TimingBackend};
 
 /// Which PIM architecture the device models (§IV of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -220,6 +220,17 @@ pub struct DeviceConfig {
     /// carry time-binned per-shard utilization series. Implies
     /// [`DeviceConfig::metrics`].
     pub profile: bool,
+    /// Which [`pim_dram::TimingModel`] backend prices row and burst
+    /// traffic: the closed-form `Analytical` math (the default,
+    /// bit-identical to the paper's model) or the stateful `BankFsm`.
+    /// The `PIM_TIMING` environment variable overrides this at
+    /// [`crate::Device::new`] time.
+    pub timing_backend: TimingBackend,
+    /// The bank-access pattern the timing backend models for row
+    /// traffic: `Streaming` (the default; fresh rows round-robin across
+    /// banks) or `Thrashing` (every access re-opens a row in one bank —
+    /// only meaningful under the `BankFsm` backend).
+    pub row_pattern: RowPattern,
 }
 
 impl DeviceConfig {
@@ -237,7 +248,23 @@ impl DeviceConfig {
             shard_policy: ShardPolicy::Contiguous,
             metrics: false,
             profile: false,
+            timing_backend: TimingBackend::Analytical,
+            row_pattern: RowPattern::Streaming,
         }
+    }
+
+    /// Selects the timing backend (overridable by `PIM_TIMING`).
+    #[must_use]
+    pub fn with_timing_backend(mut self, backend: TimingBackend) -> Self {
+        self.timing_backend = backend;
+        self
+    }
+
+    /// Sets the modeled bank-access pattern for row traffic.
+    #[must_use]
+    pub fn with_row_pattern(mut self, pattern: RowPattern) -> Self {
+        self.row_pattern = pattern;
+        self
     }
 
     /// Enables the metrics registry (aggregate instruments only).

@@ -26,7 +26,6 @@ use crate::stats::SimStats;
 use crate::system::PimSystem;
 use crate::trace::{
     CopyDirection, ProtocolCounters, TraceEvent, TraceSink, Tracer, DEFAULT_RECORDER_CAPACITY,
-    PROTOCOL_REPLAY_MAX_ROWS,
 };
 use crate::{pim_debug, pim_info, pim_trace};
 
@@ -63,11 +62,14 @@ impl Device {
     ///
     /// [`PimError::InvalidArg`] if the DRAM geometry is degenerate or
     /// its row capacity overflows `u64`.
-    pub fn new(config: DeviceConfig) -> Result<Device> {
+    pub fn new(mut config: DeviceConfig) -> Result<Device> {
         config
             .geometry
             .validate()
             .map_err(|e| PimError::InvalidArg(e.to_string()))?;
+        // `PIM_TIMING=analytical|fsm` overrides the configured timing
+        // backend at device creation (unknown values are ignored).
+        config.timing_backend = config.timing_backend.env_override();
         let system = PimSystem::new(&config)?;
         pim_info!(
             "device created: target={} cores={} ranks={} shards={}",
@@ -150,6 +152,23 @@ impl Device {
         self.stats = SimStats::new();
         self.system.reset_shard_stats();
         self.sync_resources();
+    }
+
+    /// The timing backend actually in effect (after any `PIM_TIMING`
+    /// environment override applied at construction).
+    pub fn timing_backend(&self) -> pim_dram::TimingBackend {
+        self.system.timing_backend()
+    }
+
+    /// Drains every shard's timing backend — closes all open rows and
+    /// waits out every bank's recovery — and returns the longest
+    /// per-shard drain time in milliseconds. A no-op (0.0) under the
+    /// stateless analytical backend. Call at an epoch boundary when a
+    /// kernel sequence should not carry open-row state into the next
+    /// measurement window; the returned time is *not* charged to any
+    /// ledger, so callers decide where it belongs.
+    pub fn drain_timing(&mut self) -> f64 {
+        self.system.drain_backends()
     }
 
     /// The metadata catalog (authoritative global layouts).
@@ -312,33 +331,6 @@ impl Device {
         });
     }
 
-    /// Bounded DRAM protocol replay of one host↔device transfer: streams
-    /// up to [`PROTOCOL_REPLAY_MAX_ROWS`] row-sized chunks of the copy
-    /// through one rank's bank state machines.
-    fn protocol_replay(&self, bytes: u64) -> ProtocolCounters {
-        use pim_dram::protocol::{ProtocolTiming, RankSim};
-        let g = &self.config.geometry;
-        let row_bytes = (g.cols_per_row as u64 / 8).max(64);
-        let bursts = (row_bytes / 64).max(1) as usize;
-        let rows = bytes
-            .div_ceil(row_bytes)
-            .clamp(1, PROTOCOL_REPLAY_MAX_ROWS as u64) as usize;
-        let mut sim = RankSim::new(
-            ProtocolTiming::from_coarse(&self.config.timing),
-            g.banks_per_rank,
-        );
-        let achieved_gbs = sim.stream_read_bandwidth(rows, bursts, 64).unwrap_or(0.0);
-        let s = sim.stats();
-        ProtocolCounters {
-            activations: s.activations,
-            reads: s.reads,
-            writes: s.writes,
-            precharges: s.precharges,
-            row_hits: s.row_hits,
-            achieved_gbs,
-        }
-    }
-
     // ------------------------------------------------------------------
     // Resource management
     // ------------------------------------------------------------------
@@ -441,10 +433,16 @@ impl Device {
         // times as much paper-scale data; charge transfer time/energy for
         // the represented bytes (recorded byte counts stay functional).
         let represented = bytes * self.config.decimation.max(1);
-        let time_ms = self
-            .config
-            .timing
-            .host_copy_ms(represented, self.config.geometry.ranks);
+        let (time_ms, replay, delta) = self.system.charge_copy_with_backends(
+            obj,
+            represented,
+            bytes,
+            self.config.geometry.ranks,
+            self.tracer.enabled(),
+        );
+        if !delta.is_empty() {
+            self.stats.record_protocol(&delta);
+        }
         let is_read = matches!(direction, CopyDirection::DeviceToHost);
         let energy_mj = self.config.power.transfer_energy_mj(time_ms, is_read);
         self.stats
@@ -459,7 +457,7 @@ impl Device {
             direction.label()
         );
         if self.tracer.enabled() {
-            let protocol = Some(self.protocol_replay(bytes));
+            let protocol = replay.map(ProtocolCounters::from);
             let start_ms = self.tracer.advance(time_ms);
             self.tracer.emit(TraceEvent::Copy {
                 direction,
@@ -619,7 +617,13 @@ impl Device {
             let obj = self.rm().get(costed_on)?;
             (obj.dtype, obj.layout)
         };
-        let cost = model::op_cost(&self.config, kind, dtype, &layout);
+        let config = &self.config;
+        let (cost, delta) = self.system.price_with_backends(costed_on, |tm| {
+            model::op_cost_with(config, tm, kind, dtype, &layout)
+        });
+        if !delta.is_empty() {
+            self.stats.record_protocol(&delta);
+        }
         let name = kind.stat_name(dtype);
         pim_trace!(
             "cmd {name}: {:.6} ms on {} cores",
@@ -1314,7 +1318,13 @@ impl Device {
             )));
         }
         let sum = self.system.red_sum_range(a, dtype, start, end)?;
-        let full = model::op_cost(&self.config, OpKind::RedSum, dtype, &layout);
+        let config = &self.config;
+        let (full, delta) = self.system.price_with_backends(a, |tm| {
+            model::op_cost_with(config, tm, OpKind::RedSum, dtype, &layout)
+        });
+        if !delta.is_empty() {
+            self.stats.record_protocol(&delta);
+        }
         let frac = (end - start) as f64 / count as f64;
         let cost = OpCost {
             time_ms: full.time_ms * frac,

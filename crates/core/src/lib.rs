@@ -80,8 +80,10 @@ pub use metrics::{
 pub use model::{target_model, OpCost, TargetModel};
 pub use object::{DataLayout, ObjId, ObjectLayout, PimObject};
 pub use ops::{OpCategory, OpKind};
+pub use pim_dram::{RowPattern, TimingBackend, TimingCounters, TimingModel};
 pub use stats::{
-    CmdStat, CopyStats, FusionStats, InterconnectStats, ResourceStats, ShardResourceStats, SimStats,
+    CmdStat, CopyStats, DramProtocolStats, FusionStats, InterconnectStats, ResourceStats,
+    ShardResourceStats, SimStats,
 };
 pub use system::{InterconnectModel, PimSystem, Shard, ShardMap, ShardRange};
 pub use trace::{CopyDirection, Recorder, TraceEvent, TraceSink, Tracer};

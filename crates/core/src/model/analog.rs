@@ -10,6 +10,7 @@
 //! this difference is the paper's §IV argument for digital PIM, made
 //! quantitative by the `ablation_analog` harness binary.
 
+use pim_dram::{RowPattern, TimingModel};
 use pim_microcode::cache::{self, ProgKey};
 use pim_microcode::{gen, Cost};
 
@@ -111,16 +112,20 @@ fn program_cost_uncached(kind: OpKind, dtype: DataType) -> Cost {
     }
 }
 
-fn stripe_time_ns(config: &DeviceConfig, cost: &Cost) -> f64 {
-    let t = &config.timing;
+fn stripe_time_ns(
+    config: &DeviceConfig,
+    tm: &mut dyn TimingModel,
+    cost: &Cost,
+    pattern: RowPattern,
+) -> f64 {
     let pe = &config.pe;
-    let ap_cycle = t.t_ras_ns + t.t_rp_ns;
-    cost.row_reads as f64 * t.row_read_ns
-        + cost.row_writes as f64 * t.row_write_ns
+    // AAP = two activate–precharge pairs, TRA = one; both are pure
+    // ACT/PRE cycles on the backend (no column access).
+    tm.charge_rows(cost.row_reads, cost.row_writes, pattern)
         + cost.logic_ops as f64 * pe.bitserial_logic_ns
-        + cost.popcount_reads as f64 * (t.row_read_ns + pe.bitserial_popcount_extra_ns)
-        + cost.aap_ops as f64 * 2.0 * ap_cycle
-        + cost.tra_ops as f64 * ap_cycle
+        + tm.charge_rows_extra(cost.popcount_reads, pe.bitserial_popcount_extra_ns, pattern)
+        + tm.charge_activate_precharge(2 * cost.aap_ops)
+        + tm.charge_activate_precharge(cost.tra_ops)
 }
 
 fn stripe_energy_mj(config: &DeviceConfig, cost: &Cost) -> f64 {
@@ -142,6 +147,7 @@ fn stripe_energy_mj(config: &DeviceConfig, cost: &Cost) -> f64 {
 /// Latency and energy of `kind` on the analog bit-serial target.
 pub(crate) fn cost(
     config: &DeviceConfig,
+    tm: &mut dyn TimingModel,
     kind: OpKind,
     dtype: DataType,
     layout: &ObjectLayout,
@@ -151,14 +157,15 @@ pub(crate) fn cost(
     let overflow = (layout.cores_used as f64 * config.decimation.max(1) as f64
         / config.physical_core_count() as f64)
         .max(1.0);
-    let time_ms = stripe_time_ns(config, &per_stripe) * stripes * overflow * 1e-6;
+    let time_ms =
+        stripe_time_ns(config, tm, &per_stripe, config.row_pattern) * stripes * overflow * 1e-6;
     let energy_mj = stripe_energy_mj(config, &per_stripe)
         * stripes
         * overflow
         * config.physical_cores_represented(layout.cores_used) as f64;
     let mut out = OpCost { time_ms, energy_mj };
     if matches!(kind, OpKind::RedSum | OpKind::RedMin | OpKind::RedMax) {
-        out = out.plus(reduction_merge(config, layout.cores_used));
+        out = out.plus(reduction_merge(config, tm, layout.cores_used));
     }
     out
 }

@@ -7,6 +7,7 @@
 //! wall-clock time is the per-core time × the number of element stripes
 //! the busiest core holds.
 
+use pim_dram::{RowPattern, TimingModel};
 use pim_microcode::cache::{self, ProgKey};
 use pim_microcode::gen;
 use pim_microcode::Cost;
@@ -108,14 +109,19 @@ fn program_cost_uncached(kind: OpKind, dtype: DataType) -> Cost {
     }
 }
 
-/// Per-stripe execution time in nanoseconds.
-fn stripe_time_ns(config: &DeviceConfig, cost: &Cost) -> f64 {
-    let t = &config.timing;
+/// Per-stripe execution time in nanoseconds, charged through the timing
+/// backend (one representative lockstep sweep; the caller scales by
+/// stripes × overflow).
+fn stripe_time_ns(
+    config: &DeviceConfig,
+    tm: &mut dyn TimingModel,
+    cost: &Cost,
+    pattern: RowPattern,
+) -> f64 {
     let pe = &config.pe;
-    cost.row_reads as f64 * t.row_read_ns
-        + cost.row_writes as f64 * t.row_write_ns
+    tm.charge_rows(cost.row_reads, cost.row_writes, pattern)
         + cost.logic_ops as f64 * pe.bitserial_logic_ns
-        + cost.popcount_reads as f64 * (t.row_read_ns + pe.bitserial_popcount_extra_ns)
+        + tm.charge_rows_extra(cost.popcount_reads, pe.bitserial_popcount_extra_ns, pattern)
 }
 
 /// Per-stripe, per-core energy in millijoules.
@@ -133,6 +139,7 @@ fn stripe_energy_mj(config: &DeviceConfig, cost: &Cost) -> f64 {
 /// Latency and energy of `kind` on the bit-serial target.
 pub(crate) fn cost(
     config: &DeviceConfig,
+    tm: &mut dyn TimingModel,
     kind: OpKind,
     dtype: DataType,
     layout: &ObjectLayout,
@@ -143,9 +150,7 @@ pub(crate) fn cost(
         let elems =
             layout.elems_per_core * config.physical_cores_represented(layout.cores_used) as u64;
         let bytes = elems * dtype.bits() as u64 / 8;
-        let time_ms = config
-            .timing
-            .host_copy_ms(bytes.max(1), config.geometry.ranks);
+        let time_ms = tm.charge_host_copy(bytes.max(1), config.geometry.ranks);
         let energy_mj = config.power.transfer_energy_mj(time_ms, true);
         return OpCost { time_ms, energy_mj };
     }
@@ -157,7 +162,12 @@ pub(crate) fn cost(
     let overflow = (layout.cores_used as f64 * config.decimation.max(1) as f64
         / config.physical_core_count() as f64)
         .max(1.0);
-    let time_ms = stripe_time_ns(config, &per_stripe) * stripes * overflow * 1e-6;
+    // One representative lockstep sweep through the backend; every core
+    // broadcasts the same program, so stripes × overflow repetitions of
+    // the same sweep scale it (the backend has already priced the
+    // steady-state access pattern, stalls included).
+    let time_ms =
+        stripe_time_ns(config, tm, &per_stripe, config.row_pattern) * stripes * overflow * 1e-6;
     // Energy counts physical cores (×decimation, clamped to the device)
     // and the same per-core serialization overflow.
     let energy_mj = stripe_energy_mj(config, &per_stripe)
@@ -166,7 +176,7 @@ pub(crate) fn cost(
         * config.physical_cores_represented(layout.cores_used) as f64;
     let mut out = OpCost { time_ms, energy_mj };
     if matches!(kind, OpKind::RedSum | OpKind::RedMin | OpKind::RedMax) {
-        out = out.plus(reduction_merge(config, layout.cores_used));
+        out = out.plus(reduction_merge(config, tm, layout.cores_used));
     }
     out
 }
@@ -179,6 +189,16 @@ mod tests {
 
     fn cfg() -> DeviceConfig {
         DeviceConfig::new(PimTarget::BitSerial, 4)
+    }
+
+    fn cost(config: &DeviceConfig, kind: OpKind, dtype: DataType, layout: &ObjectLayout) -> OpCost {
+        let mut tm = super::super::analytical_model(config);
+        super::cost(config, &mut tm, kind, dtype, layout)
+    }
+
+    fn reduction_merge(config: &DeviceConfig, cores_used: usize) -> OpCost {
+        let mut tm = super::super::analytical_model(config);
+        super::reduction_merge(config, &mut tm, cores_used)
     }
 
     #[test]

@@ -17,6 +17,7 @@ mod upmem;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
+use pim_dram::{Analytical, TimingModel};
 use pim_microcode::Cost;
 
 use crate::config::{DeviceConfig, PimTarget};
@@ -128,14 +129,31 @@ pub trait TargetModel: Send + Sync {
     }
 
     /// Latency and energy of `kind` applied to an object with `layout`
-    /// holding elements of `dtype`.
+    /// holding elements of `dtype`, charging all DRAM time through the
+    /// timing backend `tm` (execute-once-and-stall: stateful backends
+    /// advance their bank FSMs as a side effect of pricing).
+    fn cost_with(
+        &self,
+        config: &DeviceConfig,
+        tm: &mut dyn TimingModel,
+        kind: OpKind,
+        dtype: DataType,
+        layout: &ObjectLayout,
+    ) -> OpCost;
+
+    /// Latency and energy of `kind` under the stateless closed-form
+    /// timing math — the paper's model, independent of any device's bank
+    /// state. Sweep and exploration code prices through this.
     fn cost(
         &self,
         config: &DeviceConfig,
         kind: OpKind,
         dtype: DataType,
         layout: &ObjectLayout,
-    ) -> OpCost;
+    ) -> OpCost {
+        let mut tm = analytical_model(config);
+        self.cost_with(config, &mut tm, kind, dtype, layout)
+    }
 
     /// Kernel energy alone, in millijoules.
     fn energy(
@@ -176,14 +194,15 @@ impl TargetModel for BitSerialModel {
         PimTarget::BitSerial
     }
 
-    fn cost(
+    fn cost_with(
         &self,
         config: &DeviceConfig,
+        tm: &mut dyn TimingModel,
         kind: OpKind,
         dtype: DataType,
         layout: &ObjectLayout,
     ) -> OpCost {
-        bitserial::cost(config, kind, dtype, layout)
+        bitserial::cost(config, tm, kind, dtype, layout)
     }
 
     fn micro_cost(&self, kind: OpKind, dtype: DataType, layout: &ObjectLayout) -> Option<Cost> {
@@ -199,14 +218,15 @@ impl TargetModel for FulcrumModel {
         PimTarget::Fulcrum
     }
 
-    fn cost(
+    fn cost_with(
         &self,
         config: &DeviceConfig,
+        tm: &mut dyn TimingModel,
         kind: OpKind,
         dtype: DataType,
         layout: &ObjectLayout,
     ) -> OpCost {
-        parallel::cost_fulcrum(config, kind, dtype, layout)
+        parallel::cost_fulcrum(config, tm, kind, dtype, layout)
     }
 }
 
@@ -218,14 +238,15 @@ impl TargetModel for BankLevelModel {
         PimTarget::BankLevel
     }
 
-    fn cost(
+    fn cost_with(
         &self,
         config: &DeviceConfig,
+        tm: &mut dyn TimingModel,
         kind: OpKind,
         dtype: DataType,
         layout: &ObjectLayout,
     ) -> OpCost {
-        parallel::cost_bank(config, kind, dtype, layout)
+        parallel::cost_bank(config, tm, kind, dtype, layout)
     }
 }
 
@@ -237,14 +258,15 @@ impl TargetModel for AnalogBitSerialModel {
         PimTarget::AnalogBitSerial
     }
 
-    fn cost(
+    fn cost_with(
         &self,
         config: &DeviceConfig,
+        tm: &mut dyn TimingModel,
         kind: OpKind,
         dtype: DataType,
         layout: &ObjectLayout,
     ) -> OpCost {
-        analog::cost(config, kind, dtype, layout)
+        analog::cost(config, tm, kind, dtype, layout)
     }
 
     fn micro_cost(&self, kind: OpKind, dtype: DataType, layout: &ObjectLayout) -> Option<Cost> {
@@ -260,14 +282,15 @@ impl TargetModel for UpmemLikeModel {
         PimTarget::UpmemLike
     }
 
-    fn cost(
+    fn cost_with(
         &self,
         config: &DeviceConfig,
+        tm: &mut dyn TimingModel,
         kind: OpKind,
         dtype: DataType,
         layout: &ObjectLayout,
     ) -> OpCost {
-        upmem::cost(config, kind, dtype, layout)
+        upmem::cost(config, tm, kind, dtype, layout)
     }
 }
 
@@ -283,9 +306,19 @@ pub fn target_model(target: PimTarget) -> &'static dyn TargetModel {
     }
 }
 
+/// The stateless closed-form timing backend for `config` — one rank's
+/// worth of banks (shards charge per-rank) and the geometry's row width,
+/// matching the historical per-copy replay parameters.
+pub(crate) fn analytical_model(config: &DeviceConfig) -> Analytical {
+    let row_bytes = (config.geometry.cols_per_row as u64 / 8).max(64);
+    Analytical::new(&config.timing, config.geometry.banks_per_rank, row_bytes)
+}
+
 /// Models the latency and energy of `kind` applied to an object with
-/// `layout` holding elements of `dtype`. Thin delegate to the configured
-/// target's [`TargetModel`].
+/// `layout` holding elements of `dtype` under the stateless closed-form
+/// timing math. Thin delegate to the configured target's
+/// [`TargetModel`]; device charge paths go through [`op_cost_with`]
+/// instead so stateful backends see every access.
 pub fn op_cost(
     config: &DeviceConfig,
     kind: OpKind,
@@ -293,6 +326,18 @@ pub fn op_cost(
     layout: &ObjectLayout,
 ) -> OpCost {
     target_model(config.target).cost(config, kind, dtype, layout)
+}
+
+/// Models the latency and energy of `kind`, charging all DRAM time
+/// through the timing backend `tm` (see [`TargetModel::cost_with`]).
+pub fn op_cost_with(
+    config: &DeviceConfig,
+    tm: &mut dyn TimingModel,
+    kind: OpKind,
+    dtype: DataType,
+    layout: &ObjectLayout,
+) -> OpCost {
+    target_model(config.target).cost_with(config, tm, kind, dtype, layout)
 }
 
 /// Low-level microcode counters for `kind` on one core, when the target
@@ -309,11 +354,15 @@ pub fn micro_cost(
 
 /// Cross-core merge cost for reductions: every used core ships an 8-byte
 /// partial sum to the controller over the rank interface.
-pub(crate) fn reduction_merge(config: &DeviceConfig, cores_used: usize) -> OpCost {
+pub(crate) fn reduction_merge(
+    config: &DeviceConfig,
+    tm: &mut dyn TimingModel,
+    cores_used: usize,
+) -> OpCost {
     // Physical cores each ship one partial sum (decimation-aware,
     // clamped to the machine's real core count).
     let bytes = config.physical_cores_represented(cores_used) as u64 * 8;
-    let time_ms = config.timing.host_copy_ms(bytes, config.geometry.ranks);
+    let time_ms = tm.charge_host_copy(bytes, config.geometry.ranks);
     let energy_mj = config.power.transfer_energy_mj(time_ms, true);
     OpCost { time_ms, energy_mj }
 }

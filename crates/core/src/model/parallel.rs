@@ -10,6 +10,8 @@
 //! a subarray row buffer and the bank-level walkers, which is exactly why
 //! it loses to Fulcrum in the paper despite an identical ALPU.
 
+use pim_dram::TimingModel;
+
 use crate::config::DeviceConfig;
 use crate::dtype::DataType;
 use crate::object::ObjectLayout;
@@ -64,6 +66,7 @@ fn traffic(
 
 fn combine(
     config: &DeviceConfig,
+    tm: &mut dyn TimingModel,
     t: &Traffic,
     layout: &ObjectLayout,
     gdl: bool,
@@ -84,10 +87,12 @@ fn combine(
     let overflow = (layout.cores_used as f64 * config.decimation.max(1) as f64
         / config.physical_core_count() as f64)
         .max(1.0);
-    let row_ns =
-        t.rows_in * (timing.row_read_ns + gdl_ns) + t.rows_out * (gdl_ns + timing.row_write_ns);
+    // Walker row traffic goes through the timing backend: each row pays
+    // its GDL crossing on top of the row cycle, and stateful backends
+    // add any bank interlock stalls.
+    let row_ns = tm.charge_walker_rows(t.rows_in, t.rows_out, gdl_ns, config.row_pattern);
     let compute_ns = t.cycles * config.alu_period_ns();
-    let startup_ns = timing.row_read_ns + gdl_ns;
+    let startup_ns = tm.charge_walker_rows(1.0, 0.0, gdl_ns, config.row_pattern);
     // With the three walkers, fetch overlaps compute (max); without
     // pipelining they serialize (sum) — the ablation knob.
     let busy_ns = if pe.walker_pipelining {
@@ -131,14 +136,15 @@ fn combine(
 /// row buffer), 12-cycle SWAR popcount.
 pub(crate) fn cost_fulcrum(
     config: &DeviceConfig,
+    tm: &mut dyn TimingModel,
     kind: OpKind,
     dtype: DataType,
     layout: &ObjectLayout,
 ) -> OpCost {
     let t = traffic(kind, dtype, layout, 32, config.pe.fulcrum_popcount_cycles);
-    let mut out = combine(config, &t, layout, false, kind);
+    let mut out = combine(config, tm, &t, layout, false, kind);
     if matches!(kind, OpKind::RedSum | OpKind::RedMin | OpKind::RedMax) {
-        out = out.plus(reduction_merge(config, layout.cores_used));
+        out = out.plus(reduction_merge(config, tm, layout.cores_used));
     }
     out
 }
@@ -147,14 +153,15 @@ pub(crate) fn cost_fulcrum(
 /// popcount.
 pub(crate) fn cost_bank(
     config: &DeviceConfig,
+    tm: &mut dyn TimingModel,
     kind: OpKind,
     dtype: DataType,
     layout: &ObjectLayout,
 ) -> OpCost {
     let t = traffic(kind, dtype, layout, config.pe.bank_alu_width_bits, 1);
-    let mut out = combine(config, &t, layout, true, kind);
+    let mut out = combine(config, tm, &t, layout, true, kind);
     if matches!(kind, OpKind::RedSum | OpKind::RedMin | OpKind::RedMax) {
-        out = out.plus(reduction_merge(config, layout.cores_used));
+        out = out.plus(reduction_merge(config, tm, layout.cores_used));
     }
     out
 }
@@ -165,6 +172,26 @@ mod tests {
     use crate::config::PimTarget;
     use crate::object::ObjectLayout;
     use pim_microcode::gen::BinaryOp;
+
+    fn cost_fulcrum(
+        config: &DeviceConfig,
+        kind: OpKind,
+        dtype: DataType,
+        layout: &ObjectLayout,
+    ) -> OpCost {
+        let mut tm = super::super::analytical_model(config);
+        super::cost_fulcrum(config, &mut tm, kind, dtype, layout)
+    }
+
+    fn cost_bank(
+        config: &DeviceConfig,
+        kind: OpKind,
+        dtype: DataType,
+        layout: &ObjectLayout,
+    ) -> OpCost {
+        let mut tm = super::super::analytical_model(config);
+        super::cost_bank(config, &mut tm, kind, dtype, layout)
+    }
 
     #[test]
     fn bank_pays_gdl_fulcrum_does_not() {

@@ -11,6 +11,8 @@
 //! Per-op time per DPU is a DMA/compute roofline:
 //! `max(bytes_touched / mram_bw, insns / (freq × ipc))`.
 
+use pim_dram::TimingModel;
+
 use crate::config::DeviceConfig;
 use crate::dtype::DataType;
 use crate::object::ObjectLayout;
@@ -43,6 +45,7 @@ fn insns_per_elem(kind: OpKind, base: f64) -> f64 {
 /// Latency and energy of `kind` on the UPMEM-like target.
 pub(crate) fn cost(
     config: &DeviceConfig,
+    tm: &mut dyn TimingModel,
     kind: OpKind,
     dtype: DataType,
     layout: &ObjectLayout,
@@ -55,7 +58,9 @@ pub(crate) fn cost(
         / config.physical_core_count() as f64)
         .max(1.0);
 
-    let dma_ns = elems * bytes_per_elem * streams / pe.dpu_mram_gbs; // B / (GB/s) = ns
+    // MRAM DMA is bandwidth-bound in both backends (B / (GB/s) = ns);
+    // the FSM backend replays a bounded window for row-buffer counters.
+    let dma_ns = tm.charge_burst(elems * bytes_per_elem * streams, pe.dpu_mram_gbs);
     let insns = elems * insns_per_elem(kind, pe.dpu_insns_per_elem);
     let compute_ns = insns / (pe.dpu_freq_mhz * pe.dpu_ipc) * 1e3;
     let time_ms = dma_ns.max(compute_ns) * overflow * 1e-6;
@@ -70,7 +75,7 @@ pub(crate) fn cost(
 
     let mut out = OpCost { time_ms, energy_mj };
     if matches!(kind, OpKind::RedSum | OpKind::RedMin | OpKind::RedMax) {
-        out = out.plus(reduction_merge(config, layout.cores_used));
+        out = out.plus(reduction_merge(config, tm, layout.cores_used));
     }
     out
 }

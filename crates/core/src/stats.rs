@@ -3,6 +3,8 @@
 
 use std::collections::BTreeMap;
 
+use pim_dram::TimingCounters;
+
 use crate::config::DeviceConfig;
 use crate::model::OpCost;
 use crate::ops::OpCategory;
@@ -113,6 +115,57 @@ impl InterconnectStats {
     }
 }
 
+/// DRAM protocol commands issued by the timing backend while pricing
+/// this ledger's commands and copies. Populated only by stateful
+/// backends (the `BankFsm` sourced counters can never disagree with the
+/// charged time — both come from the same command stream); empty under
+/// the default `Analytical` backend, whose per-copy trace replays are
+/// advisory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramProtocolStats {
+    /// ACT commands issued.
+    pub activations: u64,
+    /// PRE commands issued.
+    pub precharges: u64,
+    /// Column reads issued.
+    pub reads: u64,
+    /// Column writes issued.
+    pub writes: u64,
+    /// Column commands that hit an already-open row.
+    pub row_hits: u64,
+    /// Column commands that paid a fresh activation.
+    pub row_misses: u64,
+}
+
+impl DramProtocolStats {
+    /// True when no protocol commands were recorded (always the case
+    /// under the stateless backend).
+    pub fn is_empty(&self) -> bool {
+        *self == DramProtocolStats::default()
+    }
+
+    /// Row-buffer hit rate over all column commands, in `[0, 1]`
+    /// (0 when no column command was issued).
+    pub fn hit_rate(&self) -> f64 {
+        let cols = self.row_hits + self.row_misses;
+        if cols == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / cols as f64
+        }
+    }
+
+    /// Accumulates one backend counter delta.
+    pub fn add(&mut self, d: &TimingCounters) {
+        self.activations += d.activations;
+        self.precharges += d.precharges;
+        self.reads += d.reads;
+        self.writes += d.writes;
+        self.row_hits += d.row_hits;
+        self.row_misses += d.row_misses;
+    }
+}
+
 /// Row-capacity usage of one shard's resource manager.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardResourceStats {
@@ -167,6 +220,9 @@ pub struct SimStats {
     pub interconnect: InterconnectStats,
     /// Resource-manager usage snapshot (aggregate + per-shard).
     pub resources: ResourceStats,
+    /// DRAM protocol counters from the timing backend (empty under the
+    /// default stateless `Analytical` backend).
+    pub dram_protocol: DramProtocolStats,
 }
 
 impl SimStats {
@@ -206,6 +262,11 @@ impl SimStats {
     /// Adds modeled host execution time.
     pub fn record_host_ms(&mut self, ms: f64) {
         self.host_time_ms += ms;
+    }
+
+    /// Accumulates DRAM protocol counters issued by the timing backend.
+    pub fn record_protocol(&mut self, delta: &TimingCounters) {
+        self.dram_protocol.add(delta);
     }
 
     /// Scales every kernel command's time/energy and the copy
@@ -440,6 +501,23 @@ impl SimStats {
                 out,
                 "  Modeled          : {} transfer(s), {:.6} ms, {:.6} mJ (reported separately)",
                 ic.transfers, ic.time_ms, ic.energy_mj
+            );
+        }
+        if !self.dram_protocol.is_empty() {
+            let p = &self.dram_protocol;
+            let _ = writeln!(out, "DRAM Protocol Stats:");
+            let _ = writeln!(
+                out,
+                "  ACT / PRE        : {} / {}",
+                p.activations, p.precharges
+            );
+            let _ = writeln!(out, "  RD / WR          : {} / {}", p.reads, p.writes);
+            let _ = writeln!(
+                out,
+                "  Row hits / misses: {} / {} ({:.2}% hit rate)",
+                p.row_hits,
+                p.row_misses,
+                p.hit_rate() * 100.0
             );
         }
         let _ = writeln!(out, "----------------------------------------");

@@ -35,6 +35,7 @@
 use std::collections::BTreeMap;
 
 use pim_dram::exec;
+use pim_dram::{make_timing_model, CopyReplay, TimingBackend, TimingCounters, TimingModel};
 
 use crate::config::{DeviceConfig, ShardPolicy, SimMode};
 use crate::dtype::{DataType, PimScalar};
@@ -209,13 +210,17 @@ impl InterconnectModel {
 }
 
 /// One execution shard: a rank's worth of cores with its own resource
-/// manager, functional state, and statistics sub-ledger.
+/// manager, functional state, statistics sub-ledger, and timing backend.
 #[derive(Debug)]
 pub struct Shard {
     rm: ResourceManager,
     stats: SimStats,
     /// Modeled cores assigned to this shard (decimation-adjusted).
     cores: usize,
+    /// This shard's timing backend. Each shard owns its rank's banks, so
+    /// FSM state never crosses shards and re-aggregation (ascending
+    /// shard order) stays deterministic at every shard count.
+    timing: Box<dyn TimingModel>,
 }
 
 impl Shard {
@@ -223,6 +228,11 @@ impl Shard {
     /// to the aggregate [`crate::Device::stats`] kernel cost.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// This shard's timing backend (per-bank state and counters).
+    pub fn timing(&self) -> &dyn TimingModel {
+        self.timing.as_ref()
     }
 
     /// Modeled cores assigned to this shard.
@@ -312,6 +322,7 @@ impl PimSystem {
         let physical = config.physical_core_count().max(1);
         let n = config.shards.max(1).min(modeled);
         let meta = ResourceManager::new(config.rows_per_core(), physical as u64)?;
+        let row_bytes = (config.geometry.cols_per_row as u64 / 8).max(64);
         let mut shards = Vec::with_capacity(n);
         for i in 0..n {
             shards.push(Shard {
@@ -321,6 +332,15 @@ impl PimSystem {
                 )?,
                 stats: SimStats::new(),
                 cores: split_even(modeled, n, i),
+                // One rank's worth of banks per shard: shards are the
+                // per-rank execution unit, and the FSM's bank state must
+                // not change shape with the shard count.
+                timing: make_timing_model(
+                    config.timing_backend,
+                    &config.timing,
+                    config.geometry.banks_per_rank,
+                    row_bytes,
+                ),
             });
         }
         Ok(PimSystem {
@@ -996,6 +1016,125 @@ impl PimSystem {
     }
 
     // ------------------------------------------------------------------
+    // Timing backends
+    // ------------------------------------------------------------------
+
+    /// The timing backend every shard of this system charges through.
+    pub fn timing_backend(&self) -> TimingBackend {
+        self.shards
+            .first()
+            .map(|s| s.timing.backend())
+            .unwrap_or_default()
+    }
+
+    /// Shards holding at least one element of `costed`, ascending; shard
+    /// 0 when unmapped or single-shard (whole-device attribution).
+    fn holders_of(&self, costed: ObjId) -> Vec<usize> {
+        if self.shards.len() > 1 {
+            if let Some(map) = self.maps.get(&costed.0) {
+                let holders: Vec<usize> = map
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(s, _)| s)
+                    .collect();
+                if !holders.is_empty() {
+                    return holders;
+                }
+            }
+        }
+        vec![0]
+    }
+
+    /// Prices one command through the timing backends of every shard
+    /// holding `costed`, in ascending shard order (deterministic at any
+    /// thread count). Shards execute the broadcast in lockstep, so each
+    /// holder charges the full per-core demand and the aggregate is the
+    /// slowest holder — which keeps the aggregate shard-count-invariant.
+    /// Protocol counters each backend issues are recorded into that
+    /// shard's ledger; the merged delta is returned for the aggregate
+    /// ledger.
+    pub(crate) fn price_with_backends<F>(
+        &mut self,
+        costed: ObjId,
+        mut price: F,
+    ) -> (OpCost, TimingCounters)
+    where
+        F: FnMut(&mut dyn TimingModel) -> OpCost,
+    {
+        let mut agg: Option<OpCost> = None;
+        let mut delta = TimingCounters::default();
+        for s in self.holders_of(costed) {
+            let shard = &mut self.shards[s];
+            let before = shard.timing.counters();
+            let cost = price(shard.timing.as_mut());
+            let d = shard.timing.counters().delta_since(&before);
+            if !d.is_empty() {
+                shard.stats.record_protocol(&d);
+            }
+            delta.merge(&d);
+            agg = Some(match agg {
+                None => cost,
+                Some(prev) if cost.time_ms > prev.time_ms => cost,
+                Some(prev) => prev,
+            });
+        }
+        (agg.unwrap_or_default(), delta)
+    }
+
+    /// Charges one host↔device copy of `represented_bytes` through the
+    /// holders' timing backends (bandwidth-bound in both backends; the
+    /// critical path is the same on every holder) and replays the
+    /// protocol stream for counters. Returns the copy time in ms, the
+    /// replay for the trace (stateful backends always replay so counters
+    /// and state agree; the stateless backend replays only when
+    /// `want_replay`, preserving its historical trace-only counters),
+    /// and the merged counter delta for the aggregate ledger.
+    pub(crate) fn charge_copy_with_backends(
+        &mut self,
+        obj: ObjId,
+        represented_bytes: u64,
+        functional_bytes: u64,
+        ranks: usize,
+        want_replay: bool,
+    ) -> (f64, Option<CopyReplay>, TimingCounters) {
+        let mut time_ms: Option<f64> = None;
+        let mut replay: Option<CopyReplay> = None;
+        let mut delta = TimingCounters::default();
+        for s in self.holders_of(obj) {
+            let shard = &mut self.shards[s];
+            let t = shard.timing.charge_host_copy(represented_bytes, ranks);
+            time_ms = Some(match time_ms {
+                None => t,
+                Some(prev) => prev.max(t),
+            });
+            let stateful = shard.timing.backend() != TimingBackend::Analytical;
+            if stateful || (want_replay && replay.is_none()) {
+                let before = shard.timing.counters();
+                let r = shard.timing.copy_replay(functional_bytes);
+                let d = shard.timing.counters().delta_since(&before);
+                if !d.is_empty() {
+                    shard.stats.record_protocol(&d);
+                }
+                delta.merge(&d);
+                replay.get_or_insert(r);
+            }
+        }
+        (time_ms.unwrap_or(0.0), replay, delta)
+    }
+
+    /// Drains every shard's timing backend (closes all open rows) and
+    /// returns the longest per-shard drain time in ms.
+    pub(crate) fn drain_backends(&mut self) -> f64 {
+        let mut worst_ns = 0.0f64;
+        for shard in &mut self.shards {
+            worst_ns = worst_ns.max(shard.timing.drain());
+        }
+        worst_ns * 1e-6
+    }
+
+    // ------------------------------------------------------------------
     // Per-shard cost distribution
     // ------------------------------------------------------------------
 
@@ -1190,10 +1329,12 @@ impl PimSystem {
         }
     }
 
-    /// Clears every shard's statistics sub-ledger.
+    /// Clears every shard's statistics sub-ledger and resets its timing
+    /// backend to a fresh (all-banks-closed) state.
     pub(crate) fn reset_shard_stats(&mut self) {
         for shard in &mut self.shards {
             shard.stats = SimStats::new();
+            shard.timing.reset();
         }
     }
 }

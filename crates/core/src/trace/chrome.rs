@@ -228,12 +228,13 @@ fn render(pid: u32, event: &TraceEvent) -> String {
             if let Some(p) = protocol {
                 args.push_str(&format!(
                     ",\"activations\":{},\"reads\":{},\"writes\":{},\"precharges\":{},\
-                     \"row_hits\":{},\"achieved_gbs\":{}",
+                     \"row_hits\":{},\"row_misses\":{},\"achieved_gbs\":{}",
                     p.activations,
                     p.reads,
                     p.writes,
                     p.precharges,
                     p.row_hits,
+                    p.row_misses,
                     num(p.achieved_gbs)
                 ));
             }

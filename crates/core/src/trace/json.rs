@@ -187,6 +187,25 @@ pub fn stats_to_json_full(
         num(ic.time_ms),
         num(ic.energy_mj)
     );
+    // DRAM protocol counters are populated only by the stateful bank-FSM
+    // timing backend; the section is omitted entirely under the default
+    // analytical backend so existing goldens stay byte-identical.
+    let dp = &stats.dram_protocol;
+    if !dp.is_empty() {
+        let _ = writeln!(
+            out,
+            "  \"dram_protocol\": {{\"activations\": {}, \"precharges\": {}, \
+             \"reads\": {}, \"writes\": {}, \"row_hits\": {}, \"row_misses\": {}, \
+             \"row_hit_rate\": {}}},",
+            dp.activations,
+            dp.precharges,
+            dp.reads,
+            dp.writes,
+            dp.row_hits,
+            dp.row_misses,
+            num(dp.hit_rate())
+        );
+    }
     if trace_dropped > 0 {
         let _ = writeln!(out, "  \"trace\": {{\"dropped_events\": {trace_dropped}}},");
     }

@@ -66,9 +66,10 @@ impl From<pim_microcode::Cost> for MicroCounters {
     }
 }
 
-/// DRAM protocol counters from a bounded [`pim_dram::protocol::RankSim`]
-/// replay of one host↔device transfer (the replay streams up to
-/// [`PROTOCOL_REPLAY_MAX_ROWS`] rows through one rank).
+/// DRAM protocol counters from a bounded bank-FSM replay of one
+/// host↔device transfer (the active [`pim_dram::TimingModel`] backend
+/// streams up to [`PROTOCOL_REPLAY_MAX_ROWS`] rows through one rank's
+/// bank state machines).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ProtocolCounters {
     /// ACT commands issued.
@@ -81,13 +82,30 @@ pub struct ProtocolCounters {
     pub precharges: u64,
     /// Column commands that hit an open row.
     pub row_hits: u64,
+    /// Column commands that missed (forced an ACT, possibly after PRE).
+    pub row_misses: u64,
     /// Achieved streaming bandwidth over the replayed window (GB/s).
     pub achieved_gbs: f64,
 }
 
+impl From<pim_dram::CopyReplay> for ProtocolCounters {
+    fn from(r: pim_dram::CopyReplay) -> Self {
+        ProtocolCounters {
+            activations: r.counters.activations,
+            reads: r.counters.reads,
+            writes: r.counters.writes,
+            precharges: r.counters.precharges,
+            row_hits: r.counters.row_hits,
+            row_misses: r.counters.row_misses,
+            achieved_gbs: r.achieved_gbs,
+        }
+    }
+}
+
 /// Row cap for the per-copy protocol replay (keeps tracing overhead
-/// bounded for multi-gigabyte copies).
-pub const PROTOCOL_REPLAY_MAX_ROWS: usize = 32;
+/// bounded for multi-gigabyte copies) — shared with the timing-model
+/// backends in `pim_dram`.
+pub const PROTOCOL_REPLAY_MAX_ROWS: usize = pim_dram::timing_model::COPY_REPLAY_MAX_ROWS;
 
 /// Direction of a data movement event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -11,7 +11,7 @@
 //! `total_time_ms`. The shard counts exercised default to `{2, 4}` and
 //! can be overridden with the `PIM_TEST_RANKS` env var (comma list).
 
-use pimeval::{DataType, Device, DeviceConfig, PimScalar, PimTarget, ShardPolicy};
+use pimeval::{DataType, Device, DeviceConfig, PimScalar, PimTarget, ShardPolicy, TimingBackend};
 
 const TARGETS: [PimTarget; 5] = [
     PimTarget::BitSerial,
@@ -189,6 +189,41 @@ fn sharded_runs_match_unsharded_on_every_target_and_dtype() {
             check_shard_equivalence::<i32>(target, shards, seed);
             check_shard_equivalence::<i64>(target, shards, seed);
             check_shard_equivalence::<u16>(target, shards, seed);
+        }
+    }
+}
+
+#[test]
+fn shard_equivalence_holds_under_both_timing_backends() {
+    // Per-shard FSM instances see the same charge sequence regardless of
+    // shard count (every holder charges the full per-core demand and the
+    // aggregate takes the slowest holder), so the sharded clocks must
+    // stay bit-compatible with the single-shard run under both backends.
+    for backend in [TimingBackend::Analytical, TimingBackend::BankFsm] {
+        for shards in [1usize, 4] {
+            for target in [PimTarget::Fulcrum, PimTarget::BitSerial] {
+                let n = 257;
+                let (xs, ys) = data::<i32>(n, 0xBAC0);
+                let ctx = format!("{target:?} {backend} shards={shards}");
+                let base_cfg = DeviceConfig::new(target, 1).with_timing_backend(backend);
+                let (base, base_dev) = run_program(base_cfg.clone(), &xs, &ys);
+                let (sharded, dev) = run_program(base_cfg.with_shards(shards), &xs, &ys);
+                assert_eq!(sharded, base, "{ctx}");
+                let (base_ms, ms) = (
+                    base_dev.stats().kernel_time_ms(),
+                    dev.stats().kernel_time_ms(),
+                );
+                assert!(
+                    close(ms, base_ms, 1e-12),
+                    "{ctx}: kernel {ms} ms != unsharded {base_ms} ms"
+                );
+                if backend == TimingBackend::BankFsm {
+                    assert!(
+                        !dev.stats().dram_protocol.is_empty(),
+                        "{ctx}: FSM recorded no protocol traffic"
+                    );
+                }
+            }
         }
     }
 }

@@ -29,6 +29,10 @@ pub enum DramError {
     },
     /// A geometry parameter was zero or otherwise invalid.
     InvalidGeometry(String),
+    /// A protocol timing parameter set was inconsistent (e.g. tRAS <
+    /// tRCD), reported by checked [`crate::protocol::ProtocolTiming`]
+    /// construction.
+    InvalidTiming(String),
 }
 
 impl fmt::Display for DramError {
@@ -48,6 +52,7 @@ impl fmt::Display for DramError {
                 write!(f, "row {open_row} is already active; precharge first")
             }
             DramError::InvalidGeometry(msg) => write!(f, "invalid DRAM geometry: {msg}"),
+            DramError::InvalidTiming(msg) => write!(f, "invalid DRAM timing: {msg}"),
         }
     }
 }

@@ -45,10 +45,16 @@ pub mod power;
 pub mod protocol;
 pub mod subarray;
 pub mod timing;
+pub mod timing_model;
 
 pub use address::{Address, AddressMapper};
 pub use error::DramError;
 pub use geometry::DramGeometry;
 pub use power::DramPower;
+pub use protocol::BankSnapshot;
 pub use subarray::{BitMatrix, RowStats, Subarray};
 pub use timing::DramTiming;
+pub use timing_model::{
+    make_timing_model, Analytical, BankFsm, CopyReplay, RowPattern, TimingBackend, TimingCounters,
+    TimingModel, PIM_TIMING_ENV,
+};

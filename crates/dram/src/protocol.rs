@@ -13,6 +13,7 @@
 //! §III describes ("one bank can be precharging while another is
 //! providing data").
 
+use crate::error::DramError;
 use crate::timing::DramTiming;
 
 /// Protocol-level timing parameters derived from [`DramTiming`] plus the
@@ -27,13 +28,20 @@ pub struct ProtocolTiming {
     pub t_rp_ns: f64,
     /// Column command → data (CAS latency, ns).
     pub cl_ns: f64,
+    /// Column write → write-back complete (ns); derived so a full
+    /// closed-bank row write costs exactly the coarse `row_write_ns`.
+    pub t_wr_ns: f64,
     /// Column command → column command, same rank (ns).
     pub t_ccd_ns: f64,
 }
 
 impl ProtocolTiming {
-    /// Derives protocol parameters from the coarse [`DramTiming`]:
-    /// the coarse `row_read_ns` is interpreted as tRCD + CL.
+    /// Derives protocol parameters from the coarse [`DramTiming`]: the
+    /// coarse `row_read_ns` is interpreted as tRCD + CL (split evenly),
+    /// and `row_write_ns` as tRCD + tWR. No consistency checks are
+    /// performed — use [`ProtocolTiming::from_coarse_checked`] to reject
+    /// parameter sets where the interlocks are unsatisfiable (e.g.
+    /// tRAS < tRCD).
     pub fn from_coarse(t: &DramTiming) -> Self {
         let t_rcd = t.row_read_ns / 2.0;
         ProtocolTiming {
@@ -41,8 +49,56 @@ impl ProtocolTiming {
             t_ras_ns: t.t_ras_ns,
             t_rp_ns: t.t_rp_ns,
             cl_ns: t.row_read_ns - t_rcd,
+            t_wr_ns: t.row_write_ns - t_rcd,
             t_ccd_ns: t.t_ccd_ns,
         }
+    }
+
+    /// Checked variant of [`ProtocolTiming::from_coarse`].
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::InvalidTiming`] when the derived parameter set is
+    /// inconsistent; see [`ProtocolTiming::validate`].
+    pub fn from_coarse_checked(t: &DramTiming) -> Result<Self, DramError> {
+        let p = ProtocolTiming::from_coarse(t);
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Validates the parameter set against the interlocks the bank FSM
+    /// enforces: every parameter must be finite and positive, a row must
+    /// stay open at least until its column command can issue
+    /// (tRAS ≥ tRCD), and the coarse write latency must exceed tRCD so
+    /// the derived tWR is positive.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::InvalidTiming`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), DramError> {
+        let fields = [
+            ("t_rcd_ns", self.t_rcd_ns),
+            ("t_ras_ns", self.t_ras_ns),
+            ("t_rp_ns", self.t_rp_ns),
+            ("cl_ns", self.cl_ns),
+            ("t_wr_ns", self.t_wr_ns),
+            ("t_ccd_ns", self.t_ccd_ns),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(DramError::InvalidTiming(format!(
+                    "{name} must be finite and positive, got {v}"
+                )));
+            }
+        }
+        if self.t_ras_ns < self.t_rcd_ns {
+            return Err(DramError::InvalidTiming(format!(
+                "tRAS ({}) must be at least tRCD ({}): a row cannot close \
+                 before its column command can issue",
+                self.t_ras_ns, self.t_rcd_ns
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -78,6 +134,7 @@ struct BankState {
     open_row: Option<usize>,
     ready_at: f64,  // earliest time the bank accepts its next command
     opened_at: f64, // ACT issue time (for tRAS)
+    fresh: bool,    // no column command since the last ACT
 }
 
 /// Accounting from a replayed command stream.
@@ -91,10 +148,23 @@ pub struct ProtocolStats {
     pub writes: u64,
     /// Precharges issued.
     pub precharges: u64,
-    /// Column commands that hit an already-open row.
+    /// Column commands that hit an already-open row (a prior column
+    /// command already touched the open row).
     pub row_hits: u64,
+    /// Column commands that paid a fresh activation (the first column
+    /// command after each ACT).
+    pub row_misses: u64,
     /// Total elapsed time (ns).
     pub elapsed_ns: f64,
+}
+
+/// Point-in-time state of one bank, exposed for timing-model snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankSnapshot {
+    /// The open row, if the bank is activated.
+    pub open_row: Option<usize>,
+    /// Earliest time (ns) the bank accepts its next command.
+    pub ready_at_ns: f64,
 }
 
 /// An in-order, per-rank command scheduler over `banks` bank state
@@ -108,9 +178,10 @@ pub struct ProtocolStats {
 ///
 /// let mut sim = RankSim::new(ProtocolTiming::from_coarse(&DramTiming::ddr4_default()), 4);
 /// sim.issue(Command::Activate { bank: 0, row: 7 }).unwrap();
-/// sim.issue(Command::Read { bank: 0 }).unwrap();
+/// sim.issue(Command::Read { bank: 0 }).unwrap(); // row-buffer miss (fresh ACT)
 /// sim.issue(Command::Read { bank: 0 }).unwrap(); // row-buffer hit
-/// assert_eq!(sim.stats().row_hits, 2);
+/// assert_eq!(sim.stats().row_misses, 1);
+/// assert_eq!(sim.stats().row_hits, 1);
 /// ```
 #[derive(Debug)]
 pub struct RankSim {
@@ -194,6 +265,7 @@ impl RankSim {
                 bank.open_row = Some(row);
                 bank.opened_at = start;
                 bank.ready_at = start + t.t_rcd_ns;
+                bank.fresh = true;
                 self.now = start; // command bus occupancy is negligible here
                 self.stats.activations += 1;
             }
@@ -210,7 +282,12 @@ impl RankSim {
                 } else {
                     self.stats.writes += 1;
                 }
-                self.stats.row_hits += 1;
+                if bank.fresh {
+                    bank.fresh = false;
+                    self.stats.row_misses += 1;
+                } else {
+                    self.stats.row_hits += 1;
+                }
             }
             Command::Precharge { .. } => {
                 if bank.open_row.is_none() {
@@ -224,6 +301,137 @@ impl RankSim {
             }
         }
         Ok(())
+    }
+
+    /// The simulated clock: completion time of the last access-level
+    /// operation, or issue time of the last raw command (ns).
+    pub fn now_ns(&self) -> f64 {
+        self.now.max(self.bus_free_at)
+    }
+
+    /// Advances the clock by `ns` without issuing commands — used by
+    /// timing backends to account an extrapolated steady-state tail
+    /// after a bounded replay (execute-once-and-stall: later charges
+    /// observe the advanced clock).
+    pub fn advance(&mut self, ns: f64) {
+        if ns > 0.0 {
+            self.now += ns;
+        }
+    }
+
+    /// One closed-page full-row access: precharge any stale open row,
+    /// activate, issue the column command, and schedule the bank's
+    /// auto-precharge (earliest tRAS + tRP after the ACT). Returns the
+    /// clock advance (completion − previous completion), which exceeds
+    /// the raw access latency exactly when bank interlocks stall the
+    /// access.
+    ///
+    /// A fresh-bank read completes in tRCD + CL (= the coarse
+    /// `row_read_ns`) and a fresh-bank write in tRCD + tWR (= the coarse
+    /// `row_write_ns`); `extra_ns` extends the access for periphery work
+    /// that overlaps the row cycle (row-wide popcount, GDL crossings).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::NoSuchBank`] for an out-of-range bank.
+    pub fn row_cycle(
+        &mut self,
+        bank_idx: usize,
+        write: bool,
+        extra_ns: f64,
+    ) -> Result<f64, ProtocolError> {
+        let t = self.timing;
+        let bank = self
+            .banks
+            .get_mut(bank_idx)
+            .ok_or(ProtocolError::NoSuchBank(bank_idx))?;
+        if bank.open_row.is_some() {
+            // Close a row left open by a burst replay before re-activating.
+            let pre = self.now.max(bank.ready_at).max(bank.opened_at + t.t_ras_ns);
+            bank.open_row = None;
+            bank.fresh = false;
+            bank.ready_at = pre + t.t_rp_ns;
+            self.stats.precharges += 1;
+        }
+        let start = self.now.max(bank.ready_at);
+        let column_ns = if write { t.t_wr_ns } else { t.cl_ns };
+        let access_ns = t.t_rcd_ns + column_ns + extra_ns;
+        let done = start + access_ns;
+        // Auto-precharge as soon as tRAS allows; the bank re-opens tRP later.
+        bank.opened_at = start;
+        bank.open_row = None;
+        bank.fresh = false;
+        bank.ready_at = start + access_ns.max(t.t_ras_ns) + t.t_rp_ns;
+        self.stats.activations += 1;
+        self.stats.precharges += 1;
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.stats.row_misses += 1;
+        let delta = done - self.now;
+        self.now = done;
+        Ok(delta)
+    }
+
+    /// One activate–precharge pair with no column access (the analog
+    /// AAP/TRA primitive): completes tRAS + tRP after it starts, which
+    /// is also when the bank accepts its next command. Returns the clock
+    /// advance.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::NoSuchBank`] for an out-of-range bank.
+    pub fn activate_precharge_cycle(&mut self, bank_idx: usize) -> Result<f64, ProtocolError> {
+        let t = self.timing;
+        let bank = self
+            .banks
+            .get_mut(bank_idx)
+            .ok_or(ProtocolError::NoSuchBank(bank_idx))?;
+        let start = self.now.max(bank.ready_at);
+        let done = start + (t.t_ras_ns + t.t_rp_ns);
+        bank.opened_at = start;
+        bank.open_row = None;
+        bank.fresh = false;
+        bank.ready_at = done;
+        self.stats.activations += 1;
+        self.stats.precharges += 1;
+        let delta = done - self.now;
+        self.now = done;
+        Ok(delta)
+    }
+
+    /// Epoch boundary: precharges every open row and advances the clock
+    /// past all precharge completions. Returns the elapsed drain time
+    /// (ns), zero when no rows were open.
+    pub fn drain_open_rows(&mut self) -> f64 {
+        let t = self.timing;
+        let before = self.now_ns();
+        let mut latest = self.now;
+        for bank in &mut self.banks {
+            if bank.open_row.is_some() {
+                let pre = self.now.max(bank.ready_at).max(bank.opened_at + t.t_ras_ns);
+                bank.open_row = None;
+                bank.fresh = false;
+                bank.ready_at = pre + t.t_rp_ns;
+                self.stats.precharges += 1;
+                latest = latest.max(bank.ready_at);
+            }
+        }
+        self.now = self.now.max(latest);
+        self.now_ns() - before
+    }
+
+    /// Point-in-time state of every bank (open row + next-ready time).
+    pub fn bank_snapshots(&self) -> Vec<BankSnapshot> {
+        self.banks
+            .iter()
+            .map(|b| BankSnapshot {
+                open_row: b.open_row,
+                ready_at_ns: b.ready_at,
+            })
+            .collect()
     }
 
     /// Replays a streaming read of `bursts` column reads per row across
@@ -370,6 +578,106 @@ mod tests {
             "protocol replay {gbs:.1} GB/s vs coarse {} GB/s",
             coarse.rank_bandwidth_gbs
         );
+    }
+
+    #[test]
+    fn checked_construction_accepts_the_defaults() {
+        assert!(ProtocolTiming::from_coarse_checked(&DramTiming::ddr4_default()).is_ok());
+        assert!(ProtocolTiming::from_coarse_checked(&DramTiming::hbm2_default()).is_ok());
+    }
+
+    #[test]
+    fn checked_construction_rejects_tras_below_trcd() {
+        // row_read_ns = 80 → tRCD = 40 > tRAS = 32.
+        let bad = DramTiming {
+            row_read_ns: 80.0,
+            row_write_ns: 95.0,
+            ..DramTiming::ddr4_default()
+        };
+        let err = ProtocolTiming::from_coarse_checked(&bad).unwrap_err();
+        assert!(matches!(err, crate::DramError::InvalidTiming(_)), "{err}");
+    }
+
+    #[test]
+    fn checked_construction_rejects_nonpositive_parameters() {
+        for mutate in [
+            |t: &mut DramTiming| t.row_read_ns = 0.0,
+            |t: &mut DramTiming| t.t_rp_ns = -1.0,
+            |t: &mut DramTiming| t.t_ccd_ns = f64::NAN,
+            // row_write_ns ≤ tRCD makes the derived tWR non-positive.
+            |t: &mut DramTiming| t.row_write_ns = 10.0,
+        ] {
+            let mut t = DramTiming::ddr4_default();
+            mutate(&mut t);
+            assert!(ProtocolTiming::from_coarse_checked(&t).is_err(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn first_column_after_act_is_a_miss_then_hits() {
+        let mut sim = RankSim::new(timing(), 1);
+        sim.issue(Command::Activate { bank: 0, row: 3 }).unwrap();
+        for _ in 0..4 {
+            sim.issue(Command::Read { bank: 0 }).unwrap();
+        }
+        let s = sim.stats();
+        assert_eq!(s.row_misses, 1);
+        assert_eq!(s.row_hits, 3);
+    }
+
+    #[test]
+    fn fresh_row_cycle_costs_exactly_the_coarse_latencies() {
+        let coarse = DramTiming::ddr4_default();
+        let mut sim = RankSim::new(ProtocolTiming::from_coarse(&coarse), 2);
+        let rd = sim.row_cycle(0, false, 0.0).unwrap();
+        assert_eq!(rd, coarse.row_read_ns);
+        let wr = sim.row_cycle(1, true, 0.0).unwrap();
+        assert_eq!(wr, coarse.row_write_ns);
+        let s = sim.stats();
+        assert_eq!((s.activations, s.precharges), (2, 2));
+        assert_eq!((s.reads, s.writes, s.row_misses), (1, 1, 2));
+    }
+
+    #[test]
+    fn same_bank_row_cycles_stall_on_the_recovery_interlock() {
+        let t = timing();
+        let coarse = DramTiming::ddr4_default();
+        let mut sim = RankSim::new(t, 2);
+        sim.row_cycle(0, false, 0.0).unwrap();
+        // Re-activating the same bank waits for its tRAS + tRP recovery.
+        let second = sim.row_cycle(0, false, 0.0).unwrap();
+        assert!(
+            second >= t.t_ras_ns + t.t_rp_ns - 1e-9,
+            "stalled access took {second}"
+        );
+        assert!(second > coarse.row_read_ns);
+        // A different bank is fully recovered and pays no stall.
+        let other = sim.row_cycle(1, false, 0.0).unwrap();
+        assert_eq!(other, coarse.row_read_ns);
+    }
+
+    #[test]
+    fn activate_precharge_cycle_costs_tras_plus_trp() {
+        let t = timing();
+        let mut sim = RankSim::new(t, 1);
+        let d = sim.activate_precharge_cycle(0).unwrap();
+        assert_eq!(d, t.t_ras_ns + t.t_rp_ns);
+        // Back-to-back AP cycles on one bank chain without extra stall:
+        // the bank is ready exactly when the previous cycle completes.
+        let d2 = sim.activate_precharge_cycle(0).unwrap();
+        assert_eq!(d2, t.t_ras_ns + t.t_rp_ns);
+    }
+
+    #[test]
+    fn drain_closes_open_rows_and_is_idempotent() {
+        let mut sim = RankSim::new(timing(), 2);
+        sim.issue(Command::Activate { bank: 0, row: 0 }).unwrap();
+        sim.issue(Command::Read { bank: 0 }).unwrap();
+        assert!(sim.bank_snapshots()[0].open_row.is_some());
+        let drained = sim.drain_open_rows();
+        assert!(drained > 0.0);
+        assert!(sim.bank_snapshots().iter().all(|b| b.open_row.is_none()));
+        assert_eq!(sim.drain_open_rows(), 0.0);
     }
 
     #[test]

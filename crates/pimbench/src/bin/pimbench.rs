@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! pimbench [--bench <name>|all|extensions] [--target <t>|all]
-//!          [--ranks N] [--shards N] [--scale F] [--seed S] [--threads N]
+//!          [--ranks N] [--shards N] [--timing analytical|fsm]
+//!          [--scale F] [--seed S] [--threads N]
 //!          [--stream] [--report] [--trace <file>] [--stats-json <file>]
 //!          [--metrics-json <file>] [--profile]
 //! ```
@@ -31,12 +32,17 @@
 //! threads (results are bit-identical at any count); it overrides the
 //! `PIM_THREADS` environment variable, which in turn overrides the
 //! host's available parallelism.
+//!
+//! `--timing <backend>` selects the DRAM timing model: `analytical`
+//! (closed-form, the default) or `fsm` (stateful per-bank protocol
+//! replay that also populates the `dram_protocol` statistics section).
+//! The `PIM_TIMING` environment variable, when set, wins over the flag.
 
 use pimbench::{all_benchmarks, extension_benchmarks, Benchmark, Params};
 use pimeval::metrics::METRICS_SCHEMA_VERSION;
 use pimeval::trace::chrome::ChromeTraceBuilder;
 use pimeval::trace::json::stats_to_json_full;
-use pimeval::{pim_info, Device, DeviceConfig, PimTarget};
+use pimeval::{pim_info, Device, DeviceConfig, PimTarget, TimingBackend};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -45,6 +51,7 @@ struct Cli {
     targets: Vec<PimTarget>,
     ranks: usize,
     shards: Option<usize>,
+    timing: TimingBackend,
     params: Params,
     report: bool,
     trace: Option<PathBuf>,
@@ -72,6 +79,7 @@ fn parse() -> Result<Cli, String> {
         targets: PimTarget::ALL.to_vec(),
         ranks: 4,
         shards: None,
+        timing: TimingBackend::default(),
         params: Params::default(),
         report: false,
         trace: None,
@@ -106,6 +114,11 @@ fn parse() -> Result<Cli, String> {
                     return Err("--shards must be at least 1".into());
                 }
                 cli.shards = Some(n);
+                i += 1;
+            }
+            "--timing" => {
+                cli.timing = TimingBackend::parse(need(i)?)
+                    .ok_or_else(|| format!("unknown timing backend {}", args[i + 1]))?;
                 i += 1;
             }
             "--scale" => {
@@ -143,7 +156,8 @@ fn parse() -> Result<Cli, String> {
                 println!(
                     "pimbench --bench <name>|all|extensions --target \
                      bitserial|fulcrum|bank|analog|upmem|all|extended \
-                     [--ranks N] [--shards N] [--scale F] [--seed S] [--threads N] \
+                     [--ranks N] [--shards N] [--timing analytical|fsm] \
+                     [--scale F] [--seed S] [--threads N] \
                      [--stream] [--report] [--trace <file>] \
                      [--stats-json <file>] [--metrics-json <file>] \
                      [--profile]"
@@ -192,7 +206,7 @@ fn main() -> ExitCode {
     let mut metrics_runs: Vec<String> = Vec::new();
     for target in &cli.targets {
         for bench in &benches {
-            let mut config = DeviceConfig::new(*target, cli.ranks);
+            let mut config = DeviceConfig::new(*target, cli.ranks).with_timing_backend(cli.timing);
             if let Some(shards) = cli.shards {
                 config = config.with_shards(shards);
             }
