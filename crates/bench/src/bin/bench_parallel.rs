@@ -23,15 +23,16 @@
 //! engine headroom shows on multi-core runners (see the CI bench job).
 
 use pim_bench_harness::export::{
-    parallel_runs_to_json, FanoutOverhead, FidelityRun, ImbalanceRun, ParallelRun, RankScalingRun,
-    StreamVsEager,
+    parallel_runs_to_json, FanoutOverhead, FidelityRun, ImbalanceRun, OptimizerRun, ParallelRun,
+    RankScalingRun, StreamVsEager,
 };
 use pim_bench_harness::microbench::{bench, bench_throughput, group};
 use pim_bench_harness::run_one;
 use pimbench::Params;
 use pimeval::pim_dram::DramGeometry;
 use pimeval::{
-    exec, DataType, Device, DeviceConfig, PimTarget, RowPattern, ShardPolicy, TimingBackend,
+    exec, DataType, Device, DeviceConfig, OptLevel, PimTarget, RowPattern, ShardPolicy,
+    TimingBackend,
 };
 
 /// Elements per device object: large enough that every op fans out
@@ -228,6 +229,92 @@ fn stream_vs_eager_runs(threads: usize, out: &mut Vec<StreamVsEager>) {
                 s.flush().unwrap();
             },
         );
+    });
+}
+
+/// Peephole vs. dataflow optimizer on a pipeline the adjacent-pair
+/// peephole structurally cannot improve: a K-means-style distance
+/// chain whose weighted sum is consumed *non-adjacently* (an unrelated
+/// mask sits between the scalar multiply and the add) and whose
+/// distance is recomputed verbatim later in the stream. The graph
+/// passes fuse across the gap and rewrite the recompute into copies;
+/// level 0 executes all seven commands as recorded.
+fn optimizer_runs(threads: usize, out: &mut Vec<OptimizerRun>) {
+    exec::with_thread_count(threads, || {
+        let mut dev = Device::new(DeviceConfig::new(PimTarget::Fulcrum, 2)).unwrap();
+        let host: Vec<i32> = (0..N as i32)
+            .map(|i| i.wrapping_mul(2654435761u32 as i32))
+            .collect();
+        let x = dev.alloc(N, DataType::Int32).unwrap();
+        let c = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let b = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let d1 = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let a1 = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let s = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let msk = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let o = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let d2 = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let a2 = dev.alloc_associated(x, DataType::Int32).unwrap();
+        dev.copy_to_device(&host, x).unwrap();
+        dev.copy_to_device(&host, c).unwrap();
+        dev.copy_to_device(&host, b).unwrap();
+
+        let pipeline = |d: &mut Device, level: OptLevel| {
+            let mut st = d.stream();
+            st.set_opt(level);
+            st.sub(x, c, d1).abs(d1, a1);
+            st.mul_scalar(a1, 3, s); // producer …
+            st.lt(x, c, msk); // … separated from its consumer
+            st.add(s, b, o); // → graph-only scaled-add fusion
+            st.sub(x, c, d2).abs(d2, a2); // verbatim recompute → CSE
+            st.flush().unwrap()
+        };
+
+        group(&format!(
+            "optimizer: peephole vs dataflow, {N} × int32, {threads} thread(s)"
+        ));
+        let mp = bench_throughput("kmeans-dist-reuse (opt 0)", N, || {
+            pipeline(&mut dev, OptLevel::O0);
+        });
+        let md = bench_throughput("kmeans-dist-reuse (opt 2)", N, || {
+            pipeline(&mut dev, OptLevel::O2);
+        });
+
+        dev.reset_stats();
+        let sp = pipeline(&mut dev, OptLevel::O0);
+        let peephole_modeled_ms = dev.stats().kernel_time_ms();
+        let peep: Vec<Vec<i32>> = [o, d2, a2]
+            .iter()
+            .map(|&id| dev.to_vec(id).unwrap())
+            .collect();
+        dev.reset_stats();
+        let sd = pipeline(&mut dev, OptLevel::O2);
+        let dataflow_modeled_ms = dev.stats().kernel_time_ms();
+        let flow: Vec<Vec<i32>> = [o, d2, a2]
+            .iter()
+            .map(|&id| dev.to_vec(id).unwrap())
+            .collect();
+        assert_eq!(peep, flow, "optimizer levels must be bit-identical");
+        assert_eq!(sp.fused_scaled_add + sp.fused_cmp_select, 0);
+        assert!(sd.cse_hits >= 2, "recompute must CSE into copies");
+        assert!(
+            dataflow_modeled_ms < peephole_modeled_ms,
+            "dataflow must strictly beat the peephole: {dataflow_modeled_ms} ms \
+             vs {peephole_modeled_ms} ms"
+        );
+        out.push(OptimizerRun {
+            name: "kmeans-dist-reuse".into(),
+            threads,
+            elems: N,
+            peephole_mean_ns: mp.mean.as_nanos(),
+            peephole_min_ns: mp.min.as_nanos(),
+            dataflow_mean_ns: md.mean.as_nanos(),
+            dataflow_min_ns: md.min.as_nanos(),
+            peephole_modeled_ms,
+            dataflow_modeled_ms,
+            cse_hits: sd.cse_hits,
+            graph_fusions: sd.fused_scaled_add + sd.fused_cmp_select,
+        });
     });
 }
 
@@ -537,6 +624,9 @@ fn main() {
     let mut stream_runs = Vec::new();
     stream_vs_eager_runs(default_threads, &mut stream_runs);
 
+    let mut optimizer = Vec::new();
+    optimizer_runs(default_threads, &mut optimizer);
+
     let mut rank_runs = Vec::new();
     rank_scaling_runs(&ranks_list, &mut rank_runs);
 
@@ -555,6 +645,7 @@ fn main() {
         std::slice::from_ref(&imbalance),
         Some(&overhead),
         &fidelity,
+        &optimizer,
     );
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\nwrote {} measurement(s) to {out_path}", runs.len()),
@@ -608,6 +699,23 @@ fn main() {
             s.eager_modeled_ms,
             s.stream_modeled_ms,
             s.modeled_cost_ratio()
+        );
+    }
+
+    group("optimizer (peephole vs dataflow)");
+    println!(
+        "{:<20} {:>18} {:>19} {:>12} {:>9} {:>8}",
+        "pipeline", "peephole ms", "dataflow ms", "cost ratio", "cse", "fusions"
+    );
+    for r in &optimizer {
+        println!(
+            "{:<20} {:>18.6} {:>19.6} {:>12.4} {:>9} {:>8}",
+            r.name,
+            r.peephole_modeled_ms,
+            r.dataflow_modeled_ms,
+            r.modeled_cost_ratio(),
+            r.cse_hits,
+            r.graph_fusions
         );
     }
 

@@ -168,6 +168,20 @@ fn check_stats(c: &mut Checker, doc: &Json) {
                 c.require_num(dp, &dpath, key);
             }
         }
+        // optimizer is optional (present only when the dataflow
+        // optimizer fired), but when present it must carry every counter.
+        if let Some(opt) = stats.get("optimizer") {
+            let opath = format!("{spath}.optimizer");
+            for key in [
+                "cse_hits",
+                "dead_objects_removed",
+                "subgraphs",
+                "target_switches",
+                "inferred_layouts",
+            ] {
+                c.require_num(opt, &opath, key);
+            }
+        }
     }
 }
 
@@ -234,6 +248,25 @@ fn check_bench(c: &mut Checker, doc: &Json) {
                 "row_hits",
                 "row_misses",
                 "row_hit_rate",
+            ] {
+                c.require_num(e, &path, key);
+            }
+        }
+    }
+    // optimizer is optional (older exports predate the dataflow
+    // optimizer), but when present each entry must carry both cost axes
+    // and the rewrite counters.
+    if let Some(entries) = doc.get("optimizer").and_then(Json::as_array) {
+        for (i, e) in entries.iter().enumerate() {
+            let path = format!("optimizer[{i}]");
+            c.require_str(e, &path, "name");
+            for key in [
+                "threads",
+                "peephole_modeled_ms",
+                "dataflow_modeled_ms",
+                "modeled_cost_ratio",
+                "cse_hits",
+                "graph_fusions",
             ] {
                 c.require_num(e, &path, key);
             }

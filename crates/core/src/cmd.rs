@@ -1,4 +1,5 @@
-//! The typed command IR and the deferred [`CommandStream`].
+//! The typed command IR: [`PimCommand`], its shared functional
+//! semantics ([`eval`]), and the batched execution plan.
 //!
 //! Every device operation is an instance of [`PimCommand`]: an
 //! [`OpKind`], the input objects it reads, and the object it writes.
@@ -6,41 +7,23 @@
 //! executes, and charges one command; the eager `Device::add`/`mul`/…
 //! methods are thin wrappers that build a command and issue it.
 //!
-//! [`CommandStream`] defers issue: commands are *recorded* and only run
-//! at [`CommandStream::flush`], which first applies peephole passes —
-//! dead-write elimination, mul+add → [`OpKind::ScaledAdd`] fusion,
-//! cmp+select → [`OpKind::FusedCmpSelect`] fusion — and then executes
-//! adjacent same-length element-wise commands in one batched parallel
-//! sweep. Functional results are bit-identical to eager issue (fusion
-//! preserves per-element semantics including intermediate truncation);
-//! the charged cost is never higher, because fused commands stream fewer
-//! operands through the arrays.
-//!
-//! One documented deviation: a temporary that only carried a fused-away
-//! intermediate (the product of a `mul_scalar` or a comparison bitmap)
-//! is never written, so its buffer contents after a flush are
-//! unspecified. The fusion passes only fire when no later recorded
-//! command reads that temporary.
-//!
-//! Sharding composes transparently with the stream: the peephole passes
-//! run *before* the shard split, on whole commands over whole objects.
-//! Only when a (possibly fused or batched) command reaches
-//! [`crate::Device::issue`] does [`crate::PimSystem`] cut it along each
-//! object's [`crate::ShardMap`] and fan the pieces out — so fusion
-//! decisions never depend on the shard count, and a fused program on a
-//! sharded device is bit-identical to the eager single-shard run
-//! (enforced by the `shard_equivalence` suite).
+//! The deferred recorder and its optimizer live in [`crate::stream`];
+//! [`CommandStream`] and [`FlushSummary`] are re-exported here so code
+//! written against the pre-split module paths
+//! (`pimeval::cmd::CommandStream`) keeps compiling. New code should
+//! import them from [`crate::stream`] (or the crate root).
 
 use std::collections::HashMap;
 
 use pim_microcode::gen::{BinaryOp, CmpOp};
 
-use crate::device::Device;
 use crate::dtype::DataType;
-use crate::error::Result;
 use crate::object::ObjId;
 use crate::ops::OpKind;
-use crate::pim_debug;
+
+// Deprecated locations — the deferred stream moved to `crate::stream`;
+// these aliases keep the old `pimeval::cmd::*` paths source-compatible.
+pub use crate::stream::{CommandStream, FlushSummary};
 
 // ---------------------------------------------------------------------
 // Command IR
@@ -277,417 +260,6 @@ fn pick(cond: bool, x: i64, y: i64) -> i64 {
 }
 
 // ---------------------------------------------------------------------
-// Peephole passes
-// ---------------------------------------------------------------------
-
-/// Removes commands whose destination is overwritten by a later command
-/// before any command reads it. Returns the number removed.
-///
-/// Backward scan maintaining the set of objects that a later command
-/// will overwrite with no intervening read: a live command inserts its
-/// destination and then removes its inputs (in that order, so an
-/// in-place `add(a, b, a)` keeps `a` readable).
-pub(crate) fn eliminate_dead_writes(cmds: &mut Vec<PimCommand>) -> u64 {
-    use std::collections::HashSet;
-    let mut overwritten: HashSet<ObjId> = HashSet::new();
-    let mut live: Vec<PimCommand> = Vec::with_capacity(cmds.len());
-    let mut removed = 0u64;
-    for cmd in cmds.drain(..).rev() {
-        if let Some(dst) = cmd.dst {
-            if overwritten.contains(&dst) {
-                removed += 1;
-                continue;
-            }
-            overwritten.insert(dst);
-        }
-        for id in &cmd.inputs {
-            overwritten.remove(id);
-        }
-        live.push(cmd);
-    }
-    live.reverse();
-    *cmds = live;
-    removed
-}
-
-/// True if no command in `rest` reads `id`.
-fn never_read_later(id: ObjId, rest: &[PimCommand]) -> bool {
-    rest.iter().all(|c| !c.inputs.contains(&id))
-}
-
-/// `mul_scalar(a, k) → t ; add(t, b) → d` becomes `scaled_add(a, b, k) → d`
-/// when `t` carries nothing else.
-fn try_fuse_scaled_add(
-    first: &PimCommand,
-    second: &PimCommand,
-    rest: &[PimCommand],
-) -> Option<PimCommand> {
-    let OpKind::BinaryScalar(BinaryOp::Mul, k) = first.kind else {
-        return None;
-    };
-    let OpKind::Binary(BinaryOp::Add) = second.kind else {
-        return None;
-    };
-    let (a, t) = (first.inputs[0], first.dst?);
-    let (p, q) = (second.inputs[0], second.inputs[1]);
-    let d = second.dst?;
-    // The product must feed exactly one side of the add.
-    let b = match (p == t, q == t) {
-        (true, false) => q,
-        (false, true) => p,
-        _ => return None,
-    };
-    // If the product object outlives the pair, the fusion would leave it
-    // stale for the later reader.
-    if t != d && !never_read_later(t, rest) {
-        return None;
-    }
-    Some(PimCommand::scaled_add(a, b, d, k))
-}
-
-/// `cmp(a, b) → m ; select(m, x, y) → d` becomes
-/// `fused_cmp_select(a, b, x, y) → d` when the mask carries nothing else.
-///
-/// Needs the device to gate on dtype: eager validation ties `a`/`b`/`m`
-/// together and `x`/`y`/`d` together but never across, and the fused
-/// command evaluates both halves under one dtype.
-fn try_fuse_cmp_select(
-    dev: &Device,
-    first: &PimCommand,
-    second: &PimCommand,
-    rest: &[PimCommand],
-) -> Option<PimCommand> {
-    let OpKind::Cmp(op) = first.kind else {
-        return None;
-    };
-    if second.kind != OpKind::Select {
-        return None;
-    }
-    let (a, b, m) = (first.inputs[0], first.inputs[1], first.dst?);
-    let (cond, x, y) = (second.inputs[0], second.inputs[1], second.inputs[2]);
-    let d = second.dst?;
-    if cond != m || m == x || m == y {
-        return None;
-    }
-    if m != d && !never_read_later(m, rest) {
-        return None;
-    }
-    let (da, dx) = (dev.object(a).ok()?.dtype, dev.object(x).ok()?.dtype);
-    if da != dx {
-        return None;
-    }
-    Some(PimCommand::fused_cmp_select(op, a, b, x, y, d))
-}
-
-/// Rewrites adjacent fusible pairs in place. Returns
-/// `(scaled_add_fusions, cmp_select_fusions)`.
-pub(crate) fn fuse(dev: &Device, cmds: &mut Vec<PimCommand>) -> (u64, u64) {
-    let mut out = Vec::with_capacity(cmds.len());
-    let (mut scaled, mut cmp_select) = (0u64, 0u64);
-    let mut i = 0;
-    while i < cmds.len() {
-        if i + 1 < cmds.len() {
-            let rest = &cmds[i + 2..];
-            if let Some(f) = try_fuse_scaled_add(&cmds[i], &cmds[i + 1], rest) {
-                out.push(f);
-                scaled += 1;
-                i += 2;
-                continue;
-            }
-            if let Some(f) = try_fuse_cmp_select(dev, &cmds[i], &cmds[i + 1], rest) {
-                out.push(f);
-                cmp_select += 1;
-                i += 2;
-                continue;
-            }
-        }
-        out.push(cmds[i].clone());
-        i += 1;
-    }
-    *cmds = out;
-    (scaled, cmp_select)
-}
-
-// ---------------------------------------------------------------------
-// Deferred stream
-// ---------------------------------------------------------------------
-
-/// What one [`CommandStream::flush`] did.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FlushSummary {
-    /// Commands recorded since the previous flush.
-    pub recorded: u64,
-    /// Commands executed after the peephole passes.
-    pub executed: u64,
-    /// mul+add pairs rewritten to [`OpKind::ScaledAdd`].
-    pub fused_scaled_add: u64,
-    /// cmp+select pairs rewritten to [`OpKind::FusedCmpSelect`].
-    pub fused_cmp_select: u64,
-    /// Commands removed because their output was overwritten unread.
-    pub dead_writes_eliminated: u64,
-    /// Batched parallel sweeps over runs of same-length commands.
-    pub batched_sweeps: u64,
-    /// Commands executed inside those sweeps.
-    pub batched_commands: u64,
-}
-
-/// A deferred command recorder bound to one device.
-///
-/// Obtained from [`Device::stream`]; record operations with the same
-/// argument order as the eager `Device` methods, then call
-/// [`CommandStream::flush`] to optimize and run them. Dropping a stream
-/// with unflushed commands discards them (with a debug log) — flushing
-/// is always explicit.
-///
-/// # Example
-///
-/// ```
-/// use pimeval::{DataType, Device};
-///
-/// # fn main() -> Result<(), pimeval::PimError> {
-/// let mut dev = Device::fulcrum(1)?;
-/// let x = dev.alloc_vec(&[1i32, 2, 3, 4])?;
-/// let y = dev.alloc_vec(&[10i32, 20, 30, 40])?;
-/// let t = dev.alloc_associated(x, DataType::Int32)?;
-/// let out = dev.alloc_associated(x, DataType::Int32)?;
-///
-/// let mut stream = dev.stream();
-/// stream.mul_scalar(x, 7, t).add(t, y, out);
-/// let summary = stream.flush()?;
-/// drop(stream);
-/// assert_eq!(summary.fused_scaled_add, 1);
-/// assert_eq!(dev.to_vec::<i32>(out)?, vec![17, 34, 51, 68]);
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Debug)]
-pub struct CommandStream<'d> {
-    dev: &'d mut Device,
-    pending: Vec<PimCommand>,
-}
-
-macro_rules! record2 {
-    ($($(#[$doc:meta])* $name:ident => $kind:expr;)*) => {
-        $($(#[$doc])*
-        pub fn $name(&mut self, a: ObjId, b: ObjId, dst: ObjId) -> &mut Self {
-            self.record(PimCommand::elementwise2($kind, a, b, dst))
-        })*
-    };
-}
-
-macro_rules! record_scalar {
-    ($($(#[$doc:meta])* $name:ident => $kind:expr;)*) => {
-        $($(#[$doc])*
-        pub fn $name(&mut self, a: ObjId, k: i64, dst: ObjId) -> &mut Self {
-            self.record(PimCommand::elementwise1($kind(k), a, dst))
-        })*
-    };
-}
-
-impl<'d> CommandStream<'d> {
-    pub(crate) fn new(dev: &'d mut Device) -> CommandStream<'d> {
-        CommandStream {
-            dev,
-            pending: Vec::new(),
-        }
-    }
-
-    /// Appends an arbitrary command.
-    pub fn record(&mut self, cmd: PimCommand) -> &mut Self {
-        self.pending.push(cmd);
-        self
-    }
-
-    /// The commands recorded so far (cleared by [`CommandStream::flush`]).
-    pub fn pending(&self) -> &[PimCommand] {
-        &self.pending
-    }
-
-    record2! {
-        /// Records `dst = a + b`.
-        add => OpKind::Binary(BinaryOp::Add);
-        /// Records `dst = a - b`.
-        sub => OpKind::Binary(BinaryOp::Sub);
-        /// Records `dst = a * b`.
-        mul => OpKind::Binary(BinaryOp::Mul);
-        /// Records `dst = a & b`.
-        and => OpKind::Binary(BinaryOp::And);
-        /// Records `dst = a | b`.
-        or => OpKind::Binary(BinaryOp::Or);
-        /// Records `dst = a ^ b`.
-        xor => OpKind::Binary(BinaryOp::Xor);
-        /// Records `dst = min(a, b)`.
-        min => OpKind::Min;
-        /// Records `dst = max(a, b)`.
-        max => OpKind::Max;
-        /// Records `dst = (a < b) ? 1 : 0`.
-        lt => OpKind::Cmp(CmpOp::Lt);
-        /// Records `dst = (a > b) ? 1 : 0`.
-        gt => OpKind::Cmp(CmpOp::Gt);
-        /// Records `dst = (a == b) ? 1 : 0`.
-        eq => OpKind::Cmp(CmpOp::Eq);
-    }
-
-    record_scalar! {
-        /// Records `dst = a + k`.
-        add_scalar => |k| OpKind::BinaryScalar(BinaryOp::Add, k);
-        /// Records `dst = a - k`.
-        sub_scalar => |k| OpKind::BinaryScalar(BinaryOp::Sub, k);
-        /// Records `dst = a * k`.
-        mul_scalar => |k| OpKind::BinaryScalar(BinaryOp::Mul, k);
-        /// Records `dst = min(a, k)`.
-        min_scalar => OpKind::MinScalar;
-        /// Records `dst = max(a, k)`.
-        max_scalar => OpKind::MaxScalar;
-    }
-
-    /// Records `dst = !a`.
-    pub fn not(&mut self, a: ObjId, dst: ObjId) -> &mut Self {
-        self.record(PimCommand::elementwise1(OpKind::Not, a, dst))
-    }
-
-    /// Records `dst = |a|`.
-    pub fn abs(&mut self, a: ObjId, dst: ObjId) -> &mut Self {
-        self.record(PimCommand::elementwise1(OpKind::Abs, a, dst))
-    }
-
-    /// Records a per-element popcount.
-    pub fn popcount(&mut self, a: ObjId, dst: ObjId) -> &mut Self {
-        self.record(PimCommand::elementwise1(OpKind::Popcount, a, dst))
-    }
-
-    /// Records `dst = a << k`.
-    pub fn shift_left(&mut self, a: ObjId, k: u32, dst: ObjId) -> &mut Self {
-        self.record(PimCommand::elementwise1(OpKind::ShiftL(k), a, dst))
-    }
-
-    /// Records `dst = a >> k`.
-    pub fn shift_right(&mut self, a: ObjId, k: u32, dst: ObjId) -> &mut Self {
-        self.record(PimCommand::elementwise1(OpKind::ShiftR(k), a, dst))
-    }
-
-    /// Records `dst = cond ? a : b`.
-    pub fn select(&mut self, cond: ObjId, a: ObjId, b: ObjId, dst: ObjId) -> &mut Self {
-        self.record(PimCommand::select(cond, a, b, dst))
-    }
-
-    /// Records `dst = a * k + b` as an already-fused command.
-    pub fn scaled_add(&mut self, a: ObjId, b: ObjId, dst: ObjId, k: i64) -> &mut Self {
-        self.record(PimCommand::scaled_add(a, b, dst, k))
-    }
-
-    /// Records a fill of `dst` with `value`.
-    pub fn broadcast(&mut self, dst: ObjId, value: i64) -> &mut Self {
-        self.record(PimCommand::broadcast(dst, value))
-    }
-
-    /// Records a device-to-device copy.
-    pub fn copy_object(&mut self, src: ObjId, dst: ObjId) -> &mut Self {
-        self.record(PimCommand::copy(src, dst))
-    }
-
-    /// Flushes pending commands, then runs an eager reduction sum.
-    ///
-    /// # Errors
-    ///
-    /// Flush or reduction errors.
-    pub fn red_sum(&mut self, a: ObjId) -> Result<i128> {
-        self.flush()?;
-        self.dev.red_sum(a)
-    }
-
-    /// Flushes pending commands, then runs an eager reduction minimum.
-    ///
-    /// # Errors
-    ///
-    /// Flush or reduction errors.
-    pub fn red_min(&mut self, a: ObjId) -> Result<i64> {
-        self.flush()?;
-        self.dev.red_min(a)
-    }
-
-    /// Flushes pending commands, then runs an eager reduction maximum.
-    ///
-    /// # Errors
-    ///
-    /// Flush or reduction errors.
-    pub fn red_max(&mut self, a: ObjId) -> Result<i64> {
-        self.flush()?;
-        self.dev.red_max(a)
-    }
-
-    /// Optimizes and executes everything recorded since the last flush.
-    ///
-    /// Pass order: dead-write elimination, then pair fusion, then
-    /// validation of every surviving command, then execution — runs of
-    /// two or more adjacent commands over objects with the same element
-    /// count go through one batched parallel sweep; the rest execute
-    /// singly. Each executed command is charged to the cost model
-    /// exactly as an eager issue would be.
-    ///
-    /// # Errors
-    ///
-    /// Validation errors from any surviving command; nothing executes
-    /// when validation fails.
-    pub fn flush(&mut self) -> Result<FlushSummary> {
-        let mut cmds = std::mem::take(&mut self.pending);
-        let recorded = cmds.len() as u64;
-        let dead_writes_eliminated = eliminate_dead_writes(&mut cmds);
-        let (fused_scaled_add, fused_cmp_select) = fuse(self.dev, &mut cmds);
-        for cmd in &cmds {
-            self.dev.validate_cmd(cmd)?;
-        }
-        let mut summary = FlushSummary {
-            recorded,
-            executed: cmds.len() as u64,
-            fused_scaled_add,
-            fused_cmp_select,
-            dead_writes_eliminated,
-            batched_sweeps: 0,
-            batched_commands: 0,
-        };
-        let counts: Vec<Option<u64>> = cmds
-            .iter()
-            .map(|c| c.dst.and_then(|d| self.dev.object(d).ok().map(|o| o.count)))
-            .collect();
-        let mut i = 0;
-        while i < cmds.len() {
-            let mut j = i + 1;
-            while j < cmds.len() && counts[j].is_some() && counts[j] == counts[i] {
-                j += 1;
-            }
-            if counts[i].is_some() && j - i >= 2 {
-                self.dev.exec_batch(&cmds[i..j])?;
-                for cmd in &cmds[i..j] {
-                    self.dev.charge_cmd(cmd)?;
-                }
-                summary.batched_sweeps += 1;
-                summary.batched_commands += (j - i) as u64;
-            } else {
-                for cmd in &cmds[i..j] {
-                    self.dev.exec_cmd(cmd)?;
-                    self.dev.charge_cmd(cmd)?;
-                }
-            }
-            i = j;
-        }
-        self.dev.finish_flush(&summary);
-        Ok(summary)
-    }
-}
-
-impl Drop for CommandStream<'_> {
-    fn drop(&mut self) {
-        if !self.pending.is_empty() {
-            pim_debug!(
-                "command stream dropped with {} unflushed command(s)",
-                self.pending.len()
-            );
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
 // Batched execution plan (used by Device::exec_batch)
 // ---------------------------------------------------------------------
 
@@ -769,63 +341,6 @@ mod tests {
             7
         );
         assert_eq!(eval(OpKind::MinScalar(300), DataType::UInt8, &[10]), 10);
-    }
-
-    #[test]
-    fn dead_write_elimination_respects_reads() {
-        let (a, b, t, d) = (id(1), id(2), id(3), id(4));
-        // t is written then overwritten unread: first write is dead.
-        let mut cmds = vec![
-            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), a, b, t),
-            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Mul), a, b, t),
-            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), t, b, d),
-        ];
-        assert_eq!(eliminate_dead_writes(&mut cmds), 1);
-        assert_eq!(cmds.len(), 2);
-        assert_eq!(cmds[0].kind, OpKind::Binary(BinaryOp::Mul));
-
-        // A read between the writes keeps both.
-        let mut cmds = vec![
-            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), a, b, t),
-            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), t, b, d),
-            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Mul), a, b, t),
-        ];
-        assert_eq!(eliminate_dead_writes(&mut cmds), 0);
-        assert_eq!(cmds.len(), 3);
-
-        // In-place update reads its own destination: not dead.
-        let mut cmds = vec![
-            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), a, b, t),
-            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), t, b, t),
-            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), t, b, d),
-        ];
-        assert_eq!(eliminate_dead_writes(&mut cmds), 0);
-    }
-
-    #[test]
-    fn scaled_add_fusion_guards_temporary_lifetime() {
-        let (a, b, t, d, e) = (id(1), id(2), id(3), id(4), id(5));
-        let pair = |k| {
-            vec![
-                PimCommand::elementwise1(OpKind::BinaryScalar(BinaryOp::Mul, k), a, t),
-                PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), t, b, d),
-            ]
-        };
-        assert_eq!(
-            try_fuse_scaled_add(&pair(7)[0], &pair(7)[1], &[]),
-            Some(PimCommand::scaled_add(a, b, d, 7))
-        );
-        // A later read of the temporary blocks fusion.
-        let later = [PimCommand::elementwise2(
-            OpKind::Binary(BinaryOp::Add),
-            t,
-            b,
-            e,
-        )];
-        assert_eq!(try_fuse_scaled_add(&pair(7)[0], &pair(7)[1], &later), None);
-        // t + t is not a scaled add.
-        let tt = PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), t, t, d);
-        assert_eq!(try_fuse_scaled_add(&pair(7)[0], &tt, &[]), None);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use pim_microcode::gen::{BinaryOp, CmpOp};
 
-use crate::cmd::{self, CmdValue, CommandStream, FlushSummary, PimCommand};
+use crate::cmd::{self, CmdValue, PimCommand};
 use crate::config::{DeviceConfig, PimTarget, SimMode};
 use crate::dtype::{DataType, PimScalar};
 use crate::error::{PimError, Result};
@@ -23,6 +23,7 @@ use crate::object::{ObjId, PimObject};
 use crate::ops::OpKind;
 use crate::resource::ResourceManager;
 use crate::stats::SimStats;
+use crate::stream::{CommandStream, FlushSummary, PlacementPlan};
 use crate::system::PimSystem;
 use crate::trace::{
     CopyDirection, ProtocolCounters, TraceEvent, TraceSink, Tracer, DEFAULT_RECORDER_CAPACITY,
@@ -53,6 +54,7 @@ pub struct Device {
     stats: SimStats,
     tracer: Tracer,
     metrics: Option<Box<MetricsRegistry>>,
+    last_plan: Option<PlacementPlan>,
 }
 
 impl Device {
@@ -70,6 +72,9 @@ impl Device {
         // `PIM_TIMING=analytical|fsm` overrides the configured timing
         // backend at device creation (unknown values are ignored).
         config.timing_backend = config.timing_backend.env_override();
+        // `PIM_OPT=0|1|2` overrides the stream optimization level the
+        // same way.
+        config.opt = config.opt.env_override();
         let system = PimSystem::new(&config)?;
         pim_info!(
             "device created: target={} cores={} ranks={} shards={}",
@@ -87,6 +92,7 @@ impl Device {
             stats: SimStats::new(),
             tracer: Tracer::default(),
             metrics,
+            last_plan: None,
         };
         dev.sync_resources();
         Ok(dev)
@@ -702,10 +708,23 @@ impl Device {
     }
 
     /// Opens a deferred [`CommandStream`] on this device. Recorded
-    /// commands run at [`CommandStream::flush`], after the peephole
-    /// passes (fusion, dead-write elimination, batching).
+    /// commands run at [`CommandStream::flush`], after the configured
+    /// [`crate::OptLevel`]'s optimization pipeline (fusion, dead-write
+    /// elimination, CSE, batching).
     pub fn stream(&mut self) -> CommandStream<'_> {
         CommandStream::new(self)
+    }
+
+    /// The placement plan computed by the most recent level-2 stream
+    /// flush, if any. Advisory: execution stayed on the configured
+    /// target; the plan reports what a cost-driven cross-substrate
+    /// mapper would have chosen.
+    pub fn placement_plan(&self) -> Option<&PlacementPlan> {
+        self.last_plan.as_ref()
+    }
+
+    pub(crate) fn set_placement_plan(&mut self, plan: PlacementPlan) {
+        self.last_plan = Some(plan);
     }
 
     /// Checks a command's shape against its [`OpKind`] contract and its
@@ -898,6 +917,12 @@ impl Device {
         f.dead_writes_eliminated += summary.dead_writes_eliminated;
         f.batched_sweeps += summary.batched_sweeps;
         f.batched_commands += summary.batched_commands;
+        let o = &mut self.stats.optimizer;
+        o.cse_hits += summary.cse_hits;
+        o.dead_objects_removed += summary.dead_objects_removed;
+        o.subgraphs += summary.subgraphs;
+        o.target_switches += summary.target_switches;
+        o.inferred_layouts += summary.inferred_layouts;
         if let Some(m) = &mut self.metrics {
             m.record_flush();
         }

@@ -65,11 +65,12 @@ pub mod object;
 pub mod ops;
 pub mod resource;
 pub mod stats;
+pub mod stream;
 pub mod system;
 pub mod trace;
 
-pub use cmd::{CmdValue, CommandStream, FlushSummary, PimCommand};
-pub use config::{DeviceConfig, PeParams, PimTarget, ShardPolicy, SimMode};
+pub use cmd::{CmdValue, PimCommand};
+pub use config::{DeviceConfig, OptLevel, PeParams, PimTarget, ShardPolicy, SimMode};
 pub use device::Device;
 pub use dtype::{DataType, PimScalar};
 pub use error::{PimError, Result};
@@ -82,9 +83,10 @@ pub use object::{DataLayout, ObjId, ObjectLayout, PimObject};
 pub use ops::{OpCategory, OpKind};
 pub use pim_dram::{RowPattern, TimingBackend, TimingCounters, TimingModel};
 pub use stats::{
-    CmdStat, CopyStats, DramProtocolStats, FusionStats, InterconnectStats, ResourceStats,
-    ShardResourceStats, SimStats,
+    CmdStat, CopyStats, DramProtocolStats, FusionStats, InterconnectStats, OptimizerStats,
+    ResourceStats, ShardResourceStats, SimStats,
 };
+pub use stream::{CommandStream, FlushSummary, PlacementPlan, SubgraphPlan};
 pub use system::{InterconnectModel, PimSystem, Shard, ShardMap, ShardRange};
 pub use trace::{CopyDirection, Recorder, TraceEvent, TraceSink, Tracer};
 

@@ -124,7 +124,7 @@ pub enum OpKind {
     /// `dst = cond ? a : b`.
     Select,
     /// Fused multiply-by-constant + add, `dst = a * k + b`. Produced by
-    /// the [`crate::cmd::CommandStream`] peephole that rewrites an
+    /// the [`crate::stream::CommandStream`] peephole that rewrites an
     /// adjacent scalar multiply into a dead temporary followed by an
     /// addition; targets charge less than the eager pair because the
     /// product never round-trips through an operand.

@@ -42,7 +42,7 @@ impl CopyStats {
     }
 }
 
-/// Counters for the [`crate::cmd::CommandStream`] peephole passes,
+/// Counters for the [`crate::stream::CommandStream`] peephole passes,
 /// accumulated across every flush on the device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FusionStats {
@@ -76,6 +76,34 @@ impl FusionStats {
     /// True when no stream was ever flushed on this device.
     pub fn is_empty(&self) -> bool {
         *self == FusionStats::default()
+    }
+}
+
+/// Counters for the dataflow optimizer (stream optimization levels
+/// 1+), accumulated across every flush on the device. All zero for
+/// eager-only runs and for level-0 (legacy peephole) streams, so the
+/// stats report and JSON omit the section in those cases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizerStats {
+    /// Value-numbering CSE hits: recomputes deleted outright or
+    /// rewritten to copies of an object already holding the value.
+    pub cse_hits: u64,
+    /// Commands removed by whole-stream dead-object elimination.
+    pub dead_objects_removed: u64,
+    /// Placement subgraphs priced (level 2 only).
+    pub subgraphs: u64,
+    /// Adjacent placement subgraphs assigned different targets.
+    pub target_switches: u64,
+    /// Objects whose placement-inferred layout differs from their
+    /// current layout.
+    pub inferred_layouts: u64,
+}
+
+impl OptimizerStats {
+    /// True when the dataflow optimizer never ran (eager-only or
+    /// level-0 devices).
+    pub fn is_empty(&self) -> bool {
+        *self == OptimizerStats::default()
     }
 }
 
@@ -216,6 +244,9 @@ pub struct SimStats {
     pub max_cores_used: usize,
     /// Command-stream peephole counters (all zero for eager-only runs).
     pub fusion: FusionStats,
+    /// Dataflow-optimizer counters (all zero for eager-only and
+    /// level-0 runs).
+    pub optimizer: OptimizerStats,
     /// Cross-shard interconnect accounting (empty for single-shard runs).
     pub interconnect: InterconnectStats,
     /// Resource-manager usage snapshot (aggregate + per-shard).
@@ -465,6 +496,22 @@ impl SimStats {
                 "  Batched sweeps   : {} covering {} command(s)",
                 f.batched_sweeps, f.batched_commands
             );
+        }
+        if !self.optimizer.is_empty() {
+            let o = &self.optimizer;
+            let _ = writeln!(out, "Dataflow Optimizer Stats:");
+            let _ = writeln!(
+                out,
+                "  CSE hits         : {} ({} dead object write(s) removed)",
+                o.cse_hits, o.dead_objects_removed
+            );
+            if o.subgraphs > 0 {
+                let _ = writeln!(
+                    out,
+                    "  Placement        : {} subgraph(s), {} target switch(es), {} layout inference(s)",
+                    o.subgraphs, o.target_switches, o.inferred_layouts
+                );
+            }
         }
         let r = &self.resources;
         let _ = writeln!(out, "Resource Stats:");

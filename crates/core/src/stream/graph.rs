@@ -1,0 +1,175 @@
+//! SSA-style dataflow graph over a recorded command list.
+//!
+//! Each recorded [`PimCommand`] becomes one [`Node`]; every input
+//! operand resolves to a [`Def`] — either the node whose destination
+//! write reaches that use, or the object's live-in value from before
+//! the flush. Because objects are mutable storage while the graph is
+//! SSA over *versions*, a `(node, operand)` edge pins down exactly one
+//! write: if any later command overwrote the object in between, the use
+//! would resolve to that writer instead. The passes in
+//! [`crate::stream::passes`] lean on this to reason about non-adjacent
+//! rewrites without rescanning the command list.
+//!
+//! Side effects partition the graph into **regions**: a command with no
+//! destination (a recorded reduction — host-visible output) is a
+//! barrier. Rewrites never move a value across a region boundary, so
+//! anything the host observed stays exactly as the eager program would
+//! have produced it.
+
+use std::collections::HashMap;
+
+use crate::cmd::PimCommand;
+use crate::object::ObjId;
+
+/// The write that reaches one input operand of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Def {
+    /// The object's contents from before the flush (no recorded command
+    /// wrote it yet at this point in the program).
+    LiveIn,
+    /// The destination write of the node at this index.
+    Node(usize),
+}
+
+/// One recorded command plus its resolved dataflow edges.
+#[derive(Debug)]
+pub(crate) struct Node {
+    /// The command itself.
+    pub cmd: PimCommand,
+    /// Reaching definition for each input operand, in operand order.
+    pub input_defs: Vec<Def>,
+    /// How many operand references downstream nodes make to this node's
+    /// destination write (counted per reference, not per reader).
+    pub uses: u32,
+    /// Side-effect region; barriers close the current region.
+    pub region: u32,
+    /// False once a pass deletes the node.
+    pub alive: bool,
+}
+
+/// The dataflow graph for one flush.
+#[derive(Debug)]
+pub(crate) struct Graph {
+    /// Nodes in recorded program order.
+    pub nodes: Vec<Node>,
+    /// Every node index that writes each object, in program order.
+    /// Conservative after deletions (a killed writer stays listed).
+    pub writes: HashMap<ObjId, Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds the graph from a command list in one forward pass.
+    pub fn build(cmds: &[PimCommand]) -> Graph {
+        let mut cur_def: HashMap<ObjId, usize> = HashMap::new();
+        let mut writes: HashMap<ObjId, Vec<usize>> = HashMap::new();
+        let mut nodes: Vec<Node> = Vec::with_capacity(cmds.len());
+        let mut region = 0u32;
+        for (i, cmd) in cmds.iter().enumerate() {
+            let input_defs: Vec<Def> = cmd
+                .inputs
+                .iter()
+                .map(|id| match cur_def.get(id) {
+                    Some(&n) => {
+                        nodes[n].uses += 1;
+                        Def::Node(n)
+                    }
+                    None => Def::LiveIn,
+                })
+                .collect();
+            let barrier = cmd.dst.is_none();
+            nodes.push(Node {
+                cmd: cmd.clone(),
+                input_defs,
+                uses: 0,
+                region,
+                alive: true,
+            });
+            if let Some(d) = cmd.dst {
+                cur_def.insert(d, i);
+                writes.entry(d).or_default().push(i);
+            }
+            if barrier {
+                region += 1;
+            }
+        }
+        Graph { nodes, writes }
+    }
+
+    /// True when any node writes `obj` strictly between indices `lo`
+    /// and `hi` (exclusive on both ends). Deleted writers still count —
+    /// conservative, never unsound.
+    pub fn write_in_open_interval(&self, obj: ObjId, lo: usize, hi: usize) -> bool {
+        self.writes
+            .get(&obj)
+            .is_some_and(|w| w.iter().any(|&i| i > lo && i < hi))
+    }
+
+    /// Rebuilds the surviving command list, preserving program order.
+    pub fn rebuild(&self) -> Vec<PimCommand> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.cmd.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OpKind;
+    use pim_microcode::gen::BinaryOp;
+
+    fn id(n: u64) -> ObjId {
+        ObjId(n)
+    }
+
+    #[test]
+    fn build_resolves_defs_and_counts_uses() {
+        let (a, b, t, d) = (id(1), id(2), id(3), id(4));
+        let cmds = vec![
+            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), a, b, t),
+            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Mul), t, t, d),
+            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), a, b, t),
+        ];
+        let g = Graph::build(&cmds);
+        assert_eq!(g.nodes[0].input_defs, vec![Def::LiveIn, Def::LiveIn]);
+        // Both mul operands read node 0's write of t.
+        assert_eq!(g.nodes[1].input_defs, vec![Def::Node(0), Def::Node(0)]);
+        assert_eq!(g.nodes[0].uses, 2);
+        assert_eq!(g.nodes[2].uses, 0);
+        assert_eq!(g.writes[&t], vec![0, 2]);
+        assert!(g.write_in_open_interval(t, 1, 3));
+        assert!(!g.write_in_open_interval(t, 0, 2));
+    }
+
+    #[test]
+    fn barriers_advance_regions() {
+        let (a, b, t) = (id(1), id(2), id(3));
+        let cmds = vec![
+            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), a, b, t),
+            PimCommand::reduce(OpKind::RedSum, t),
+            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), a, b, t),
+        ];
+        let g = Graph::build(&cmds);
+        assert_eq!(g.nodes[0].region, 0);
+        assert_eq!(g.nodes[1].region, 0); // the barrier closes its own region
+        assert_eq!(g.nodes[2].region, 1);
+        // The reduction's read counts as a use of node 0.
+        assert_eq!(g.nodes[0].uses, 1);
+    }
+
+    #[test]
+    fn rebuild_drops_dead_nodes_in_order() {
+        let (a, b, t, d) = (id(1), id(2), id(3), id(4));
+        let cmds = vec![
+            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Add), a, b, t),
+            PimCommand::elementwise2(OpKind::Binary(BinaryOp::Mul), a, b, d),
+        ];
+        let mut g = Graph::build(&cmds);
+        g.nodes[0].alive = false;
+        let out = g.rebuild();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, OpKind::Binary(BinaryOp::Mul));
+    }
+}

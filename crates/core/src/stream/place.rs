@@ -1,0 +1,247 @@
+//! Cost-driven target and layout placement (optimization level 2).
+//!
+//! After the rewrite passes, the surviving command list is partitioned
+//! into **subgraphs** — connected components of commands linked by
+//! shared objects, cut at side-effect barriers. Each subgraph is priced
+//! against every paper target's [`crate::TargetModel`] under that
+//! target's own auto-placement, plus the interconnect cost of shipping
+//! the subgraph's working set across the channel when the winner is not
+//! the device's own target. The cheapest legal assignment wins; per-
+//! object layout (horizontal vs. vertical) and [`ShardPolicy`]
+//! inferences fall out of the winning target's geometry.
+//!
+//! The plan is **advisory**: execution and cost charging stay on the
+//! device's configured target, which is what keeps every optimization
+//! level bit-identical to eager execution and never costlier than the
+//! peephole. The plan is retained on the device
+//! ([`crate::Device::placement_plan`]) and surfaced through the
+//! optimizer statistics, so callers and benchmarks can see what a
+//! cross-substrate mapper would have chosen.
+
+use std::collections::HashMap;
+
+use crate::cmd::PimCommand;
+use crate::config::{DeviceConfig, PimTarget, ShardPolicy};
+use crate::device::Device;
+use crate::model;
+use crate::object::{DataLayout, ObjId, ObjectLayout};
+use crate::system::InterconnectModel;
+
+/// One subgraph's chosen mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubgraphPlan {
+    /// Indices into the flushed command list, in program order.
+    pub commands: Vec<usize>,
+    /// The cheapest legal target for this subgraph.
+    pub target: PimTarget,
+    /// Modeled kernel time on that target (ms, closed-form timing).
+    pub est_kernel_ms: f64,
+    /// Modeled interconnect time to move the working set when the
+    /// chosen target differs from the device's (ms; 0 otherwise).
+    pub est_transfer_ms: f64,
+    /// Inferred per-object data layout under the chosen target.
+    pub layouts: Vec<(ObjId, DataLayout)>,
+    /// Inferred shard policy: round-robin when the subgraph mixes
+    /// element widths (narrow objects fragment a contiguous split),
+    /// contiguous otherwise.
+    pub shard_policy: ShardPolicy,
+}
+
+/// The full placement decision for one flush.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlacementPlan {
+    /// Per-subgraph assignments, in program order of first command.
+    pub subgraphs: Vec<SubgraphPlan>,
+    /// Adjacent subgraph pairs mapped to different targets.
+    pub target_switches: u64,
+    /// Objects whose inferred layout differs from their current one.
+    pub inferred_layouts: u64,
+}
+
+/// A priced candidate: `(kernel_ms, transfer_ms, per-object layouts)`.
+type PricedCandidate = (f64, f64, Vec<(ObjId, DataLayout)>);
+
+/// Union-find over command indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Attach to the smaller index so roots are stable in
+            // program order.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Prices one candidate target for a subgraph. Returns
+/// `(kernel_ms, transfer_ms, per-object layouts)`, or `None` when the
+/// target cannot hold or run the subgraph.
+fn price_candidate(
+    dev: &Device,
+    cmds: &[PimCommand],
+    members: &[usize],
+    objects: &[ObjId],
+    candidate: PimTarget,
+) -> Option<PricedCandidate> {
+    let cfg = DeviceConfig::new(candidate, dev.config().geometry.ranks);
+    let m = model::target_model(candidate);
+    let mut layouts: HashMap<ObjId, ObjectLayout> = HashMap::new();
+    let mut out_layouts = Vec::with_capacity(objects.len());
+    let mut bytes = 0u64;
+    for &obj in objects {
+        let o = dev.object(obj).ok()?;
+        let layout = ObjectLayout::compute(&cfg, o.count, o.dtype, None).ok()?;
+        out_layouts.push((obj, layout.layout));
+        layouts.insert(obj, layout);
+        bytes = bytes.saturating_add(o.bytes());
+    }
+    let mut kernel_ms = 0.0;
+    for &i in members {
+        let cmd = &cmds[i];
+        let costed = cmd.dst.unwrap_or_else(|| cmd.inputs[0]);
+        let o = dev.object(costed).ok()?;
+        let layout = layouts.get(&costed)?;
+        m.validate(cmd.kind, o.dtype, layout).ok()?;
+        kernel_ms += m.cost(&cfg, cmd.kind, o.dtype, layout).time_ms;
+    }
+    let transfer_ms = if candidate == dev.config().target {
+        0.0
+    } else {
+        InterconnectModel::from_config(dev.config()).transfer_ms(bytes)
+    };
+    Some((kernel_ms, transfer_ms, out_layouts))
+}
+
+/// Partitions the flushed command list into object-connected subgraphs
+/// and picks the cheapest legal target for each.
+pub(crate) fn plan(dev: &Device, cmds: &[PimCommand]) -> PlacementPlan {
+    let mut dsu = Dsu::new(cmds.len());
+    let mut last_touch: HashMap<ObjId, usize> = HashMap::new();
+    for (i, cmd) in cmds.iter().enumerate() {
+        for &obj in cmd.inputs.iter().chain(cmd.dst.iter()) {
+            if let Some(&prev) = last_touch.get(&obj) {
+                dsu.union(prev, i);
+            }
+            last_touch.insert(obj, i);
+        }
+        if cmd.dst.is_none() {
+            // Side-effect barrier: later commands may not join a
+            // subgraph the host already observed.
+            last_touch.clear();
+        }
+    }
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut group_of: HashMap<usize, usize> = HashMap::new();
+    for i in 0..cmds.len() {
+        let root = dsu.find(i);
+        let gi = *group_of.entry(root).or_insert_with(|| {
+            groups.push((root, Vec::new()));
+            groups.len() - 1
+        });
+        groups[gi].1.push(i);
+    }
+    groups.sort_by_key(|(root, _)| *root);
+
+    let mut plan = PlacementPlan::default();
+    for (_, members) in &groups {
+        let mut objects: Vec<ObjId> = Vec::new();
+        let mut widths: Vec<u32> = Vec::new();
+        for &i in members {
+            for &obj in cmds[i].inputs.iter().chain(cmds[i].dst.iter()) {
+                if !objects.contains(&obj) {
+                    objects.push(obj);
+                    if let Ok(o) = dev.object(obj) {
+                        if !widths.contains(&o.dtype.bits()) {
+                            widths.push(o.dtype.bits());
+                        }
+                    }
+                }
+            }
+        }
+        // Candidates: the paper's three targets, plus the device's own
+        // (which may be an extension target). Ties go to the device.
+        let mut candidates = vec![dev.config().target];
+        for t in PimTarget::ALL {
+            if !candidates.contains(&t) {
+                candidates.push(t);
+            }
+        }
+        let mut best: Option<(PimTarget, PricedCandidate)> = None;
+        for t in candidates {
+            let Some((kernel, transfer, layouts)) =
+                price_candidate(dev, cmds, members, &objects, t)
+            else {
+                continue;
+            };
+            let total = kernel + transfer;
+            if best.as_ref().is_none_or(|(_, (bk, bt, _))| total < bk + bt) {
+                best = Some((t, (kernel, transfer, layouts)));
+            }
+        }
+        let Some((target, (est_kernel_ms, est_transfer_ms, layouts))) = best else {
+            // No legal candidate (e.g. unknown objects); skip pricing.
+            continue;
+        };
+        for (obj, inferred) in &layouts {
+            if dev
+                .object(*obj)
+                .map(|o| o.layout.layout != *inferred)
+                .unwrap_or(false)
+            {
+                plan.inferred_layouts += 1;
+            }
+        }
+        plan.subgraphs.push(SubgraphPlan {
+            commands: members.clone(),
+            target,
+            est_kernel_ms,
+            est_transfer_ms,
+            layouts,
+            shard_policy: if widths.len() > 1 {
+                ShardPolicy::RoundRobin
+            } else {
+                ShardPolicy::Contiguous
+            },
+        });
+    }
+    for pair in plan.subgraphs.windows(2) {
+        if pair[0].target != pair[1].target {
+            plan.target_switches += 1;
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsu_components_are_stable_by_first_index() {
+        let mut dsu = Dsu::new(5);
+        dsu.union(3, 1);
+        dsu.union(4, 3);
+        assert_eq!(dsu.find(4), 1);
+        assert_eq!(dsu.find(0), 0);
+        assert_eq!(dsu.find(2), 2);
+    }
+}

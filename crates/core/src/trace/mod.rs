@@ -215,7 +215,7 @@ pub enum TraceEvent {
         /// Modeled host time (ms).
         time_ms: f64,
     },
-    /// A [`crate::cmd::CommandStream`] flush: instantaneous marker with
+    /// A [`crate::stream::CommandStream`] flush: instantaneous marker with
     /// the peephole-pass counters for this flush (the executed commands
     /// emit their own [`TraceEvent::Cmd`] spans).
     StreamFlush {

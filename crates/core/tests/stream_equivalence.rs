@@ -8,7 +8,9 @@
 //! own positive and negative cases, and the flush must leave fusion
 //! counters in [`pimeval::SimStats`] and a `StreamFlush` trace event.
 
-use pimeval::{DataType, Device, DeviceConfig, PimScalar, PimTarget, TraceEvent};
+use pimeval::{
+    DataType, Device, DeviceConfig, OpKind, OptLevel, PimCommand, PimScalar, PimTarget, TraceEvent,
+};
 
 const TARGETS: [PimTarget; 5] = [
     PimTarget::BitSerial,
@@ -232,6 +234,267 @@ fn batched_sweeps_match_eager_results() {
     // Batching is an execution-engine optimization; the modeled cost is
     // charged per command and must equal the eager clock exactly.
     assert!((dev.stats().kernel_time_ms() - eager_ms).abs() < 1e-12);
+}
+
+/// Runs the fused-equivalence program at one explicit optimization
+/// level; checks bit-identity with the eager reference and that the
+/// modeled cost never exceeds it.
+fn check_level_equivalence<T: PimScalar + PartialEq + std::fmt::Debug>(
+    target: PimTarget,
+    level: OptLevel,
+    seed: u64,
+) {
+    const K: i64 = 7;
+    let n = 257;
+    let (xs, ys) = data::<T>(n, seed);
+
+    let mut eager = device(target);
+    let x = eager.alloc_vec(&xs).unwrap();
+    let y = eager.alloc_vec(&ys).unwrap();
+    let t = eager.alloc_associated(x, T::DTYPE).unwrap();
+    let mask = eager.alloc_associated(x, T::DTYPE).unwrap();
+    let out = eager.alloc_associated(x, T::DTYPE).unwrap();
+    eager.mul_scalar(x, K, t).unwrap();
+    eager.add(t, y, y).unwrap();
+    eager.lt(x, y, mask).unwrap();
+    eager.select(mask, x, y, out).unwrap();
+    let eager_y: Vec<T> = eager.to_vec(y).unwrap();
+    let eager_out: Vec<T> = eager.to_vec(out).unwrap();
+    let eager_ms = eager.stats().kernel_time_ms();
+
+    let mut dev = device(target);
+    let x = dev.alloc_vec(&xs).unwrap();
+    let y = dev.alloc_vec(&ys).unwrap();
+    let t = dev.alloc_associated(x, T::DTYPE).unwrap();
+    let mask = dev.alloc_associated(x, T::DTYPE).unwrap();
+    let out = dev.alloc_associated(x, T::DTYPE).unwrap();
+    let mut stream = dev.stream();
+    stream.set_opt(level);
+    stream.mul_scalar(x, K, t).add(t, y, y);
+    stream.lt(x, y, mask).select(mask, x, y, out);
+    let summary = stream.flush().unwrap();
+    drop(stream);
+    // This program fuses identically at every level (the pairs are
+    // adjacent), so the counters are level-invariant.
+    assert_eq!(summary.fused_scaled_add, 1, "{target:?} opt {level}");
+    assert_eq!(summary.fused_cmp_select, 1, "{target:?} opt {level}");
+    assert_eq!(summary.executed, 2, "{target:?} opt {level}");
+    if level == OptLevel::O2 {
+        assert!(summary.subgraphs >= 1, "{target:?}: no placement subgraphs");
+        let plan = dev.placement_plan().expect("level 2 retains a plan");
+        assert_eq!(plan.subgraphs.len() as u64, summary.subgraphs);
+    } else {
+        assert_eq!(summary.subgraphs, 0, "{target:?} opt {level}");
+        assert!(dev.placement_plan().is_none());
+    }
+
+    let streamed_y: Vec<T> = dev.to_vec(y).unwrap();
+    let streamed_out: Vec<T> = dev.to_vec(out).unwrap();
+    assert_eq!(streamed_y, eager_y, "{target:?} opt {level} {:?}", T::DTYPE);
+    assert_eq!(
+        streamed_out,
+        eager_out,
+        "{target:?} opt {level} {:?}",
+        T::DTYPE
+    );
+    let opt_ms = dev.stats().kernel_time_ms();
+    assert!(
+        opt_ms <= eager_ms * (1.0 + 1e-12),
+        "{target:?} opt {level} {:?}: {opt_ms} ms > eager {eager_ms} ms",
+        T::DTYPE
+    );
+}
+
+#[test]
+fn every_opt_level_matches_eager_on_every_target_and_dtype() {
+    for (i, target) in TARGETS.into_iter().enumerate() {
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            let seed = 0x0127 + i as u64;
+            check_level_equivalence::<i8>(target, level, seed);
+            check_level_equivalence::<i32>(target, level, seed);
+            check_level_equivalence::<i64>(target, level, seed);
+            check_level_equivalence::<u16>(target, level, seed);
+        }
+    }
+}
+
+#[test]
+fn cse_rewrites_repeated_subexpressions_to_copies() {
+    // The same subexpression computed twice into different objects: the
+    // dataflow optimizer must rewrite the recomputes into copies (the
+    // adjacent-pair peephole cannot see this), with bit-identical
+    // buffers and strictly less modeled kernel time than level 0.
+    let (xs, ys) = data::<i32>(512, 0xC5E);
+    let program = |dev: &mut Device, level: OptLevel| {
+        let x = dev.alloc_vec(&xs).unwrap();
+        let y = dev.alloc_vec(&ys).unwrap();
+        let d1 = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let a1 = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let d2 = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let a2 = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let mut stream = dev.stream();
+        stream.set_opt(level);
+        stream.sub(x, y, d1).abs(d1, a1);
+        stream.sub(x, y, d2).abs(d2, a2);
+        let summary = stream.flush().unwrap();
+        drop(stream);
+        (summary, [d1, a1, d2, a2])
+    };
+
+    let mut base = device(PimTarget::Fulcrum);
+    let (s0, objs0) = program(&mut base, OptLevel::O0);
+    assert_eq!(s0.cse_hits, 0);
+    assert_eq!(s0.executed, 4);
+    let base_bufs: Vec<Vec<i32>> = objs0.iter().map(|&o| base.to_vec(o).unwrap()).collect();
+    let base_ms = base.stats().kernel_time_ms();
+
+    let mut dev = device(PimTarget::Fulcrum);
+    let (s1, objs1) = program(&mut dev, OptLevel::O1);
+    assert_eq!(s1.cse_hits, 2, "both recomputes become copies");
+    assert_eq!(s1.executed, 4);
+    let opt_bufs: Vec<Vec<i32>> = objs1.iter().map(|&o| dev.to_vec(o).unwrap()).collect();
+    assert_eq!(opt_bufs, base_bufs);
+    let opt_ms = dev.stats().kernel_time_ms();
+    assert!(
+        opt_ms < base_ms,
+        "CSE must strictly beat the peephole: {opt_ms} ms vs {base_ms} ms"
+    );
+    // The optimizer section reaches the report and the stats JSON.
+    assert!(dev.report().contains("Dataflow Optimizer Stats"));
+    let json = pimeval::trace::json::stats_to_json(dev.stats(), dev.config());
+    assert!(json.contains("\"optimizer\""));
+    assert!(json.contains("\"cse_hits\": 2"));
+    // ... and stays out of both when the optimizer never fired.
+    assert!(!base.report().contains("Dataflow Optimizer Stats"));
+    let base_json = pimeval::trace::json::stats_to_json(base.stats(), base.config());
+    assert!(!base_json.contains("\"optimizer\""));
+}
+
+#[test]
+fn host_visible_reads_are_cse_barriers() {
+    // A recorded reduction makes the stream's effects host-visible:
+    // value numbering must not reuse a computation from before the
+    // barrier for one after it.
+    let (xs, ys) = data::<i32>(256, 0xBA & 0xFFFF);
+    let run = |barrier: bool| {
+        let mut dev = device(PimTarget::Fulcrum);
+        let x = dev.alloc_vec(&xs).unwrap();
+        let y = dev.alloc_vec(&ys).unwrap();
+        let d1 = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let d2 = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let mut stream = dev.stream();
+        stream.set_opt(OptLevel::O1);
+        stream.add(x, y, d1);
+        if barrier {
+            stream.record(PimCommand::reduce(OpKind::RedSum, d1));
+        }
+        stream.add(x, y, d2);
+        let summary = stream.flush().unwrap();
+        drop(stream);
+        let b1: Vec<i32> = dev.to_vec(d1).unwrap();
+        let b2: Vec<i32> = dev.to_vec(d2).unwrap();
+        (summary, b1, b2)
+    };
+    let (with_barrier, b1, b2) = run(true);
+    assert_eq!(with_barrier.cse_hits, 0, "barrier blocks CSE");
+    assert_eq!(with_barrier.executed, 3);
+    let (without, c1, c2) = run(false);
+    assert_eq!(without.cse_hits, 1, "no barrier: recompute becomes a copy");
+    assert_eq!((b1, b2), (c1, c2), "same values either way");
+}
+
+#[test]
+fn ten_thousand_command_stream_flushes_linearly() {
+    // Regression for the old O(n²) `never_read_later` tail rescan: a
+    // 10k-command stream must flush in linear time at every level. The
+    // program reuses one temporary across 5 000 mul+add pairs — the
+    // object-granular peephole liveness refuses to fuse (the temp is
+    // re-read every iteration), while the SSA graph proves each
+    // product has exactly one consumer and fuses all of them.
+    let n = 64usize;
+    let (xs, ys) = data::<i32>(n, 0x10_000);
+    let run = |level: OptLevel| {
+        let mut dev = device(PimTarget::Fulcrum);
+        let x = dev.alloc_vec(&xs).unwrap();
+        let t = dev.alloc_associated(x, DataType::Int32).unwrap();
+        let out = dev.alloc_vec(&ys).unwrap();
+        let mut stream = dev.stream();
+        stream.set_opt(level);
+        for i in 0..5_000 {
+            let k = (i % 7) + 1;
+            stream.mul_scalar(x, k, t).add(t, out, out);
+        }
+        let summary = stream.flush().unwrap();
+        drop(stream);
+        (
+            summary,
+            dev.to_vec::<i32>(out).unwrap(),
+            dev.stats().kernel_time_ms(),
+        )
+    };
+
+    // Eager reference.
+    let mut eager = device(PimTarget::Fulcrum);
+    let x = eager.alloc_vec(&xs).unwrap();
+    let t = eager.alloc_associated(x, DataType::Int32).unwrap();
+    let out = eager.alloc_vec(&ys).unwrap();
+    for i in 0..5_000 {
+        let k = (i % 7) + 1;
+        eager.mul_scalar(x, k, t).unwrap();
+        eager.add(t, out, out).unwrap();
+    }
+    let eager_out: Vec<i32> = eager.to_vec(out).unwrap();
+    let eager_ms = eager.stats().kernel_time_ms();
+
+    let (s0, out0, ms0) = run(OptLevel::O0);
+    assert_eq!(s0.recorded, 10_000);
+    // The temp is re-read by every later iteration, so the peephole
+    // only fuses the final pair (where the tail rescan finds no reads).
+    assert_eq!(s0.fused_scaled_add, 1);
+    assert_eq!(s0.executed, 9_999);
+    assert_eq!(out0, eager_out);
+    assert!(ms0 <= eager_ms * (1.0 + 1e-12));
+
+    let (s1, out1, ms1) = run(OptLevel::O1);
+    assert_eq!(s1.fused_scaled_add, 5_000, "SSA liveness fuses every pair");
+    assert_eq!(s1.executed, 5_000);
+    assert_eq!(out1, eager_out);
+    assert!(ms1 < ms0, "graph fusion must strictly beat the peephole");
+}
+
+#[test]
+fn placement_plan_reports_subgraphs_and_layouts() {
+    // Two disjoint dataflow components flush as two placement
+    // subgraphs; layouts are inferred per winning target and the plan
+    // survives on the device for inspection.
+    let (xs, ys) = data::<i32>(512, 0x9A7);
+    let mut dev = device(PimTarget::BitSerial);
+    let x = dev.alloc_vec(&xs).unwrap();
+    let y = dev.alloc_vec(&ys).unwrap();
+    let a = dev.alloc_associated(x, DataType::Int32).unwrap();
+    let p = dev.alloc_vec(&ys).unwrap();
+    let q = dev.alloc_vec(&xs).unwrap();
+    let b = dev.alloc_associated(p, DataType::Int32).unwrap();
+    let mut stream = dev.stream();
+    stream.set_opt(OptLevel::O2);
+    stream.add(x, y, a); // component 1
+    stream.mul(p, q, b); // component 2 (no shared objects)
+    let summary = stream.flush().unwrap();
+    drop(stream);
+    assert_eq!(summary.subgraphs, 2);
+    let plan = dev.placement_plan().unwrap().clone();
+    assert_eq!(plan.subgraphs.len(), 2);
+    for sg in &plan.subgraphs {
+        assert!(!sg.commands.is_empty());
+        assert!(!sg.layouts.is_empty());
+        assert!(sg.est_kernel_ms >= 0.0);
+    }
+    // Results are unaffected by the (advisory) plan.
+    let mut expect = Vec::with_capacity(xs.len());
+    for i in 0..xs.len() {
+        expect.push(xs[i].wrapping_add(ys[i]));
+    }
+    assert_eq!(dev.to_vec::<i32>(a).unwrap(), expect);
 }
 
 #[test]
